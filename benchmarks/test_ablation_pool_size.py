@@ -1,0 +1,58 @@
+"""Ablation: HSCC DRAM pool size (the paper fixes 512 pages).
+
+Pool capacity sets how much of the hot set DRAM can cache: a bigger
+pool admits more migrations per interval *and* retains cached pages
+long enough for stores to dirty them, so evictions increasingly demand
+copy-backs during page selection — the ingredients of the Table VI
+selection-time behaviour.
+"""
+
+from conftest import write_result
+
+from repro.harness.experiments import _run_hscc_once
+from repro.workloads import generate_ycsb
+
+
+def test_pool_size(benchmark):
+    image = generate_ycsb(total_ops=40_000)
+
+    def run():
+        out = {}
+        for pool_pages in (64, 256, 1024):
+            out[pool_pages] = _run_hscc_once(
+                image,
+                fetch_threshold=5,
+                charge_os=True,
+                migration_interval_ms=4.0,
+                pool_pages=pool_pages,
+                target_ms=40.0,
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "ablation_pool_size",
+        {
+            "experiment": "ablation: HSCC DRAM pool size",
+            "rows": [
+                {
+                    "pool_pages": pool,
+                    "pages_migrated": r["pages_migrated"],
+                    "dirty_copybacks": r["dirty_copybacks"],
+                    "selection_cycles": r["selection_cycles"],
+                    "copy_cycles": r["copy_cycles"],
+                }
+                for pool, r in results.items()
+            ],
+        },
+    )
+    # Capacity admits migrations: strictly more with every doubling.
+    assert (
+        results[64]["pages_migrated"]
+        < results[256]["pages_migrated"]
+        < results[1024]["pages_migrated"]
+    )
+    # Pages retained long enough get dirtied, so copy-backs (selection
+    # -time work) appear as the pool grows.
+    assert results[1024]["dirty_copybacks"] >= results[64]["dirty_copybacks"]
+    assert results[64]["pages_migrated"] > 0

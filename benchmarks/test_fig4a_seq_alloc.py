@@ -1,0 +1,29 @@
+"""Fig. 4a: execution time vs sequential allocation size.
+
+Paper shape: the rebuild scheme is slower at every size and its
+disadvantage grows with the mapped size (2.4x at 64 MB to 74.2x at
+512 MB on the authors' testbed).
+"""
+
+from conftest import bench_scale, write_result
+
+from repro.harness.experiments import run_fig4a
+
+
+def test_fig4a(benchmark):
+    result = benchmark.pedantic(
+        run_fig4a,
+        kwargs={"sizes_mb": (64, 128, 256, 512), "scale": bench_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    write_result("fig4a", result)
+    rows = result["rows"]
+    # rebuild loses at every size.
+    assert all(r["rebuild_ms"] > r["persistent_ms"] for r in rows)
+    # the gap widens monotonically with size.
+    overheads = [r["overhead_x"] for r in rows]
+    assert all(a < b for a, b in zip(overheads, overheads[1:]))
+    # and spans at least a few x to tens of x across the range.
+    assert overheads[0] > 1.5
+    assert overheads[-1] / overheads[0] > 3

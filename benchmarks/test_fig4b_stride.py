@@ -1,0 +1,22 @@
+"""Fig. 4b: execution time vs access stride (1 GB / 2 MB / 4 KB).
+
+Paper shape: the persistent scheme pays more when strides populate
+many page-table levels (1 GB, 2 MB) and wins when modifications are
+minimal (4 KB).
+"""
+
+from conftest import write_result
+
+from repro.harness.experiments import run_fig4b
+
+
+def test_fig4b(benchmark):
+    result = benchmark.pedantic(run_fig4b, rounds=1, iterations=1)
+    write_result("fig4b", result)
+    by_stride = {r["stride"]: r["ratio"] for r in result["rows"]}
+    # persistent/rebuild ratio falls as the stride shrinks...
+    assert by_stride["1GB"] > by_stride["2MB"] > by_stride["4KB"]
+    # ...is clearly above 1 for the sparse strides...
+    assert by_stride["1GB"] > 1.1
+    # ...and the schemes flip (or tie) at 4 KB.
+    assert by_stride["4KB"] <= 1.02

@@ -1,0 +1,37 @@
+"""Fig. 5: SSP memory-consistency overhead vs consistency interval.
+
+Paper shape: normalized execution time falls as the interval widens
+(1 ms -> 10 ms shrinks the consistency overhead by ~3x on average).
+"""
+
+from collections import defaultdict
+
+from conftest import write_result
+
+from repro.harness.experiments import run_fig5
+
+
+def test_fig5(benchmark):
+    result = benchmark.pedantic(
+        run_fig5,
+        kwargs={"total_ops": 60_000, "target_ms": 30.0},
+        rounds=1,
+        iterations=1,
+    )
+    write_result("fig5", result)
+    by_workload = defaultdict(dict)
+    for row in result["rows"]:
+        by_workload[row["benchmark"]][row["interval_ms"]] = row["normalized_time"]
+    overhead_reductions = []
+    for name, series in by_workload.items():
+        # consistency costs something, always.
+        assert all(v > 1.0 for v in series.values()), (name, series)
+        # monotone: wider interval, lower overhead.
+        assert series[1.0] >= series[5.0] >= series[10.0], (name, series)
+        overhead_reductions.append(
+            (series[1.0] - 1.0) / (series[10.0] - 1.0)
+        )
+    # Average overhead reduction from 1 ms to 10 ms is a few x
+    # (paper: ~3x).
+    mean_reduction = sum(overhead_reductions) / len(overhead_reductions)
+    assert mean_reduction > 1.5

@@ -1,0 +1,75 @@
+"""Study: memory energy under different data placements.
+
+The paper's introduction motivates hybrid memory by energy ("reduce
+energy cost"); this study quantifies the trade with the energy model:
+all-DRAM placement pays background (refresh) power on the whole DRAM
+capacity, all-NVM placement pays higher dynamic energy per access and
+longer runtimes.
+"""
+
+from conftest import write_result
+
+from repro.mem.energy import EnergyModel
+from repro.platform import HybridSystem
+from repro.prep.codegen import PlacementPolicy, ReplayProgram
+from repro.workloads import generate_ycsb
+
+
+def _run(image, placement):
+    system = HybridSystem(persistence=False)
+    system.boot()
+    proc = system.spawn(image.name)
+    program = ReplayProgram(image, placement)
+    program.install(system.kernel, proc)
+    for _ in range(4):
+        proc.registers["pc"] = 0
+        program.run(system.kernel, proc)
+    layout = system.machine.config.layout
+    report = EnergyModel().report(
+        system.stats, system.machine.clock, layout.dram_bytes, layout.nvm_bytes
+    )
+    elapsed = system.machine.clock
+    system.shutdown()
+    return elapsed, report
+
+
+def test_placement_energy(benchmark):
+    image = generate_ycsb(total_ops=50_000)
+
+    def run():
+        return {
+            policy.value: _run(image, policy)
+            for policy in (PlacementPolicy.ALL_DRAM, PlacementPolicy.ALL_NVM)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "study_energy",
+        {
+            "experiment": "study: placement vs memory energy",
+            "rows": [
+                {
+                    "placement": name,
+                    "exec_ms": round(cycles / 3e6, 3),
+                    "dynamic_mj": round(report.dynamic_mj, 4),
+                    "background_mj": round(report.background_mj, 4),
+                    "total_mj": round(report.total_mj, 4),
+                }
+                for name, (cycles, report) in results.items()
+            ],
+        },
+    )
+    dram_cycles, dram_report = results["all_dram"]
+    nvm_cycles, nvm_report = results["all_nvm"]
+    # DRAM placement is faster but pays more dynamic energy per unit
+    # time is irrelevant — the decisive asymmetries:
+    assert dram_cycles < nvm_cycles  # NVM latency costs time
+    assert nvm_report.components_mj["nvm.dynamic"] > (
+        dram_report.components_mj["nvm.dynamic"]
+    )
+    # Background power always dwarfs NVM standby.
+    for _name, (_cycles, report) in results.items():
+        assert (
+            report.components_mj["dram.background"]
+            > report.components_mj["nvm.background"]
+        )

@@ -1,0 +1,71 @@
+"""Extension study: OS activity and cache pollution under HSCC.
+
+Section III-C: "As Kindle provides a full-system simulation, it allows
+studying ... the influence of other OS activities such as context
+switches, and the effect of cache pollution due to OS activities on
+migration" — the insight user-level simulators (ZSim) cannot produce.
+This study runs the HSCC workload with and without periodic OS
+background work and quantum-based context switching.
+"""
+
+from conftest import write_result
+
+from repro.gemos.scheduler import OsNoiseSource
+from repro.harness.experiments import _install_program, _replay_system, _run_repeated
+from repro.hscc.manager import HsccManager
+from repro.workloads import generate_ycsb
+
+
+def _run(image, with_noise: bool, passes: int = 6) -> int:
+    system = _replay_system()
+    process, program = _install_program(system, image)
+    manager = HsccManager(
+        system.kernel,
+        process,
+        fetch_threshold=5,
+        migration_interval_ms=4.0,
+        pool_pages=256,
+    )
+    noise = None
+    if with_noise:
+        # Kernel background work thrashing the caches several times per
+        # migration interval.
+        noise = OsNoiseSource(
+            system.kernel, interval_ms=0.25, lines_per_tick=4096,
+            buffer_pages=512,
+        )
+        noise.start()
+    cycles = _run_repeated(system, program, process, passes)
+    if noise is not None:
+        noise.stop()
+    manager.disarm()
+    system.shutdown()
+    return cycles
+
+
+def test_os_noise_influence(benchmark):
+    image = generate_ycsb(total_ops=40_000)
+
+    def run():
+        return {
+            "quiet": _run(image, with_noise=False),
+            "noisy": _run(image, with_noise=True),
+        }
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "study_os_noise",
+        {
+            "experiment": "study: OS background activity under HSCC",
+            "rows": [
+                {
+                    "configuration": name,
+                    "cycles": c,
+                    "slowdown": round(c / cycles["quiet"], 4),
+                }
+                for name, c in cycles.items()
+            ],
+        },
+    )
+    # Background OS activity must cost the application real time.
+    assert cycles["noisy"] > cycles["quiet"] * 1.02

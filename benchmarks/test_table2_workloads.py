@@ -1,0 +1,14 @@
+"""Table II: benchmark details (op counts, read/write mixes)."""
+
+from conftest import write_result
+
+from repro.harness.experiments import run_table2
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(
+        run_table2, kwargs={"total_ops": 100_000}, rounds=1, iterations=1
+    )
+    write_result("table2", result)
+    for row in result["rows"]:
+        assert abs(row["read_pct"] - row["paper_read_pct"]) <= 4, row

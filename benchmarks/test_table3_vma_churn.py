@@ -1,0 +1,33 @@
+"""Table III: execution time vs mmap/munmap churn size.
+
+Paper shape: both schemes grow with the alloc/free size (~1.6x
+persistent, ~1.5x rebuild from 64 MB to 256 MB) and rebuild is far
+slower throughout.
+"""
+
+from conftest import bench_scale, write_result
+
+from repro.harness.experiments import run_table3
+
+
+def test_table3(benchmark):
+    result = benchmark.pedantic(
+        run_table3,
+        kwargs={
+            "churn_sizes_mb": (64, 128, 256),
+            "total_mb": 512,
+            "scale": bench_scale(),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    write_result("table3", result)
+    rows = result["rows"]
+    assert all(r["rebuild_ms"] > r["persistent_ms"] for r in rows)
+    persistent = [r["persistent_ms"] for r in rows]
+    rebuild = [r["rebuild_ms"] for r in rows]
+    assert persistent == sorted(persistent)
+    assert rebuild == sorted(rebuild)
+    # growth factors from the smallest to the largest churn size are
+    # moderate (paper: ~1.6x / ~1.5x).
+    assert 1.1 < persistent[-1] / persistent[0] < 4

@@ -1,0 +1,43 @@
+"""Table IV: checkpoint-interval sweep (10 ms / 100 ms / 1 s).
+
+Paper shape: the persistent scheme is insensitive to the interval; the
+rebuild scheme improves ~5x from 10 ms to 100 ms and drops *below* the
+persistent scheme at 1 s.
+"""
+
+import pytest
+from conftest import bench_scale, write_result
+
+from repro.harness.experiments import run_table4
+
+
+def test_table4(benchmark):
+    result = benchmark.pedantic(
+        run_table4,
+        kwargs={
+            "churn_sizes_mb": (64, 128, 256),
+            "total_mb": 512,
+            "scale": bench_scale(),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    write_result("table4", result)
+    rows = result["rows"]
+    for churn in {r["churn_mb"] for r in rows}:
+        per_interval = {
+            r["interval_ms"]: r for r in rows if r["churn_mb"] == churn
+        }
+        persistent = [r["persistent_ms"] for r in per_interval.values()]
+        # persistent: flat across intervals.
+        assert max(persistent) / min(persistent) < 1.05
+        # rebuild: large win from 10 -> 100 ms.
+        assert (
+            per_interval[10.0]["rebuild_ms"]
+            > 2 * per_interval[100.0]["rebuild_ms"]
+        )
+        # crossover at 1 s: rebuild beats persistent.
+        assert (
+            per_interval[1000.0]["rebuild_ms"]
+            < per_interval[1000.0]["persistent_ms"]
+        )

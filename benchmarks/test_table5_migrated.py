@@ -1,0 +1,36 @@
+"""Table V: number of pages migrated per workload and threshold.
+
+Paper shape: migrated-page counts fall steeply with the fetch
+threshold (Ycsb_mem: ~13x fewer at Th-25 and ~101x fewer at Th-50
+than at Th-5).
+"""
+
+from collections import defaultdict
+
+from conftest import write_result
+
+
+def test_table5(benchmark, fig6_result):
+    result = benchmark.pedantic(lambda: fig6_result, rounds=1, iterations=1)
+    table5 = {
+        "experiment": "table5",
+        "rows": [
+            {
+                "benchmark": r["benchmark"],
+                "threshold": r["threshold"],
+                "pages_migrated": r["pages_migrated"],
+            }
+            for r in result["rows"]
+        ],
+    }
+    write_result("table5", table5)
+    by_workload = defaultdict(dict)
+    for row in result["rows"]:
+        by_workload[row["benchmark"]][row["threshold"]] = row["pages_migrated"]
+    for name, series in by_workload.items():
+        # monotone decrease with threshold, and a steep drop overall.
+        assert series[5] >= series[25] >= series[50], (name, series)
+        assert series[5] > 0, name
+    # the zipf-skewed store shows the paper's steep threshold cliff.
+    ycsb = by_workload["ycsb_mem"]
+    assert ycsb[5] >= 4 * max(ycsb[50], 1)

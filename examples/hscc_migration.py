@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""HSCC: DRAM-as-cache page migration and its OS-side cost.
+
+Runs YCSB under HSCC migration at the paper's fetch thresholds and
+prints the Fig. 6 / Table V / Table VI quantities: pages migrated, the
+normalized execution time with OS activity charged vs hardware-only
+migration, and the page-selection vs page-copy split.
+
+Uses the cache-scaled HSCC study platform (see
+``repro.harness.experiments.hscc_study_config``) so the scaled trace's
+footprint-to-LLC ratio matches the paper's GB-scale workloads.
+"""
+
+from repro.harness.experiments import hscc_study_config
+from repro.hscc.manager import HsccManager
+from repro.platform import HybridSystem
+from repro.prep.codegen import PlacementPolicy, ReplayProgram
+from repro.workloads import generate_ycsb
+
+PASSES = 24
+
+
+def run(image, threshold, charge_os):
+    system = HybridSystem(config=hscc_study_config(), persistence=False)
+    system.boot()
+    proc = system.spawn(image.name)
+    program = ReplayProgram(image, PlacementPolicy.ALL_NVM)
+    program.install(system.kernel, proc)
+    manager = HsccManager(
+        system.kernel,
+        proc,
+        fetch_threshold=threshold,
+        migration_interval_ms=4.0,  # time-compressed (see DESIGN.md)
+        pool_pages=512,
+        charge_os=charge_os,
+    )
+    start = system.machine.clock
+    for _ in range(PASSES):
+        proc.registers["pc"] = 0
+        program.run(system.kernel, proc)
+    cycles = system.machine.clock - start
+    selection, copy = manager.migration_cycle_split()
+    stats = {
+        "cycles": cycles,
+        "migrated": manager.pages_migrated,
+        "selection": selection,
+        "copy": copy,
+        "dirty_copybacks": manager.dirty_copybacks,
+    }
+    manager.disarm()
+    system.shutdown()
+    return stats
+
+
+def main() -> None:
+    image = generate_ycsb(total_ops=40_000)
+    print(f"{'Th':>4} {'migrated':>9} {'norm time':>10} {'sel %':>7} {'copy %':>7}")
+    for threshold in (5, 25, 50):
+        charged = run(image, threshold, charge_os=True)
+        hw_only = run(image, threshold, charge_os=False)
+        os_total = charged["selection"] + charged["copy"]
+        sel_pct = 100 * charged["selection"] / os_total if os_total else 0.0
+        print(
+            f"{threshold:>4} {charged['migrated']:>9} "
+            f"{charged['cycles'] / hw_only['cycles']:>10.3f} "
+            f"{sel_pct:>7.2f} {100 - sel_pct if os_total else 0:>7.2f}"
+            f"   (dirty copy-backs: {charged['dirty_copybacks']})"
+        )
+    print("hscc example OK")
+
+
+if __name__ == "__main__":
+    main()

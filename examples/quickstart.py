@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: a hybrid-memory computer with process persistence.
+
+Mirrors the paper's Listing 1: allocate one page in NVM and one in
+DRAM via the extended mmap, store to both, then crash the machine and
+show that the NVM data (and the process itself) survive while DRAM
+contents are lost.
+"""
+
+from repro import MAP_NVM, PROT_READ, PROT_WRITE, HybridSystem
+from repro.common.units import PAGE_SIZE
+
+
+def main() -> None:
+    system = HybridSystem(scheme="persistent", checkpoint_interval_ms=10.0)
+    system.boot()
+
+    # -- Table I: the simulated platform -------------------------------
+    cfg = system.machine.config
+    print("gem5-style memory configuration (Table I):")
+    print(f"  DRAM interface   : {cfg.dram.name}")
+    print(f"  NVM interface    : {cfg.nvm.name}")
+    print(f"  NVM write buffer : {cfg.nvm_buffers.write_buffer_entries}")
+    print(f"  NVM read buffer  : {cfg.nvm_buffers.read_buffer_entries}")
+    print(
+        f"  Memory capacity  : {cfg.layout.dram_bytes >> 30}GB DRAM + "
+        f"{cfg.layout.nvm_bytes >> 30}GB NVM"
+    )
+    for entry in system.machine.layout.e820_map():
+        print(f"  e820: base={entry.base:#x} len={entry.length:#x} {entry.kind.name}")
+
+    # -- Listing 1 ------------------------------------------------------
+    proc = system.spawn("listing1")
+    kernel = system.kernel
+    ptr1 = kernel.sys_mmap(proc, None, PAGE_SIZE, PROT_WRITE | PROT_READ, MAP_NVM)
+    ptr2 = kernel.sys_mmap(proc, None, PAGE_SIZE, PROT_WRITE | PROT_READ, 0)
+    system.machine.store(ptr1, b"A")  # store to NVM
+    system.machine.store(ptr2, b"B")  # store to DRAM
+    print(f"\nmmap(MAP_NVM) -> {ptr1:#x} (NVM), mmap(0) -> {ptr2:#x} (DRAM)")
+
+    system.checkpoint()
+    print(f"checkpoint taken at {system.elapsed_ms:.3f} simulated ms")
+
+    system.crash()
+    print("power failure!")
+
+    (recovered,) = system.boot()
+    system.kernel.switch_to(recovered)
+    nvm_byte = system.machine.load(ptr1, 1)
+    dram_byte = system.machine.load(ptr2, 1)
+    print(f"after recovery: NVM byte = {nvm_byte!r} (survived)")
+    print(f"after recovery: DRAM byte = {dram_byte!r} (lost, refaulted to zero)")
+    assert nvm_byte == b"A" and dram_byte == b"\x00"
+    print("quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Kindle reproduction: OS-architecture interplay in hybrid memory systems.
+
+A pure-Python reimplementation of the Kindle framework (IISWC 2024):
+a cycle-accounting hybrid DRAM/NVM platform model, a lightweight OS
+with ``mmap(MAP_NVM)``, full process persistence with two page-table
+consistency schemes, a trace-based application preparation pipeline,
+and prototype implementations of SSP (shadow sub-paging) and HSCC
+(hardware/software cooperative caching).
+
+Quickstart::
+
+    from repro import HybridSystem, MAP_NVM, PROT_WRITE
+
+    system = HybridSystem(scheme="persistent")
+    system.boot()
+    proc = system.spawn("app")
+    addr = system.kernel.sys_mmap(proc, None, 1 << 20, PROT_WRITE, MAP_NVM)
+    system.machine.store(addr, b"hello")
+    system.checkpoint()
+    system.crash()
+    (proc,) = system.boot()          # recovered from NVM
+"""
+
+from repro.arch.machine import Machine
+from repro.common.config import (
+    DDR4_2400,
+    PCM,
+    HybridLayoutConfig,
+    MachineConfig,
+    small_machine_config,
+)
+from repro.common.stats import Stats
+from repro.gemos.kernel import Kernel, KernelConfig
+from repro.gemos.vma import MAP_FIXED, MAP_NVM, PROT_READ, PROT_WRITE
+from repro.mem.hybrid import MemType
+from repro.platform import HybridSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HybridSystem",
+    "Machine",
+    "MachineConfig",
+    "HybridLayoutConfig",
+    "small_machine_config",
+    "DDR4_2400",
+    "PCM",
+    "Stats",
+    "Kernel",
+    "KernelConfig",
+    "MemType",
+    "MAP_NVM",
+    "MAP_FIXED",
+    "PROT_READ",
+    "PROT_WRITE",
+    "__version__",
+]

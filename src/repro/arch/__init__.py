@@ -1,0 +1,34 @@
+"""Architecture substrate (the gem5 analog).
+
+A cycle-accounting model of the platform in Section III of the paper:
+an in-order 3 GHz core replaying memory operations through a 64-entry
+data TLB, a three-level write-back inclusive cache hierarchy (32 KB L1,
+512 KB L2, 2 MB LLC) and the hybrid DRAM/NVM memory controller.
+
+Hardware extensions (the SSP and HSCC prototypes) attach through the
+:class:`HardwareExtension` hook bus: TLB fill/evict, store interception
+(SSP shadow routing), LLC-miss notification (HSCC access counting) and
+pfn remapping (HSCC DRAM cache lookup) — the same places Kindle's gem5
+patches hook the page-table walker, TLB and cache controller.
+"""
+
+from repro.arch.cache import Cache
+from repro.arch.hooks import HardwareExtension
+from repro.arch.machine import Machine
+from repro.arch.msr import MsrFile, MSR_NVM_RANGE_LO, MSR_NVM_RANGE_HI, MSR_SSP_CACHE_BASE
+from repro.arch.prefetch import NextLinePrefetcher, StridePrefetcher
+from repro.arch.tlb import Tlb, TlbEntry
+
+__all__ = [
+    "Cache",
+    "HardwareExtension",
+    "Machine",
+    "MsrFile",
+    "MSR_NVM_RANGE_LO",
+    "MSR_NVM_RANGE_HI",
+    "MSR_SSP_CACHE_BASE",
+    "NextLinePrefetcher",
+    "StridePrefetcher",
+    "Tlb",
+    "TlbEntry",
+]

@@ -1,0 +1,103 @@
+"""Set-associative write-back cache with true-LRU replacement.
+
+Lines are identified by their global line number (physical address
+divided by the 64-byte line size).  Each set is a dict mapping line
+number to a dirty flag; Python dicts preserve insertion order, so LRU
+is maintained by delete-and-reinsert on every touch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import CacheConfig
+from repro.common.stats import Stats
+
+
+class Cache:
+    """One cache level."""
+
+    def __init__(self, config: CacheConfig, stats: Stats) -> None:
+        self.config = config
+        self.stats = stats
+        self.name = config.name
+        self.assoc = config.assoc
+        self.num_sets = config.num_sets
+        self._sets: List[Dict[int, bool]] = [{} for _ in range(self.num_sets)]
+
+    def _set_for(self, line: int) -> Dict[int, bool]:
+        return self._sets[line % self.num_sets]
+
+    def lookup(self, line: int, is_write: bool) -> bool:
+        """Probe for ``line``; on hit, refresh LRU and merge dirty bit."""
+        cache_set = self._set_for(line)
+        if line not in cache_set:
+            self.stats.add(f"{self.name.lower()}.miss")
+            return False
+        dirty = cache_set.pop(line) or is_write
+        cache_set[line] = dirty
+        self.stats.add(f"{self.name.lower()}.hit")
+        return True
+
+    def contains(self, line: int) -> bool:
+        """Probe without touching LRU or stats (snoop)."""
+        return line in self._set_for(line)
+
+    def fill(self, line: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
+        """Install ``line``; return the evicted ``(line, dirty)`` victim.
+
+        If the line is already present its dirty bit is merged and no
+        victim is produced.
+        """
+        cache_set = self._set_for(line)
+        if line in cache_set:
+            cache_set[line] = cache_set.pop(line) or dirty
+            return None
+        victim: Optional[Tuple[int, bool]] = None
+        if len(cache_set) >= self.assoc:
+            victim_line = next(iter(cache_set))
+            victim = (victim_line, cache_set.pop(victim_line))
+            self.stats.add(f"{self.name.lower()}.evictions")
+        cache_set[line] = dirty
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if present; returns its dirty bit (False if absent)."""
+        cache_set = self._set_for(line)
+        return cache_set.pop(line, False)
+
+    def clean(self, line: int) -> bool:
+        """Clear the dirty bit of ``line`` keeping it resident (clwb).
+
+        Returns True if the line was present and dirty.
+        """
+        cache_set = self._set_for(line)
+        if cache_set.get(line):
+            cache_set[line] = False
+            return True
+        return False
+
+    def set_dirty(self, line: int) -> bool:
+        """Mark a resident line dirty (writeback landing from above)."""
+        cache_set = self._set_for(line)
+        if line in cache_set:
+            cache_set[line] = True
+            return True
+        return False
+
+    def drop_all(self) -> None:
+        """Power cycle: all contents (including dirty lines) are lost."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def dirty_lines(self) -> List[int]:
+        """All resident dirty line numbers (flush machinery)."""
+        return [
+            line
+            for cache_set in self._sets
+            for line, dirty in cache_set.items()
+            if dirty
+        ]
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

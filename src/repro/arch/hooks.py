@@ -1,0 +1,59 @@
+"""Hardware-extension hook bus.
+
+Kindle's prototypes patch gem5 in three places: the page-table walker /
+TLB (fill, evict), the cache controller (store routing, LLC-miss
+notification) and address translation (NVM-to-DRAM remapping).  A
+:class:`HardwareExtension` subclass overrides the corresponding hooks;
+the machine invokes every registered extension in registration order.
+
+All hooks are no-ops by default so extensions override only what they
+need.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.arch.machine import Machine
+    from repro.arch.tlb import TlbEntry
+
+
+class HardwareExtension:
+    """Base class for hardware prototypes (SSP, HSCC)."""
+
+    def on_tlb_fill(self, machine: "Machine", entry: "TlbEntry") -> None:
+        """A translation was just installed (page-table walker patch)."""
+
+    def on_tlb_evict(self, machine: "Machine", entry: "TlbEntry") -> None:
+        """A translation was evicted for capacity (TLB patch)."""
+
+    def remap_pfn(self, machine: "Machine", vpn: int, pfn: int) -> int:
+        """Translate-time pfn override (HSCC DRAM-cache lookup table)."""
+        return pfn
+
+    def route_store(
+        self,
+        machine: "Machine",
+        entry: "TlbEntry",
+        vaddr: int,
+        paddr_line: int,
+    ) -> Optional[int]:
+        """Redirect a store's target line (SSP shadow routing).
+
+        Return the replacement physical line number, or ``None`` to
+        leave the store alone.
+        """
+        return None
+
+    def on_llc_miss(
+        self,
+        machine: "Machine",
+        entry: Optional["TlbEntry"],
+        paddr_line: int,
+        is_write: bool,
+    ) -> None:
+        """A demand access missed the LLC (cache controller patch)."""
+
+    def on_power_cycle(self, machine: "Machine") -> None:
+        """The platform lost power; drop any volatile extension state."""

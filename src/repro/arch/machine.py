@@ -1,0 +1,513 @@
+"""The simulated platform: core, TLB, caches, memory, timers, hooks.
+
+:class:`Machine` is the moral equivalent of a configured gem5 system.
+It owns the global cycle clock and every piece of hardware state, and
+exposes exactly three ways to spend time:
+
+* :meth:`access` — one application memory operation, replayed through
+  the TLB, the page-table walker, the cache hierarchy and the hybrid
+  memory controller (the high-fidelity path);
+* :meth:`bulk_lines` / :meth:`copy_page` — analytic cost accounting for
+  kernel bulk work (checkpoint traversals, page copies) that would be
+  prohibitively slow to simulate line by line in pure Python;
+* :meth:`advance` — raw cycle charge for fixed-cost activities.
+
+Cycles are attributed to the *mode* the machine is in: user mode by
+default, or an OS category entered with :meth:`os_region` — this is how
+the HSCC study separates hardware from OS migration activity (Fig. 6)
+and how Table VI splits page selection from page copy.
+
+A power failure (:meth:`power_fail`) drops every volatile structure:
+cache contents, TLB, MSRs, open rows, buffered NVM writes, armed
+timers, and DRAM frame contents.  NVM frame contents survive.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.arch.cache import Cache
+from repro.arch.hooks import HardwareExtension
+from repro.arch.msr import MsrFile
+from repro.arch.tlb import Tlb, TlbEntry
+from repro.common.config import MachineConfig
+from repro.common.errors import FaultError
+from repro.common.stats import Stats
+from repro.common.timers import TimerWheel
+from repro.common.units import CACHE_LINE, PAGE_SIZE, cycles_from_ns
+from repro.mem.controller import HybridMemoryController
+from repro.mem.hybrid import HybridLayout, MemType
+from repro.mem.physmem import PhysicalMemory
+
+#: ``walker(machine, vpn) -> (pfn, writable) | None`` — the hardware
+#: page-table walk for the current address space.  Implementations must
+#: charge their own physical accesses via :meth:`Machine.phys_line_access`.
+Walker = Callable[["Machine", int], Optional[Tuple[int, bool]]]
+
+#: ``fault_handler(vaddr, is_write)`` — OS demand-paging entry point.
+FaultHandler = Callable[[int, bool], None]
+
+#: Fixed cost of a clwb instruction issue.
+CLWB_ISSUE_CYCLES = 5
+
+#: Lines that fit in one device row (row_size // line size) is computed
+#: per channel; pipelining factors model memory-level parallelism for
+#: streaming kernel operations.
+BULK_READ_PIPELINE = 4
+BULK_DRAM_WRITE_PIPELINE = 4
+#: NVM drains serialize at the device, so bulk NVM writes get no
+#: overlap: this is what makes write-heavy persistence machinery pay.
+BULK_NVM_WRITE_PIPELINE = 1
+
+#: CPU work per line moved in a kernel bulk loop (load/store/loop ALU).
+BULK_CPU_CYCLES_PER_LINE = 2
+
+
+class Machine:
+    """A configured simulated platform (see module docstring)."""
+
+    def __init__(
+        self, config: Optional[MachineConfig] = None, stats: Optional[Stats] = None
+    ) -> None:
+        self.config = config or MachineConfig()
+        self.stats = stats or Stats()
+        self.layout = HybridLayout(self.config.layout)
+        self.physmem = PhysicalMemory(self.layout)
+        self.controller = HybridMemoryController(
+            self.config.dram, self.config.nvm, self.config.nvm_buffers, self.stats
+        )
+        self.l1 = Cache(self.config.l1, self.stats)
+        self.l2 = Cache(self.config.l2, self.stats)
+        self.llc = Cache(self.config.llc, self.stats)
+        self.tlb = Tlb(self.config.tlb, self.stats)
+        self.tlb.on_evict = self._tlb_evict_hook
+        self.msr = MsrFile()
+        self.timers = TimerWheel()
+        self.extensions: List[HardwareExtension] = []
+        self.clock = 0
+        self.powered = True
+        self.asid = 0
+        self.walker: Optional[Walker] = None
+        self.fault_handler: Optional[FaultHandler] = None
+        #: (category, charge) stack; empty means user mode.
+        self._mode_stack: List[Tuple[str, bool]] = []
+        self._lines_per_row = self.config.dram.row_size // CACHE_LINE
+        self._read_clock = lambda: self.clock
+
+    # ------------------------------------------------------------------
+    # mode and time
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def os_region(self, category: str, charge: bool = True) -> Iterator[None]:
+        """Attribute cycles spent inside to ``cycles.os.<category>``.
+
+        With ``charge=False`` the work inside still *happens* (state
+        mutates, costs are tallied under ``uncharged.os.<category>``)
+        but the clock does not move — this is how the HSCC baseline
+        models "hardware migration activities only" (Fig. 6).
+        """
+        self._mode_stack.append((category, charge))
+        try:
+            yield
+        finally:
+            self._mode_stack.pop()
+
+    def advance(self, cycles: int) -> None:
+        """Spend ``cycles`` in the current mode."""
+        if cycles < 0:
+            raise ValueError(f"cannot advance by negative cycles: {cycles}")
+        if not self._mode_stack:
+            self.clock += cycles
+            self.stats.add("cycles.user", cycles)
+            return
+        category, charge = self._mode_stack[-1]
+        if charge:
+            self.clock += cycles
+            self.stats.add(f"cycles.os.{category}", cycles)
+            self.stats.add("cycles.os.total", cycles)
+        else:
+            self.stats.add(f"uncharged.os.{category}", cycles)
+
+    @property
+    def in_os_mode(self) -> bool:
+        return bool(self._mode_stack)
+
+    # ------------------------------------------------------------------
+    # hardware extensions
+    # ------------------------------------------------------------------
+
+    def attach_extension(self, extension: HardwareExtension) -> None:
+        self.extensions.append(extension)
+
+    def _tlb_evict_hook(self, entry: TlbEntry) -> None:
+        for ext in self.extensions:
+            ext.on_tlb_evict(self, entry)
+
+    # ------------------------------------------------------------------
+    # physical path
+    # ------------------------------------------------------------------
+
+    def phys_line_access(
+        self,
+        paddr: int,
+        is_write: bool,
+        entry: Optional[TlbEntry] = None,
+    ) -> None:
+        """One line-granularity access through the full cache hierarchy."""
+        line = paddr // CACHE_LINE
+        if self.l1.lookup(line, is_write):
+            self.advance(self.config.l1.hit_latency)
+            return
+        if self.l2.lookup(line, False):
+            self.advance(self.config.l2.hit_latency)
+            self._fill_l1(line, dirty=is_write)
+            return
+        if self.llc.lookup(line, False):
+            self.advance(self.config.llc.hit_latency)
+            self._fill_l2(line)
+            self._fill_l1(line, dirty=is_write)
+            return
+        # Demand miss all the way to memory.
+        for ext in self.extensions:
+            ext.on_llc_miss(self, entry, line, is_write)
+        is_nvm = self.layout.mem_type_of_addr(paddr) is MemType.NVM
+        latency = self.controller.read(paddr, is_nvm, self.clock)
+        self.advance(self.config.llc.hit_latency + latency)
+        self._fill_llc(line)
+        self._fill_l2(line)
+        self._fill_l1(line, dirty=is_write)
+
+    def _writeback(self, line: int) -> None:
+        """Send a dirty victim line to memory."""
+        addr = line * CACHE_LINE
+        is_nvm = self.layout.mem_type_of_addr(addr) is MemType.NVM
+        latency = self.controller.write(addr, is_nvm, self.clock)
+        self.advance(latency)
+        self.stats.add("cache.writebacks")
+
+    def _fill_l1(self, line: int, dirty: bool) -> None:
+        victim = self.l1.fill(line, dirty)
+        if victim is not None:
+            victim_line, victim_dirty = victim
+            if victim_dirty and not self.l2.set_dirty(victim_line):
+                # Inclusion was broken by an invalidation below; push
+                # the writeback further down.
+                if not self.llc.set_dirty(victim_line):
+                    self._writeback(victim_line)
+
+    def _fill_l2(self, line: int) -> None:
+        victim = self.l2.fill(line, False)
+        if victim is not None:
+            victim_line, victim_dirty = victim
+            victim_dirty = self.l1.invalidate(victim_line) or victim_dirty
+            if victim_dirty and not self.llc.set_dirty(victim_line):
+                self._writeback(victim_line)
+
+    def _fill_llc(self, line: int) -> None:
+        victim = self.llc.fill(line, False)
+        if victim is not None:
+            victim_line, victim_dirty = victim
+            victim_dirty = self.l1.invalidate(victim_line) or victim_dirty
+            victim_dirty = self.l2.invalidate(victim_line) or victim_dirty
+            if victim_dirty:
+                self._writeback(victim_line)
+
+    def prefetch_line(self, paddr: int) -> bool:
+        """Install a line in the LLC off the critical path.
+
+        Used by prefetcher extensions: the fill's device traffic is
+        counted (stats) but no core cycles are charged — the demand
+        stream continues unstalled.  Returns True if a fill happened.
+        """
+        try:
+            is_nvm = self.layout.mem_type_of_addr(paddr) is MemType.NVM
+        except FaultError:
+            self.stats.add("prefetch.out_of_range")
+            return False
+        line = paddr // CACHE_LINE
+        if self.llc.contains(line):
+            self.stats.add("prefetch.redundant")
+            return False
+        self.stats.add("prefetch.issued")
+        self.stats.add("prefetch.nvm" if is_nvm else "prefetch.dram")
+        # The device read and any victim writebacks are off the
+        # critical path (time tracked under uncharged.os.prefetch, but
+        # the memory traffic itself is counted like any other).
+        with self.os_region("prefetch", charge=False):
+            self.advance(self.controller.read(paddr, is_nvm, self.clock))
+            self._fill_llc(line)
+        return True
+
+    def clwb(self, paddr: int) -> bool:
+        """Write back (without invalidating) one line if dirty anywhere.
+
+        Returns True if a writeback was issued.  Always costs the
+        instruction issue; the memory write is charged only when the
+        line was actually dirty.
+        """
+        line = paddr // CACHE_LINE
+        self.advance(CLWB_ISSUE_CYCLES)
+        dirty = self.l1.clean(line)
+        dirty = self.l2.clean(line) or dirty
+        dirty = self.llc.clean(line) or dirty
+        if dirty:
+            self._writeback(line)
+            self.stats.add("clwb.writebacks")
+        self.stats.add("clwb.issued")
+        return dirty
+
+    def persist_barrier(self) -> None:
+        """sfence-to-durability: stall until the NVM write buffer drains."""
+        stall = self.controller.persist_barrier(self.clock)
+        self.advance(stall)
+        self.stats.add("persist_barriers")
+
+    def clwb_virtual(self, vaddr: int, size: int) -> int:
+        """clwb every line covering ``[vaddr, vaddr+size)`` (user-space
+        persist path: translate, then write back).  Returns lines
+        actually written back."""
+        if size <= 0:
+            raise ValueError("clwb_virtual needs a positive size")
+        written = 0
+        addr = vaddr
+        remaining = size
+        while remaining > 0:
+            chunk = min(remaining, PAGE_SIZE - (addr % PAGE_SIZE))
+            entry = self.translate(addr, False)
+            first = (addr % PAGE_SIZE) // CACHE_LINE
+            last = ((addr % PAGE_SIZE) + chunk - 1) // CACHE_LINE
+            page_base = entry.pfn * PAGE_SIZE
+            for line_index in range(first, last + 1):
+                if self.clwb(page_base + line_index * CACHE_LINE):
+                    written += 1
+            remaining -= chunk
+            addr += chunk
+        return written
+
+    def flush_page_lines(self, pfn: int) -> int:
+        """clwb every line of a page (HSCC page copy, SSP consolidation).
+
+        Returns the number of lines actually written back.
+        """
+        base_line = pfn * (PAGE_SIZE // CACHE_LINE)
+        written = 0
+        for offset in range(PAGE_SIZE // CACHE_LINE):
+            if self.clwb((base_line + offset) * CACHE_LINE):
+                written += 1
+        return written
+
+    def invalidate_page_lines(self, pfn: int) -> None:
+        """Drop all cached copies of a page without writeback (teardown)."""
+        base_line = pfn * (PAGE_SIZE // CACHE_LINE)
+        for offset in range(PAGE_SIZE // CACHE_LINE):
+            line = base_line + offset
+            self.l1.invalidate(line)
+            self.l2.invalidate(line)
+            self.llc.invalidate(line)
+
+    # ------------------------------------------------------------------
+    # virtual path (the replay CPU)
+    # ------------------------------------------------------------------
+
+    def install_context(
+        self, asid: int, walker: Walker, fault_handler: Optional[FaultHandler]
+    ) -> None:
+        """Point the hardware at a new address space (context switch)."""
+        self.asid = asid
+        self.walker = walker
+        self.fault_handler = fault_handler
+
+    def _walk_and_fill(self, vaddr: int, is_write: bool) -> TlbEntry:
+        if self.walker is None:
+            raise FaultError("no address space installed")
+        vpn = vaddr // PAGE_SIZE
+        translation = self.walker(self, vpn)
+        attempts = 0
+        while translation is None or (is_write and not translation[1]):
+            if self.fault_handler is None:
+                raise FaultError(
+                    f"unhandled page fault at {vaddr:#x} "
+                    f"({'write' if is_write else 'read'})"
+                )
+            attempts += 1
+            if attempts > 2:
+                raise FaultError(f"fault handler did not resolve {vaddr:#x}")
+            self.fault_handler(vaddr, is_write)
+            translation = self.walker(self, vpn)
+        pfn, writable = translation
+        for ext in self.extensions:
+            pfn = ext.remap_pfn(self, vpn, pfn)
+        entry = TlbEntry(vpn=vpn, pfn=pfn, writable=writable, asid=self.asid)
+        for ext in self.extensions:
+            ext.on_tlb_fill(self, entry)
+        self.tlb.insert(entry)
+        return entry
+
+    def translate(self, vaddr: int, is_write: bool) -> TlbEntry:
+        """TLB lookup with hardware walk + demand paging on miss."""
+        vpn = vaddr // PAGE_SIZE
+        entry = self.tlb.lookup(self.asid, vpn)
+        if entry is None:
+            entry = self._walk_and_fill(vaddr, is_write)
+        elif is_write and not entry.writable:
+            # Protection upgrade goes through the OS, then re-walk.
+            self.tlb.invalidate(self.asid, vpn)
+            entry = self._walk_and_fill(vaddr, is_write)
+        return entry
+
+    def access(self, vaddr: int, size: int, is_write: bool) -> None:
+        """Replay one application memory operation.
+
+        Splits at page boundaries, translates per page, routes stores
+        through extension hooks (SSP shadow routing), then performs
+        line-granularity cache accesses.  Fires due timers afterwards.
+        """
+        if size <= 0:
+            raise ValueError(f"access size must be positive: {size}")
+        self.advance(self.config.op_base_cycles)
+        # Fast path: the overwhelmingly common single-line access.
+        offset = vaddr % PAGE_SIZE
+        if offset % CACHE_LINE + size <= CACHE_LINE:
+            entry = self.translate(vaddr, is_write)
+            paddr = entry.pfn * PAGE_SIZE + (offset // CACHE_LINE) * CACHE_LINE
+            if is_write and self.extensions:
+                for ext in self.extensions:
+                    routed = ext.route_store(self, entry, vaddr, paddr // CACHE_LINE)
+                    if routed is not None:
+                        paddr = routed * CACHE_LINE
+                        break
+            self.phys_line_access(paddr, is_write, entry)
+            self.stats.add("ops.writes" if is_write else "ops.reads")
+        else:
+            remaining = size
+            addr = vaddr
+            while remaining > 0:
+                chunk = min(remaining, PAGE_SIZE - (addr % PAGE_SIZE))
+                entry = self.translate(addr, is_write)
+                page_base = entry.pfn * PAGE_SIZE
+                first_line = (addr % PAGE_SIZE) // CACHE_LINE
+                last_line = ((addr % PAGE_SIZE) + chunk - 1) // CACHE_LINE
+                for line_index in range(first_line, last_line + 1):
+                    paddr = page_base + line_index * CACHE_LINE
+                    if is_write:
+                        for ext in self.extensions:
+                            routed = ext.route_store(
+                                self, entry, addr, paddr // CACHE_LINE
+                            )
+                            if routed is not None:
+                                paddr = routed * CACHE_LINE
+                                break
+                    self.phys_line_access(paddr, is_write, entry)
+                self.stats.add("ops.writes" if is_write else "ops.reads")
+                remaining -= chunk
+                addr += chunk
+        # Inline deadline peek: only enter the timer machinery when a
+        # timer is actually due (this runs once per replayed op).
+        heap = self.timers._heap  # noqa: SLF001 - hot path
+        if heap and heap[0][0] <= self.clock:
+            self.timers.fire_due(self._read_clock)
+
+    def load(self, vaddr: int, size: int) -> bytes:
+        """Replay a load and return the actual bytes (value fidelity)."""
+        entry = self.translate(vaddr, False)
+        self.access(vaddr, size, is_write=False)
+        paddr = entry.pfn * PAGE_SIZE + (vaddr % PAGE_SIZE)
+        return self.physmem.read(paddr, size)
+
+    def store(self, vaddr: int, data: bytes) -> None:
+        """Replay a store carrying real bytes (value fidelity).
+
+        Data pages follow the paper's own assumption (Section II-A):
+        heap/stack data in NVM is "consistently maintained ... using
+        some existing memory consistency techniques", so values land in
+        the physical store immediately; timing still pays the full
+        cache/memory path.
+        """
+        if not data:
+            raise ValueError("store needs at least one byte")
+        entry = self.translate(vaddr, True)
+        self.access(vaddr, len(data), is_write=True)
+        paddr = entry.pfn * PAGE_SIZE + (vaddr % PAGE_SIZE)
+        self.physmem.write(paddr, data)
+
+    # ------------------------------------------------------------------
+    # analytic bulk path (kernel loops)
+    # ------------------------------------------------------------------
+
+    def _bulk_cost(
+        self, n_lines: int, mem_type: MemType, is_write: bool
+    ) -> int:
+        timing = self.config.nvm if mem_type is MemType.NVM else self.config.dram
+        if is_write:
+            hit = cycles_from_ns(timing.write_row_hit_ns)
+            miss = cycles_from_ns(timing.write_row_miss_ns)
+            pipeline = (
+                BULK_NVM_WRITE_PIPELINE
+                if mem_type is MemType.NVM
+                else BULK_DRAM_WRITE_PIPELINE
+            )
+        else:
+            hit = cycles_from_ns(timing.read_row_hit_ns)
+            miss = cycles_from_ns(timing.read_row_miss_ns)
+            pipeline = BULK_READ_PIPELINE
+        rows = (n_lines + self._lines_per_row - 1) // self._lines_per_row
+        device = n_lines * hit + rows * (miss - hit)
+        return device // pipeline + n_lines * BULK_CPU_CYCLES_PER_LINE
+
+    def bulk_lines(self, n_lines: int, mem_type: MemType, is_write: bool) -> None:
+        """Charge a streaming kernel loop over ``n_lines`` cache lines.
+
+        Analytic fast path: per-line device cost with row-buffer
+        amortization and a memory-level-parallelism factor (reads
+        overlap; NVM writes serialize behind the write buffer drain).
+        """
+        if n_lines < 0:
+            raise ValueError(f"negative line count {n_lines}")
+        if n_lines == 0:
+            return
+        self.advance(self._bulk_cost(n_lines, mem_type, is_write))
+        kind = "write" if is_write else "read"
+        self.stats.add(f"bulk.{mem_type.value}.{kind}_lines", n_lines)
+
+    def copy_page(self, src_pfn: int, dst_pfn: int, flush_src: bool = True) -> None:
+        """Kernel page copy: optional clwb of the source, stream read +
+        stream write, and the actual byte move."""
+        lines = PAGE_SIZE // CACHE_LINE
+        src_type = self.layout.mem_type_of_pfn(src_pfn)
+        dst_type = self.layout.mem_type_of_pfn(dst_pfn)
+        if flush_src:
+            self.flush_page_lines(src_pfn)
+            self.persist_barrier()
+        self.bulk_lines(lines, src_type, is_write=False)
+        self.bulk_lines(lines, dst_type, is_write=True)
+        self.physmem.copy_page(src_pfn, dst_pfn)
+        self.stats.add("pages.copied")
+
+    # ------------------------------------------------------------------
+    # power
+    # ------------------------------------------------------------------
+
+    def power_fail(self) -> None:
+        """Drop every volatile structure; NVM frame contents survive."""
+        self.l1.drop_all()
+        self.l2.drop_all()
+        self.llc.drop_all()
+        self.tlb.flush()
+        self.msr.clear()
+        self.controller.power_cycle()
+        self.physmem.power_fail()
+        self.timers.clear()
+        for ext in self.extensions:
+            ext.on_power_cycle(self)
+        self.walker = None
+        self.fault_handler = None
+        self.asid = 0
+        self.powered = False
+        self.stats.add("power.failures")
+
+    def power_on(self) -> None:
+        """Bring the platform back up (clock keeps running monotonically)."""
+        self.powered = True
+        self.stats.add("power.boots")

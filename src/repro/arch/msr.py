@@ -1,0 +1,41 @@
+"""Model-specific registers.
+
+The SSP prototype "uses Model Specific Registers (MSRs) to communicate
+the virtual address range corresponding to NVM allocation to hardware"
+and "to pass the base address of SSP cache to translation hardware"
+(Section III-B).  The kernel writes these registers; hardware
+extensions read them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.errors import FaultError
+
+#: Low bound (inclusive) of the virtual address range under NVM
+#: consistency tracking.
+MSR_NVM_RANGE_LO = 0xC000_0100
+#: High bound (exclusive) of the tracked range.
+MSR_NVM_RANGE_HI = 0xC000_0101
+#: Physical base address of the SSP metadata cache region in NVM.
+MSR_SSP_CACHE_BASE = 0xC000_0102
+
+
+class MsrFile:
+    """A sparse register file; unwritten MSRs read as zero."""
+
+    def __init__(self) -> None:
+        self._regs: Dict[int, int] = {}
+
+    def write(self, msr: int, value: int) -> None:
+        if value < 0:
+            raise FaultError(f"MSR {msr:#x}: negative value {value}")
+        self._regs[msr] = value
+
+    def read(self, msr: int) -> int:
+        return self._regs.get(msr, 0)
+
+    def clear(self) -> None:
+        """Power cycle: MSRs reset to zero."""
+        self._regs.clear()

@@ -1,0 +1,90 @@
+"""Hardware prefetchers as machine extensions.
+
+Hybrid-memory systems lean harder on prefetching than DRAM-only ones:
+an LLC miss that lands in PCM costs ~3x a DRAM miss, so hiding
+sequential/strided misses is disproportionately valuable.  Two classic
+designs are provided, attached through the same hook bus the SSP/HSCC
+prototypes use:
+
+* :class:`NextLinePrefetcher` — on every LLC miss, fetch the next
+  ``degree`` lines;
+* :class:`StridePrefetcher` — per-page stride detection: after two
+  misses at the same delta, fetch ``degree`` lines ahead along it.
+
+Prefetches fill the LLC only (not L1/L2) and are modeled off the
+critical path: the demand access that triggered them pays its own
+latency, the prefetched fills are accounted (``prefetch.*`` stats,
+device traffic) but do not stall the core.  Bandwidth contention
+between prefetch and demand streams is not modeled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.arch.hooks import HardwareExtension
+from repro.arch.machine import Machine
+from repro.arch.tlb import TlbEntry
+from repro.common.errors import ConfigError
+from repro.common.units import CACHE_LINE
+
+
+class NextLinePrefetcher(HardwareExtension):
+    """Fetch the ``degree`` sequentially-next lines on every LLC miss."""
+
+    def __init__(self, degree: int = 2) -> None:
+        if degree < 1:
+            raise ConfigError("prefetch degree must be >= 1")
+        self.degree = degree
+
+    def on_llc_miss(
+        self,
+        machine: Machine,
+        entry: Optional[TlbEntry],
+        paddr_line: int,
+        is_write: bool,
+    ) -> None:
+        for ahead in range(1, self.degree + 1):
+            machine.prefetch_line((paddr_line + ahead) * CACHE_LINE)
+
+
+class StridePrefetcher(HardwareExtension):
+    """Per-page stride detector (classic reference-prediction table)."""
+
+    def __init__(self, degree: int = 2, table_entries: int = 256) -> None:
+        if degree < 1 or table_entries < 1:
+            raise ConfigError("invalid stride prefetcher configuration")
+        self.degree = degree
+        self.table_entries = table_entries
+        #: page -> (last_line, stride, confirmed)
+        self._table: Dict[int, Tuple[int, int, bool]] = {}
+
+    def on_llc_miss(
+        self,
+        machine: Machine,
+        entry: Optional[TlbEntry],
+        paddr_line: int,
+        is_write: bool,
+    ) -> None:
+        page = paddr_line >> 6  # 64 lines per 4 KiB page
+        state = self._table.get(page)
+        if state is None:
+            if len(self._table) >= self.table_entries:
+                self._table.pop(next(iter(self._table)))
+            self._table[page] = (paddr_line, 0, False)
+            return
+        last_line, stride, confirmed = state
+        delta = paddr_line - last_line
+        if delta == 0:
+            return
+        if delta == stride:
+            self._table[page] = (paddr_line, stride, True)
+            for ahead in range(1, self.degree + 1):
+                machine.prefetch_line(
+                    (paddr_line + ahead * stride) * CACHE_LINE
+                )
+        else:
+            self._table[page] = (paddr_line, delta, False)
+
+    def on_power_cycle(self, machine: Machine) -> None:
+        self._table.clear()

@@ -1,0 +1,67 @@
+"""Shared building blocks: units, configuration, statistics, timers, errors.
+
+Everything in :mod:`repro` counts time in CPU cycles of the simulated
+3 GHz in-order core (Table I / Section III of the paper).  The helpers in
+:mod:`repro.common.units` convert between wall-clock units and cycles so
+the rest of the code never hard-codes the frequency.
+"""
+
+from repro.common.errors import (
+    KindleError,
+    ConfigError,
+    FaultError,
+    OutOfMemoryError,
+    RecoveryError,
+    TraceFormatError,
+)
+from repro.common.units import (
+    CACHE_LINE,
+    PAGE_SIZE,
+    KiB,
+    MiB,
+    GiB,
+    CPU_FREQ_HZ,
+    cycles_from_ns,
+    cycles_from_us,
+    cycles_from_ms,
+    cycles_from_s,
+    ns_from_cycles,
+    ms_from_cycles,
+    line_of,
+    page_of,
+    pages_in,
+    lines_in,
+    align_down,
+    align_up,
+)
+from repro.common.stats import Stats
+from repro.common.timers import TimerWheel
+
+__all__ = [
+    "KindleError",
+    "ConfigError",
+    "FaultError",
+    "OutOfMemoryError",
+    "RecoveryError",
+    "TraceFormatError",
+    "CACHE_LINE",
+    "PAGE_SIZE",
+    "KiB",
+    "MiB",
+    "GiB",
+    "CPU_FREQ_HZ",
+    "cycles_from_ns",
+    "cycles_from_us",
+    "cycles_from_ms",
+    "cycles_from_s",
+    "ns_from_cycles",
+    "ms_from_cycles",
+    "line_of",
+    "page_of",
+    "pages_in",
+    "lines_in",
+    "align_down",
+    "align_up",
+    "Stats",
+    "TimerWheel",
+]

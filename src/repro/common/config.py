@@ -1,0 +1,207 @@
+"""Configuration dataclasses for the simulated platform.
+
+The defaults reproduce Table I of the paper (gem5 memory configuration)
+and the CPU/cache configuration from Section III: an Intel 64-bit
+in-order CPU at 3 GHz with 32 KB L1, 512 KB L2 and 2 MB LLC, over a
+hybrid memory of 3 GB DDR4-2400 DRAM and 2 GB PCM NVM with 48-entry
+write and 64-entry read buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.units import CACHE_LINE, GiB, KiB, MiB, PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size: int
+    assoc: int
+    hit_latency: int  # cycles
+    line_size: int = CACHE_LINE
+
+    def __post_init__(self) -> None:
+        if self.assoc <= 0:
+            raise ConfigError(f"{self.name}: associativity must be positive")
+        if self.size <= 0 or self.size % (self.assoc * self.line_size):
+            raise ConfigError(
+                f"{self.name}: size {self.size} not divisible into "
+                f"{self.assoc}-way sets of {self.line_size}B lines"
+            )
+        if self.hit_latency < 0:
+            raise ConfigError(f"{self.name}: negative hit latency")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.assoc * self.line_size)
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    """Geometry of the data TLB."""
+
+    entries: int = 64
+    hit_latency: int = 1  # cycles
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ConfigError("TLB must have at least one entry")
+
+
+@dataclass(frozen=True)
+class MemTimingConfig:
+    """Device timing for one memory technology (nanoseconds)."""
+
+    name: str
+    read_row_hit_ns: float
+    read_row_miss_ns: float
+    write_row_hit_ns: float
+    write_row_miss_ns: float
+    row_size: int = 8 * KiB
+
+    def __post_init__(self) -> None:
+        for label in (
+            "read_row_hit_ns",
+            "read_row_miss_ns",
+            "write_row_hit_ns",
+            "write_row_miss_ns",
+        ):
+            if getattr(self, label) <= 0:
+                raise ConfigError(f"{self.name}: {label} must be positive")
+        if self.read_row_hit_ns > self.read_row_miss_ns:
+            raise ConfigError(f"{self.name}: row hit slower than row miss")
+        if self.row_size <= 0 or self.row_size % CACHE_LINE:
+            raise ConfigError(f"{self.name}: bad row size {self.row_size}")
+
+
+#: DDR4-2400 16x4 (Table I).  Row hit ~20 ns, row miss ~45 ns; writes are
+#: posted but drain at similar device cost.
+DDR4_2400 = MemTimingConfig(
+    name="DDR4-2400",
+    read_row_hit_ns=20.0,
+    read_row_miss_ns=45.0,
+    write_row_hit_ns=20.0,
+    write_row_miss_ns=45.0,
+)
+
+#: PCM timing after Song et al. [39]: array reads ~150 ns, writes
+#: dominated by SET/RESET pulse widths (~500 ns effective at line
+#: granularity).  Row-buffer hits are served from the sense amps and cost
+#: close to DRAM.
+PCM = MemTimingConfig(
+    name="PCM",
+    read_row_hit_ns=55.0,
+    read_row_miss_ns=150.0,
+    write_row_hit_ns=180.0,
+    write_row_miss_ns=500.0,
+)
+
+#: STT-RAM: near-DRAM reads, moderately slow writes (switching current
+#: limited).  One of the alternative technologies Section V-D proposes
+#: studying "by changing NVM interface parameters in gem5".
+STT_RAM = MemTimingConfig(
+    name="STT-RAM",
+    read_row_hit_ns=25.0,
+    read_row_miss_ns=60.0,
+    write_row_hit_ns=60.0,
+    write_row_miss_ns=120.0,
+)
+
+#: ReRAM: reads between DRAM and PCM, writes faster than PCM but with a
+#: pronounced asymmetry.
+RERAM = MemTimingConfig(
+    name="ReRAM",
+    read_row_hit_ns=40.0,
+    read_row_miss_ns=100.0,
+    write_row_hit_ns=120.0,
+    write_row_miss_ns=300.0,
+)
+
+#: Technologies selectable for the NVM interface (Section V-D).
+NVM_TECHNOLOGIES = {
+    "pcm": PCM,
+    "stt-ram": STT_RAM,
+    "reram": RERAM,
+}
+
+
+@dataclass(frozen=True)
+class NvmBufferConfig:
+    """NVM controller queueing (Table I)."""
+
+    write_buffer_entries: int = 48
+    read_buffer_entries: int = 64
+
+    def __post_init__(self) -> None:
+        if self.write_buffer_entries < 1:
+            raise ConfigError("NVM write buffer needs at least one entry")
+        if self.read_buffer_entries < 1:
+            raise ConfigError("NVM read buffer needs at least one entry")
+
+
+@dataclass(frozen=True)
+class HybridLayoutConfig:
+    """Physical address partition between DRAM and NVM (Table I)."""
+
+    dram_bytes: int = 3 * GiB
+    nvm_bytes: int = 2 * GiB
+    dram_base: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dram_bytes % PAGE_SIZE or self.nvm_bytes % PAGE_SIZE:
+            raise ConfigError("memory sizes must be page aligned")
+        if self.dram_bytes <= 0 or self.nvm_bytes <= 0:
+            raise ConfigError("hybrid layout requires both DRAM and NVM")
+
+    @property
+    def nvm_base(self) -> int:
+        return self.dram_base + self.dram_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.dram_bytes + self.nvm_bytes
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete simulated platform configuration.
+
+    Defaults reproduce the paper's setup: 3 GHz in-order core, 32 KB L1 /
+    512 KB L2 / 2 MB LLC, 64-entry DTLB, DDR4-2400 + PCM hybrid memory.
+    """
+
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1", 32 * KiB, 8, hit_latency=4)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L2", 512 * KiB, 8, hit_latency=14)
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig("LLC", 2 * MiB, 16, hit_latency=40)
+    )
+    tlb: TlbConfig = field(default_factory=TlbConfig)
+    dram: MemTimingConfig = DDR4_2400
+    nvm: MemTimingConfig = PCM
+    nvm_buffers: NvmBufferConfig = field(default_factory=NvmBufferConfig)
+    layout: HybridLayoutConfig = field(default_factory=HybridLayoutConfig)
+    #: Fixed CPU cost charged per replayed memory operation (dispatch,
+    #: address generation) in cycles.
+    op_base_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.op_base_cycles < 0:
+            raise ConfigError("op_base_cycles cannot be negative")
+        if self.l1.size > self.l2.size or self.l2.size > self.llc.size:
+            raise ConfigError("cache hierarchy must grow monotonically")
+
+
+def small_machine_config(
+    dram_bytes: int = 64 * MiB, nvm_bytes: int = 64 * MiB
+) -> MachineConfig:
+    """A scaled-down platform for unit tests (same structure, less memory)."""
+    return MachineConfig(layout=HybridLayoutConfig(dram_bytes, nvm_bytes))

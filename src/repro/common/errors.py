@@ -1,0 +1,37 @@
+"""Exception hierarchy for the Kindle reproduction.
+
+Every error raised by the framework derives from :class:`KindleError` so
+callers can catch framework failures without masking programming errors.
+"""
+
+
+class KindleError(Exception):
+    """Base class for all framework errors."""
+
+
+class ConfigError(KindleError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class FaultError(KindleError):
+    """A memory access could not be satisfied (bad address, protection)."""
+
+
+class SegmentationFault(FaultError):
+    """Access to an address with no backing VMA or wrong protection."""
+
+
+class OutOfMemoryError(KindleError):
+    """A physical frame allocator ran out of frames."""
+
+
+class RecoveryError(KindleError):
+    """Crash recovery found the NVM saved state inconsistent."""
+
+
+class TraceFormatError(KindleError):
+    """A trace file or trace record could not be parsed."""
+
+
+class CrashedError(KindleError):
+    """An operation was attempted on a machine that is powered off."""

@@ -1,0 +1,52 @@
+"""Deterministic random streams for workload generation.
+
+Each workload derives its own stream from a master seed and a label so
+that (a) runs are reproducible and (b) changing one workload's draws
+does not perturb another's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_rng(master_seed: int, label: str) -> random.Random:
+    """A :class:`random.Random` keyed by ``(master_seed, label)``."""
+    digest = hashlib.sha256(f"{master_seed}:{label}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "little"))
+
+
+class ZipfSampler:
+    """Zipf-distributed integers in ``[0, n)`` via inverse-CDF sampling.
+
+    Used by the YCSB workload (zipfian request distribution is YCSB's
+    default).  Precomputes the CDF once; draws are O(log n).
+    """
+
+    def __init__(self, n: int, theta: float, rng: random.Random) -> None:
+        if n <= 0:
+            raise ValueError("ZipfSampler needs a positive population")
+        if not 0.0 < theta < 2.0:
+            raise ValueError(f"zipf theta out of range: {theta}")
+        self._rng = rng
+        weights = [1.0 / (rank**theta) for rank in range(1, n + 1)]
+        total = sum(weights)
+        self._cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0
+
+    def sample(self) -> int:
+        """Draw one rank (0 is the hottest item)."""
+        u = self._rng.random()
+        lo, hi = 0, len(self._cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo

@@ -1,0 +1,92 @@
+"""Hierarchical counter registry, the moral equivalent of gem5's stats file.
+
+Every component of the simulated machine increments named counters on a
+shared :class:`Stats` object.  Counters are created on first use;
+dotted names give the gem5-style hierarchy (``llc.miss``,
+``os.migration.page_copy_cycles``).  The harness reads these counters to
+regenerate the paper's tables.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class Stats:
+    """A flat registry of named integer counters.
+
+    >>> s = Stats()
+    >>> s.add("llc.miss")
+    >>> s.add("llc.miss", 2)
+    >>> s["llc.miss"]
+    3
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counters[name] += amount
+
+    def set(self, name: str, value: int) -> None:
+        """Overwrite counter ``name``."""
+        self._counters[name] = value
+
+    def get(self, name: str, default: int = 0) -> int:
+        """Read counter ``name`` without creating it."""
+        return self._counters.get(name, default)
+
+    def __getitem__(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._counters.items()))
+
+    def with_prefix(self, prefix: str) -> Dict[str, int]:
+        """All counters whose name starts with ``prefix``."""
+        return {
+            name: value
+            for name, value in self._counters.items()
+            if name.startswith(prefix)
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (the registry itself survives)."""
+        self._counters.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """An independent copy of all counters."""
+        return dict(self._counters)
+
+    def dump(self) -> str:
+        """gem5-style ``name value`` text dump, sorted by name."""
+        lines = [f"{name} {value}" for name, value in self.items()]
+        return "\n".join(lines)
+
+    @classmethod
+    def parse_dump(cls, text: str) -> "Stats":
+        """Parse a :meth:`dump`-format stats file.
+
+        The analog of the artifact's "Python scripts to parse gem5
+        statistics files": harness output can be persisted as text and
+        re-loaded for comparison against expected results.
+        """
+        stats = cls()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                name, value = line.rsplit(" ", 1)
+                stats.set(name, int(value))
+            except ValueError as exc:
+                raise ValueError(f"stats line {lineno}: {line!r}") from exc
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stats({len(self._counters)} counters)"

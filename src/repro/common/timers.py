@@ -1,0 +1,102 @@
+"""Simulated-time timers.
+
+The machine advances a cycle clock; OS services (checkpoint engine, SSP
+consistency intervals, SSP consolidation thread, HSCC migration
+intervals) arm timers on a :class:`TimerWheel`.  After every replayed
+operation the machine fires all timers whose deadline has passed.
+
+Timers fire in deadline order; ties break by arming order so runs are
+deterministic.  A periodic timer re-arms itself relative to the time its
+callback *finished* (callbacks may advance the clock), which models an
+OS timer handler that re-arms on return — checkpoint work longer than
+the interval therefore delays the next checkpoint instead of stacking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class Timer:
+    """Handle for one armed timer; use :meth:`cancel` to disarm."""
+
+    __slots__ = ("callback", "period", "cancelled", "name")
+
+    def __init__(
+        self, callback: Callable[[], None], period: Optional[int], name: str
+    ) -> None:
+        self.callback = callback
+        self.period = period
+        self.cancelled = False
+        self.name = name
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class TimerWheel:
+    """Deadline-ordered timer queue over an externally owned clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Timer]] = []
+        self._seq = itertools.count()
+
+    def arm(
+        self,
+        deadline: int,
+        callback: Callable[[], None],
+        *,
+        period: Optional[int] = None,
+        name: str = "timer",
+    ) -> Timer:
+        """Arm a timer at absolute cycle ``deadline``.
+
+        With ``period`` set, the timer re-arms ``period`` cycles after
+        its callback returns.
+        """
+        if period is not None and period <= 0:
+            raise ValueError(f"timer period must be positive, got {period}")
+        timer = Timer(callback, period, name)
+        heapq.heappush(self._heap, (deadline, next(self._seq), timer))
+        return timer
+
+    def next_deadline(self) -> Optional[int]:
+        """Earliest armed deadline, skipping cancelled timers."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def fire_due(self, now_fn: Callable[[], int]) -> int:
+        """Run every timer due at ``now_fn()``; returns timers fired.
+
+        ``now_fn`` is consulted again after each callback because
+        callbacks advance the clock (e.g. a checkpoint costs time),
+        which can make more timers due.
+        """
+        fired = 0
+        while self._heap:
+            deadline, _, timer = self._heap[0]
+            if timer.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if deadline > now_fn():
+                break
+            heapq.heappop(self._heap)
+            timer.callback()
+            fired += 1
+            if timer.period is not None and not timer.cancelled:
+                heapq.heappush(
+                    self._heap, (now_fn() + timer.period, next(self._seq), timer)
+                )
+        return fired
+
+    def clear(self) -> None:
+        """Disarm everything (used on crash: volatile timers are lost)."""
+        for _, _, timer in self._heap:
+            timer.cancelled = True
+        self._heap.clear()
+
+    def __len__(self) -> int:
+        return sum(1 for _, _, t in self._heap if not t.cancelled)

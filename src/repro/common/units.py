@@ -1,0 +1,109 @@
+"""Units and address arithmetic used throughout the simulator.
+
+The simulated core runs at 3 GHz (paper Section III: "Intel 64-bit
+in-order CPU at 3GHz"), so one nanosecond is exactly three cycles.  All
+conversions round up to whole cycles: hardware latencies never round to
+zero.
+"""
+
+from __future__ import annotations
+
+#: Cache line size in bytes (x86-64).
+CACHE_LINE = 64
+
+#: Page size in bytes (x86-64 base pages).
+PAGE_SIZE = 4096
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: Simulated core frequency (Table I / Section III).
+CPU_FREQ_HZ = 3_000_000_000
+
+_CYCLES_PER_NS = CPU_FREQ_HZ / 1_000_000_000  # == 3.0
+
+
+def cycles_from_ns(ns: float) -> int:
+    """Convert nanoseconds to whole cycles, rounding up."""
+    cycles = ns * _CYCLES_PER_NS
+    whole = int(cycles)
+    return whole if whole == cycles else whole + 1
+
+
+def cycles_from_us(us: float) -> int:
+    """Convert microseconds to whole cycles, rounding up."""
+    return cycles_from_ns(us * 1_000)
+
+
+def cycles_from_ms(ms: float) -> int:
+    """Convert milliseconds to whole cycles, rounding up."""
+    return cycles_from_ns(ms * 1_000_000)
+
+
+def cycles_from_s(s: float) -> int:
+    """Convert seconds to whole cycles, rounding up."""
+    return cycles_from_ns(s * 1_000_000_000)
+
+
+def ns_from_cycles(cycles: int) -> float:
+    """Convert cycles to nanoseconds."""
+    return cycles / _CYCLES_PER_NS
+
+
+def us_from_cycles(cycles: int) -> float:
+    """Convert cycles to microseconds."""
+    return ns_from_cycles(cycles) / 1_000
+
+
+def ms_from_cycles(cycles: int) -> float:
+    """Convert cycles to milliseconds."""
+    return ns_from_cycles(cycles) / 1_000_000
+
+
+def line_of(addr: int) -> int:
+    """Cache-line number containing ``addr``."""
+    return addr // CACHE_LINE
+
+
+def page_of(addr: int) -> int:
+    """Page number containing ``addr``."""
+    return addr // PAGE_SIZE
+
+
+def pages_in(nbytes: int) -> int:
+    """Number of whole pages needed to cover ``nbytes``."""
+    return (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+def lines_in(nbytes: int) -> int:
+    """Number of whole cache lines needed to cover ``nbytes``."""
+    return (nbytes + CACHE_LINE - 1) // CACHE_LINE
+
+
+def align_down(addr: int, alignment: int) -> int:
+    """Round ``addr`` down to a multiple of ``alignment``."""
+    return addr - (addr % alignment)
+
+
+def align_up(addr: int, alignment: int) -> int:
+    """Round ``addr`` up to a multiple of ``alignment``."""
+    return align_down(addr + alignment - 1, alignment)
+
+
+def span_lines(addr: int, size: int) -> range:
+    """Cache-line numbers touched by an access of ``size`` bytes at ``addr``."""
+    if size <= 0:
+        raise ValueError(f"access size must be positive, got {size}")
+    first = line_of(addr)
+    last = line_of(addr + size - 1)
+    return range(first, last + 1)
+
+
+def span_pages(addr: int, size: int) -> range:
+    """Page numbers touched by an access of ``size`` bytes at ``addr``."""
+    if size <= 0:
+        raise ValueError(f"access size must be positive, got {size}")
+    first = page_of(addr)
+    last = page_of(addr + size - 1)
+    return range(first, last + 1)

@@ -1,0 +1,30 @@
+"""The OS substrate (gemOS analog).
+
+A lightweight kernel sufficient to reproduce the paper's evaluation:
+processes with virtual address spaces, VMAs tagged DRAM or NVM via the
+``MAP_NVM`` mmap flag, demand paging over per-technology physical frame
+allocators, a real 4-level x86-64-style page table walked by the
+simulated hardware, and OS timers.  Persistence (checkpointing, crash,
+recovery) layers on top in :mod:`repro.persist`.
+"""
+
+from repro.gemos.frames import FrameAllocator
+from repro.gemos.kernel import Kernel, KernelConfig
+from repro.gemos.pagetable import PageTable, Pte
+from repro.gemos.process import Process, ProcessState
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE, AddressSpace, Vma
+
+__all__ = [
+    "FrameAllocator",
+    "Kernel",
+    "KernelConfig",
+    "PageTable",
+    "Pte",
+    "Process",
+    "ProcessState",
+    "AddressSpace",
+    "Vma",
+    "MAP_NVM",
+    "PROT_READ",
+    "PROT_WRITE",
+]

@@ -1,0 +1,73 @@
+"""Process control blocks and execution contexts.
+
+A process's *execution context* is what process persistence must
+preserve (Section II-A): CPU registers, the virtual address space
+layout, and — for NVM mappings — the virtual-to-physical associations
+needed to rebuild translation state after a reboot.  The replay CPU
+keeps its position in the ``pc`` register, so "resume from the last
+consistent checkpoint" is directly observable: a recovered process
+re-executes from the operation index captured at its last checkpoint.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.gemos.vma import AddressSpace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gemos.pagetable import PageTable
+
+
+class ProcessState(enum.Enum):
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    EXITED = "exited"
+
+
+#: Architectural registers captured in a checkpoint.  ``pc`` doubles as
+#: the replay position for trace-driven workloads.
+DEFAULT_REGISTERS = ("pc", "sp", "rax", "rbx", "rcx", "rdx", "rsi", "rdi")
+
+
+def fresh_registers() -> Dict[str, int]:
+    return {name: 0 for name in DEFAULT_REGISTERS}
+
+
+@dataclass(eq=False)  # identity semantics: a PCB is an entity
+class Process:
+    """One gemOS process."""
+
+    pid: int
+    name: str
+    address_space: AddressSpace = field(default_factory=AddressSpace)
+    page_table: Optional["PageTable"] = None
+    registers: Dict[str, int] = field(default_factory=fresh_registers)
+    state: ProcessState = ProcessState.NEW
+    #: Whether this process participates in persistence (has a saved
+    #: state in NVM and is checkpointed).
+    persistent: bool = True
+    #: Journal of NVM mapping changes since the last checkpoint, in
+    #: order: ("map", vpn, pfn) / ("unmap", vpn, 0).  The rebuild
+    #: scheme applies every journaled change to the v2p list at
+    #: checkpoint time (the paper applies *all* logged entries, so a
+    #: page mapped and unmapped within one interval still costs two
+    #: list updates).
+    pending_nvm_ops: List[Tuple[str, int, int]] = field(default_factory=list)
+
+    @property
+    def asid(self) -> int:
+        """Address-space id — the pid, as in gemOS."""
+        return self.pid
+
+    def context_snapshot(self) -> Dict[str, object]:
+        """The execution context captured by a checkpoint."""
+        return {
+            "pid": self.pid,
+            "name": self.name,
+            "registers": dict(self.registers),
+            "vmas": self.address_space.snapshot(),
+        }

@@ -1,0 +1,166 @@
+"""CPU scheduling and OS background activity.
+
+Kindle's full-system nature means OS activities — context switches and
+the cache pollution they drag in — show up in application results,
+"which user-level simulators like ZSim miss" (Section III-C).  This
+module provides the two ingredients for such studies:
+
+* :class:`RoundRobinScheduler` — a quantum-based scheduler rotating
+  the machine between runnable processes, charging a fixed context
+  switch cost (register save/restore, run-queue manipulation) per
+  rotation;
+* :class:`OsNoiseSource` — periodic kernel background work (the
+  daemons gemOS deliberately lacks, reintroduced in controlled doses)
+  that streams over a kernel buffer, polluting the caches and charging
+  OS time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import KindleError
+from repro.common.units import CACHE_LINE, cycles_from_ms
+from repro.gemos.kernel import Kernel
+from repro.gemos.process import Process
+
+#: Register save/restore + run queue + return-to-user cost.
+CONTEXT_SWITCH_CYCLES = 1800
+
+
+class RoundRobinScheduler:
+    """Rotate the CPU between runnable processes every quantum."""
+
+    def __init__(self, kernel: Kernel, quantum_ms: float = 1.0) -> None:
+        if quantum_ms <= 0:
+            raise KindleError("scheduler quantum must be positive")
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.quantum_cycles = cycles_from_ms(quantum_ms)
+        self._queue: List[Process] = []
+        self._timer = None
+        self.switches = 0
+
+    def add(self, process: Process) -> None:
+        if process in self._queue:
+            raise KindleError(f"pid {process.pid} already scheduled")
+        self._queue.append(process)
+
+    def remove(self, process: Process) -> None:
+        if process in self._queue:
+            self._queue.remove(process)
+
+    def start(self) -> None:
+        if not self._queue:
+            raise KindleError("nothing to schedule")
+        self.kernel.switch_to(self._queue[0])
+        self._timer = self.machine.timers.arm(
+            self.machine.clock + self.quantum_cycles,
+            self.tick,
+            period=self.quantum_cycles,
+            name="scheduler",
+        )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def tick(self) -> None:
+        """Quantum expiry: charge the switch, rotate the run queue."""
+        if len(self._queue) < 2:
+            return
+        with self.machine.os_region("context_switch"):
+            self.machine.advance(CONTEXT_SWITCH_CYCLES)
+            self._queue.append(self._queue.pop(0))
+            self.kernel.switch_to(self._queue[0])
+        self.switches += 1
+        self.machine.stats.add("sched.context_switches")
+
+
+def run_multiprogrammed(
+    kernel: Kernel,
+    scheduler: RoundRobinScheduler,
+    programs,
+    batch_ops: int = 64,
+    max_batches: int = 1_000_000,
+) -> int:
+    """Interleave several replay programs under the scheduler.
+
+    ``programs`` maps each scheduled :class:`Process` to its
+    ``ReplayProgram``.  The driver always executes a small batch for
+    whichever process the scheduler has made current, so quantum
+    expiries really do interleave the workloads (and pollute each
+    other's caches).  Returns total operations executed.
+    """
+    pending = dict(programs)
+    executed = 0
+    batches = 0
+    while pending:
+        batches += 1
+        if batches > max_batches:
+            raise KindleError("multiprogrammed run did not converge")
+        current = kernel.current
+        if current not in pending:
+            # The current process finished; rotate to a pending one.
+            scheduler.remove(current)
+            next_proc = next(iter(pending))
+            kernel.switch_to(next_proc)
+            continue
+        program = pending[current]
+        executed += program.run(kernel, current, max_ops=batch_ops)
+        if program.is_finished(current):
+            del pending[current]
+    return executed
+
+
+class OsNoiseSource:
+    """Periodic kernel background work (cache pollution on a timer).
+
+    Each tick streams ``lines_per_tick`` cache lines of a dedicated
+    kernel buffer through the hierarchy in OS mode — evicting
+    application lines exactly the way background OS services do on a
+    production kernel.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        interval_ms: float = 1.0,
+        lines_per_tick: int = 256,
+        buffer_pages: int = 64,
+    ) -> None:
+        if interval_ms <= 0 or lines_per_tick <= 0 or buffer_pages <= 0:
+            raise KindleError("invalid OS noise configuration")
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.interval_cycles = cycles_from_ms(interval_ms)
+        self.lines_per_tick = lines_per_tick
+        frames = [kernel.dram_alloc.alloc() for _ in range(buffer_pages)]
+        self._base_paddr = frames[0] * 4096
+        self._span_lines = buffer_pages * (4096 // CACHE_LINE)
+        self._cursor = 0
+        self._timer = None
+        self.ticks = 0
+
+    def start(self) -> None:
+        self._timer = self.machine.timers.arm(
+            self.machine.clock + self.interval_cycles,
+            self.tick,
+            period=self.interval_cycles,
+            name="os-noise",
+        )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def tick(self) -> None:
+        with self.machine.os_region("background"):
+            for _ in range(self.lines_per_tick):
+                paddr = self._base_paddr + (self._cursor % self._span_lines) * CACHE_LINE
+                self.machine.phys_line_access(paddr, is_write=self._cursor % 4 == 0)
+                self._cursor += 1
+        self.ticks += 1
+        self.machine.stats.add("sched.noise_ticks")

@@ -1,0 +1,231 @@
+"""Virtual memory areas and the per-process address space layout.
+
+Kindle tags every VMA as DRAM or NVM based on the ``MAP_NVM`` flag
+passed to ``mmap()`` (Section II, Listing 1); demand paging later
+allocates frames from the matching technology.  The layout keeps VMAs
+sorted and non-overlapping and supports hinted placement, which the
+stride micro-benchmark (Fig. 4b) uses to spread ten 4 KiB pages at
+1 GiB / 2 MiB / 4 KiB gaps.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.common.errors import FaultError
+from repro.common.units import GiB, PAGE_SIZE, align_up
+from repro.mem.hybrid import MemType
+
+PROT_READ = 0x1
+PROT_WRITE = 0x2
+#: The paper's extension flag: allocate this mapping from NVM.
+MAP_NVM = 0x100
+#: Place the mapping exactly at the hint or fail.
+MAP_FIXED = 0x10
+
+#: Default search base for unhinted mmap (matches a classic mmap region).
+MMAP_BASE = 4 * GiB
+#: Upper bound of the user mmap region (48-bit canonical space, minus
+#: kernel half).
+MMAP_LIMIT = 64 * 1024 * GiB
+
+
+@dataclass
+class Vma:
+    """One mapped region ``[start, end)``."""
+
+    start: int
+    end: int
+    writable: bool
+    mem_type: MemType
+    name: str = "anon"
+
+    def __post_init__(self) -> None:
+        if self.start % PAGE_SIZE or self.end % PAGE_SIZE:
+            raise FaultError(
+                f"VMA [{self.start:#x}, {self.end:#x}) not page aligned"
+            )
+        if self.end <= self.start:
+            raise FaultError(f"empty VMA at {self.start:#x}")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    @property
+    def pages(self) -> int:
+        return self.length // PAGE_SIZE
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def vpn_range(self) -> range:
+        return range(self.start // PAGE_SIZE, self.end // PAGE_SIZE)
+
+
+class AddressSpace:
+    """Sorted, non-overlapping VMAs for one process."""
+
+    def __init__(self) -> None:
+        self._vmas: List[Vma] = []
+
+    # -- queries -------------------------------------------------------
+
+    def find(self, addr: int) -> Optional[Vma]:
+        """The VMA containing ``addr``, or None."""
+        starts = [v.start for v in self._vmas]
+        idx = bisect.bisect_right(starts, addr) - 1
+        if idx >= 0 and self._vmas[idx].contains(addr):
+            return self._vmas[idx]
+        return None
+
+    def __iter__(self) -> Iterator[Vma]:
+        return iter(self._vmas)
+
+    def __len__(self) -> int:
+        return len(self._vmas)
+
+    @property
+    def mapped_bytes(self) -> int:
+        return sum(v.length for v in self._vmas)
+
+    def _overlaps(self, start: int, end: int) -> bool:
+        for vma in self._vmas:
+            if vma.start < end and start < vma.end:
+                return True
+        return False
+
+    def _find_hole(self, length: int) -> int:
+        candidate = MMAP_BASE
+        for vma in self._vmas:
+            if vma.end <= candidate:
+                continue
+            if vma.start >= candidate + length:
+                break
+            candidate = vma.end
+        if candidate + length > MMAP_LIMIT:
+            raise FaultError("virtual address space exhausted")
+        return candidate
+
+    # -- mutations -----------------------------------------------------
+
+    def map(
+        self,
+        addr: Optional[int],
+        length: int,
+        prot: int,
+        flags: int = 0,
+        name: str = "anon",
+    ) -> Vma:
+        """Create a VMA (the layout half of ``mmap``).
+
+        ``addr`` is a hint; with :data:`MAP_FIXED` it is binding and
+        overlap is an error, otherwise an overlapping hint falls back
+        to the first hole.
+        """
+        if length <= 0:
+            raise FaultError(f"mmap length must be positive, got {length}")
+        length = align_up(length, PAGE_SIZE)
+        if addr is not None and addr % PAGE_SIZE:
+            raise FaultError(f"mmap hint {addr:#x} not page aligned")
+        if addr is not None and not self._overlaps(addr, addr + length):
+            start = addr
+        elif addr is not None and flags & MAP_FIXED:
+            raise FaultError(f"MAP_FIXED range at {addr:#x} overlaps")
+        else:
+            start = self._find_hole(length)
+        mem_type = MemType.NVM if flags & MAP_NVM else MemType.DRAM
+        vma = Vma(
+            start=start,
+            end=start + length,
+            writable=bool(prot & PROT_WRITE),
+            mem_type=mem_type,
+            name=name,
+        )
+        bisect.insort(self._vmas, vma, key=lambda v: v.start)
+        return vma
+
+    def unmap(self, addr: int, length: int) -> List[Tuple[int, int, Vma]]:
+        """Remove ``[addr, addr+length)`` from the layout.
+
+        Returns ``(start, end, original_vma)`` triples describing every
+        removed page range, so the caller can release frames and page
+        table entries.  VMAs partially covered are trimmed or split.
+        """
+        if length <= 0:
+            raise FaultError("munmap length must be positive")
+        if addr % PAGE_SIZE:
+            raise FaultError(f"munmap address {addr:#x} not page aligned")
+        end = addr + align_up(length, PAGE_SIZE)
+        removed: List[Tuple[int, int, Vma]] = []
+        survivors: List[Vma] = []
+        for vma in self._vmas:
+            if vma.end <= addr or vma.start >= end:
+                survivors.append(vma)
+                continue
+            cut_lo = max(vma.start, addr)
+            cut_hi = min(vma.end, end)
+            removed.append((cut_lo, cut_hi, vma))
+            if vma.start < cut_lo:
+                survivors.append(
+                    Vma(vma.start, cut_lo, vma.writable, vma.mem_type, vma.name)
+                )
+            if cut_hi < vma.end:
+                survivors.append(
+                    Vma(cut_hi, vma.end, vma.writable, vma.mem_type, vma.name)
+                )
+        survivors.sort(key=lambda v: v.start)
+        self._vmas = survivors
+        return removed
+
+    def protect(self, addr: int, length: int, prot: int) -> List[Vma]:
+        """``mprotect``: change protection over a range, splitting VMAs.
+
+        Returns the VMAs now covering the range with the new protection.
+        """
+        end = addr + align_up(length, PAGE_SIZE)
+        writable = bool(prot & PROT_WRITE)
+        affected: List[Vma] = []
+        survivors: List[Vma] = []
+        for vma in self._vmas:
+            if vma.end <= addr or vma.start >= end:
+                survivors.append(vma)
+                continue
+            cut_lo = max(vma.start, addr)
+            cut_hi = min(vma.end, end)
+            if vma.start < cut_lo:
+                survivors.append(
+                    Vma(vma.start, cut_lo, vma.writable, vma.mem_type, vma.name)
+                )
+            changed = Vma(cut_lo, cut_hi, writable, vma.mem_type, vma.name)
+            survivors.append(changed)
+            affected.append(changed)
+            if cut_hi < vma.end:
+                survivors.append(
+                    Vma(cut_hi, vma.end, vma.writable, vma.mem_type, vma.name)
+                )
+        survivors.sort(key=lambda v: v.start)
+        self._vmas = survivors
+        return affected
+
+    def snapshot(self) -> List[Tuple[int, int, bool, str, str]]:
+        """Serializable layout description (stored in the saved state)."""
+        return [
+            (v.start, v.end, v.writable, v.mem_type.value, v.name)
+            for v in self._vmas
+        ]
+
+    @classmethod
+    def from_snapshot(
+        cls, rows: List[Tuple[int, int, bool, str, str]]
+    ) -> "AddressSpace":
+        """Rebuild a layout from :meth:`snapshot` (recovery path)."""
+        space = cls()
+        for start, end, writable, mem_type, name in rows:
+            space._vmas.append(
+                Vma(start, end, writable, MemType(mem_type), name)
+            )
+        space._vmas.sort(key=lambda v: v.start)
+        return space

@@ -1,0 +1,40 @@
+"""Experiment harness: one driver per paper table/figure.
+
+Every driver returns a plain-dict result structure and has a matching
+formatter in :mod:`repro.harness.report`; ``python -m repro.harness
+<experiment>`` runs one from the command line.  The benchmarks under
+``benchmarks/`` call the same drivers, so pytest-benchmark runs and the
+CLI always agree.
+"""
+
+from repro.harness.experiments import (
+    run_fig4a,
+    run_fig4b,
+    run_fig5,
+    run_fig6,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5_table6,
+)
+from repro.harness.compare import compare_results
+from repro.harness.fig1_data import FIG1_PUBLICATIONS
+from repro.harness.plots import render_figure
+from repro.harness.report import format_table
+from repro.harness.validate import validate_persistence
+
+__all__ = [
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig5",
+    "run_fig6",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5_table6",
+    "FIG1_PUBLICATIONS",
+    "format_table",
+    "render_figure",
+    "compare_results",
+    "validate_persistence",
+]

@@ -1,0 +1,130 @@
+"""CLI: ``python -m repro.harness <experiment> [options]``.
+
+Runs one paper experiment and prints its table.  ``--scale`` shrinks
+region sizes and ``--ops`` shrinks workload lengths for quick runs;
+defaults regenerate the paper-scale configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+
+
+def _print_rows(result: Dict) -> None:
+    rows: List[Dict] = result["rows"]
+    if not rows:
+        print("(no rows)")
+        return
+    headers = list(rows[0].keys())
+    print(f"== {result['experiment']} ==")
+    print(format_table(headers, [[row[h] for h in headers] for row in rows]))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate Kindle paper tables/figures",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table2",
+            "fig4a",
+            "fig4b",
+            "table3",
+            "table4",
+            "fig5",
+            "fig6",
+            "table5",
+            "table6",
+            "validate",
+            "compare",
+        ],
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="shrink persistence micro-benchmark region sizes (e.g. 0.125)",
+    )
+    parser.add_argument(
+        "--ops",
+        type=int,
+        default=120_000,
+        help="workload operation budget for fig5/fig6/table2/table5/table6",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render figure experiments as ASCII bar charts",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "compare":
+        from pathlib import Path
+
+        from repro.harness.compare import compare_results
+
+        # Resolve relative to the repository checkout when run from it.
+        repo = Path.cwd()
+        results = repo / "benchmarks" / "results"
+        expected = repo / "artifacts" / "expected"
+        report = compare_results(results, expected)
+        print(
+            f"compared {report.compared} tables; "
+            f"missing={len(report.missing)} mismatches={len(report.mismatches)}"
+        )
+        for item in report.missing:
+            print(f"  missing: {item}")
+        for item in report.mismatches:
+            print(f"  mismatch: {item}")
+        return 0 if report.passed else 1
+    if args.experiment == "validate":
+        from repro.harness.validate import validate_persistence
+
+        rows = []
+        for scheme in ("rebuild", "persistent"):
+            report = validate_persistence(scheme=scheme)
+            rows.append(
+                {
+                    "scheme": scheme,
+                    "crash_cycles": report.cycles,
+                    "recoveries": report.recoveries,
+                    "rollback_ops": report.total_rollback_ops,
+                    "result": "PASS" if report.passed else "FAIL",
+                }
+            )
+            for failure in report.failures:
+                print(f"  !! {scheme}: {failure}")
+        _print_rows({"experiment": "validate (Section V-A)", "rows": rows})
+        return 0 if all(r["result"] == "PASS" for r in rows) else 1
+    if args.experiment == "table2":
+        result = experiments.run_table2(total_ops=args.ops)
+    elif args.experiment == "fig4a":
+        result = experiments.run_fig4a(scale=args.scale)
+    elif args.experiment == "fig4b":
+        result = experiments.run_fig4b()
+    elif args.experiment == "table3":
+        result = experiments.run_table3(scale=args.scale)
+    elif args.experiment == "table4":
+        result = experiments.run_table4(scale=args.scale)
+    elif args.experiment == "fig5":
+        result = experiments.run_fig5(total_ops=args.ops)
+    else:  # fig6 / table5 / table6 share one runner
+        result = experiments.run_fig6(total_ops=args.ops)
+    _print_rows(result)
+    if args.plot and result["experiment"].startswith("fig"):
+        from repro.harness.plots import render_figure
+
+        print()
+        print(render_figure(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Compare regenerated results against the expected set.
+
+The paper's artifact ships "expected output files for comparison" next
+to the scripts that regenerate each experiment; this module is that
+workflow.  ``artifacts/expected/`` holds a blessed copy of every
+``benchmarks/results/*.txt`` table; :func:`compare_results` re-parses
+both sides and checks that
+
+* the same experiments and rows are present,
+* label columns match exactly,
+* numeric columns agree within a tolerance factor (timings wobble with
+  calibration constants; shapes should not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class ComparisonReport:
+    compared: int = 0
+    missing: List[str] = field(default_factory=list)
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.missing and not self.mismatches
+
+
+def _parse_table(path: Path) -> Tuple[str, List[Dict[str, str]]]:
+    lines = [l.rstrip("\n") for l in path.read_text().splitlines() if l.strip()]
+    title = lines[0]
+    headers = lines[1].split()
+    rows = []
+    for line in lines[3:]:  # skip the dashes row
+        cells = line.split()
+        if len(cells) == len(headers):
+            rows.append(dict(zip(headers, cells)))
+    return title, rows
+
+
+def _numeric(value: str) -> Optional[float]:
+    try:
+        return float(value)
+    except ValueError:
+        return None
+
+
+def compare_results(
+    results_dir: Path,
+    expected_dir: Path,
+    tolerance_factor: float = 3.0,
+) -> ComparisonReport:
+    """Compare every expected table against its regenerated twin."""
+    report = ComparisonReport()
+    for expected_path in sorted(expected_dir.glob("*.txt")):
+        actual_path = results_dir / expected_path.name
+        if not actual_path.exists():
+            report.missing.append(expected_path.name)
+            continue
+        report.compared += 1
+        exp_title, exp_rows = _parse_table(expected_path)
+        act_title, act_rows = _parse_table(actual_path)
+        name = expected_path.name
+        if exp_title != act_title:
+            report.mismatches.append(f"{name}: title changed")
+        if len(exp_rows) != len(act_rows):
+            report.mismatches.append(
+                f"{name}: {len(act_rows)} rows, expected {len(exp_rows)}"
+            )
+            continue
+        for index, (exp_row, act_row) in enumerate(zip(exp_rows, act_rows)):
+            if set(exp_row) != set(act_row):
+                report.mismatches.append(f"{name}[{index}]: columns changed")
+                continue
+            for column, exp_value in exp_row.items():
+                act_value = act_row[column]
+                exp_num = _numeric(exp_value)
+                act_num = _numeric(act_value)
+                if exp_num is None or act_num is None:
+                    if exp_value != act_value:
+                        report.mismatches.append(
+                            f"{name}[{index}].{column}: "
+                            f"{act_value!r} != {exp_value!r}"
+                        )
+                    continue
+                if exp_num == 0:
+                    continue  # zero baselines: counts may legitimately move
+                ratio = act_num / exp_num if exp_num else float("inf")
+                if not (1 / tolerance_factor <= ratio <= tolerance_factor):
+                    report.mismatches.append(
+                        f"{name}[{index}].{column}: {act_num} vs "
+                        f"expected {exp_num} (>{tolerance_factor}x apart)"
+                    )
+    return report

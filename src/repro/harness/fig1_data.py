@@ -1,0 +1,22 @@
+"""Figure 1 dataset (motivation figure, no experiment to run).
+
+The paper's Fig. 1 plots Google Scholar hits for hybrid-memory/NVM
+publications over six years, "an average of 120 research papers
+annually".  The per-year values below are read off the figure; they are
+recorded here so every figure in the paper has a data source in the
+repository.
+"""
+
+#: year -> approximate publication count (read off Fig. 1).
+FIG1_PUBLICATIONS = {
+    2018: 105,
+    2019: 118,
+    2020: 131,
+    2021: 126,
+    2022: 122,
+    2023: 119,
+}
+
+
+def average_per_year() -> float:
+    return sum(FIG1_PUBLICATIONS.values()) / len(FIG1_PUBLICATIONS)

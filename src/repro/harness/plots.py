@@ -1,0 +1,85 @@
+"""ASCII bar plots for figure-like experiment results.
+
+The paper's artifact "generate[s] result plots in respective output
+folders for easy comparison with expected results"; this renderer is
+the terminal-friendly equivalent, turning the harness's row dicts into
+grouped horizontal bar charts (one bar per row, grouped by a label
+column, scaled to the widest value).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: Width of the bar area in characters.
+BAR_WIDTH = 42
+BAR_CHAR = "#"
+
+
+def render_bars(
+    rows: Sequence[Dict],
+    value_key: str,
+    label_keys: Sequence[str],
+    group_key: Optional[str] = None,
+    title: str = "",
+) -> str:
+    """Render one horizontal bar per row.
+
+    ``label_keys`` name the columns concatenated into each bar's
+    label; ``group_key`` (e.g. the benchmark name) inserts a blank
+    line between groups, mirroring the paper's grouped bar figures.
+    """
+    if not rows:
+        return f"{title}\n(no data)"
+    values = [float(row[value_key]) for row in rows]
+    peak = max(values) or 1.0
+    labels = [
+        " ".join(str(row[key]) for key in label_keys) for row in rows
+    ]
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    previous_group = object()
+    for row, label, value in zip(rows, labels, values):
+        if group_key is not None:
+            group = row[group_key]
+            if group != previous_group and previous_group is not object:
+                if previous_group is not object and lines:
+                    lines.append("")
+            previous_group = group
+        bar = BAR_CHAR * max(1, round(value / peak * BAR_WIDTH))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def render_figure(result: Dict) -> str:
+    """Render a harness result dict as the matching paper figure."""
+    experiment = result.get("experiment", "")
+    rows = result["rows"]
+    if experiment == "fig4a":
+        return render_bars(
+            rows, "overhead_x", ["size_mb"], title="Fig. 4a: rebuild/persistent overhead"
+        )
+    if experiment == "fig4b":
+        return render_bars(
+            rows, "ratio", ["stride"], title="Fig. 4b: persistent/rebuild ratio"
+        )
+    if experiment == "fig5":
+        return render_bars(
+            rows,
+            "normalized_time",
+            ["benchmark", "interval_ms"],
+            group_key="benchmark",
+            title="Fig. 5: SSP normalized execution time",
+        )
+    if experiment in ("fig6", "table5+table6"):
+        return render_bars(
+            rows,
+            "normalized_time",
+            ["benchmark", "threshold"],
+            group_key="benchmark",
+            title="Fig. 6: HSCC normalized execution time",
+        )
+    raise ValueError(f"no figure renderer for experiment {experiment!r}")

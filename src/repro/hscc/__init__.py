@@ -1,0 +1,33 @@
+"""HSCC prototype (Section III-C, after Liu et al. [23]).
+
+Hardware/Software Cooperative Caching manages DRAM as an OS-assisted
+cache over NVM in a flat address space.  NVM page access counts are
+kept in TLB entries (incremented on LLC miss) and synced to PTEs; every
+migration interval (31.25 ms = 1e8 cycles at 3.2 GHz in the original
+paper) the OS walks the page table, selects NVM pages whose count
+exceeds the fetch threshold, and migrates them into a 512-page DRAM
+pool managed as free/clean/dirty lists.
+
+Following the paper's own adaptation, the NVM-to-DRAM remapping lives
+in a dedicated lookup table (indexed by either pfn) instead of widened
+96-bit PTEs, avoiding the last-level-page-table capacity loss the
+original design suffers.
+
+OS migration work is attributed to two cycle categories —
+``os.hscc.selection`` (destination page allocation, including dirty
+copy-backs) and ``os.hscc.copy`` (cache-line flush + NVM→DRAM copy) —
+which regenerate Fig. 6 and Tables V/VI.
+"""
+
+from repro.hscc.extension import HsccExtension
+from repro.hscc.manager import DynamicThresholdPolicy, HsccManager
+from repro.hscc.mapping import RemapTable
+from repro.hscc.pool import DramPool
+
+__all__ = [
+    "HsccExtension",
+    "HsccManager",
+    "DynamicThresholdPolicy",
+    "RemapTable",
+    "DramPool",
+]

@@ -1,0 +1,83 @@
+"""HSCC hardware: TLB access counting and translate-time remapping.
+
+"HSCC extends the page table and TLB for handling NVM to DRAM
+remapping and tracking the access count of NVM pages ... The page
+access count is also maintained in TLB and is incremented if the data
+access misses in the LLC.  The access count in TLB is written out to
+PTE on TLB eviction or once during the translation in a migration
+interval."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.arch.hooks import HardwareExtension
+from repro.arch.machine import Machine
+from repro.arch.tlb import TlbEntry
+from repro.mem.hybrid import MemType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hscc.manager import HsccManager
+
+
+class HsccExtension(HardwareExtension):
+    """Walker/TLB/cache-controller patches for cooperative caching."""
+
+    def __init__(self, manager: "HsccManager") -> None:
+        self.manager = manager
+
+    def remap_pfn(self, machine: Machine, vpn: int, pfn: int) -> int:
+        """Translate-time lookup: NVM home pfn -> DRAM cache pfn."""
+        table = self.manager.remap_table
+        if machine.layout.mem_type_of_pfn(pfn) is not MemType.NVM:
+            return pfn
+        # The hardware probes the lookup table slot for this pfn.
+        machine.phys_line_access(table.entry_paddr(pfn), is_write=False)
+        remap = table.lookup_nvm(pfn)
+        if remap is None:
+            return pfn
+        machine.stats.add("hscc.remapped_fills")
+        return remap.dram_pfn
+
+    def on_tlb_fill(self, machine: Machine, entry: TlbEntry) -> None:
+        entry.access_count = 0
+        entry.count_synced = False
+        if machine.layout.mem_type_of_pfn(entry.pfn) is MemType.DRAM:
+            remap = self.manager.remap_table.lookup_dram(entry.pfn)
+            if remap is not None:
+                entry.ext["nvm_home"] = remap.nvm_pfn
+
+    def on_tlb_evict(self, machine: Machine, entry: TlbEntry) -> None:
+        """Write the TLB access count out to the PTE on eviction."""
+        if entry.access_count and "nvm_home" not in entry.ext:
+            self.manager.sync_count_to_pte(entry, charge=True)
+
+    def on_llc_miss(
+        self,
+        machine: Machine,
+        entry: Optional[TlbEntry],
+        paddr_line: int,
+        is_write: bool,
+    ) -> None:
+        """Count LLC misses against still-in-NVM pages."""
+        if entry is None or "nvm_home" in entry.ext:
+            return
+        if machine.layout.mem_type_of_pfn(entry.pfn) is MemType.NVM:
+            entry.access_count += 1
+            machine.stats.add("hscc.counted_misses")
+
+    def route_store(
+        self,
+        machine: Machine,
+        entry: TlbEntry,
+        vaddr: int,
+        paddr_line: int,
+    ) -> Optional[int]:
+        """No routing; piggybacked dirty tracking for cached pages."""
+        if "nvm_home" in entry.ext:
+            self.manager.pool.mark_dirty(entry.pfn)
+        return None
+
+    def on_power_cycle(self, machine: Machine) -> None:
+        self.manager.remap_table.clear()

@@ -1,0 +1,325 @@
+"""HSCC OS side: the periodic migration activity.
+
+"The migration activity inspects the page access count maintained in
+PTEs corresponding to NVM pages (by performing a software page table
+walk) and migrates the pages to DRAM cache if the count exceeds the
+fetch threshold.  Migrating a page to DRAM consists of two steps —
+(i) page selection, selecting the destination DRAM page, and (ii) page
+copy, copying the page from NVM to DRAM.  Page selection includes
+allocating the destination DRAM page from the free pool or from the
+clean or dirty list of DRAM pages.  If any page is selected from the
+dirty list, then we copy back the page from DRAM to NVM before use.
+Page copy includes flushing cache lines corresponding to the NVM page
+under migration before copying data from NVM to DRAM ... The page
+access count in all PTEs is reset, and corresponding TLB entries are
+invalidated in a migration activity."
+
+Cycle attribution: ``os.hscc.selection`` vs ``os.hscc.copy`` regenerate
+Table VI; running with ``charge_os=False`` gives Fig. 6's
+"hardware migration activities only" baseline (all state changes still
+happen, the clock does not).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.arch.tlb import TlbEntry
+from repro.common.errors import KindleError
+from repro.common.units import cycles_from_ms
+from repro.gemos.kernel import Kernel
+from repro.gemos.pagetable import Pte
+from repro.gemos.process import Process
+from repro.hscc.extension import HsccExtension
+from repro.hscc.mapping import RemapTable
+from repro.hscc.pool import DramPool
+from repro.mem.hybrid import MemType
+
+#: Paper value: 1e8 cycles, quoted as 31.25 ms.
+DEFAULT_MIGRATION_INTERVAL_MS = 31.25
+DEFAULT_POOL_PAGES = 512
+#: DRAM frames backing the remap lookup table (4096 16-byte slots).
+REMAP_TABLE_FRAMES = 16
+
+#: Kernel cycles to inspect one PTE during the software walk.
+PTE_INSPECT_CYCLES = 6
+#: Kernel cycles to pop and account a destination frame.
+DEST_ALLOC_CYCLES = 400
+#: Entries per cache line when streaming the page table.
+PTES_PER_LINE = 8
+
+
+class DynamicThresholdPolicy:
+    """Dynamic fetch-threshold adjustment (HSCC's original feature).
+
+    The paper's prototype states: "We have not incorporated dynamic
+    fetch threshold adjustment in our implementation and have fixed
+    the threshold to static values."  This policy implements the
+    missing piece: after every migration interval the threshold halves
+    when the DRAM pool is underused (migration is too timid) and
+    doubles when the interval forced dirty copy-backs or exhausted the
+    pool (migration is thrashing).
+    """
+
+    def __init__(self, lo: int = 1, hi: int = 1024) -> None:
+        if lo < 1 or hi < lo:
+            raise KindleError(f"bad threshold bounds [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+        self.history: List[int] = []
+
+    def adjust(
+        self,
+        threshold: int,
+        migrated: int,
+        copybacks: int,
+        pool: "DramPool",
+    ) -> int:
+        if copybacks > 0 or migrated >= pool.capacity:
+            threshold = min(self.hi, threshold * 2)
+        elif pool.free_count > pool.capacity // 2 and migrated < pool.capacity // 8:
+            threshold = max(self.lo, threshold // 2)
+        self.history.append(threshold)
+        return threshold
+
+
+class HsccManager:
+    """Drives DRAM-as-cache migration for one process."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        process: Process,
+        fetch_threshold: int = 25,
+        migration_interval_ms: float = DEFAULT_MIGRATION_INTERVAL_MS,
+        pool_pages: int = DEFAULT_POOL_PAGES,
+        charge_os: bool = True,
+        auto_arm: bool = True,
+        dynamic_threshold: Optional[DynamicThresholdPolicy] = None,
+    ) -> None:
+        if fetch_threshold < 1:
+            raise KindleError("fetch threshold must be >= 1")
+        if migration_interval_ms <= 0:
+            raise KindleError("migration interval must be positive")
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.process = process
+        self.fetch_threshold = fetch_threshold
+        self.interval_cycles = cycles_from_ms(migration_interval_ms)
+        self.charge_os = charge_os
+        table_base_pfn = kernel.dram_alloc.alloc()
+        for _ in range(REMAP_TABLE_FRAMES - 1):
+            kernel.dram_alloc.alloc()
+        self.remap_table = RemapTable(base_paddr=table_base_pfn * 4096)
+        self.pool = DramPool(
+            [kernel.dram_alloc.alloc() for _ in range(pool_pages)]
+        )
+        self.extension = HsccExtension(self)
+        self.machine.attach_extension(self.extension)
+        self.pages_migrated = 0
+        self.dirty_copybacks = 0
+        self.clean_evictions = 0
+        self.dynamic_threshold = dynamic_threshold
+        self._timer = None
+        if auto_arm:
+            self.arm()
+
+    def arm(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        self._timer = self.machine.timers.arm(
+            self.machine.clock + self.interval_cycles,
+            self.migrate,
+            period=self.interval_cycles,
+            name="hscc-migration",
+        )
+
+    def disarm(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # count maintenance
+    # ------------------------------------------------------------------
+
+    def sync_count_to_pte(self, entry: TlbEntry, charge: bool) -> None:
+        """Flush a TLB access count into the PTE (eviction/walk path)."""
+        table = self.process.page_table
+        if table is None or entry.asid != self.process.asid:
+            return
+        pte = table.lookup(entry.vpn)
+        if pte is None or pte.pfn != entry.pfn:
+            entry.access_count = 0
+            return
+        pte.access_count += entry.access_count
+        entry.access_count = 0
+        entry.count_synced = True
+        if charge:
+            self.machine.bulk_lines(1, MemType.DRAM, is_write=True)
+        self.machine.stats.add("hscc.count_syncs")
+
+    # ------------------------------------------------------------------
+    # the migration activity
+    # ------------------------------------------------------------------
+
+    def migrate(self) -> None:
+        """One migration interval: selection, copy, count reset."""
+        machine = self.machine
+        table = self.process.page_table
+        if table is None:
+            return
+        copybacks_before = self.dirty_copybacks
+        # Candidate identification (software PT walk, count sync,
+        # count reset) is its own category: the paper's "Page
+        # Selection" bucket covers *destination* allocation only.
+        with machine.os_region("hscc.scan", charge=self.charge_os):
+            selections = self._select_pages()
+        with machine.os_region("hscc.copy", charge=self.charge_os):
+            for vpn, pte, nvm_pfn, dram_pfn in selections:
+                self._copy_page_in(vpn, pte, nvm_pfn, dram_pfn)
+        with machine.os_region("hscc.scan", charge=self.charge_os):
+            self._reset_counts()
+        if self.dynamic_threshold is not None:
+            self.fetch_threshold = self.dynamic_threshold.adjust(
+                self.fetch_threshold,
+                len(selections),
+                self.dirty_copybacks - copybacks_before,
+                self.pool,
+            )
+            machine.stats.set("hscc.current_threshold", self.fetch_threshold)
+        machine.stats.add("hscc.migration_intervals")
+
+    def _select_pages(self) -> List[Tuple[int, Pte, int, int]]:
+        """Software PT walk + destination allocation (selection step)."""
+        machine = self.machine
+        table = self.process.page_table
+        assert table is not None
+        # Refresh the pool lists for this interval.
+        machine.bulk_lines(
+            (self.pool.capacity * 8 + 63) // 64, MemType.DRAM, is_write=False
+        )
+        # Sync outstanding TLB counts so the walk sees current values.
+        for entry in machine.tlb.entries():
+            if entry.access_count and "nvm_home" not in entry.ext:
+                self.sync_count_to_pte(entry, charge=self.charge_os)
+        # Software page-table walk.
+        leaves = list(table.iter_leaves())
+        machine.bulk_lines(
+            (len(leaves) + PTES_PER_LINE - 1) // PTES_PER_LINE,
+            MemType.DRAM,
+            is_write=False,
+        )
+        machine.advance(PTE_INSPECT_CYCLES * len(leaves))
+        layout = machine.layout
+        selections: List[Tuple[int, Pte, int, int]] = []
+        reserved: set = set()
+        for vpn, pte in leaves:
+            if layout.mem_type_of_pfn(pte.pfn) is not MemType.NVM:
+                continue
+            if self.remap_table.lookup_nvm(pte.pfn) is not None:
+                continue
+            if pte.access_count < self.fetch_threshold:
+                continue
+            with machine.os_region("hscc.selection", charge=self.charge_os):
+                dram_pfn = self._allocate_destination(reserved)
+            if dram_pfn is None:
+                machine.stats.add("hscc.pool_exhausted")
+                break
+            reserved.add(dram_pfn)
+            selections.append((vpn, pte, pte.pfn, dram_pfn))
+        return selections
+
+    def _allocate_destination(self, reserved: set) -> Optional[int]:
+        """Free list, then clean eviction, then dirty copy-back.
+
+        ``reserved`` holds frames already promised to earlier
+        selections of the same interval, which must not be recycled
+        again before their copy lands.
+        """
+        machine = self.machine
+        # List manipulation cost (pop + bookkeeping writes).
+        machine.advance(DEST_ALLOC_CYCLES)
+        machine.bulk_lines(1, MemType.DRAM, is_write=True)
+        pfn = self.pool.take_free()
+        if pfn is not None:
+            machine.stats.add("hscc.dest_from_free")
+            return pfn
+        pfn = self.pool.oldest_clean(exclude=reserved)
+        if pfn is not None:
+            self._drop_mapping(pfn)
+            self.pool.recycle(pfn)
+            self.clean_evictions += 1
+            machine.stats.add("hscc.dest_from_clean")
+            return pfn
+        pfn = self.pool.oldest_dirty(exclude=reserved)
+        if pfn is not None:
+            remap = self.remap_table.lookup_dram(pfn)
+            if remap is not None:
+                # Copy the page back to its NVM home before reuse.
+                machine.copy_page(pfn, remap.nvm_pfn, flush_src=True)
+                machine.stats.add("hscc.dirty_copybacks")
+                self.dirty_copybacks += 1
+            self._drop_mapping(pfn)
+            self.pool.recycle(pfn)
+            machine.stats.add("hscc.dest_from_dirty")
+            return pfn
+        return None
+
+    def _drop_mapping(self, dram_pfn: int) -> None:
+        """Remove a DRAM page's remap entry and stale translations."""
+        remap = self.remap_table.remove_by_dram(dram_pfn)
+        if remap is None:
+            return
+        self.machine.phys_line_access(
+            self.remap_table.entry_paddr(remap.nvm_pfn), is_write=True
+        )
+        self.machine.tlb.invalidate(self.process.asid, remap.vpn)
+
+    def _copy_page_in(
+        self, vpn: int, pte: Pte, nvm_pfn: int, dram_pfn: int
+    ) -> None:
+        """Page copy step: flush, copy NVM->DRAM, install the mapping."""
+        machine = self.machine
+        machine.copy_page(nvm_pfn, dram_pfn, flush_src=True)
+        self.remap_table.insert(nvm_pfn, dram_pfn, vpn)
+        machine.phys_line_access(
+            self.remap_table.entry_paddr(nvm_pfn), is_write=True
+        )
+        pte.access_count = 0
+        machine.tlb.invalidate(self.process.asid, vpn)
+        self.pages_migrated += 1
+        machine.stats.add("hscc.pages_migrated")
+
+    def _reset_counts(self) -> None:
+        """End of interval: reset every PTE count, shoot down TLB counts."""
+        machine = self.machine
+        table = self.process.page_table
+        assert table is not None
+        reset = 0
+        for vpn, pte in table.iter_leaves():
+            if pte.access_count:
+                pte.access_count = 0
+                reset += 1
+        machine.bulk_lines(
+            (reset + PTES_PER_LINE - 1) // PTES_PER_LINE,
+            MemType.DRAM,
+            is_write=True,
+        )
+        for entry in list(machine.tlb.entries()):
+            if entry.asid == self.process.asid and entry.access_count:
+                machine.tlb.invalidate(entry.asid, entry.vpn)
+        machine.stats.add("hscc.count_resets", reset)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def migration_cycle_split(self) -> Tuple[int, int]:
+        """(selection, copy) cycles, charged or uncharged alike."""
+        stats = self.machine.stats
+        selection = (
+            stats["cycles.os.hscc.selection"] + stats["uncharged.os.hscc.selection"]
+        )
+        copy = stats["cycles.os.hscc.copy"] + stats["uncharged.os.hscc.copy"]
+        return selection, copy

@@ -1,0 +1,68 @@
+"""The NVM↔DRAM remapping lookup table.
+
+"In our implementation, we have designed NVM to DRAM mapping in a
+lookup table to avoid the previously mentioned PTE size issue.  The
+mapping table entries can be looked up using both DRAM and NVM page
+frame numbers as an offset."  The table is volatile metadata resident
+in DRAM; the translation hardware probes it at TLB-fill time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: Bytes per mapping entry (pfn pair + vpn backlink).
+ENTRY_BYTES = 16
+
+
+@dataclass(frozen=True)
+class Remap:
+    """One cached page: NVM home frame -> DRAM frame for vpn."""
+
+    nvm_pfn: int
+    dram_pfn: int
+    vpn: int
+
+
+class RemapTable:
+    """Bidirectional pfn-indexed mapping table at ``base_paddr``."""
+
+    def __init__(self, base_paddr: int) -> None:
+        self.base_paddr = base_paddr
+        self._by_nvm: Dict[int, Remap] = {}
+        self._by_dram: Dict[int, Remap] = {}
+
+    def insert(self, nvm_pfn: int, dram_pfn: int, vpn: int) -> Remap:
+        if nvm_pfn in self._by_nvm:
+            raise ValueError(f"NVM pfn {nvm_pfn:#x} already remapped")
+        if dram_pfn in self._by_dram:
+            raise ValueError(f"DRAM pfn {dram_pfn:#x} already in use")
+        remap = Remap(nvm_pfn, dram_pfn, vpn)
+        self._by_nvm[nvm_pfn] = remap
+        self._by_dram[dram_pfn] = remap
+        return remap
+
+    def lookup_nvm(self, nvm_pfn: int) -> Optional[Remap]:
+        return self._by_nvm.get(nvm_pfn)
+
+    def lookup_dram(self, dram_pfn: int) -> Optional[Remap]:
+        return self._by_dram.get(dram_pfn)
+
+    def remove_by_dram(self, dram_pfn: int) -> Optional[Remap]:
+        remap = self._by_dram.pop(dram_pfn, None)
+        if remap is not None:
+            del self._by_nvm[remap.nvm_pfn]
+        return remap
+
+    def entry_paddr(self, pfn: int) -> int:
+        """Physical address of the table slot indexed by ``pfn`` (what
+        the hardware lookup touches)."""
+        return self.base_paddr + (pfn % 4096) * ENTRY_BYTES
+
+    def __len__(self) -> int:
+        return len(self._by_nvm)
+
+    def clear(self) -> None:
+        self._by_nvm.clear()
+        self._by_dram.clear()

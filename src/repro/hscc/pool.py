@@ -1,0 +1,92 @@
+"""The DRAM page pool: 512 frames in free / clean / dirty lists.
+
+"We also maintain a pool of DRAM pages (512 pages), categorized as
+lists of free, clean, and dirty pages, updated at the start of each
+migration interval."  Clean pages can be repurposed by dropping their
+mapping; dirty pages must be copied back to their NVM home first —
+that copy-back is part of *page selection* time, which is why
+selection dominates when the pool runs out of free and clean pages
+(Table VI).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError
+
+
+class DramPool:
+    """Fixed pool of DRAM frames with free/clean/dirty bookkeeping."""
+
+    def __init__(self, frames: List[int]) -> None:
+        if not frames:
+            raise ConfigError("DRAM pool needs at least one frame")
+        self.capacity = len(frames)
+        self.free: List[int] = list(frames)
+        #: In-use frames -> dirty flag; insertion order gives FIFO
+        #: victim selection within each class.
+        self._in_use: Dict[int, bool] = {}
+
+    # -- state transitions ----------------------------------------------
+
+    def take_free(self) -> Optional[int]:
+        if not self.free:
+            return None
+        pfn = self.free.pop()
+        self._in_use[pfn] = False
+        return pfn
+
+    def oldest_clean(self, exclude=()) -> Optional[int]:
+        for pfn, dirty in self._in_use.items():
+            if not dirty and pfn not in exclude:
+                return pfn
+        return None
+
+    def oldest_dirty(self, exclude=()) -> Optional[int]:
+        for pfn, dirty in self._in_use.items():
+            if dirty and pfn not in exclude:
+                return pfn
+        return None
+
+    def recycle(self, pfn: int) -> None:
+        """Reuse an in-use frame for a new migration (stays in use,
+        resets to clean, moves to the back of the FIFO)."""
+        if pfn not in self._in_use:
+            raise ValueError(f"frame {pfn:#x} not in use")
+        del self._in_use[pfn]
+        self._in_use[pfn] = False
+
+    def release(self, pfn: int) -> None:
+        """Return a frame to the free list (mapping dropped)."""
+        if pfn not in self._in_use:
+            raise ValueError(f"frame {pfn:#x} not in use")
+        del self._in_use[pfn]
+        self.free.append(pfn)
+
+    def mark_dirty(self, pfn: int) -> bool:
+        """Record a write to a cached page; True if it was tracked."""
+        if pfn in self._in_use:
+            self._in_use[pfn] = True
+            return True
+        return False
+
+    def is_dirty(self, pfn: int) -> bool:
+        return self._in_use.get(pfn, False)
+
+    # -- stats ------------------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        return len(self.free)
+
+    @property
+    def clean_count(self) -> int:
+        return sum(1 for d in self._in_use.values() if not d)
+
+    @property
+    def dirty_count(self) -> int:
+        return sum(1 for d in self._in_use.values() if d)
+
+    def __contains__(self, pfn: int) -> bool:
+        return pfn in self._in_use or pfn in self.free

@@ -1,0 +1,30 @@
+"""Hybrid memory substrate: timing, controllers, physical storage, layout.
+
+Reproduces the gem5 memory configuration of Table I: a flat physical
+address space with 3 GB of DDR4-2400 DRAM followed by 2 GB of PCM NVM,
+each behind its own channel model.  The NVM channel has a 48-entry
+write buffer and a 64-entry read buffer.  Physical page contents are
+held in a sparse store that distinguishes volatile (DRAM) from
+persistent (NVM) frames so crashes can be simulated by value.
+"""
+
+from repro.mem.controller import HybridMemoryController, MemoryChannel, NvmWriteBuffer
+from repro.mem.energy import EnergyConfig, EnergyModel, EnergyReport
+from repro.mem.hybrid import E820Entry, E820Type, HybridLayout, MemType
+from repro.mem.nvmstore import NvmObjectStore
+from repro.mem.physmem import PhysicalMemory
+
+__all__ = [
+    "HybridMemoryController",
+    "MemoryChannel",
+    "NvmWriteBuffer",
+    "EnergyConfig",
+    "EnergyModel",
+    "EnergyReport",
+    "E820Entry",
+    "E820Type",
+    "HybridLayout",
+    "MemType",
+    "NvmObjectStore",
+    "PhysicalMemory",
+]

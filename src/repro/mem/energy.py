@@ -1,0 +1,116 @@
+"""Memory-system energy accounting.
+
+Hybrid memory's energy case (the paper's introduction: NVM "reduce[s]
+energy cost" because it needs no refresh and idles near zero) is made
+quantitative here.  The model is post-hoc: it reads the event counters
+the machine already collects (demand line reads/writes per technology,
+bulk kernel lines, cache hits) plus the elapsed simulated time, and
+prices them with per-event energies after Lee et al. [21] (PCM
+architecture) and standard DDR4 datasheet figures.
+
+Dynamic energies are per 64-byte line transfer; background power
+covers refresh + standby and is charged per (GB x second).  NVM
+background is negligible by design — that asymmetry is the entire
+capacity-energy argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.common.stats import Stats
+from repro.common.units import GiB, ns_from_cycles
+
+
+@dataclass(frozen=True)
+class EnergyConfig:
+    """Per-event energies (nanojoules per 64 B line) and background
+    power (milliwatts per gigabyte)."""
+
+    dram_read_nj: float = 1.2
+    dram_write_nj: float = 1.2
+    #: PCM array read: current sensing, ~2x DRAM.
+    nvm_read_nj: float = 2.1
+    #: PCM SET/RESET programming: the dominant energy asymmetry.
+    nvm_write_nj: float = 16.0
+    l1_access_nj: float = 0.05
+    l2_access_nj: float = 0.18
+    llc_access_nj: float = 0.6
+    #: DDR4 refresh + standby background.
+    dram_background_mw_per_gb: float = 90.0
+    #: NVM standby (no refresh).
+    nvm_background_mw_per_gb: float = 1.0
+
+
+@dataclass
+class EnergyReport:
+    """Energy breakdown in millijoules."""
+
+    components_mj: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_mj(self) -> float:
+        return sum(self.components_mj.values())
+
+    @property
+    def dynamic_mj(self) -> float:
+        return sum(
+            v
+            for k, v in self.components_mj.items()
+            if not k.endswith("background")
+        )
+
+    @property
+    def background_mj(self) -> float:
+        return self.total_mj - self.dynamic_mj
+
+    def render(self) -> str:
+        lines = [
+            f"{name:>18}: {value:10.4f} mJ"
+            for name, value in sorted(self.components_mj.items())
+        ]
+        lines.append(f"{'total':>18}: {self.total_mj:10.4f} mJ")
+        return "\n".join(lines)
+
+
+class EnergyModel:
+    """Prices a run's stats counters into an :class:`EnergyReport`."""
+
+    def __init__(self, config: EnergyConfig = EnergyConfig()) -> None:
+        self.config = config
+
+    def report(
+        self,
+        stats: Stats,
+        elapsed_cycles: int,
+        dram_bytes: int,
+        nvm_bytes: int,
+    ) -> EnergyReport:
+        cfg = self.config
+        nj: Dict[str, float] = {}
+
+        dram_reads = stats["dram.reads"] + stats["bulk.dram.read_lines"]
+        dram_writes = stats["dram.writes"] + stats["bulk.dram.write_lines"]
+        nvm_reads = stats["nvm.reads"] + stats["bulk.nvm.read_lines"]
+        nvm_writes = stats["nvm.writes"] + stats["bulk.nvm.write_lines"]
+        nj["dram.dynamic"] = (
+            dram_reads * cfg.dram_read_nj + dram_writes * cfg.dram_write_nj
+        )
+        nj["nvm.dynamic"] = (
+            nvm_reads * cfg.nvm_read_nj + nvm_writes * cfg.nvm_write_nj
+        )
+        nj["cache.dynamic"] = (
+            (stats["l1.hit"] + stats["l1.miss"]) * cfg.l1_access_nj
+            + (stats["l2.hit"] + stats["l2.miss"]) * cfg.l2_access_nj
+            + (stats["llc.hit"] + stats["llc.miss"]) * cfg.llc_access_nj
+        )
+
+        seconds = ns_from_cycles(elapsed_cycles) / 1e9
+        nj["dram.background"] = (
+            cfg.dram_background_mw_per_gb * (dram_bytes / GiB) * seconds * 1e6
+        )
+        nj["nvm.background"] = (
+            cfg.nvm_background_mw_per_gb * (nvm_bytes / GiB) * seconds * 1e6
+        )
+        return EnergyReport({k: v / 1e6 for k, v in nj.items()})

@@ -1,0 +1,93 @@
+"""Flat hybrid physical address space and the BIOS (e820) memory map.
+
+Kindle "partitions the physical memory address range between NVM and
+DRAM, and inserts corresponding entries in the gem5 BIOS implementation
+of e820" (Section II).  :class:`HybridLayout` is that partition: DRAM
+occupies the low range, NVM the high range, and :meth:`e820_map`
+produces the table the (simulated) OS reads at boot to discover both.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.common.config import HybridLayoutConfig
+from repro.common.errors import FaultError
+from repro.common.units import PAGE_SIZE
+
+
+class MemType(enum.Enum):
+    """Which technology backs a physical address."""
+
+    DRAM = "dram"
+    NVM = "nvm"
+
+
+class E820Type(enum.IntEnum):
+    """BIOS memory map entry types (subset of the ACPI-defined set)."""
+
+    USABLE = 1
+    RESERVED = 2
+    #: ACPI 6.0 type 7: persistent memory.
+    PMEM = 7
+
+
+@dataclass(frozen=True)
+class E820Entry:
+    """One BIOS memory map row: ``[base, base+length)`` of ``kind``."""
+
+    base: int
+    length: int
+    kind: E820Type
+
+
+class HybridLayout:
+    """Physical address partition between DRAM and NVM.
+
+    Addresses in ``[dram_base, nvm_base)`` are DRAM; addresses in
+    ``[nvm_base, end)`` are NVM.  Page frame numbers (pfns) are global
+    across both ranges.
+    """
+
+    def __init__(self, config: HybridLayoutConfig) -> None:
+        self.config = config
+        self.dram_base = config.dram_base
+        self.nvm_base = config.nvm_base
+        self.end = config.dram_base + config.total_bytes
+        self._nvm_base_pfn = self.nvm_base // PAGE_SIZE
+        self._dram_base_pfn = self.dram_base // PAGE_SIZE
+        self._end_pfn = self.end // PAGE_SIZE
+
+    def mem_type_of_addr(self, addr: int) -> MemType:
+        """Technology backing physical address ``addr``."""
+        if self.dram_base <= addr < self.nvm_base:
+            return MemType.DRAM
+        if self.nvm_base <= addr < self.end:
+            return MemType.NVM
+        raise FaultError(f"physical address {addr:#x} outside memory map")
+
+    def mem_type_of_pfn(self, pfn: int) -> MemType:
+        """Technology backing page frame ``pfn``."""
+        if self._dram_base_pfn <= pfn < self._nvm_base_pfn:
+            return MemType.DRAM
+        if self._nvm_base_pfn <= pfn < self._end_pfn:
+            return MemType.NVM
+        raise FaultError(f"pfn {pfn:#x} outside memory map")
+
+    def pfn_range(self, mem_type: MemType) -> Tuple[int, int]:
+        """Half-open pfn range ``[first, last)`` of one technology."""
+        if mem_type is MemType.DRAM:
+            return (self._dram_base_pfn, self._nvm_base_pfn)
+        return (self._nvm_base_pfn, self._end_pfn)
+
+    def contains_pfn(self, pfn: int) -> bool:
+        return self._dram_base_pfn <= pfn < self._end_pfn
+
+    def e820_map(self) -> List[E820Entry]:
+        """The BIOS memory map the simulated OS parses at boot."""
+        return [
+            E820Entry(self.dram_base, self.config.dram_bytes, E820Type.USABLE),
+            E820Entry(self.nvm_base, self.config.nvm_bytes, E820Type.PMEM),
+        ]

@@ -1,0 +1,62 @@
+"""Object-granularity model of NVM-resident kernel data structures.
+
+The paper's persistence machinery keeps several kernel structures in
+NVM: per-process saved states (consistent + working context copies),
+the redo log, the virtual-to-NVM-physical mapping list, and the
+physical page allocation metadata (Section II-A).  Modeling each of
+those at byte level would add nothing to the evaluation, so this store
+holds them as named Python objects with the one property that matters:
+**objects registered here survive a power failure**, while everything
+the kernel keeps in ordinary (DRAM) attributes is lost when the kernel
+object is discarded at crash time.
+
+Timing is *not* modeled here — components charge their own NVM access
+costs on the machine when they mutate registered objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class NvmObjectStore:
+    """Named persistent objects (the modeling analog of NVM placement)."""
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, object] = {}
+
+    def put(self, key: str, obj: T) -> T:
+        """Register ``obj`` as NVM-resident under ``key``."""
+        self._objects[key] = obj
+        return obj
+
+    def get(self, key: str) -> Optional[object]:
+        return self._objects.get(key)
+
+    def setdefault(self, key: str, obj: T) -> T:
+        existing = self._objects.get(key)
+        if existing is None:
+            self._objects[key] = obj
+            return obj
+        return existing  # type: ignore[return-value]
+
+    def remove(self, key: str) -> None:
+        self._objects.pop(key, None)
+
+    def keys_with_prefix(self, prefix: str) -> Iterator[Tuple[str, object]]:
+        """Iterate ``(key, object)`` pairs whose key starts with ``prefix``."""
+        for key in sorted(self._objects):
+            if key.startswith(prefix):
+                yield key, self._objects[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def wipe(self) -> None:
+        """Factory reset (NOT a crash — crashes preserve this store)."""
+        self._objects.clear()

@@ -1,0 +1,39 @@
+"""Process persistence (the paper's core contribution, Section II-A).
+
+Per-process *saved state* lives in NVM and holds two copies of the
+execution context (a consistent copy and a working copy), a redo log of
+OS-metadata modifications, and — under the *rebuild* scheme — the list
+of virtual-to-NVM-physical page mappings used to reconstruct the page
+table after reboot.
+
+At the end of each checkpoint interval the engine logs the CPU state,
+applies the interval's redo records to the working copy, lets the
+page-table scheme refresh its translation bookkeeping, and atomically
+marks the working copy as the new consistent copy.  Recovery scans the
+saved states, recreates an execution context per entry, restores the
+virtual memory layout and page table, and marks processes runnable.
+"""
+
+from repro.persist.checkpoint import PersistenceManager
+from repro.persist.recovery import recover
+from repro.persist.redolog import RedoLog, RedoRecord
+from repro.persist.savedstate import ContextCopy, SavedState
+from repro.persist.schemes import (
+    PageTableScheme,
+    PersistentScheme,
+    RebuildScheme,
+    make_scheme,
+)
+
+__all__ = [
+    "PersistenceManager",
+    "recover",
+    "RedoLog",
+    "RedoRecord",
+    "ContextCopy",
+    "SavedState",
+    "PageTableScheme",
+    "PersistentScheme",
+    "RebuildScheme",
+    "make_scheme",
+]

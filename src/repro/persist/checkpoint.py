@@ -1,0 +1,194 @@
+"""Periodic checkpointing of execution contexts (Section II-A).
+
+The manager subscribes to the kernel's OS-metadata event stream,
+mirrors each event into the per-process redo log in NVM, and arms a
+periodic timer (10 ms by default, following Aurora [40]).  At each
+interval end it:
+
+1. logs the CPU state of every persistent process,
+2. applies the interval's redo records to the working context copy,
+3. asks the page-table scheme to refresh translation bookkeeping
+   (the rebuild scheme's v2p maintenance — the dominant cost),
+4. atomically flips the working copy to consistent and truncates the
+   applied log prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.units import cycles_from_ms
+from repro.gemos.kernel import Kernel
+from repro.gemos.process import Process
+from repro.gemos.vma import MAP_FIXED, MAP_NVM, PROT_READ, PROT_WRITE, AddressSpace
+from repro.mem.hybrid import MemType
+from repro.persist.savedstate import ContextCopy, SavedState, store_key
+from repro.persist.schemes import PageTableScheme
+
+#: NVM line writes to log one redo record.
+LOG_RECORD_LINES = 1
+#: NVM lines to capture the CPU register file at a checkpoint.
+CPU_STATE_LINES = 2
+#: Cycles of kernel work to apply one redo record to the working copy
+#: (decode + mutate the context structures), on top of its NVM traffic.
+APPLY_RECORD_CYCLES = 120
+#: NVM lines read + written when applying one record.
+APPLY_RECORD_LINES = 2
+
+#: Events mirrored into the redo log.
+_LOGGED_EVENTS = frozenset(
+    {"proc_create", "proc_exit", "mmap", "munmap", "mprotect"}
+)
+
+
+class PersistenceManager:
+    """Wires process persistence into a booted kernel."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        scheme: PageTableScheme,
+        checkpoint_interval_ms: float = 10.0,
+        auto_arm: bool = True,
+    ) -> None:
+        if checkpoint_interval_ms <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.scheme = scheme
+        self.interval_cycles = cycles_from_ms(checkpoint_interval_ms)
+        self.checkpoint_interval_ms = checkpoint_interval_ms
+        kernel.add_listener(self._on_event)
+        self._timer = None
+        if auto_arm:
+            self.arm()
+
+    # ------------------------------------------------------------------
+    # event mirroring
+    # ------------------------------------------------------------------
+
+    def _saved_for(self, pid: int) -> Optional[SavedState]:
+        obj = self.kernel.nvm_store.get(store_key(pid))
+        return obj if isinstance(obj, SavedState) else None
+
+    def _on_event(self, event: str, pid: int, payload: Dict[str, object]) -> None:
+        process = self.kernel.processes.get(pid)
+        if event == "proc_create":
+            if not payload.get("persistent", True):
+                return
+            # A saved state may already exist when recovery recreates a
+            # process with its old pid; never clobber it.
+            self.kernel.nvm_store.setdefault(
+                store_key(pid), SavedState(pid=pid, name=str(payload.get("name", "")))
+            )
+        if event == "proc_exit":
+            self.kernel.nvm_store.remove(store_key(pid))
+            self.kernel.nvm_store.remove(f"pt_root:{pid:08d}")
+            return
+        if event not in _LOGGED_EVENTS:
+            return
+        if process is not None and not process.persistent:
+            return
+        saved = self._saved_for(pid)
+        if saved is None:
+            return
+        with self.machine.os_region("persist_log"):
+            saved.redo.append(event, payload)
+            self.machine.bulk_lines(LOG_RECORD_LINES, MemType.NVM, is_write=True)
+        self.machine.stats.add("redo.appends")
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def arm(self) -> None:
+        """Arm the periodic checkpoint timer."""
+        if self._timer is not None:
+            self._timer.cancel()
+        self._timer = self.machine.timers.arm(
+            self.machine.clock + self.interval_cycles,
+            self.checkpoint_all,
+            period=self.interval_cycles,
+            name="checkpoint",
+        )
+
+    def disarm(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def checkpoint_all(self) -> None:
+        """Checkpoint every persistent process (one interval end)."""
+        for process in list(self.kernel.processes.values()):
+            if process.persistent:
+                self.checkpoint_process(process)
+        self.machine.stats.add("checkpoint.intervals")
+
+    def checkpoint_process(self, process: Process) -> None:
+        saved = self._saved_for(process.pid)
+        if saved is None:
+            return
+        with self.machine.os_region("checkpoint"):
+            # 1. log the CPU state.
+            self.machine.bulk_lines(CPU_STATE_LINES, MemType.NVM, is_write=True)
+            working = saved.working
+            # 2. apply redo records to the working copy.
+            pending = saved.redo.pending()
+            base = saved.consistent
+            working.vmas = list(base.vmas) if base is not None else []
+            self._apply_records(working, pending)
+            self.machine.advance(APPLY_RECORD_CYCLES * len(pending))
+            self.machine.bulk_lines(
+                APPLY_RECORD_LINES * len(pending), MemType.NVM, is_write=True
+            )
+            working.registers = dict(process.registers)
+            # 3. scheme-specific refresh (rebuild: v2p maintenance).
+            self.scheme.checkpoint_refresh(process, saved)
+            # 4. commit: flip the consistent pointer, truncate the log.
+            self.machine.bulk_lines(1, MemType.NVM, is_write=True)
+            self.machine.persist_barrier()
+            applied_upto = pending[-1].seq + 1 if pending else saved.redo.applied_upto
+            saved.redo.mark_applied(applied_upto)
+            saved.commit_working()
+        self.machine.stats.add("checkpoint.taken")
+        self.machine.stats.add("redo.applied", len(pending))
+
+    @staticmethod
+    def _apply_records(working: ContextCopy, records) -> None:
+        """Replay redo records onto the working copy's VMA layout."""
+        space = AddressSpace.from_snapshot(working.vmas)
+        for record in records:
+            payload = record.payload
+            if record.op == "mmap":
+                prot = PROT_READ | (PROT_WRITE if payload["writable"] else 0)
+                flags = MAP_FIXED
+                if MemType(str(payload["mem_type"])) is MemType.NVM:
+                    flags |= MAP_NVM
+                space.map(
+                    int(payload["start"]),
+                    int(payload["end"]) - int(payload["start"]),
+                    prot,
+                    flags,
+                    name=str(payload.get("name", "anon")),
+                )
+            elif record.op == "munmap":
+                space.unmap(int(payload["start"]), int(payload["length"]))
+            elif record.op == "mprotect":
+                space.protect(
+                    int(payload["start"]),
+                    int(payload["length"]),
+                    int(payload["prot"]),
+                )
+            # proc_create/proc_exit carry no layout change.
+        working.vmas = space.snapshot()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def saved_states(self) -> List[SavedState]:
+        return [
+            obj
+            for _key, obj in self.kernel.nvm_store.keys_with_prefix("saved_state:")
+            if isinstance(obj, SavedState)
+        ]

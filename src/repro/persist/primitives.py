@@ -1,0 +1,130 @@
+"""NVM consistency primitives (after Arun et al. [2], Wan et al. [41]).
+
+The paper wraps page-table updates "inside [an] NVM consistency
+mechanism [2]" without fixing which one; reference [41] is an empirical
+study of redo vs undo logging for persistent memory.  This module
+provides the three classic primitives as pluggable update wrappers so
+the persistent page-table scheme (and any other NVM-resident
+structure) can be studied under each:
+
+*undo logging*
+    Read the old value, persist it to the log (flush + fence), then
+    update in place.  Commit is cheap (drop the log), but every update
+    pays a read + an ordered log write *before* the store.
+
+*redo logging*
+    Append the new value to the log (flush + fence), update in place
+    lazily; the in-place write needs no ordering against the log.
+    Cheapest per update; recovery replays the log.
+
+*no logging (Kiln-style [50])*
+    Rely on a non-volatile last-level structure: just write and
+    clwb+fence the line.  Cheapest overall, models hardware-supported
+    persistence.
+
+Each primitive charges its real machine costs; counts land under
+``consistency.<name>.*`` stats.
+"""
+
+from __future__ import annotations
+
+from repro.arch.machine import Machine
+from repro.mem.hybrid import MemType
+
+
+class ConsistencyPrimitive:
+    """Wraps one 8-byte in-place update of an NVM-resident structure."""
+
+    name = "abstract"
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+
+    def update(self, paddr: int) -> None:
+        """Perform one consistency-wrapped update of the line at
+        ``paddr``."""
+        raise NotImplementedError
+
+    def commit(self) -> None:
+        """End the current failure-atomic section (drop/seal the log)."""
+
+    def _count(self) -> None:
+        self.machine.stats.add(f"consistency.{self.name}.updates")
+
+
+class UndoLogPrimitive(ConsistencyPrimitive):
+    """Old value to the log, ordered before the in-place store."""
+
+    name = "undo"
+
+    def update(self, paddr: int) -> None:
+        machine = self.machine
+        # Read the old value (through the caches).
+        machine.phys_line_access(paddr, is_write=False)
+        # Persist the undo record before the store may reach NVM.
+        machine.bulk_lines(1, MemType.NVM, is_write=True)
+        machine.persist_barrier()
+        # In-place update, flushed and fenced.
+        machine.phys_line_access(paddr, is_write=True)
+        machine.clwb(paddr)
+        machine.persist_barrier()
+        self._count()
+
+    def commit(self) -> None:
+        # Invalidate the log: one ordered NVM write.
+        self.machine.bulk_lines(1, MemType.NVM, is_write=True)
+        self.machine.persist_barrier()
+        self.machine.stats.add("consistency.undo.commits")
+
+
+class RedoLogPrimitive(ConsistencyPrimitive):
+    """New value to the log; in-place write is unordered."""
+
+    name = "redo"
+
+    def update(self, paddr: int) -> None:
+        machine = self.machine
+        # Append the redo record (streamed, fenced).
+        machine.bulk_lines(1, MemType.NVM, is_write=True)
+        machine.persist_barrier()
+        # In-place update can linger in the caches.
+        machine.phys_line_access(paddr, is_write=True)
+        self._count()
+
+    def commit(self) -> None:
+        # Flush in-place data, then truncate the log.
+        machine = self.machine
+        machine.bulk_lines(1, MemType.NVM, is_write=True)
+        machine.persist_barrier()
+        machine.stats.add("consistency.redo.commits")
+
+
+class NoLogPrimitive(ConsistencyPrimitive):
+    """Kiln-style: write, clwb, fence — no logging at all."""
+
+    name = "nolog"
+
+    def update(self, paddr: int) -> None:
+        machine = self.machine
+        machine.phys_line_access(paddr, is_write=True)
+        machine.clwb(paddr)
+        machine.persist_barrier()
+        self._count()
+
+
+_PRIMITIVES = {
+    UndoLogPrimitive.name: UndoLogPrimitive,
+    RedoLogPrimitive.name: RedoLogPrimitive,
+    NoLogPrimitive.name: NoLogPrimitive,
+}
+
+
+def make_primitive(name: str, machine: Machine) -> ConsistencyPrimitive:
+    """Factory: ``"undo"``, ``"redo"`` or ``"nolog"``."""
+    try:
+        return _PRIMITIVES[name](machine)
+    except KeyError:
+        raise ValueError(
+            f"unknown consistency primitive {name!r}; "
+            f"choose from {sorted(_PRIMITIVES)}"
+        ) from None

@@ -1,0 +1,67 @@
+"""NVM-resident redo log of OS-metadata modifications.
+
+"We use redo log (stored in NVM) to capture all modifications to the
+OS-level process meta-data" (Section II-A).  Records are appended as
+metadata changes happen and *applied* to the working context copy at
+checkpoint time; records appended after the last applied checkpoint are
+discarded by recovery (they were never made consistent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class RedoRecord:
+    """One logged metadata modification."""
+
+    seq: int
+    op: str  # "mmap" | "munmap" | "mprotect" | "proc_create" | ...
+    payload: Dict[str, object]
+
+
+@dataclass
+class RedoLog:
+    """Append-only log with checkpoint truncation.
+
+    The log object itself is NVM-resident (it lives inside a
+    :class:`~repro.persist.savedstate.SavedState`); callers charge the
+    NVM write cost of each append on the machine.
+    """
+
+    records: List[RedoRecord] = field(default_factory=list)
+    next_seq: int = 0
+    #: Sequence number up to which records have been applied to the
+    #: working copy and made consistent.
+    applied_upto: int = 0
+
+    def append(self, op: str, payload: Dict[str, object]) -> RedoRecord:
+        record = RedoRecord(seq=self.next_seq, op=op, payload=dict(payload))
+        self.next_seq += 1
+        self.records.append(record)
+        return record
+
+    def pending(self) -> List[RedoRecord]:
+        """Records not yet applied to the working copy."""
+        return [r for r in self.records if r.seq >= self.applied_upto]
+
+    def mark_applied(self, upto_seq: int) -> None:
+        """Checkpoint commit: records below ``upto_seq`` are consistent."""
+        if upto_seq < self.applied_upto:
+            raise ValueError(
+                f"apply watermark moved backwards: {upto_seq} < {self.applied_upto}"
+            )
+        self.applied_upto = upto_seq
+        self.records = [r for r in self.records if r.seq >= upto_seq]
+
+    def discard_unapplied(self) -> int:
+        """Recovery: drop the uncommitted tail; returns records dropped."""
+        pending = len(self.records)
+        self.records = []
+        self.next_seq = self.applied_upto
+        return pending
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,78 @@
+"""Per-process saved state in NVM.
+
+"We maintain per-process saved state in NVM, containing two copies of
+the execution context — one as a consistent copy and another as a
+working copy" (Section II-A).  The saved state also carries the redo
+log and, for the rebuild scheme, the virtual-to-NVM-physical mapping
+list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.persist.redolog import RedoLog
+
+VmaRow = Tuple[int, int, bool, str, str]
+
+
+@dataclass
+class ContextCopy:
+    """One copy of an execution context."""
+
+    valid: bool = False
+    registers: Dict[str, int] = field(default_factory=dict)
+    vmas: List[VmaRow] = field(default_factory=list)
+
+
+@dataclass
+class SavedState:
+    """Everything NVM holds for one persistent process."""
+
+    pid: int
+    name: str
+    slots: Tuple[ContextCopy, ContextCopy] = field(
+        default_factory=lambda: (ContextCopy(), ContextCopy())
+    )
+    #: Index of the consistent copy in ``slots``; None until the first
+    #: checkpoint completes.
+    consistent_idx: Optional[int] = None
+    redo: RedoLog = field(default_factory=RedoLog)
+    #: NVM-store key of the persistent page table root (persistent
+    #: scheme only).
+    pt_root_key: Optional[str] = None
+    #: Virtual page -> NVM physical frame mapping list, refreshed at
+    #: each checkpoint by the rebuild scheme ("As part of the saved
+    #: state, we also maintain a list of virtual page to NVM physical
+    #: page frame mappings" — a single list alongside the two context
+    #: copies).
+    v2p: Dict[int, int] = field(default_factory=dict)
+    checkpoints_taken: int = 0
+
+    @property
+    def consistent(self) -> Optional[ContextCopy]:
+        if self.consistent_idx is None:
+            return None
+        return self.slots[self.consistent_idx]
+
+    @property
+    def working(self) -> ContextCopy:
+        """The slot a checkpoint may scribble on."""
+        if self.consistent_idx is None:
+            return self.slots[0]
+        return self.slots[1 - self.consistent_idx]
+
+    def commit_working(self) -> None:
+        """Atomically flip the working copy to consistent."""
+        if self.consistent_idx is None:
+            self.consistent_idx = 0
+        else:
+            self.consistent_idx = 1 - self.consistent_idx
+        self.slots[self.consistent_idx].valid = True
+        self.checkpoints_taken += 1
+
+
+def store_key(pid: int) -> str:
+    """NVM object-store key of a process's saved state."""
+    return f"saved_state:{pid:08d}"

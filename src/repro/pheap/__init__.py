@@ -1,0 +1,14 @@
+"""User-space persistent heap (after nvm_malloc [38] and HeapO [15]).
+
+The paper's related work lists "specialized memory allocation routines"
+and persistent object stores as the application-level face of NVM data
+persistence.  :class:`PersistentHeap` is that layer built on Kindle's
+``mmap(MAP_NVM)``: a byte-level heap whose *entire* metadata (magic,
+root pointer, block headers) lives as real bytes inside the simulated
+NVM region — so after a crash and reboot the heap is reattached by
+reading those bytes back, with no volatile bookkeeping to reconstruct.
+"""
+
+from repro.pheap.allocator import HeapCorruption, PersistentHeap
+
+__all__ = ["PersistentHeap", "HeapCorruption"]

@@ -1,0 +1,309 @@
+"""A crash-recoverable first-fit heap over one NVM mapping.
+
+On-media layout (all integers little-endian u64):
+
+```
+offset 0   : magic (HEAP_MAGIC)
+offset 8   : root offset (0 = unset) — the persistent-object-store
+             entry point, as in HeapO [15]
+offset 16  : first block header
+block      : [header u64][payload ...]
+             header = payload_size << 1 | used_bit
+```
+
+Blocks tile the region exactly; traversal walks header-to-header.
+Every metadata store is followed by clwb + fence (the user-space
+persist path), so a completed operation is durable; operations are
+made failure-atomic by ordering: a block's header is persisted
+*before* any split remainder or link depends on it, and ``free`` is a
+single persisted header write.
+
+All reads and writes go through :meth:`Machine.load`/``store``:
+charged like any application access, value-faithful, and therefore
+honestly crash-testable — recovery is literally re-reading the bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.common.errors import KindleError
+from repro.common.units import align_up
+from repro.gemos.kernel import Kernel
+from repro.gemos.process import Process
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+
+HEAP_MAGIC = 0x4B494E444C450001  # "KINDLE" v1
+_WORD = 8
+_HEADER_BYTES = 8
+_DATA_START = 16
+#: Minimum payload so freed blocks can always host a header on split.
+_MIN_PAYLOAD = 16
+
+
+class HeapCorruption(KindleError):
+    """The on-media heap structure failed validation."""
+
+
+class PersistentHeap:
+    """One persistent heap inside an ``mmap(MAP_NVM)`` region."""
+
+    def __init__(self, kernel: Kernel, process: Process, base: int, size: int):
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.process = process
+        self.base = base
+        self.size = size
+
+    # ------------------------------------------------------------------
+    # construction / reattachment
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        kernel: Kernel,
+        process: Process,
+        size: int = 1 << 20,
+        name: str = "pheap",
+    ) -> "PersistentHeap":
+        """mmap a fresh NVM region and format it as an empty heap."""
+        if size < _DATA_START + _HEADER_BYTES + _MIN_PAYLOAD:
+            raise KindleError(f"heap size {size} too small")
+        base = kernel.sys_mmap(
+            process, None, size, PROT_READ | PROT_WRITE, MAP_NVM, name=name
+        )
+        heap = cls(kernel, process, base, align_up(size, 4096))
+        heap._write_u64(0, HEAP_MAGIC)
+        heap._write_u64(8, 0)  # no root yet
+        whole = heap.size - _DATA_START - _HEADER_BYTES
+        heap._write_header(_DATA_START, whole, used=False)
+        heap._persist(0, _DATA_START + _HEADER_BYTES)
+        return heap
+
+    @classmethod
+    def attach(
+        cls, kernel: Kernel, process: Process, base: int
+    ) -> "PersistentHeap":
+        """Reattach to an existing heap (e.g. after crash recovery)."""
+        vma = process.address_space.find(base)
+        if vma is None or vma.start != base:
+            raise HeapCorruption(f"no mapping at {base:#x}")
+        heap = cls(kernel, process, base, vma.length)
+        if heap._read_u64(0) != HEAP_MAGIC:
+            raise HeapCorruption("bad heap magic")
+        heap.check()
+        return heap
+
+    # ------------------------------------------------------------------
+    # raw media access
+    # ------------------------------------------------------------------
+
+    def _read_u64(self, offset: int) -> int:
+        data = self.machine.load(self.base + offset, _WORD)
+        return struct.unpack("<Q", data)[0]
+
+    def _write_u64(self, offset: int, value: int) -> None:
+        self.machine.store(self.base + offset, struct.pack("<Q", value))
+
+    def _persist(self, offset: int, size: int) -> None:
+        self.machine.clwb_virtual(self.base + offset, size)
+        self.machine.persist_barrier()
+
+    def _write_header(self, offset: int, payload: int, used: bool) -> None:
+        self._write_u64(offset, (payload << 1) | int(used))
+
+    def _read_header(self, offset: int) -> Tuple[int, bool]:
+        raw = self._read_u64(offset)
+        return raw >> 1, bool(raw & 1)
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def _blocks(self) -> Iterator[Tuple[int, int, bool]]:
+        """Yield ``(header_offset, payload_size, used)`` for every block."""
+        offset = _DATA_START
+        while offset + _HEADER_BYTES <= self.size:
+            payload, used = self._read_header(offset)
+            if payload == 0 or offset + _HEADER_BYTES + payload > self.size:
+                raise HeapCorruption(f"bad block at offset {offset:#x}")
+            yield offset, payload, used
+            offset += _HEADER_BYTES + payload
+
+    def alloc(self, nbytes: int) -> int:
+        """First-fit allocate; returns the payload's virtual address."""
+        if nbytes <= 0:
+            raise KindleError("allocation size must be positive")
+        need = align_up(max(nbytes, _MIN_PAYLOAD), _WORD)
+        for offset, payload, used in self._blocks():
+            if used or payload < need:
+                continue
+            remainder = payload - need
+            if remainder >= _HEADER_BYTES + _MIN_PAYLOAD:
+                # Split: persist the tail's header first, then shrink
+                # this block (ordering keeps traversal valid at every
+                # instant).
+                tail = offset + _HEADER_BYTES + need
+                self._write_header(
+                    tail, remainder - _HEADER_BYTES, used=False
+                )
+                self._persist(tail, _HEADER_BYTES)
+                self._write_header(offset, need, used=True)
+            else:
+                self._write_header(offset, payload, used=True)
+            self._persist(offset, _HEADER_BYTES)
+            self.machine.stats.add("pheap.allocs")
+            return self.base + offset + _HEADER_BYTES
+        raise KindleError(f"persistent heap full ({nbytes} bytes requested)")
+
+    def free(self, vaddr: int) -> None:
+        """Free a payload address, forward-coalescing with a free
+        successor.
+
+        Each step is one persisted header write and the block chain is
+        valid at every instant: after the first write the block is
+        free; after the optional merge the two free neighbours are one.
+        (Backward coalescing would need per-block back-links on media;
+        first-fit plus forward merges keeps fragmentation bounded for
+        the allocation mixes persistent heaps see.)
+        """
+        offset = vaddr - self.base - _HEADER_BYTES
+        payload, used = self._find_block(offset)
+        if not used:
+            raise KindleError(f"double free at {vaddr:#x}")
+        self._write_header(offset, payload, used=False)
+        self._persist(offset, _HEADER_BYTES)
+        self._coalesce_forward(offset)
+        self.machine.stats.add("pheap.frees")
+
+    def _coalesce_forward(self, offset: int) -> None:
+        payload, used = self._read_header(offset)
+        if used:
+            return
+        next_offset = offset + _HEADER_BYTES + payload
+        if next_offset + _HEADER_BYTES > self.size:
+            return
+        next_payload, next_used = self._read_header(next_offset)
+        if next_used:
+            return
+        merged = payload + _HEADER_BYTES + next_payload
+        self._write_header(offset, merged, used=False)
+        self._persist(offset, _HEADER_BYTES)
+        self.machine.stats.add("pheap.coalesces")
+
+    def realloc(self, vaddr: int, nbytes: int) -> int:
+        """Resize an allocation; returns the (possibly moved) address.
+
+        Grows in place when the successor block is free and large
+        enough; otherwise allocates fresh, copies the old payload and
+        frees the original.
+        """
+        if nbytes <= 0:
+            raise KindleError("realloc size must be positive")
+        offset = vaddr - self.base - _HEADER_BYTES
+        payload, used = self._find_block(offset)
+        if not used:
+            raise KindleError(f"realloc of free block at {vaddr:#x}")
+        need = align_up(max(nbytes, _MIN_PAYLOAD), _WORD)
+        if need <= payload:
+            return vaddr  # shrink-in-place: keep the block as is
+        next_offset = offset + _HEADER_BYTES + payload
+        if next_offset + _HEADER_BYTES <= self.size:
+            next_payload, next_used = self._read_header(next_offset)
+            total = payload + _HEADER_BYTES + next_payload
+            if not next_used and total >= need:
+                remainder = total - need
+                if remainder >= _HEADER_BYTES + _MIN_PAYLOAD:
+                    tail = offset + _HEADER_BYTES + need
+                    self._write_header(
+                        tail, remainder - _HEADER_BYTES, used=False
+                    )
+                    self._persist(tail, _HEADER_BYTES)
+                    self._write_header(offset, need, used=True)
+                else:
+                    self._write_header(offset, total, used=True)
+                self._persist(offset, _HEADER_BYTES)
+                self.machine.stats.add("pheap.reallocs_inplace")
+                return vaddr
+        # Move: classic alloc + copy + free.
+        new_vaddr = self.alloc(nbytes)
+        self.write(new_vaddr, self.read(vaddr, payload))
+        self.free(vaddr)
+        self.machine.stats.add("pheap.reallocs_moved")
+        return new_vaddr
+
+    def _find_block(self, header_offset: int) -> Tuple[int, bool]:
+        for offset, payload, used in self._blocks():
+            if offset == header_offset:
+                return payload, used
+        raise KindleError(f"no block with header at offset {header_offset:#x}")
+
+    # ------------------------------------------------------------------
+    # persistent object-store root (HeapO-style)
+    # ------------------------------------------------------------------
+
+    def set_root(self, vaddr: int) -> None:
+        """Persistently record the application's entry-point object."""
+        if vaddr and not (self.base <= vaddr < self.base + self.size):
+            raise KindleError(f"root {vaddr:#x} outside the heap")
+        self._write_u64(8, vaddr - self.base if vaddr else 0)
+        self._persist(8, _WORD)
+
+    def get_root(self) -> Optional[int]:
+        offset = self._read_u64(8)
+        return self.base + offset if offset else None
+
+    # ------------------------------------------------------------------
+    # data convenience
+    # ------------------------------------------------------------------
+
+    def write(self, vaddr: int, data: bytes, persist: bool = True) -> None:
+        self.machine.store(vaddr, data)
+        if persist:
+            self.machine.clwb_virtual(vaddr, len(data))
+            self.machine.persist_barrier()
+
+    def read(self, vaddr: int, size: int) -> bytes:
+        return self.machine.load(vaddr, size)
+
+    def _page_mappings(self) -> List[Tuple[int, int]]:
+        """Live (vpn, pfn) translations of the heap region.
+
+        Test/recovery plumbing: lets a caller replant the exact frame
+        mappings after a reboot that bypassed the persistence layer,
+        isolating the on-media format under test.
+        """
+        table = self.process.page_table
+        assert table is not None
+        base_vpn = self.base // 4096
+        end_vpn = (self.base + self.size) // 4096
+        mappings = []
+        for vpn in range(base_vpn, end_vpn):
+            pte = table.lookup(vpn)
+            if pte is not None:
+                mappings.append((vpn, pte.pfn))
+        return mappings
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+
+    def check(self) -> List[Tuple[int, int, bool]]:
+        """Full traversal; raises :class:`HeapCorruption` on damage."""
+        blocks = list(self._blocks())
+        end = blocks[-1][0] + _HEADER_BYTES + blocks[-1][1] if blocks else 0
+        if end != self.size:
+            raise HeapCorruption(
+                f"blocks tile {end} bytes of a {self.size}-byte heap"
+            )
+        return blocks
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(p for _o, p, used in self._blocks() if not used)
+
+    @property
+    def used_blocks(self) -> int:
+        return sum(1 for _o, _p, used in self._blocks() if used)

@@ -1,0 +1,130 @@
+"""High-level facade over the full Kindle stack.
+
+:class:`HybridSystem` bundles the simulated machine, the NVM object
+store, the kernel, the page-table scheme and the persistence manager,
+and manages the boot → run → crash → reboot(recover) lifecycle that the
+process-persistence evaluation exercises.
+
+>>> system = HybridSystem(scheme="persistent")
+>>> system.boot()
+[]
+>>> proc = system.kernel.create_process("app")
+>>> system.kernel.switch_to(proc)
+>>> addr = system.kernel.sys_mmap(proc, None, 4096, PROT_WRITE, MAP_NVM)
+>>> system.machine.store(addr, b"A")
+>>> system.checkpoint()
+>>> system.crash()
+>>> recovered = system.boot()
+>>> system.machine.load(recovered[0].address_space.find(addr).start, 1)
+b'A'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.arch.machine import Machine
+from repro.common.config import MachineConfig
+from repro.common.errors import KindleError
+from repro.common.units import ms_from_cycles
+from repro.gemos.kernel import Kernel, KernelConfig
+from repro.gemos.process import Process
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE  # re-export convenience
+from repro.mem.nvmstore import NvmObjectStore
+from repro.persist.checkpoint import PersistenceManager
+from repro.persist.recovery import recover
+from repro.persist.schemes import PageTableScheme, make_scheme
+
+__all__ = [
+    "HybridSystem",
+    "MAP_NVM",
+    "PROT_READ",
+    "PROT_WRITE",
+]
+
+
+class HybridSystem:
+    """One simulated hybrid-memory computer with process persistence."""
+
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        scheme: str = "rebuild",
+        checkpoint_interval_ms: float = 10.0,
+        kernel_config: Optional[KernelConfig] = None,
+        persistence: bool = True,
+    ) -> None:
+        self.machine = Machine(config)
+        self.nvm_store = NvmObjectStore()
+        self.scheme_name = scheme
+        self.checkpoint_interval_ms = checkpoint_interval_ms
+        self.kernel_config = kernel_config or KernelConfig()
+        self.persistence_enabled = persistence
+        self.kernel: Optional[Kernel] = None
+        self.manager: Optional[PersistenceManager] = None
+        self.scheme: Optional[PageTableScheme] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def boot(self) -> List[Process]:
+        """Boot (or reboot) the OS; returns processes recovered from NVM."""
+        if self.kernel is not None:
+            raise KindleError("system already booted; crash() or shutdown() first")
+        scheme = make_scheme(self.scheme_name)
+        self.scheme = scheme
+        self.kernel = Kernel(
+            self.machine, self.nvm_store, scheme, self.kernel_config
+        )
+        recovered: List[Process] = []
+        if self.persistence_enabled:
+            self.manager = PersistenceManager(
+                self.kernel, scheme, self.checkpoint_interval_ms
+            )
+            recovered = recover(self.kernel, scheme)
+        return recovered
+
+    def crash(self) -> None:
+        """Power failure: volatile state is lost; call :meth:`boot` next."""
+        if self.kernel is None:
+            raise KindleError("system is not booted")
+        self.kernel.crash()
+        self.kernel = None
+        self.manager = None
+        self.scheme = None
+
+    def shutdown(self) -> None:
+        """Orderly stop (used between experiment runs, not a crash)."""
+        if self.manager is not None:
+            self.manager.disarm()
+        self.kernel = None
+        self.manager = None
+        self.scheme = None
+
+    def checkpoint(self) -> None:
+        """Force an immediate checkpoint of all persistent processes."""
+        if self.manager is None:
+            raise KindleError("persistence is not enabled")
+        self.manager.checkpoint_all()
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+
+    def spawn(self, name: str = "init") -> Process:
+        """Create a process and make it current."""
+        if self.kernel is None:
+            raise KindleError("system is not booted")
+        process = self.kernel.create_process(name)
+        self.kernel.switch_to(process)
+        return process
+
+    @property
+    def stats(self):
+        return self.machine.stats
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Simulated wall-clock so far, in milliseconds."""
+        return ms_from_cycles(self.machine.clock)

@@ -1,0 +1,45 @@
+"""The preparation sub-system (Fig. 3, left half).
+
+Kindle cannot run standard application binaries on gemOS (it has almost
+no userspace libraries), so it *traces* the application's memory
+behaviour on a host — with Intel Pin for the accesses, /proc/pid/maps
+for the address-space layout, and SniP for thread stacks — and then
+generates (a) a disk image of ``(period, offset, op, size, area)``
+tuples and (b) a template gemOS program whose heap/stack allocations
+match the traced application and which replays the tuples.
+
+This package is that pipeline with the host tools substituted:
+
+* :class:`TracedProcess` — a tracing runtime workloads are written
+  against (the Pin substitute);
+* :class:`AddressLayout` — the /proc/pid/maps model;
+* :class:`StackTracker` — the SniP substitute for per-thread stacks;
+* :func:`generate_image` — the image generator (①→② in Fig. 3);
+* :class:`ReplayProgram` — the generated template program that runs on
+  the simulated gemOS.
+"""
+
+from repro.prep.codegen import PlacementPolicy, ReplayProgram, render_c_template
+from repro.prep.imagegen import AreaSpec, DiskImage, ReplayTuple, generate_image
+from repro.prep.maps import AddressLayout, Region
+from repro.prep.snip import StackTracker
+from repro.prep.trace import TraceRecord, load_trace, save_trace
+from repro.prep.tracer import TracedBuffer, TracedProcess
+
+__all__ = [
+    "TracedProcess",
+    "TracedBuffer",
+    "AddressLayout",
+    "Region",
+    "StackTracker",
+    "TraceRecord",
+    "save_trace",
+    "load_trace",
+    "AreaSpec",
+    "DiskImage",
+    "ReplayTuple",
+    "generate_image",
+    "ReplayProgram",
+    "PlacementPolicy",
+    "render_c_template",
+]

@@ -1,0 +1,37 @@
+"""CLI: ``python -m repro.prep <workload> [-o DIR] [--ops N]``.
+
+Runs the preparation driver for one of the Table II workloads and
+writes the disk image + template source into the output directory (the
+equivalent of Kindle's preparation bash scripts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.prep.driver import PreparationDriver
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.prep",
+        description="Generate Kindle disk images for the standard workloads",
+    )
+    parser.add_argument(
+        "workload", choices=["gapbs_pr", "g500_sssp", "ycsb_mem"]
+    )
+    parser.add_argument("-o", "--output", default="prepared")
+    parser.add_argument("--ops", type=int, default=60_000)
+    args = parser.parse_args(argv)
+
+    driver = PreparationDriver(args.output)
+    artifacts = driver.prepare_workload(args.workload, total_ops=args.ops)
+    print(f"prepared {artifacts.name}: {artifacts.total_ops} ops")
+    print(f"  image : {artifacts.image_path}")
+    print(f"  source: {artifacts.source_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,189 @@
+"""The code generator: template gemOS programs that replay an image.
+
+"The code generator prepares a template gemOS code containing heap and
+stack allocations matching the number and size of allocations in the
+application.  The generated code also contains routines to access
+(period, offset, operation, size, area) tuples from the disk image for
+mimicking the memory access in the application."
+
+:class:`ReplayProgram` is the runnable form of that template: it mmaps
+one VMA per image area (NVM or DRAM according to a placement policy)
+and replays the tuples through the simulated machine.  The replay
+position lives in the process's ``pc`` register, so programs checkpoint
+and resume exactly like the paper's persistent processes.
+:func:`render_c_template` additionally emits the C source Kindle's
+generator would produce, for inspection.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.common.errors import KindleError
+from repro.gemos.kernel import Kernel
+from repro.gemos.process import Process
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+from repro.mem.hybrid import MemType
+from repro.prep.imagegen import DiskImage
+from repro.prep.maps import STACK
+
+
+class PlacementPolicy(enum.Enum):
+    """Where the replayed application's areas are allocated."""
+
+    #: Everything in NVM (flat-space studies: SSP, HSCC, persistence).
+    ALL_NVM = "all_nvm"
+    #: Everything in DRAM (the no-NVM baseline).
+    ALL_DRAM = "all_dram"
+    #: Heaps in NVM, stacks in DRAM.
+    HEAP_NVM = "heap_nvm"
+
+    def mem_type_for(self, kind: str) -> MemType:
+        if self is PlacementPolicy.ALL_NVM:
+            return MemType.NVM
+        if self is PlacementPolicy.ALL_DRAM:
+            return MemType.DRAM
+        return MemType.DRAM if kind == STACK else MemType.NVM
+
+
+class ReplayProgram:
+    """A generated template program bound to one disk image."""
+
+    def __init__(
+        self,
+        image: DiskImage,
+        placement: PlacementPolicy = PlacementPolicy.ALL_NVM,
+        compute_cycles_per_period: int = 0,
+    ) -> None:
+        if compute_cycles_per_period < 0:
+            raise ValueError("compute cycles per period cannot be negative")
+        self.image = image
+        self.placement = placement
+        self.compute_cycles_per_period = compute_cycles_per_period
+
+    # ------------------------------------------------------------------
+    # installation
+    # ------------------------------------------------------------------
+
+    def install(self, kernel: Kernel, process: Process) -> Dict[str, int]:
+        """mmap one VMA per image area; returns area base addresses."""
+        bases: Dict[str, int] = {}
+        for area in self.image.areas:
+            flags = 0
+            if self.placement.mem_type_for(area.kind) is MemType.NVM:
+                flags |= MAP_NVM
+            bases[area.name] = kernel.sys_mmap(
+                process,
+                None,
+                area.size,
+                PROT_READ | PROT_WRITE,
+                flags,
+                name=area.name,
+            )
+        return bases
+
+    def area_bases(self, process: Process) -> Dict[str, int]:
+        """Resolve area base addresses from the live VMA layout.
+
+        Resolution by VMA *name* makes replay resumable across crash
+        and recovery: the restored layout carries the same names.
+        """
+        bases: Dict[str, int] = {}
+        wanted = {area.name for area in self.image.areas}
+        for vma in process.address_space:
+            if vma.name in wanted:
+                bases[vma.name] = vma.start
+        missing = wanted - set(bases)
+        if missing:
+            raise KindleError(
+                f"replay areas not mapped: {sorted(missing)}; call install()"
+            )
+        return bases
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        kernel: Kernel,
+        process: Process,
+        max_ops: Optional[int] = None,
+    ) -> int:
+        """Replay from the process's current ``pc``.
+
+        Returns the number of operations executed.  Stops at the image
+        end, after ``max_ops`` operations, or when the process is
+        preempted (a scheduler quantum switched the machine to another
+        address space mid-run) — in every case ``pc`` points at the
+        next operation so a later call (or a recovered process) resumes
+        where it left off.
+        """
+        machine = kernel.machine
+        if kernel.current is not process:
+            kernel.switch_to(process)
+        bases = self.area_bases(process)
+        tuples = self.image.tuples
+        start = process.registers.get("pc", 0)
+        if start >= len(tuples):
+            return 0
+        end = len(tuples)
+        if max_ops is not None:
+            end = min(end, start + max_ops)
+        compute = self.compute_cycles_per_period
+        prev_period = tuples[start].period
+        executed = 0
+        registers = process.registers
+        for index in range(start, end):
+            if kernel.current is not process:
+                break  # preempted: user execution pauses here
+            t = tuples[index]
+            if compute:
+                gap = t.period - prev_period
+                if gap > 1:
+                    machine.advance((gap - 1) * compute)
+                prev_period = t.period
+            machine.access(bases[t.area] + t.offset, t.size, t.is_write)
+            registers["pc"] = index + 1
+            executed += 1
+        return executed
+
+    @property
+    def finished_pc(self) -> int:
+        return len(self.image.tuples)
+
+    def is_finished(self, process: Process) -> bool:
+        return process.registers.get("pc", 0) >= self.finished_pc
+
+
+def render_c_template(image: DiskImage, placement: PlacementPolicy) -> str:
+    """Emit the C template gemOS code Kindle's generator would produce."""
+    lines = [
+        "/* generated by Kindle code generator - do not edit */",
+        '#include "gemos/ulib.h"',
+        "",
+        "int main(int argc, char **argv) {",
+        f"    struct image *img = open_image(\"{image.name}.img\");",
+    ]
+    for area in image.areas:
+        nvm = placement.mem_type_for(area.kind) is MemType.NVM
+        flags = "MAP_NVM" if nvm else "0"
+        lines.append(
+            f"    char *{area.name} = mmap(NULL, {area.size}UL, "
+            f"PROT_WRITE, {flags}); /* {area.kind} */"
+        )
+    lines += [
+        "    struct replay_tuple t;",
+        "    while (next_tuple(img, &t)) {",
+        "        char *base = area_base(&t);",
+        "        if (t.op == OP_WRITE)",
+        "            replay_store(base + t.offset, t.size);",
+        "        else",
+        "            replay_load(base + t.offset, t.size);",
+        "    }",
+    ]
+    for area in image.areas:
+        lines.append(f"    munmap({area.name}, {area.size}UL);")
+    lines += ["    return 0;", "}", ""]
+    return "\n".join(lines)

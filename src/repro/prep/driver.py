@@ -1,0 +1,123 @@
+"""The preparation driver (component ① of Fig. 3).
+
+"The preparation sub-system consists of a driver program to trace the
+instructions executed by the application of interest using Intel's
+dynamic binary instrumentation tool Pin.  The driver program (using
+fork and exec) coordinates an application's execution and memory
+access tracing with Pin while saving the virtual memory layout by
+reading the /proc/pid/maps pseudo file."
+
+:class:`PreparationDriver` is that coordinator over the substituted
+tools: it runs a workload under the tracing runtime, saves the trace
+and the maps snapshot, generates the disk image and the template gemOS
+source, and leaves all four artifacts in an output directory —
+exactly the artifact set Kindle's bash scripts produce.  ``python -m
+repro.prep <workload>`` exposes it from the command line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.common.errors import KindleError
+from repro.prep.codegen import PlacementPolicy, ReplayProgram, render_c_template
+from repro.prep.imagegen import DiskImage, generate_image, load_image, save_image
+from repro.prep.trace import save_trace
+from repro.prep.tracer import TracedProcess
+
+
+@dataclass(frozen=True)
+class PreparedArtifacts:
+    """Paths of everything the driver produced for one application."""
+
+    name: str
+    trace_path: Path
+    maps_path: Path
+    image_path: Path
+    source_path: Path
+    total_ops: int
+
+    def load_program(
+        self, placement: PlacementPolicy = PlacementPolicy.ALL_NVM
+    ) -> ReplayProgram:
+        """Reload the disk image into a runnable template program."""
+        return ReplayProgram(load_image(self.image_path), placement)
+
+
+class PreparationDriver:
+    """Coordinates tracing and artifact generation for one workload."""
+
+    def __init__(self, output_dir: Union[str, Path]) -> None:
+        self.output_dir = Path(output_dir)
+        self.output_dir.mkdir(parents=True, exist_ok=True)
+
+    def prepare_traced(
+        self,
+        traced: TracedProcess,
+        placement: PlacementPolicy = PlacementPolicy.ALL_NVM,
+    ) -> PreparedArtifacts:
+        """Turn a finished tracing run into the four on-disk artifacts."""
+        if not traced.trace:
+            raise KindleError(f"{traced.name}: empty trace, nothing to prepare")
+        name = traced.name
+        trace_path = self.output_dir / f"{name}.trace"
+        maps_path = self.output_dir / f"{name}.maps"
+        image_path = self.output_dir / f"{name}.img"
+        source_path = self.output_dir / f"{name}.c"
+
+        save_trace(traced.trace, trace_path)
+        maps_path.write_text(traced.layout.render() + "\n")
+        image = generate_image(name, traced.trace, traced.layout)
+        save_image(image, image_path)
+        source_path.write_text(render_c_template(image, placement))
+        return PreparedArtifacts(
+            name=name,
+            trace_path=trace_path,
+            maps_path=maps_path,
+            image_path=image_path,
+            source_path=source_path,
+            total_ops=image.total_ops,
+        )
+
+    def prepare_image(
+        self,
+        image: DiskImage,
+        placement: PlacementPolicy = PlacementPolicy.ALL_NVM,
+    ) -> PreparedArtifacts:
+        """Persist artifacts for an already-generated image (workload
+        generators emit images directly; the trace/maps pair is not
+        reconstructable, so only image + source are written)."""
+        image_path = self.output_dir / f"{image.name}.img"
+        source_path = self.output_dir / f"{image.name}.c"
+        save_image(image, image_path)
+        source_path.write_text(render_c_template(image, placement))
+        return PreparedArtifacts(
+            name=image.name,
+            trace_path=self.output_dir / f"{image.name}.trace",  # absent
+            maps_path=self.output_dir / f"{image.name}.maps",  # absent
+            image_path=image_path,
+            source_path=source_path,
+            total_ops=image.total_ops,
+        )
+
+    def prepare_workload(
+        self,
+        name: str,
+        total_ops: int = 60_000,
+        generator: Optional[Callable[..., DiskImage]] = None,
+    ) -> PreparedArtifacts:
+        """Prepare one of the named Table II workloads."""
+        from repro.workloads import WORKLOAD_GENERATORS
+
+        if generator is None:
+            try:
+                generator = WORKLOAD_GENERATORS[name]
+            except KeyError:
+                raise KindleError(
+                    f"unknown workload {name!r}; "
+                    f"choose from {sorted(WORKLOAD_GENERATORS)}"
+                ) from None
+        image = generator(total_ops=total_ops)
+        return self.prepare_image(image)

@@ -1,0 +1,150 @@
+"""The disk-image generator (component ② of Fig. 3).
+
+"It processes the trace file to generate a tuple containing (period,
+offset, operation, size, area) for each memory access ... The image
+generator labels each memory area in the virtual memory layout
+information captured using maps pseudo file and then associates memory
+accesses in trace to an area name by checking whether access lies
+within the address range of that area."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.common.errors import TraceFormatError
+from repro.prep.maps import AddressLayout
+from repro.prep.trace import READ, WRITE, TraceRecord
+
+
+@dataclass(frozen=True)
+class ReplayTuple:
+    """One (period, offset, operation, size, area) image entry."""
+
+    period: int
+    offset: int
+    op: str
+    size: int
+    area: str
+
+    @property
+    def is_write(self) -> bool:
+        return self.op == WRITE
+
+
+@dataclass(frozen=True)
+class AreaSpec:
+    """One heap/stack allocation the template program must recreate."""
+
+    name: str
+    size: int
+    kind: str
+
+
+@dataclass
+class DiskImage:
+    """The gem5 disk image contents: areas + replay tuples."""
+
+    name: str
+    areas: List[AreaSpec]
+    tuples: List[ReplayTuple]
+
+    @property
+    def total_ops(self) -> int:
+        return len(self.tuples)
+
+    @property
+    def write_fraction(self) -> float:
+        if not self.tuples:
+            return 0.0
+        return sum(1 for t in self.tuples if t.is_write) / len(self.tuples)
+
+    def mix(self) -> tuple:
+        """(read %, write %) rounded like Table II."""
+        writes = round(self.write_fraction * 100)
+        return 100 - writes, writes
+
+    def area(self, name: str) -> AreaSpec:
+        for spec in self.areas:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+
+def generate_image(
+    name: str, trace: Sequence[TraceRecord], layout: AddressLayout
+) -> DiskImage:
+    """Label every trace record with its area and rebase to offsets."""
+    areas = [AreaSpec(r.name, r.size, r.kind) for r in layout]
+    tuples: List[ReplayTuple] = []
+    for record in trace:
+        region = layout.region_for(record.addr)
+        if region is None:
+            raise TraceFormatError(
+                f"trace access at {record.addr:#x} outside every region"
+            )
+        if record.addr + record.size > region.end:
+            raise TraceFormatError(
+                f"trace access at {record.addr:#x} spills out of "
+                f"region {region.name!r}"
+            )
+        tuples.append(
+            ReplayTuple(
+                period=record.period,
+                offset=record.addr - region.start,
+                op=record.op,
+                size=record.size,
+                area=region.name,
+            )
+        )
+    return DiskImage(name=name, areas=areas, tuples=tuples)
+
+
+_HEADER = "# kindle-image v1"
+
+
+def save_image(image: DiskImage, path: Union[str, Path]) -> None:
+    """Serialize an image to text (the artifact gem5 would mount)."""
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(_HEADER + "\n")
+        fh.write(f"name {image.name}\n")
+        for area in image.areas:
+            fh.write(f"area {area.name} {area.size} {area.kind}\n")
+        for t in image.tuples:
+            fh.write(f"{t.period} {t.offset} {t.op} {t.size} {t.area}\n")
+
+
+def load_image(path: Union[str, Path]) -> DiskImage:
+    """Parse an image written by :func:`save_image`."""
+    areas: List[AreaSpec] = []
+    tuples: List[ReplayTuple] = []
+    name = "image"
+    with open(path, "r", encoding="ascii") as fh:
+        header = fh.readline().rstrip("\n")
+        if header != _HEADER:
+            raise TraceFormatError(f"unrecognized image header {header!r}")
+        for lineno, line in enumerate(fh, start=2):
+            parts = line.split()
+            if not parts:
+                continue
+            if parts[0] == "name":
+                name = parts[1]
+            elif parts[0] == "area":
+                if len(parts) != 4:
+                    raise TraceFormatError(f"line {lineno}: bad area row")
+                areas.append(AreaSpec(parts[1], int(parts[2]), parts[3]))
+            else:
+                if len(parts) != 5 or parts[2] not in (READ, WRITE):
+                    raise TraceFormatError(f"line {lineno}: bad tuple row")
+                tuples.append(
+                    ReplayTuple(
+                        period=int(parts[0]),
+                        offset=int(parts[1]),
+                        op=parts[2],
+                        size=int(parts[3]),
+                        area=parts[4],
+                    )
+                )
+    return DiskImage(name=name, areas=areas, tuples=tuples)

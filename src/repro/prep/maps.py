@@ -1,0 +1,110 @@
+"""Host address-space layout (the /proc/pid/maps substitute).
+
+Kindle's driver saves the traced application's virtual memory layout by
+reading ``/proc/pid/maps``; the image generator later labels every
+traced access with the *area* (which heap or stack region) it falls in.
+:class:`AddressLayout` is that layout: named, non-overlapping regions
+with render/parse in a maps-like text format.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.common.errors import TraceFormatError
+
+HEAP = "heap"
+STACK = "stack"
+OTHER = "other"
+
+_KINDS = (HEAP, STACK, OTHER)
+
+
+@dataclass(frozen=True)
+class Region:
+    """One mapped region of the traced host process."""
+
+    start: int
+    end: int
+    name: str
+    kind: str = HEAP
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty region {self.name!r}")
+        if self.kind not in _KINDS:
+            raise ValueError(f"bad region kind {self.kind!r}")
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+
+class AddressLayout:
+    """Sorted, non-overlapping named regions."""
+
+    def __init__(self) -> None:
+        self._regions: List[Region] = []
+
+    def add(self, region: Region) -> Region:
+        for existing in self._regions:
+            if existing.start < region.end and region.start < existing.end:
+                raise ValueError(
+                    f"region {region.name!r} overlaps {existing.name!r}"
+                )
+            if existing.name == region.name:
+                raise ValueError(f"duplicate region name {region.name!r}")
+        bisect.insort(self._regions, region, key=lambda r: r.start)
+        return region
+
+    def region_for(self, addr: int) -> Optional[Region]:
+        starts = [r.start for r in self._regions]
+        idx = bisect.bisect_right(starts, addr) - 1
+        if idx >= 0 and self._regions[idx].contains(addr):
+            return self._regions[idx]
+        return None
+
+    def by_name(self, name: str) -> Optional[Region]:
+        for region in self._regions:
+            if region.name == name:
+                return region
+        return None
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    # ------------------------------------------------------------------
+    # maps-file text format
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """A /proc/pid/maps-flavoured dump."""
+        lines = [
+            f"{r.start:012x}-{r.end:012x} rw-p {r.kind} [{r.name}]"
+            for r in self._regions
+        ]
+        return "\n".join(lines)
+
+    @classmethod
+    def parse(cls, text: str) -> "AddressLayout":
+        layout = cls()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                span, _perm, kind, bracket = line.split()
+                lo, hi = span.split("-")
+                name = bracket.strip("[]")
+                layout.add(Region(int(lo, 16), int(hi, 16), name, kind))
+            except ValueError as exc:
+                raise TraceFormatError(f"maps line {lineno}: {exc}") from exc
+        return layout

@@ -1,0 +1,79 @@
+"""Per-thread stack capture (the SniP substitute).
+
+"In case of multi-threaded applications, Kindle can use SniP [19]
+along with the maps file to capture address layout of application.
+SniP is a framework capable of capturing the stack area of threads."
+
+:class:`StackTracker` registers one stack region per thread and gives
+workloads a frame push/pop API whose locals traffic is traced like any
+other access — this is how the synthetic workloads model the register
+spills and locals Pin would see on a real binary.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.common.errors import TraceFormatError
+from repro.common.units import KiB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.prep.tracer import TracedBuffer, TracedProcess
+
+DEFAULT_STACK_BYTES = 64 * KiB
+#: Bytes a stack frame occupies per local slot.
+SLOT_BYTES = 8
+
+
+class _ThreadStack:
+    """One thread's stack region with a descending frame pointer."""
+
+    def __init__(self, buffer: "TracedBuffer") -> None:
+        self.buffer = buffer
+        self.top = buffer.size  # stacks grow down
+        self.frames: List[int] = []
+
+    def push_frame(self, slots: int) -> None:
+        need = slots * SLOT_BYTES
+        if self.top - need < 0:
+            raise TraceFormatError("traced stack overflow")
+        self.top -= need
+        self.frames.append(need)
+
+    def pop_frame(self) -> None:
+        if not self.frames:
+            raise TraceFormatError("pop on empty traced stack")
+        self.top += self.frames.pop()
+
+    def local_store(self, slot: int) -> None:
+        self.buffer.store(self.top + slot * SLOT_BYTES)
+
+    def local_load(self, slot: int) -> None:
+        self.buffer.load(self.top + slot * SLOT_BYTES)
+
+
+class StackTracker:
+    """SniP analog: tracks stack areas for every thread."""
+
+    def __init__(self, process: "TracedProcess") -> None:
+        self._process = process
+        self._threads: Dict[int, _ThreadStack] = {}
+
+    def register_thread(
+        self, tid: int = 0, stack_bytes: int = DEFAULT_STACK_BYTES
+    ) -> _ThreadStack:
+        if tid in self._threads:
+            raise TraceFormatError(f"thread {tid} already registered")
+        buffer = self._process.alloc_stack(f"stack_t{tid}", stack_bytes)
+        stack = _ThreadStack(buffer)
+        self._threads[tid] = stack
+        return stack
+
+    def thread(self, tid: int = 0) -> _ThreadStack:
+        try:
+            return self._threads[tid]
+        except KeyError:
+            raise TraceFormatError(f"thread {tid} not registered") from None
+
+    def __len__(self) -> int:
+        return len(self._threads)

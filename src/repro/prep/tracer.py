@@ -1,0 +1,138 @@
+"""The tracing runtime (the Intel Pin substitute).
+
+Kindle's driver forks the application under Pin and records every
+memory access.  Here, workloads are written against
+:class:`TracedProcess` instead: they allocate named heap buffers, and
+every load/store through a :class:`TracedBuffer` appends a
+:class:`~repro.prep.trace.TraceRecord` — same artifact, no binary
+instrumentation.  The layout of allocated regions plays the role of the
+``/proc/pid/maps`` snapshot.
+
+The logical *period* advances by one per recorded access plus any
+explicit :meth:`TracedProcess.compute` think time, mirroring Pin's
+access timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import TraceFormatError
+from repro.common.units import MiB, align_up
+from repro.prep.maps import HEAP, STACK, AddressLayout, Region
+from repro.prep.snip import StackTracker
+from repro.prep.trace import READ, WRITE, TraceRecord
+
+#: Host mmap region base for traced heap allocations (arbitrary but
+#: stable so traces are reproducible).
+_HOST_HEAP_BASE = 0x7F00_0000_0000
+#: Gap between host regions so labeling is unambiguous.
+_REGION_GAP = 1 * MiB
+
+
+class TracedBuffer:
+    """One traced heap allocation; all accesses are recorded."""
+
+    def __init__(self, process: "TracedProcess", region: Region) -> None:
+        self._process = process
+        self.region = region
+        self.base = region.start
+        self.size = region.size
+
+    def _check(self, offset: int, size: int) -> None:
+        if offset < 0 or offset + size > self.size:
+            raise TraceFormatError(
+                f"{self.region.name}: access [{offset}, {offset + size}) "
+                f"outside {self.size}-byte buffer"
+            )
+
+    def load(self, offset: int, size: int = 8) -> None:
+        """Record a read of ``size`` bytes at ``offset``."""
+        self._check(offset, size)
+        self._process.record(self.base + offset, READ, size)
+
+    def store(self, offset: int, size: int = 8) -> None:
+        """Record a write of ``size`` bytes at ``offset``."""
+        self._check(offset, size)
+        self._process.record(self.base + offset, WRITE, size)
+
+    def update(self, offset: int, size: int = 8) -> None:
+        """Read-modify-write: a load followed by a store."""
+        self.load(offset, size)
+        self.store(offset, size)
+
+
+class TracedProcess:
+    """A host process under tracing."""
+
+    def __init__(self, name: str = "app") -> None:
+        self.name = name
+        self.layout = AddressLayout()
+        self.trace: List[TraceRecord] = []
+        self.stacks = StackTracker(self)
+        self._period = 0
+        self._next_base = _HOST_HEAP_BASE
+
+    # ------------------------------------------------------------------
+    # allocation (drives the maps snapshot)
+    # ------------------------------------------------------------------
+
+    def alloc_heap(self, name: str, nbytes: int) -> TracedBuffer:
+        """Allocate a named heap buffer (host mmap)."""
+        region = self._place(name, nbytes, HEAP)
+        return TracedBuffer(self, region)
+
+    def _place(self, name: str, nbytes: int, kind: str) -> Region:
+        if nbytes <= 0:
+            raise TraceFormatError(f"region {name!r}: size must be positive")
+        size = align_up(nbytes, 4096)
+        region = Region(self._next_base, self._next_base + size, name, kind)
+        self.layout.add(region)
+        self._next_base = align_up(region.end + _REGION_GAP, _REGION_GAP)
+        return region
+
+    def alloc_stack(self, name: str, nbytes: int) -> TracedBuffer:
+        """Allocate a stack region (used by :class:`StackTracker`)."""
+        region = self._place(name, nbytes, STACK)
+        return TracedBuffer(self, region)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record(self, addr: int, op: str, size: int) -> None:
+        self.trace.append(TraceRecord(self._period, addr, op, size))
+        self._period += 1
+
+    def compute(self, periods: int) -> None:
+        """Advance logical time without memory traffic (think time)."""
+        if periods < 0:
+            raise ValueError("cannot compute for negative time")
+        self._period += periods
+
+    # ------------------------------------------------------------------
+    # summary
+    # ------------------------------------------------------------------
+
+    @property
+    def total_ops(self) -> int:
+        return len(self.trace)
+
+    @property
+    def read_fraction(self) -> float:
+        if not self.trace:
+            return 0.0
+        reads = sum(1 for r in self.trace if r.op == READ)
+        return reads / len(self.trace)
+
+    def mix(self) -> tuple:
+        """(read %, write %) rounded like Table II."""
+        reads = round(self.read_fraction * 100)
+        return reads, 100 - reads
+
+
+def traced_write_mix(trace: List[TraceRecord]) -> float:
+    """Fraction of write records in a trace."""
+    if not trace:
+        return 0.0
+    return sum(1 for r in trace if r.op == WRITE) / len(trace)

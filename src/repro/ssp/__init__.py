@@ -1,0 +1,19 @@
+"""Shadow Sub-Paging prototype (Section III-B, after Ni et al. [31]).
+
+SSP keeps application memory in NVM consistent by allocating a shadow
+physical page per virtual page and routing modified cache lines to the
+alternate page, tracked by per-line ``updated``/``current`` bitmaps in
+extended TLB entries.  Metadata lives in an NVM *SSP cache*; MSRs tell
+the hardware which virtual range is tracked and where the metadata
+region sits.  At each consistency interval end the kernel flushes TLB
+bitmaps to the metadata region and clwb's all data/metadata updates; an
+asynchronous OS thread consolidates page pairs for evicted TLB entries
+— the aspect the original SSP paper left unevaluated and Kindle
+studies.
+"""
+
+from repro.ssp.sspcache import SspCache, SspCacheEntry
+from repro.ssp.manager import SspManager
+from repro.ssp.extension import SspExtension
+
+__all__ = ["SspCache", "SspCacheEntry", "SspManager", "SspExtension"]

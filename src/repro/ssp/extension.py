@@ -1,0 +1,107 @@
+"""SSP hardware: the gem5-side patches as a machine extension.
+
+"We extend the page table walker hardware in gem5 to fill fields in the
+TLB during an address translation on TLB miss ... we use Model Specific
+Registers (MSRs) to communicate the virtual address range corresponding
+to NVM allocation to hardware.  We also use MSR to pass the base
+address of SSP cache ...  The address translation hardware checks the
+address range and sets the corresponding bit in the updated bitmap in
+TLB if a write happens to the NVM address range.  The translation
+hardware generates a memory request to modify metadata in SSP cache
+when a consistency interval ends, or a TLB entry eviction happens."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.arch.hooks import HardwareExtension
+from repro.arch.machine import Machine
+from repro.arch.msr import MSR_NVM_RANGE_HI, MSR_NVM_RANGE_LO
+from repro.arch.tlb import TlbEntry
+from repro.common.units import CACHE_LINE, PAGE_SIZE
+from repro.ssp.sspcache import SspCache
+
+
+class SspExtension(HardwareExtension):
+    """TLB/walker/cache-controller patches for shadow sub-paging."""
+
+    def __init__(self, cache: SspCache) -> None:
+        self.cache = cache
+        self.enabled = False
+        #: Physical line numbers dirtied (routed) in the current
+        #: consistency interval; the kernel clwb's these at interval end.
+        self.dirty_lines: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _tracked(self, machine: Machine, vaddr: int) -> bool:
+        lo = machine.msr.read(MSR_NVM_RANGE_LO)
+        hi = machine.msr.read(MSR_NVM_RANGE_HI)
+        return self.enabled and lo <= vaddr < hi
+
+    def _touch_metadata(self, machine: Machine, entry_vpn: int, is_write: bool) -> None:
+        meta = self.cache.get(entry_vpn)
+        if meta is not None:
+            machine.phys_line_access(self.cache.entry_paddr(meta), is_write)
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+
+    def on_tlb_fill(self, machine: Machine, entry: TlbEntry) -> None:
+        """Walker patch: load shadow fields into the new TLB entry."""
+        if not self.enabled:
+            return
+        meta = self.cache.get(entry.vpn)
+        if meta is None:
+            return
+        machine.phys_line_access(self.cache.entry_paddr(meta), is_write=False)
+        entry.shadow_pfn = meta.shadow_pfn
+        entry.current_bitmap = meta.current_bitmap
+        entry.updated_bitmap = meta.updated_bitmap
+        meta.tlb_evicted = False
+        machine.stats.add("ssp.tlb_fills")
+
+    def on_tlb_evict(self, machine: Machine, entry: TlbEntry) -> None:
+        """TLB patch: push bitmaps to the SSP cache on eviction."""
+        if not self.enabled or entry.shadow_pfn is None:
+            return
+        meta = self.cache.get(entry.vpn)
+        if meta is None:
+            return
+        machine.phys_line_access(self.cache.entry_paddr(meta), is_write=True)
+        meta.updated_bitmap |= entry.updated_bitmap
+        meta.current_bitmap = entry.current_bitmap
+        meta.tlb_evicted = True
+        machine.stats.add("ssp.tlb_evict_writebacks")
+
+    def route_store(
+        self,
+        machine: Machine,
+        entry: TlbEntry,
+        vaddr: int,
+        paddr_line: int,
+    ) -> Optional[int]:
+        """Cache-controller patch: route the store to the alternate page
+        at line granularity and mark the updated bitmap."""
+        if entry.shadow_pfn is None or not self._tracked(machine, vaddr):
+            return None
+        line_index = (vaddr % PAGE_SIZE) // CACHE_LINE
+        entry.updated_bitmap |= 1 << line_index
+        meta = self.cache.get(entry.vpn)
+        if meta is not None:
+            meta.updated_bitmap |= 1 << line_index
+            target_pfn = meta.working_pfn_for_line(line_index)
+        else:
+            target_pfn = entry.shadow_pfn
+        routed = target_pfn * (PAGE_SIZE // CACHE_LINE) + line_index
+        self.dirty_lines.add(routed)
+        machine.stats.add("ssp.routed_stores")
+        return routed
+
+    def on_power_cycle(self, machine: Machine) -> None:
+        self.enabled = False
+        self.dirty_lines.clear()

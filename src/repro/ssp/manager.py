@@ -1,0 +1,221 @@
+"""SSP OS side: FASE demarcation, consistency intervals, consolidation.
+
+"We use a programming model in which the user demarcates the failure
+atomic section (FASE) in code using checkpoint_start and checkpoint_end
+calls ... at every [consistency] interval end, the gemOS kernel
+instructs the address translation hardware to initiate a memory request
+to send all modified bitmaps in TLBs to the metadata region.  The gemOS
+kernel then calls clwb write back instructions to flush all data and
+metadata updates in hardware caches to NVM.  Physical page
+consolidation happens asynchronously; a thread periodically calls a
+page consolidation routine to merge pages corresponding to evicted TLB
+entries by inspecting the SSP cache entries."
+
+This prototype is a *timing* study (like Fig. 5): shadow routing
+redirects the physical lines stores touch, and all flush/merge costs
+are charged, but byte contents stay in the primary page (the paper's
+consistency-of-data assumption from Section II-A applies).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.msr import MSR_NVM_RANGE_HI, MSR_NVM_RANGE_LO, MSR_SSP_CACHE_BASE
+from repro.common.errors import KindleError
+from repro.common.units import CACHE_LINE, PAGE_SIZE, cycles_from_ms
+from repro.gemos.kernel import Kernel
+from repro.gemos.process import Process
+from repro.mem.hybrid import MemType
+from repro.ssp.extension import SspExtension
+from repro.ssp.sspcache import ENTRY_BYTES, SspCache
+
+#: Default metadata capacity (pages trackable by the SSP cache).
+DEFAULT_CACHE_CAPACITY = 65536
+
+#: Kernel cycles to inspect one SSP cache entry during consolidation.
+CONSOLIDATE_INSPECT_CYCLES = 40
+
+#: Kernel cycles per tracked page at every consistency interval end:
+#: the metadata inspection pass (read the entry, decode bitmaps, issue
+#: the flush).  This is the "number of metadata inspections ... reduce
+#: with a wider consistency interval" cost of Fig. 5.
+INTERVAL_ENTRY_INSPECT_CYCLES = 120
+
+
+class SspManager:
+    """Drives shadow sub-paging for one process's NVM range."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        process: Process,
+        consistency_interval_ms: float = 5.0,
+        consolidation_interval_ms: float = 1.0,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+    ) -> None:
+        if consistency_interval_ms <= 0 or consolidation_interval_ms <= 0:
+            raise ValueError("SSP intervals must be positive")
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.process = process
+        self.interval_cycles = cycles_from_ms(consistency_interval_ms)
+        self.consolidation_cycles = cycles_from_ms(consolidation_interval_ms)
+        base = kernel.reserve_nvm_area("ssp_cache", cache_capacity * ENTRY_BYTES)
+        self.cache = SspCache(base_paddr=base, capacity=cache_capacity)
+        self.extension = SspExtension(self.cache)
+        self.machine.attach_extension(self.extension)
+        kernel.add_listener(self._on_event)
+        self._interval_timer = None
+        self._consolidation_timer = None
+        self._range = (0, 0)
+
+    # ------------------------------------------------------------------
+    # FASE demarcation
+    # ------------------------------------------------------------------
+
+    def checkpoint_start(self, vaddr_lo: int, vaddr_hi: int) -> None:
+        """Enter the failure-atomic section over ``[lo, hi)``."""
+        if vaddr_hi <= vaddr_lo:
+            raise KindleError("empty FASE range")
+        self._range = (vaddr_lo, vaddr_hi)
+        msr = self.machine.msr
+        msr.write(MSR_NVM_RANGE_LO, vaddr_lo)
+        msr.write(MSR_NVM_RANGE_HI, vaddr_hi)
+        msr.write(MSR_SSP_CACHE_BASE, self.cache.base_paddr)
+        self.extension.enabled = True
+        with self.machine.os_region("ssp.setup"):
+            self._shadow_existing_pages()
+        self._interval_timer = self.machine.timers.arm(
+            self.machine.clock + self.interval_cycles,
+            self.interval_end,
+            period=self.interval_cycles,
+            name="ssp-interval",
+        )
+        self._consolidation_timer = self.machine.timers.arm(
+            self.machine.clock + self.consolidation_cycles,
+            self.consolidate_tick,
+            period=self.consolidation_cycles,
+            name="ssp-consolidation",
+        )
+        self.machine.stats.add("ssp.fase_starts")
+
+    def checkpoint_end(self) -> None:
+        """Leave the FASE: a final commit, then disarm everything."""
+        self.interval_end()
+        self.consolidate_tick(force_all=True)
+        if self._interval_timer is not None:
+            self._interval_timer.cancel()
+        if self._consolidation_timer is not None:
+            self._consolidation_timer.cancel()
+        self.extension.enabled = False
+        self.machine.stats.add("ssp.fase_ends")
+
+    # ------------------------------------------------------------------
+    # shadow page management (OS allocation-path patch)
+    # ------------------------------------------------------------------
+
+    def _in_range(self, vpn: int) -> bool:
+        lo, hi = self._range
+        addr = vpn * PAGE_SIZE
+        return lo <= addr < hi
+
+    def _shadow_page(self, vpn: int, primary_pfn: int) -> None:
+        if self.cache.get(vpn) is not None:
+            return
+        shadow_pfn = self.kernel.nvm_alloc.alloc()
+        meta = self.cache.insert(vpn, primary_pfn, shadow_pfn)
+        self.machine.phys_line_access(self.cache.entry_paddr(meta), is_write=True)
+        self.machine.stats.add("ssp.shadow_pages")
+
+    def _shadow_existing_pages(self) -> None:
+        table = self.process.page_table
+        assert table is not None
+        layout = self.machine.layout
+        for vpn, pte in table.iter_leaves():
+            if self._in_range(vpn) and layout.mem_type_of_pfn(pte.pfn) is MemType.NVM:
+                self._shadow_page(vpn, pte.pfn)
+
+    def _on_event(self, event: str, pid: int, payload: dict) -> None:
+        if (
+            event == "fault_mapped"
+            and self.extension.enabled
+            and pid == self.process.pid
+            and payload.get("mem_type") == MemType.NVM.value
+            and self._in_range(int(payload["vpn"]))
+        ):
+            with self.machine.os_region("ssp.setup"):
+                self._shadow_page(int(payload["vpn"]), int(payload["pfn"]))
+
+    # ------------------------------------------------------------------
+    # consistency interval end (checkpoint_end activities)
+    # ------------------------------------------------------------------
+
+    def interval_end(self) -> None:
+        """Commit the interval: flush bitmaps + data, toggle current."""
+        machine = self.machine
+        with machine.os_region("ssp.interval"):
+            # Hardware pushes every modified TLB bitmap to the SSP cache.
+            for entry in machine.tlb.entries():
+                if entry.shadow_pfn is None or not entry.updated_bitmap:
+                    continue
+                meta = self.cache.get(entry.vpn)
+                if meta is None:
+                    continue
+                machine.phys_line_access(
+                    self.cache.entry_paddr(meta), is_write=True
+                )
+                meta.updated_bitmap |= entry.updated_bitmap
+                machine.stats.add("ssp.bitmap_writebacks")
+            # Metadata inspection pass over every tracked page.
+            machine.advance(INTERVAL_ENTRY_INSPECT_CYCLES * len(self.cache))
+            # clwb all data updates of the interval, then the metadata.
+            for line in sorted(self.extension.dirty_lines):
+                machine.clwb(line * CACHE_LINE)
+            touched = [m for m in self.cache.entries.values() if m.updated_bitmap]
+            for meta in touched:
+                machine.clwb(self.cache.entry_paddr(meta))
+            machine.persist_barrier()
+            # Commit: the routed-to copies become current.
+            for meta in touched:
+                meta.current_bitmap ^= meta.updated_bitmap
+                meta.updated_bitmap = 0
+            for entry in machine.tlb.entries():
+                if entry.shadow_pfn is None:
+                    continue
+                meta = self.cache.get(entry.vpn)
+                if meta is not None:
+                    entry.current_bitmap = meta.current_bitmap
+                entry.updated_bitmap = 0
+            self.extension.dirty_lines.clear()
+        machine.stats.add("ssp.intervals")
+
+    # ------------------------------------------------------------------
+    # asynchronous consolidation thread
+    # ------------------------------------------------------------------
+
+    def consolidate_tick(self, force_all: bool = False) -> None:
+        """Merge page pairs for evicted (or, at FASE end, all) entries."""
+        machine = self.machine
+        with machine.os_region("ssp.consolidation"):
+            candidates = [
+                meta
+                for meta in self.cache.entries.values()
+                if (meta.tlb_evicted or force_all) and meta.current_bitmap
+            ]
+            machine.advance(CONSOLIDATE_INSPECT_CYCLES * max(len(self.cache), 1))
+            merged_lines = 0
+            for meta in candidates:
+                lines = bin(meta.current_bitmap).count("1")
+                machine.bulk_lines(lines, MemType.NVM, is_write=False)
+                machine.bulk_lines(lines, MemType.NVM, is_write=True)
+                meta.current_bitmap = 0
+                meta.tlb_evicted = False
+                machine.phys_line_access(
+                    self.cache.entry_paddr(meta), is_write=True
+                )
+                merged_lines += lines
+            if candidates:
+                machine.persist_barrier()
+        machine.stats.add("ssp.consolidations", len(candidates))
+        machine.stats.add("ssp.consolidated_lines", merged_lines)

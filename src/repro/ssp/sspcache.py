@@ -1,0 +1,104 @@
+"""The SSP cache: per-page shadow metadata in NVM.
+
+"The original and the extra page addresses and the bitmap values
+(commit, current) are recorded in a metadata area (i.e., SSP cache)."
+Entries are 32 bytes (two pfns + two 64-bit line bitmaps), laid out
+consecutively in the reserved NVM area so hardware metadata requests
+have real physical addresses to charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.common.units import CACHE_LINE, PAGE_SIZE
+
+#: Bytes of metadata per tracked page (pfn pair + two bitmaps).
+ENTRY_BYTES = 32
+#: Cache lines per page — bitmap width.
+LINES_PER_PAGE = PAGE_SIZE // CACHE_LINE
+FULL_BITMAP = (1 << LINES_PER_PAGE) - 1
+
+
+@dataclass
+class SspCacheEntry:
+    """Metadata for one shadow-paired virtual page."""
+
+    vpn: int
+    primary_pfn: int
+    shadow_pfn: int
+    slot: int
+    #: Bit i set -> line i's committed copy lives in the shadow page.
+    current_bitmap: int = 0
+    #: Bit i set -> line i modified since the last interval commit.
+    updated_bitmap: int = 0
+    #: The TLB entry for this page was evicted with in-flight updates;
+    #: the consolidation thread owns merging it.
+    tlb_evicted: bool = False
+
+    def committed_pfn_for_line(self, line_index: int) -> int:
+        if (self.current_bitmap >> line_index) & 1:
+            return self.shadow_pfn
+        return self.primary_pfn
+
+    def working_pfn_for_line(self, line_index: int) -> int:
+        """Where in-flight writes to this line are routed (the page
+        *opposite* the committed copy)."""
+        if (self.current_bitmap >> line_index) & 1:
+            return self.primary_pfn
+        return self.shadow_pfn
+
+
+@dataclass
+class SspCache:
+    """All shadow metadata, resident at ``base_paddr`` in NVM.
+
+    ``capacity`` bounds the slots to the reserved NVM area backing the
+    cache; overflowing it would silently scribble over neighboring
+    metadata regions, so insertion fails loudly instead.
+    """
+
+    base_paddr: int
+    capacity: int = 1 << 20
+    entries: Dict[int, SspCacheEntry] = field(default_factory=dict)
+    _next_slot: int = 0
+
+    def insert(self, vpn: int, primary_pfn: int, shadow_pfn: int) -> SspCacheEntry:
+        if vpn in self.entries:
+            raise ValueError(f"SSP cache already tracks vpn {vpn:#x}")
+        if self._next_slot >= self.capacity:
+            raise ValueError(
+                f"SSP cache full ({self.capacity} slots); raise cache_capacity"
+            )
+        entry = SspCacheEntry(
+            vpn=vpn,
+            primary_pfn=primary_pfn,
+            shadow_pfn=shadow_pfn,
+            slot=self._next_slot,
+        )
+        self._next_slot += 1
+        self.entries[vpn] = entry
+        return entry
+
+    def get(self, vpn: int) -> Optional[SspCacheEntry]:
+        return self.entries.get(vpn)
+
+    def remove(self, vpn: int) -> Optional[SspCacheEntry]:
+        return self.entries.pop(vpn, None)
+
+    def entry_paddr(self, entry: SspCacheEntry) -> int:
+        return self.base_paddr + entry.slot * ENTRY_BYTES
+
+    def evicted_entries(self) -> Iterator[SspCacheEntry]:
+        for entry in self.entries.values():
+            if entry.tlb_evicted:
+                yield entry
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def split_bitmap_lines(bitmap: int) -> Tuple[int, ...]:
+    """Indices of set bits (lines) in a page bitmap."""
+    return tuple(i for i in range(LINES_PER_PAGE) if (bitmap >> i) & 1)

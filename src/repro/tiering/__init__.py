@@ -1,0 +1,18 @@
+"""Hot/cold page tiering prototype (after Ramos et al. [36]).
+
+The paper's related work describes the classic alternative to
+DRAM-as-cache: "a common strategy to attain memory performance is
+maintaining frequently accessed memory pages in DRAM and others in
+NVM", with pages *exclusively* placed in one tier and migrated by the
+OS.  This third prototype demonstrates Kindle's extensibility beyond
+the two schemes evaluated in the paper: a hardware access-counting
+extension (LLC-miss counters in the TLB, synced to PTEs) feeds an OS
+tiering daemon that promotes hot NVM pages into DRAM and demotes cold
+DRAM pages back — updating the page table itself rather than keeping a
+remap table, so DRAM holds the only copy.
+"""
+
+from repro.tiering.daemon import TieringDaemon
+from repro.tiering.extension import AccessCounterExtension
+
+__all__ = ["TieringDaemon", "AccessCounterExtension"]

@@ -1,0 +1,216 @@
+"""The OS tiering daemon: promote hot NVM pages, demote cold DRAM pages.
+
+Each epoch the daemon scans the process's page table (a software walk,
+charged), ranks pages by their per-epoch LLC-miss counts, then:
+
+* **promotes** up to ``migration_budget`` of the hottest NVM pages
+  whose count is at least ``hot_threshold`` — allocate a DRAM frame,
+  flush + copy, update the PTE, free the NVM frame;
+* **demotes** DRAM pages whose count stayed at zero for
+  ``cold_epochs`` consecutive epochs — the reverse move.
+
+Unlike HSCC there is no DRAM cache and no remap table: the page table
+points at the single authoritative copy, so demand faults, persistence
+machinery and the TLB see ordinary mappings.  The daemon refuses to
+promote when DRAM headroom falls below ``dram_reserve_frames``, which
+is what keeps it from fighting the frame allocator.
+
+This prototype targets capacity studies (``persistence=False``
+systems); combining exclusive tiering with the rebuild scheme's v2p
+journal is left exactly as future work the framework makes possible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.arch.tlb import TlbEntry
+from repro.common.errors import KindleError
+from repro.common.units import cycles_from_ms
+from repro.gemos.kernel import Kernel
+from repro.gemos.pagetable import Pte
+from repro.gemos.process import Process
+from repro.mem.hybrid import MemType
+from repro.tiering.extension import AccessCounterExtension
+
+#: Kernel cycles to inspect one PTE during the epoch scan.
+SCAN_PTE_CYCLES = 6
+PTES_PER_LINE = 8
+
+
+class TieringDaemon:
+    """Periodic exclusive-placement migration for one process."""
+
+    #: Ranking policies for hot candidates: plain access counts, or
+    #: row-buffer-locality-aware (after Yoon et al. [49] — pages whose
+    #: NVM reads keep missing the row buffer gain the most from DRAM,
+    #: while high-locality pages are nearly as fast left in NVM).
+    POLICIES = ("count", "rbla")
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        process: Process,
+        epoch_ms: float = 4.0,
+        hot_threshold: int = 8,
+        cold_epochs: int = 2,
+        migration_budget: int = 64,
+        dram_reserve_frames: int = 128,
+        auto_arm: bool = True,
+        policy: str = "count",
+    ) -> None:
+        if epoch_ms <= 0:
+            raise KindleError("epoch must be positive")
+        if hot_threshold < 1 or migration_budget < 1 or cold_epochs < 1:
+            raise KindleError("invalid tiering parameters")
+        if policy not in self.POLICIES:
+            raise KindleError(
+                f"unknown tiering policy {policy!r}; choose from {self.POLICIES}"
+            )
+        self.policy = policy
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.process = process
+        self.epoch_cycles = cycles_from_ms(epoch_ms)
+        self.hot_threshold = hot_threshold
+        self.cold_epochs = cold_epochs
+        self.migration_budget = migration_budget
+        self.dram_reserve_frames = dram_reserve_frames
+        self.extension = AccessCounterExtension(self)
+        self.machine.attach_extension(self.extension)
+        #: vpn -> consecutive zero-count epochs (DRAM pages only).
+        self._cold_streak: Dict[int, int] = {}
+        self.promotions = 0
+        self.demotions = 0
+        self._timer = None
+        if auto_arm:
+            self.arm()
+
+    def arm(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        self._timer = self.machine.timers.arm(
+            self.machine.clock + self.epoch_cycles,
+            self.epoch,
+            period=self.epoch_cycles,
+            name="tiering",
+        )
+
+    def disarm(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+
+    def sync_count(self, entry: TlbEntry, charge: bool) -> None:
+        table = self.process.page_table
+        if table is None or entry.asid != self.process.asid:
+            return
+        pte = table.lookup(entry.vpn)
+        if pte is None or pte.pfn != entry.pfn:
+            entry.access_count = 0
+            return
+        pte.access_count += entry.access_count
+        entry.access_count = 0
+        if charge:
+            self.machine.bulk_lines(1, MemType.DRAM, is_write=True)
+
+    # ------------------------------------------------------------------
+    # the epoch activity
+    # ------------------------------------------------------------------
+
+    def epoch(self) -> None:
+        """Scan, rank, promote, demote, reset counts."""
+        table = self.process.page_table
+        if table is None:
+            return
+        machine = self.machine
+        with machine.os_region("tiering"):
+            for entry in machine.tlb.entries():
+                if entry.asid == self.process.asid and entry.access_count:
+                    self.sync_count(entry, charge=True)
+            leaves = list(table.iter_leaves())
+            machine.bulk_lines(
+                (len(leaves) + PTES_PER_LINE - 1) // PTES_PER_LINE,
+                MemType.DRAM,
+                is_write=False,
+            )
+            machine.advance(SCAN_PTE_CYCLES * len(leaves))
+            hot, cold = self._classify(leaves)
+            promoted = self._promote(hot)
+            demoted = self._demote(cold)
+            for _vpn, pte in leaves:
+                pte.access_count = 0
+        machine.stats.add("tiering.epochs")
+        machine.stats.add("tiering.promotions", promoted)
+        machine.stats.add("tiering.demotions", demoted)
+
+    def _classify(
+        self, leaves: List[Tuple[int, Pte]]
+    ) -> Tuple[List[Tuple[int, Pte]], List[Tuple[int, Pte]]]:
+        layout = self.machine.layout
+        hot: List[Tuple[int, Pte]] = []
+        cold: List[Tuple[int, Pte]] = []
+        for vpn, pte in leaves:
+            tier = layout.mem_type_of_pfn(pte.pfn)
+            if tier is MemType.NVM:
+                self._cold_streak.pop(vpn, None)
+                if pte.access_count >= self.hot_threshold:
+                    hot.append((vpn, pte))
+            else:
+                if pte.access_count == 0:
+                    streak = self._cold_streak.get(vpn, 0) + 1
+                    self._cold_streak[vpn] = streak
+                    if streak >= self.cold_epochs:
+                        cold.append((vpn, pte))
+                else:
+                    self._cold_streak.pop(vpn, None)
+        if self.policy == "rbla":
+            row_misses = self.machine.controller.nvm_page_row_misses
+            hot.sort(
+                key=lambda item: (
+                    row_misses.get(item[1].pfn, 0),
+                    item[1].access_count,
+                ),
+                reverse=True,
+            )
+        else:
+            hot.sort(key=lambda item: item[1].access_count, reverse=True)
+        return hot, cold
+
+    def _dram_headroom(self) -> int:
+        return self.kernel.dram_alloc.free_count - self.dram_reserve_frames
+
+    def _move(self, vpn: int, pte: Pte, to_type: MemType) -> None:
+        machine = self.machine
+        dst = self.kernel.allocator_for(to_type).alloc()
+        machine.copy_page(pte.pfn, dst, flush_src=True)
+        src_type = machine.layout.mem_type_of_pfn(pte.pfn)
+        self.kernel.allocator_for(src_type).free(pte.pfn)
+        table = self.process.page_table
+        assert table is not None
+        table.update_pfn(vpn, dst)
+        machine.tlb.invalidate(self.process.asid, vpn)
+
+    def _promote(self, hot: List[Tuple[int, Pte]]) -> int:
+        promoted = 0
+        for vpn, pte in hot[: self.migration_budget]:
+            if self._dram_headroom() <= 0:
+                self.machine.stats.add("tiering.dram_pressure_skips")
+                break
+            self._move(vpn, pte, MemType.DRAM)
+            promoted += 1
+        self.promotions += promoted
+        return promoted
+
+    def _demote(self, cold: List[Tuple[int, Pte]]) -> int:
+        demoted = 0
+        for vpn, pte in cold[: self.migration_budget]:
+            self._move(vpn, pte, MemType.NVM)
+            self._cold_streak.pop(vpn, None)
+            demoted += 1
+        self.demotions += demoted
+        return demoted

@@ -1,0 +1,43 @@
+"""Hardware access counting for the tiering prototype.
+
+Counts LLC misses per page in the TLB entry (like HSCC's counting
+hardware, but for *both* technologies: promotion needs hot-NVM
+evidence, demotion needs cold-DRAM evidence) and spills the count into
+the PTE on eviction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.arch.hooks import HardwareExtension
+from repro.arch.machine import Machine
+from repro.arch.tlb import TlbEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tiering.daemon import TieringDaemon
+
+
+class AccessCounterExtension(HardwareExtension):
+    """TLB miss counters for every page, spilled to PTEs on eviction."""
+
+    def __init__(self, daemon: "TieringDaemon") -> None:
+        self.daemon = daemon
+
+    def on_tlb_fill(self, machine: Machine, entry: TlbEntry) -> None:
+        entry.access_count = 0
+
+    def on_tlb_evict(self, machine: Machine, entry: TlbEntry) -> None:
+        if entry.access_count:
+            self.daemon.sync_count(entry, charge=True)
+
+    def on_llc_miss(
+        self,
+        machine: Machine,
+        entry: Optional[TlbEntry],
+        paddr_line: int,
+        is_write: bool,
+    ) -> None:
+        if entry is not None:
+            entry.access_count += 1
+            machine.stats.add("tiering.counted_misses")

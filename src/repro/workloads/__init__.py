@@ -1,0 +1,47 @@
+"""Workload generators.
+
+The three standard applications of Table II — GAP PageRank
+(``gapbs_pr``), Graph500 SSSP (``g500_sssp``) and a YCSB-style
+key-value store (``ycsb_mem``) — implemented as real kernels over
+synthetic inputs, executed under the tracing runtime so they produce
+exactly the artifacts Kindle's preparation pipeline produces from Pin.
+Also the micro-benchmarks driving the process-persistence evaluation
+(Fig. 4, Tables III and IV).
+
+Paper op counts are 10M per workload; generators take a ``total_ops``
+budget so tests and benchmarks can run scaled-down instances with the
+same structure (the read/write mixes are budget-independent).
+"""
+
+from repro.workloads.gapbs import generate_pagerank
+from repro.workloads.graph500 import generate_sssp
+from repro.workloads.microbench import (
+    seq_alloc_access,
+    stride_alloc_access,
+    vma_churn,
+)
+from repro.workloads.ycsb import generate_ycsb
+
+WORKLOAD_GENERATORS = {
+    "gapbs_pr": generate_pagerank,
+    "g500_sssp": generate_sssp,
+    "ycsb_mem": generate_ycsb,
+}
+
+#: Read/write percentages reported in Table II.
+TABLE2_MIXES = {
+    "gapbs_pr": (77, 23),
+    "g500_sssp": (68, 32),
+    "ycsb_mem": (71, 29),
+}
+
+__all__ = [
+    "generate_pagerank",
+    "generate_sssp",
+    "generate_ycsb",
+    "seq_alloc_access",
+    "stride_alloc_access",
+    "vma_churn",
+    "WORKLOAD_GENERATORS",
+    "TABLE2_MIXES",
+]

@@ -1,0 +1,94 @@
+"""GAP benchmark suite PageRank (``Gapbs_pr`` in Table II).
+
+Pull-style PageRank over a synthetic power-law CSR graph, traced
+field-by-field like Pin would trace the real binary: per-node contrib
+precompute, per-edge gathers of neighbor ids and contributions, and the
+stack locals/spills a compiled loop produces.  Targets the 77% read /
+23% write mix of Table II.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.rng import ZipfSampler, derive_rng
+from repro.prep.imagegen import DiskImage, generate_image
+from repro.prep.tracer import TracedProcess
+
+#: Stack locals traffic per processed node (spills + loop bookkeeping a
+#: compiler emits; Pin traces these like any heap access).
+_STACK_READS_PER_NODE = 3
+_STACK_WRITES_PER_NODE = 5
+
+#: Skew of the synthetic graph's in-neighbor distribution (hot pages
+#: for the HSCC study come from popular vertices).
+_NEIGHBOR_ZIPF_THETA = 0.6
+
+
+def _build_csr(nodes: int, avg_degree: int, seed: int) -> List[List[int]]:
+    """In-neighbor lists with power-law popularity."""
+    rng = derive_rng(seed, "gapbs_pr.graph")
+    sampler = ZipfSampler(nodes, _NEIGHBOR_ZIPF_THETA, rng)
+    adjacency: List[List[int]] = []
+    for _u in range(nodes):
+        degree = max(1, round(rng.gauss(avg_degree, avg_degree / 4)))
+        adjacency.append([sampler.sample() for _ in range(degree)])
+    return adjacency
+
+
+def generate_pagerank(
+    total_ops: int = 200_000,
+    nodes: int = 131072,
+    avg_degree: int = 8,
+    seed: int = 7,
+) -> DiskImage:
+    """Trace PageRank until ``total_ops`` accesses, then build the image."""
+    adjacency = _build_csr(nodes, avg_degree, seed)
+    edges = sum(len(a) for a in adjacency)
+
+    tp = TracedProcess("gapbs_pr")
+    offsets = tp.alloc_heap("offsets", (nodes + 1) * 8)
+    neighbors = tp.alloc_heap("neighbors", max(edges, 1) * 4)
+    out_degree = tp.alloc_heap("out_degree", nodes * 4)
+    scores = tp.alloc_heap("scores", nodes * 8)
+    contrib = tp.alloc_heap("contrib", nodes * 8)
+    stack = tp.stacks.register_thread(0)
+
+    edge_base: List[int] = [0]
+    for adj in adjacency:
+        edge_base.append(edge_base[-1] + len(adj))
+
+    # The two PageRank phases run in blocks so an op-budget cutoff
+    # anywhere preserves the overall read/write mix.
+    block = 256
+    while tp.total_ops < total_ops:
+        for block_start in range(0, nodes, block):
+            block_end = min(block_start + block, nodes)
+            # contrib[u] = scores[u] / out_degree[u]
+            for u in range(block_start, block_end):
+                scores.load(u * 8)
+                out_degree.load(u * 4, 4)
+                contrib.store(u * 8)
+                if tp.total_ops >= total_ops:
+                    break
+            # scores[u] = base + damping * sum(contrib[v] for v in in[u])
+            for u in range(block_start, block_end):
+                stack.push_frame(slots=8)
+                offsets.load(u * 8)
+                offsets.load((u + 1) * 8)
+                for k in range(len(adjacency[u])):
+                    e = edge_base[u] + k
+                    neighbors.load(e * 4, 4)
+                    contrib.load(adjacency[u][k] * 8)
+                for slot in range(_STACK_READS_PER_NODE):
+                    stack.local_load(slot)
+                for slot in range(_STACK_WRITES_PER_NODE):
+                    stack.local_store(slot)
+                scores.store(u * 8)
+                stack.pop_frame()
+                if tp.total_ops >= total_ops:
+                    break
+            if tp.total_ops >= total_ops:
+                break
+
+    return generate_image("gapbs_pr", tp.trace, tp.layout)

@@ -1,0 +1,84 @@
+"""Graph500 single-source shortest paths (``G500_sssp`` in Table II).
+
+Frontier-based Bellman-Ford relaxation over a weighted synthetic graph:
+per-edge reads of the neighbor id, edge weight and current distance,
+and — when a relaxation improves the distance — writes of the distance,
+parent and frontier queue.  Relaxation success decays across rounds
+like a real SSSP run.  Targets the 68% read / 32% write mix of
+Table II.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.rng import derive_rng
+from repro.prep.imagegen import DiskImage, generate_image
+from repro.prep.tracer import TracedProcess
+
+_STACK_READS_PER_NODE = 2
+_STACK_WRITES_PER_NODE = 3
+
+#: Probability that a relaxation improves the distance in round 0;
+#: halves every round (the frontier settles).
+_INITIAL_IMPROVE_P = 0.45
+
+
+def generate_sssp(
+    total_ops: int = 200_000,
+    nodes: int = 131072,
+    avg_degree: int = 8,
+    seed: int = 11,
+) -> DiskImage:
+    """Trace SSSP until ``total_ops`` accesses, then build the image."""
+    rng = derive_rng(seed, "g500_sssp")
+    adjacency: List[List[int]] = []
+    for _u in range(nodes):
+        degree = max(1, round(rng.gauss(avg_degree, avg_degree / 4)))
+        adjacency.append([rng.randrange(nodes) for _ in range(degree)])
+    edges = sum(len(a) for a in adjacency)
+
+    tp = TracedProcess("g500_sssp")
+    offsets = tp.alloc_heap("offsets", (nodes + 1) * 8)
+    neighbors = tp.alloc_heap("neighbors", max(edges, 1) * 4)
+    weights = tp.alloc_heap("weights", max(edges, 1) * 4)
+    dist = tp.alloc_heap("dist", nodes * 8)
+    parent = tp.alloc_heap("parent", nodes * 8)
+    queue = tp.alloc_heap("queue", nodes * 8)
+    stack = tp.stacks.register_thread(0)
+
+    edge_base: List[int] = [0]
+    for adj in adjacency:
+        edge_base.append(edge_base[-1] + len(adj))
+
+    improve_p = _INITIAL_IMPROVE_P
+    round_index = 0
+    while tp.total_ops < total_ops:
+        tail = 0
+        for u in range(nodes):
+            stack.push_frame(slots=6)
+            queue.load((u % nodes) * 8)  # pop frontier entry
+            dist.load(u * 8)
+            offsets.load(u * 8)
+            offsets.load((u + 1) * 8)
+            for k, v in enumerate(adjacency[u]):
+                e = edge_base[u] + k
+                neighbors.load(e * 4, 4)
+                weights.load(e * 4, 4)
+                dist.load(v * 8)
+                if rng.random() < improve_p:
+                    dist.store(v * 8)
+                    parent.store(v * 8)
+                    queue.store((tail % nodes) * 8)
+                    tail += 1
+            for slot in range(_STACK_READS_PER_NODE):
+                stack.local_load(slot)
+            for slot in range(_STACK_WRITES_PER_NODE):
+                stack.local_store(slot)
+            stack.pop_frame()
+            if tp.total_ops >= total_ops:
+                break
+        round_index += 1
+        improve_p = max(0.1, improve_p * 0.5)
+
+    return generate_image("g500_sssp", tp.trace, tp.layout)

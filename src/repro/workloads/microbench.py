@@ -1,0 +1,154 @@
+"""Micro-benchmarks of the process-persistence evaluation (Section III-A).
+
+Three drivers, matching the paper's experiments:
+
+* :func:`seq_alloc_access` — Fig. 4a: mmap an NVM region of a given
+  size and sequentially access all pages while periodic checkpointing
+  runs;
+* :func:`stride_alloc_access` — Fig. 4b: a fixed number of 4 KiB
+  allocations spread at a 1 GiB / 2 MiB / 4 KiB stride so different
+  page-table levels are populated;
+* :func:`vma_churn` — Tables III and IV: allocate 512 MB, write all
+  pages, then repeatedly munmap+mmap a fixed-size prefix and access the
+  reallocated pages (optionally for several rounds, to force TLB misses
+  as in the Table IV variant).
+
+Each returns the simulated execution time in cycles (machine clock
+delta), which the harness converts to milliseconds.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import KindleError
+from repro.common.units import MiB, PAGE_SIZE
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+from repro.platform import HybridSystem
+
+#: Virtual base used by the stride experiment's explicit placements.
+_STRIDE_BASE = 16 * 1024 * MiB
+
+
+def _require_process(system: HybridSystem):
+    if system.kernel is None or system.kernel.current is None:
+        raise KindleError("boot the system and spawn a process first")
+    return system.kernel.current
+
+
+def seq_alloc_access(
+    system: HybridSystem,
+    alloc_bytes: int,
+    touches_per_page: int = 4,
+    unmap: bool = True,
+) -> int:
+    """Fig. 4a body: one NVM mmap, sequential access of all pages."""
+    if touches_per_page < 1 or touches_per_page > PAGE_SIZE // 8:
+        raise ValueError(f"bad touches_per_page {touches_per_page}")
+    process = _require_process(system)
+    kernel = system.kernel
+    machine = system.machine
+    start_clock = machine.clock
+    addr = kernel.sys_mmap(
+        process, None, alloc_bytes, PROT_READ | PROT_WRITE, MAP_NVM, name="seq"
+    )
+    step = PAGE_SIZE // touches_per_page
+    for page_base in range(0, alloc_bytes, PAGE_SIZE):
+        for touch in range(touches_per_page):
+            machine.access(addr + page_base + touch * step, 8, is_write=True)
+    if unmap:
+        kernel.sys_munmap(process, addr, alloc_bytes)
+    return machine.clock - start_clock
+
+
+def stride_alloc_access(
+    system: HybridSystem,
+    gap_bytes: int,
+    count: int = 10,
+    rounds: int = 200,
+) -> int:
+    """Fig. 4b body: ``count`` 4 KiB pages at ``gap_bytes`` spacing.
+
+    A 1 GiB gap touches a fresh level-3 entry per page, 2 MiB a fresh
+    level-1 table, 4 KiB only leaf entries — exactly the page-table
+    population pattern the paper uses to vary page-table size.  Each
+    round allocates, writes and frees the strided pages, so the run
+    spans many checkpoint intervals and both schemes pay their
+    recurring costs (per-update consistency vs per-checkpoint v2p
+    maintenance).
+    """
+    if gap_bytes % PAGE_SIZE:
+        raise ValueError("gap must be page aligned")
+    process = _require_process(system)
+    kernel = system.kernel
+    machine = system.machine
+    start_clock = machine.clock
+    for _round in range(rounds):
+        addrs = []
+        for i in range(count):
+            hint = _STRIDE_BASE + i * gap_bytes
+            addrs.append(
+                kernel.sys_mmap(
+                    process,
+                    hint,
+                    PAGE_SIZE,
+                    PROT_READ | PROT_WRITE,
+                    MAP_NVM,
+                    name=f"stride{i}",
+                )
+            )
+        for addr in addrs:
+            machine.access(addr, 8, is_write=True)
+        for addr in addrs:
+            kernel.sys_munmap(process, addr, PAGE_SIZE)
+    return machine.clock - start_clock
+
+
+def vma_churn(
+    system: HybridSystem,
+    total_bytes: int,
+    churn_bytes: int,
+    churn_rounds: int = 2,
+    access_rounds: int = 0,
+    touches_per_page: int = 1,
+) -> int:
+    """Tables III/IV body: mmap/munmap churn over a large region.
+
+    Allocates ``total_bytes`` in NVM and writes every page, then per
+    churn round: munmap the first ``churn_bytes``, mmap the same range
+    back, read the reallocated pages, and (Table IV variant) re-access
+    the region ``access_rounds`` more times to force TLB misses.
+    Finally unmaps everything.
+    """
+    if churn_bytes > total_bytes:
+        raise ValueError("churn size exceeds the allocated region")
+    process = _require_process(system)
+    kernel = system.kernel
+    machine = system.machine
+    start_clock = machine.clock
+    base = kernel.sys_mmap(
+        process, None, total_bytes, PROT_READ | PROT_WRITE, MAP_NVM, name="churn"
+    )
+    step = PAGE_SIZE // touches_per_page
+    for page_base in range(0, total_bytes, PAGE_SIZE):
+        machine.access(base + page_base, 8, is_write=True)
+    for _round in range(churn_rounds):
+        kernel.sys_munmap(process, base, churn_bytes)
+        got = kernel.sys_mmap(
+            process,
+            base,
+            churn_bytes,
+            PROT_READ | PROT_WRITE,
+            MAP_NVM,
+            name="churn",
+        )
+        if got != base:
+            raise KindleError("churn remap did not land at the same address")
+        for page_base in range(0, churn_bytes, PAGE_SIZE):
+            machine.access(base + page_base, 8, is_write=False)
+        for _access in range(access_rounds):
+            for page_base in range(0, churn_bytes, PAGE_SIZE):
+                for touch in range(touches_per_page):
+                    machine.access(
+                        base + page_base + touch * step, 8, is_write=False
+                    )
+    kernel.sys_munmap(process, base, total_bytes)
+    return machine.clock - start_clock

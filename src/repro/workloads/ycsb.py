@@ -1,0 +1,67 @@
+"""YCSB-style in-memory key-value workload (``Ycsb_mem`` in Table II).
+
+A hash-indexed record store driven by a zipfian request stream (YCSB's
+default distribution): GETs read the index slot and every record field,
+UPDATEs read the index and rewrite a few fields plus a version stamp.
+Targets the 71% read / 29% write mix of Table II; the zipf skew is what
+gives HSCC its hot NVM pages.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import ZipfSampler, derive_rng
+from repro.prep.imagegen import DiskImage, generate_image
+from repro.prep.tracer import TracedProcess
+
+#: Record layout: 12 eight-byte fields (96 bytes, ~YCSB's 100B rows).
+_FIELDS_PER_RECORD = 12
+_RECORD_BYTES = _FIELDS_PER_RECORD * 8
+#: Fields rewritten by an UPDATE.
+_UPDATE_FIELDS = 3
+#: Request distribution skew (YCSB zipfian constant).
+_ZIPF_THETA = 0.9
+#: Fraction of GET operations (the rest are UPDATEs).
+_GET_FRACTION = 0.51
+
+
+def generate_ycsb(
+    total_ops: int = 200_000,
+    records: int = 262144,
+    seed: int = 13,
+) -> DiskImage:
+    """Trace the key-value workload until ``total_ops`` accesses."""
+    rng = derive_rng(seed, "ycsb_mem")
+    sampler = ZipfSampler(records, _ZIPF_THETA, rng)
+    #: Keys are hashed so hot ranks scatter over the record array
+    #: (zipf rank 0 must not always be record 0).
+    placement = list(range(records))
+    rng.shuffle(placement)
+
+    tp = TracedProcess("ycsb_mem")
+    index = tp.alloc_heap("index", records * 8)
+    store = tp.alloc_heap("records", records * _RECORD_BYTES)
+    stack = tp.stacks.register_thread(0)
+
+    while tp.total_ops < total_ops:
+        record = placement[sampler.sample()]
+        record_off = record * _RECORD_BYTES
+        stack.push_frame(slots=4)
+        index.load(record * 8)  # hash-slot lookup
+        if rng.random() < _GET_FRACTION:
+            # GET: read every field, hand the row to the caller.
+            for field in range(_FIELDS_PER_RECORD):
+                store.load(record_off + field * 8)
+            stack.local_load(0)
+            stack.local_store(0)
+        else:
+            # UPDATE: read-modify a few fields, bump the version stamp.
+            store.load(record_off)  # version check
+            for field in range(1, 1 + _UPDATE_FIELDS):
+                store.store(record_off + field * 8)
+            store.store(record_off)  # version bump
+            stack.local_load(0)
+            stack.local_store(0)
+            stack.local_store(1)
+        stack.pop_frame()
+
+    return generate_image("ycsb_mem", tp.trace, tp.layout)

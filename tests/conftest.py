@@ -1,0 +1,54 @@
+"""Shared fixtures: scaled-down machines and booted systems."""
+
+import pytest
+
+from repro.arch.machine import Machine
+from repro.common.config import small_machine_config
+from repro.platform import HybridSystem
+
+
+@pytest.fixture
+def config():
+    """A structurally identical but small platform config."""
+    return small_machine_config()
+
+
+@pytest.fixture
+def machine(config):
+    return Machine(config)
+
+
+def _make_system(scheme: str, interval_ms: float = 1.0) -> HybridSystem:
+    system = HybridSystem(
+        config=small_machine_config(),
+        scheme=scheme,
+        checkpoint_interval_ms=interval_ms,
+    )
+    system.boot()
+    return system
+
+
+@pytest.fixture
+def rebuild_system():
+    system = _make_system("rebuild")
+    yield system
+
+
+@pytest.fixture
+def persistent_system():
+    system = _make_system("persistent")
+    yield system
+
+
+@pytest.fixture(params=["rebuild", "persistent"])
+def any_system(request):
+    """Parametrized over both page-table schemes."""
+    yield _make_system(request.param)
+
+
+@pytest.fixture
+def plain_system():
+    """A booted system without the persistence manager (SSP/HSCC)."""
+    system = HybridSystem(config=small_machine_config(), persistence=False)
+    system.boot()
+    yield system

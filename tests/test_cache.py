@@ -1,0 +1,119 @@
+"""Set-associative cache: LRU, dirty bits, eviction, clwb semantics."""
+
+import pytest
+
+from repro.arch.cache import Cache
+from repro.common.config import CacheConfig
+from repro.common.stats import Stats
+
+
+def make_cache(size=2048, assoc=2, line=64):
+    return Cache(CacheConfig("T", size, assoc, hit_latency=1, line_size=line), Stats())
+
+
+def same_set_lines(cache, count):
+    """Line numbers that all map to set 0."""
+    return [i * cache.num_sets for i in range(count)]
+
+
+class TestLookupAndFill:
+    def test_miss_on_empty(self):
+        cache = make_cache()
+        assert not cache.lookup(0, is_write=False)
+
+    def test_hit_after_fill(self):
+        cache = make_cache()
+        cache.fill(0)
+        assert cache.lookup(0, is_write=False)
+
+    def test_fill_existing_line_produces_no_victim(self):
+        cache = make_cache()
+        cache.fill(0)
+        assert cache.fill(0) is None
+
+    def test_victim_is_lru(self):
+        cache = make_cache(assoc=2)
+        a, b, c = same_set_lines(cache, 3)
+        cache.fill(a)
+        cache.fill(b)
+        victim = cache.fill(c)
+        assert victim == (a, False)
+
+    def test_lookup_refreshes_lru(self):
+        cache = make_cache(assoc=2)
+        a, b, c = same_set_lines(cache, 3)
+        cache.fill(a)
+        cache.fill(b)
+        cache.lookup(a, is_write=False)  # a becomes MRU
+        victim = cache.fill(c)
+        assert victim == (b, False)
+
+    def test_different_sets_do_not_conflict(self):
+        cache = make_cache(assoc=1)
+        cache.fill(0)
+        cache.fill(1)  # different set
+        assert cache.lookup(0, False) and cache.lookup(1, False)
+
+
+class TestDirtyTracking:
+    def test_write_hit_sets_dirty(self):
+        cache = make_cache(assoc=2)
+        a, b, c = same_set_lines(cache, 3)
+        cache.fill(a)
+        cache.lookup(a, is_write=True)
+        cache.fill(b)
+        victim = cache.fill(c)
+        assert victim == (a, True)
+
+    def test_fill_dirty(self):
+        cache = make_cache(assoc=1)
+        a, b = same_set_lines(make_cache(assoc=1), 2)
+        cache.fill(a, dirty=True)
+        assert cache.fill(b) == (a, True)
+
+    def test_clean_clears_dirty_keeps_resident(self):
+        cache = make_cache()
+        cache.fill(0, dirty=True)
+        assert cache.clean(0) is True
+        assert cache.contains(0)
+        assert cache.clean(0) is False  # already clean
+
+    def test_clean_absent_line(self):
+        assert make_cache().clean(0) is False
+
+    def test_set_dirty_on_resident(self):
+        cache = make_cache()
+        cache.fill(0)
+        assert cache.set_dirty(0)
+        assert cache.dirty_lines() == [0]
+
+    def test_set_dirty_on_absent(self):
+        assert not make_cache().set_dirty(0)
+
+    def test_invalidate_returns_dirty_bit(self):
+        cache = make_cache()
+        cache.fill(0, dirty=True)
+        assert cache.invalidate(0) is True
+        assert not cache.contains(0)
+        assert cache.invalidate(0) is False
+
+
+class TestMaintenance:
+    def test_drop_all(self):
+        cache = make_cache()
+        cache.fill(0, dirty=True)
+        cache.drop_all()
+        assert cache.resident_lines() == 0
+
+    def test_resident_lines(self):
+        cache = make_cache()
+        cache.fill(0)
+        cache.fill(1)
+        assert cache.resident_lines() == 2
+
+    def test_eviction_stat(self):
+        cache = make_cache(assoc=1)
+        a, b = same_set_lines(cache, 2)
+        cache.fill(a)
+        cache.fill(b)
+        assert cache.stats["t.evictions"] == 1

@@ -1,0 +1,165 @@
+"""Checkpoint engine: event mirroring, working-copy apply, commits."""
+
+import pytest
+
+from repro.common.units import PAGE_SIZE, cycles_from_ms
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+from repro.persist.savedstate import store_key
+
+RW = PROT_READ | PROT_WRITE
+
+
+def saved_of(system, process):
+    return system.nvm_store.get(store_key(process.pid))
+
+
+class TestEventMirroring:
+    def test_proc_create_makes_saved_state(self, any_system):
+        p = any_system.kernel.create_process("a")
+        saved = saved_of(any_system, p)
+        assert saved is not None and saved.pid == p.pid
+
+    def test_mmap_logged(self, any_system):
+        p = any_system.kernel.create_process("a")
+        any_system.kernel.sys_mmap(p, None, PAGE_SIZE, RW, MAP_NVM)
+        ops = [r.op for r in saved_of(any_system, p).redo.pending()]
+        assert "mmap" in ops
+
+    def test_non_persistent_process_not_tracked(self, any_system):
+        p = any_system.kernel.create_process("tmp", persistent=False)
+        assert saved_of(any_system, p) is None
+
+    def test_exit_removes_saved_state(self, any_system):
+        k = any_system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        k.exit_process(p)
+        assert saved_of(any_system, p) is None
+
+    def test_log_appends_charged(self, any_system):
+        before = any_system.machine.clock
+        p = any_system.kernel.create_process("a")
+        any_system.kernel.sys_mmap(p, None, PAGE_SIZE, RW)
+        assert any_system.stats["redo.appends"] >= 2
+        assert any_system.stats["cycles.os.persist_log"] > 0
+
+
+class TestCheckpointing:
+    def test_checkpoint_captures_registers(self, any_system):
+        k = any_system.kernel
+        p = k.create_process("a")
+        p.registers["pc"] = 1234
+        any_system.checkpoint()
+        saved = saved_of(any_system, p)
+        assert saved.consistent.registers["pc"] == 1234
+
+    def test_checkpoint_applies_vma_records(self, any_system):
+        k = any_system.kernel
+        p = k.create_process("a")
+        addr = k.sys_mmap(p, None, 2 * PAGE_SIZE, RW, MAP_NVM, name="h")
+        any_system.checkpoint()
+        rows = saved_of(any_system, p).consistent.vmas
+        assert (addr, addr + 2 * PAGE_SIZE, True, "nvm", "h") in rows
+
+    def test_checkpoint_applies_munmap_records(self, any_system):
+        k = any_system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        addr = k.sys_mmap(p, None, 2 * PAGE_SIZE, RW, MAP_NVM)
+        any_system.checkpoint()
+        k.sys_munmap(p, addr, PAGE_SIZE)
+        any_system.checkpoint()
+        rows = saved_of(any_system, p).consistent.vmas
+        assert rows[0][0] == addr + PAGE_SIZE
+
+    def test_working_copy_matches_live_layout(self, any_system):
+        """Applying the redo log must equal a direct snapshot."""
+        k = any_system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        a = k.sys_mmap(p, None, 4 * PAGE_SIZE, RW, MAP_NVM)
+        k.sys_munmap(p, a + PAGE_SIZE, PAGE_SIZE)
+        k.sys_mprotect(p, a + 2 * PAGE_SIZE, PAGE_SIZE, PROT_READ)
+        any_system.checkpoint()
+        saved = saved_of(any_system, p)
+        assert saved.consistent.vmas == p.address_space.snapshot()
+
+    def test_log_truncated_after_checkpoint(self, any_system):
+        k = any_system.kernel
+        p = k.create_process("a")
+        k.sys_mmap(p, None, PAGE_SIZE, RW)
+        any_system.checkpoint()
+        assert saved_of(any_system, p).redo.pending() == []
+
+    def test_checkpoint_advances_clock(self, any_system):
+        any_system.kernel.create_process("a")
+        before = any_system.machine.clock
+        any_system.checkpoint()
+        assert any_system.machine.clock > before
+        assert any_system.stats["cycles.os.checkpoint"] > 0
+
+    def test_periodic_timer_fires_during_execution(self, any_system):
+        k = any_system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        addr = k.sys_mmap(p, None, 2048 * PAGE_SIZE, RW, MAP_NVM)
+        for i in range(2048):
+            any_system.machine.access(addr + i * PAGE_SIZE, 8, True)
+        # Interval is 1 ms (conftest); faulting 2048 NVM pages takes longer.
+        assert any_system.stats["checkpoint.intervals"] >= 1
+
+    def test_interval_validation(self, rebuild_system):
+        from repro.persist.checkpoint import PersistenceManager
+        from repro.persist.schemes import make_scheme
+
+        with pytest.raises(ValueError):
+            PersistenceManager(
+                rebuild_system.kernel, make_scheme("rebuild"), 0
+            )
+
+
+class TestV2pMaintenance:
+    def test_rebuild_refreshes_v2p(self, rebuild_system):
+        k = rebuild_system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        addr = k.sys_mmap(p, None, 3 * PAGE_SIZE, RW, MAP_NVM)
+        for i in range(3):
+            rebuild_system.machine.access(addr + i * PAGE_SIZE, 8, True)
+        rebuild_system.checkpoint()
+        saved = saved_of(rebuild_system, p)
+        assert len(saved.v2p) == 3
+        assert set(saved.v2p) == {
+            addr // PAGE_SIZE + i for i in range(3)
+        }
+
+    def test_v2p_matches_page_table(self, rebuild_system):
+        k = rebuild_system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        addr = k.sys_mmap(p, None, 4 * PAGE_SIZE, RW, MAP_NVM)
+        for i in range(4):
+            rebuild_system.machine.access(addr + i * PAGE_SIZE, 8, True)
+        k.sys_munmap(p, addr, PAGE_SIZE)
+        rebuild_system.checkpoint()
+        saved = saved_of(rebuild_system, p)
+        live = {vpn: pte.pfn for vpn, pte in p.page_table.iter_leaves()}
+        assert saved.v2p == live
+
+    def test_journal_cleared_after_checkpoint(self, any_system):
+        k = any_system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        addr = k.sys_mmap(p, None, PAGE_SIZE, RW, MAP_NVM)
+        any_system.machine.access(addr, 8, True)
+        any_system.checkpoint()
+        assert p.pending_nvm_ops == []
+
+    def test_persistent_scheme_skips_v2p(self, persistent_system):
+        k = persistent_system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        addr = k.sys_mmap(p, None, PAGE_SIZE, RW, MAP_NVM)
+        persistent_system.machine.access(addr, 8, True)
+        persistent_system.checkpoint()
+        assert saved_of(persistent_system, p).v2p == {}

@@ -1,0 +1,108 @@
+"""Replay programs: placement, execution, resumability, C template."""
+
+import pytest
+
+from repro.common.errors import KindleError
+from repro.mem.hybrid import MemType
+from repro.prep.codegen import PlacementPolicy, ReplayProgram, render_c_template
+from repro.prep.imagegen import AreaSpec, DiskImage, ReplayTuple
+from repro.prep.trace import READ, WRITE
+
+
+def small_image(ops=10):
+    tuples = [
+        ReplayTuple(i, (i % 8) * 64, WRITE if i % 3 == 0 else READ, 8, "heap1")
+        for i in range(ops)
+    ]
+    return DiskImage(
+        name="demo",
+        areas=[AreaSpec("heap1", 4096, "heap"), AreaSpec("stack_t0", 4096, "stack")],
+        tuples=tuples,
+    )
+
+
+class TestPlacement:
+    def test_all_nvm(self):
+        policy = PlacementPolicy.ALL_NVM
+        assert policy.mem_type_for("heap") is MemType.NVM
+        assert policy.mem_type_for("stack") is MemType.NVM
+
+    def test_all_dram(self):
+        policy = PlacementPolicy.ALL_DRAM
+        assert policy.mem_type_for("heap") is MemType.DRAM
+
+    def test_heap_nvm(self):
+        policy = PlacementPolicy.HEAP_NVM
+        assert policy.mem_type_for("heap") is MemType.NVM
+        assert policy.mem_type_for("stack") is MemType.DRAM
+
+
+class TestInstallAndRun:
+    def test_install_maps_all_areas(self, plain_system):
+        proc = plain_system.spawn("demo")
+        program = ReplayProgram(small_image(), PlacementPolicy.HEAP_NVM)
+        bases = program.install(plain_system.kernel, proc)
+        assert set(bases) == {"heap1", "stack_t0"}
+        heap_vma = proc.address_space.find(bases["heap1"])
+        stack_vma = proc.address_space.find(bases["stack_t0"])
+        assert heap_vma.mem_type is MemType.NVM
+        assert stack_vma.mem_type is MemType.DRAM
+
+    def test_run_executes_all_ops(self, plain_system):
+        proc = plain_system.spawn("demo")
+        program = ReplayProgram(small_image(10))
+        program.install(plain_system.kernel, proc)
+        assert program.run(plain_system.kernel, proc) == 10
+        assert program.is_finished(proc)
+        assert plain_system.stats["ops.reads"] + plain_system.stats["ops.writes"] == 10
+
+    def test_max_ops_pauses_and_resumes(self, plain_system):
+        proc = plain_system.spawn("demo")
+        program = ReplayProgram(small_image(10))
+        program.install(plain_system.kernel, proc)
+        assert program.run(plain_system.kernel, proc, max_ops=4) == 4
+        assert proc.registers["pc"] == 4
+        assert program.run(plain_system.kernel, proc) == 6
+
+    def test_run_from_finished_is_noop(self, plain_system):
+        proc = plain_system.spawn("demo")
+        program = ReplayProgram(small_image(3))
+        program.install(plain_system.kernel, proc)
+        program.run(plain_system.kernel, proc)
+        assert program.run(plain_system.kernel, proc) == 0
+
+    def test_run_without_install_fails(self, plain_system):
+        proc = plain_system.spawn("demo")
+        program = ReplayProgram(small_image())
+        with pytest.raises(KindleError):
+            program.run(plain_system.kernel, proc)
+
+    def test_compute_gap_charges_cycles(self, plain_system):
+        image = DiskImage(
+            name="gap",
+            areas=[AreaSpec("h", 4096, "heap")],
+            tuples=[
+                ReplayTuple(0, 0, READ, 8, "h"),
+                ReplayTuple(100, 8, READ, 8, "h"),
+            ],
+        )
+        proc = plain_system.spawn("gap")
+        slow = ReplayProgram(image, compute_cycles_per_period=10)
+        slow.install(plain_system.kernel, proc)
+        start = plain_system.machine.clock
+        slow.run(plain_system.kernel, proc)
+        with_gap = plain_system.machine.clock - start
+        assert with_gap >= 99 * 10
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            ReplayProgram(small_image(), compute_cycles_per_period=-1)
+
+
+class TestCTemplate:
+    def test_contains_allocations_and_flags(self):
+        source = render_c_template(small_image(), PlacementPolicy.HEAP_NVM)
+        assert "mmap(NULL, 4096UL, PROT_WRITE, MAP_NVM)" in source
+        assert "mmap(NULL, 4096UL, PROT_WRITE, 0)" in source
+        assert "munmap(heap1, 4096UL);" in source
+        assert "next_tuple" in source

@@ -1,0 +1,72 @@
+"""Expected-results comparison tooling."""
+
+from pathlib import Path
+
+from repro.harness.compare import compare_results
+
+
+def _write(path: Path, title: str, headers, rows):
+    lines = [f"== {title} ==", "  ".join(headers), "  ".join("-" * 4 for _ in headers)]
+    for row in rows:
+        lines.append("  ".join(str(c) for c in row))
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestCompareResults:
+    def test_identical_tables_pass(self, tmp_path):
+        exp, act = tmp_path / "exp", tmp_path / "act"
+        exp.mkdir(), act.mkdir()
+        for d in (exp, act):
+            _write(d / "t.txt", "t", ["k", "v"], [["a", "1.0"], ["b", "2.0"]])
+        report = compare_results(act, exp)
+        assert report.passed and report.compared == 1
+
+    def test_within_tolerance_passes(self, tmp_path):
+        exp, act = tmp_path / "exp", tmp_path / "act"
+        exp.mkdir(), act.mkdir()
+        _write(exp / "t.txt", "t", ["k", "v"], [["a", "1.0"]])
+        _write(act / "t.txt", "t", ["k", "v"], [["a", "2.5"]])
+        assert compare_results(act, exp, tolerance_factor=3.0).passed
+
+    def test_out_of_tolerance_fails(self, tmp_path):
+        exp, act = tmp_path / "exp", tmp_path / "act"
+        exp.mkdir(), act.mkdir()
+        _write(exp / "t.txt", "t", ["k", "v"], [["a", "1.0"]])
+        _write(act / "t.txt", "t", ["k", "v"], [["a", "10.0"]])
+        report = compare_results(act, exp, tolerance_factor=3.0)
+        assert not report.passed and "t.txt[0].v" in report.mismatches[0]
+
+    def test_label_change_fails(self, tmp_path):
+        exp, act = tmp_path / "exp", tmp_path / "act"
+        exp.mkdir(), act.mkdir()
+        _write(exp / "t.txt", "t", ["k", "v"], [["alpha", "1.0"]])
+        _write(act / "t.txt", "t", ["k", "v"], [["beta", "1.0"]])
+        assert not compare_results(act, exp).passed
+
+    def test_missing_result_reported(self, tmp_path):
+        exp, act = tmp_path / "exp", tmp_path / "act"
+        exp.mkdir(), act.mkdir()
+        _write(exp / "only_expected.txt", "t", ["k"], [["a"]])
+        report = compare_results(act, exp)
+        assert report.missing == ["only_expected.txt"]
+
+    def test_row_count_change_fails(self, tmp_path):
+        exp, act = tmp_path / "exp", tmp_path / "act"
+        exp.mkdir(), act.mkdir()
+        _write(exp / "t.txt", "t", ["k"], [["a"], ["b"]])
+        _write(act / "t.txt", "t", ["k"], [["a"]])
+        assert not compare_results(act, exp).passed
+
+    def test_repo_expected_set_when_present(self):
+        """If the blessed expected set exists, fresh results must stay
+        within tolerance (the artifact-appendix workflow)."""
+        root = Path(__file__).resolve().parents[1]
+        expected = root / "artifacts" / "expected"
+        results = root / "benchmarks" / "results"
+        if not expected.is_dir() or not results.is_dir():
+            import pytest
+
+            pytest.skip("expected/results sets not generated yet")
+        report = compare_results(results, expected, tolerance_factor=5.0)
+        assert report.compared > 0
+        assert not report.mismatches, report.mismatches[:5]

@@ -1,0 +1,99 @@
+"""Configuration validation (Table I defaults and error paths)."""
+
+import pytest
+
+from repro.common.config import (
+    DDR4_2400,
+    PCM,
+    CacheConfig,
+    HybridLayoutConfig,
+    MachineConfig,
+    MemTimingConfig,
+    NvmBufferConfig,
+    TlbConfig,
+    small_machine_config,
+)
+from repro.common.errors import ConfigError
+from repro.common.units import GiB, KiB, MiB
+
+
+class TestTableIDefaults:
+    """The defaults must encode Table I of the paper."""
+
+    def test_memory_capacity(self):
+        layout = MachineConfig().layout
+        assert layout.dram_bytes == 3 * GiB
+        assert layout.nvm_bytes == 2 * GiB
+
+    def test_nvm_buffers(self):
+        buffers = MachineConfig().nvm_buffers
+        assert buffers.write_buffer_entries == 48
+        assert buffers.read_buffer_entries == 64
+
+    def test_interfaces(self):
+        cfg = MachineConfig()
+        assert cfg.dram.name == "DDR4-2400"
+        assert cfg.nvm.name == "PCM"
+
+    def test_cache_sizes_match_paper(self):
+        cfg = MachineConfig()
+        assert cfg.l1.size == 32 * KiB
+        assert cfg.l2.size == 512 * KiB
+        assert cfg.llc.size == 2 * MiB
+
+    def test_pcm_slower_than_dram(self):
+        assert PCM.read_row_miss_ns > DDR4_2400.read_row_miss_ns
+        assert PCM.write_row_miss_ns > DDR4_2400.write_row_miss_ns
+
+    def test_pcm_write_read_asymmetry(self):
+        assert PCM.write_row_miss_ns > PCM.read_row_miss_ns
+
+
+class TestValidation:
+    def test_cache_size_must_divide(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 1000, 8, hit_latency=1)
+
+    def test_cache_needs_positive_assoc(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 32 * KiB, 0, hit_latency=1)
+
+    def test_num_sets(self):
+        cache = CacheConfig("L1", 32 * KiB, 8, hit_latency=4)
+        assert cache.num_sets == 64
+
+    def test_tlb_needs_entries(self):
+        with pytest.raises(ConfigError):
+            TlbConfig(entries=0)
+
+    def test_timing_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            MemTimingConfig("bad", -1, 10, 10, 10)
+
+    def test_timing_rejects_hit_slower_than_miss(self):
+        with pytest.raises(ConfigError):
+            MemTimingConfig("bad", 50, 10, 10, 20)
+
+    def test_buffer_needs_entry(self):
+        with pytest.raises(ConfigError):
+            NvmBufferConfig(write_buffer_entries=0)
+
+    def test_layout_requires_page_alignment(self):
+        with pytest.raises(ConfigError):
+            HybridLayoutConfig(dram_bytes=100, nvm_bytes=4096)
+
+    def test_layout_nvm_base_follows_dram(self):
+        layout = HybridLayoutConfig(dram_bytes=1 * GiB, nvm_bytes=1 * GiB)
+        assert layout.nvm_base == 1 * GiB
+        assert layout.total_bytes == 2 * GiB
+
+    def test_hierarchy_must_grow(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(
+                l1=CacheConfig("L1", 1 * MiB, 8, 4),
+                l2=CacheConfig("L2", 512 * KiB, 8, 14),
+            )
+
+    def test_small_config_is_valid(self):
+        cfg = small_machine_config()
+        assert cfg.layout.dram_bytes == 64 * MiB

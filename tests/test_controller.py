@@ -1,0 +1,130 @@
+"""Memory channel timing: row buffers and the NVM write buffer."""
+
+import pytest
+
+from repro.common.config import DDR4_2400, PCM, NvmBufferConfig
+from repro.common.stats import Stats
+from repro.common.units import cycles_from_ns
+from repro.mem.controller import (
+    HybridMemoryController,
+    MemoryChannel,
+    NvmWriteBuffer,
+)
+
+
+@pytest.fixture
+def stats():
+    return Stats()
+
+
+class TestRowBuffer:
+    def test_first_access_misses_row(self, stats):
+        channel = MemoryChannel(PCM, stats, "nvm")
+        latency = channel.read_latency(0)
+        assert latency == cycles_from_ns(PCM.read_row_miss_ns)
+
+    def test_second_access_same_row_hits(self, stats):
+        channel = MemoryChannel(PCM, stats, "nvm")
+        channel.read_latency(0)
+        assert channel.read_latency(64) == cycles_from_ns(PCM.read_row_hit_ns)
+
+    def test_different_row_same_bank_misses(self, stats):
+        channel = MemoryChannel(DDR4_2400, stats, "dram", banks=4)
+        channel.read_latency(0)
+        # Same bank (row % banks), different row.
+        other = 4 * DDR4_2400.row_size
+        assert channel.read_latency(other) == cycles_from_ns(
+            DDR4_2400.read_row_miss_ns
+        )
+
+    def test_reset_rows_closes_everything(self, stats):
+        channel = MemoryChannel(PCM, stats, "nvm")
+        channel.read_latency(0)
+        channel.reset_rows()
+        assert channel.read_latency(0) == cycles_from_ns(PCM.read_row_miss_ns)
+
+    def test_stats_recorded(self, stats):
+        channel = MemoryChannel(PCM, stats, "nvm")
+        channel.read_latency(0)
+        channel.read_latency(0)
+        assert stats["nvm.read_row_miss"] == 1
+        assert stats["nvm.read_row_hit"] == 1
+
+
+class TestNvmWriteBuffer:
+    def _buffer(self, stats, capacity=4):
+        channel = MemoryChannel(PCM, stats, "nvm")
+        return NvmWriteBuffer(capacity, channel, stats)
+
+    def test_buffered_write_is_cheap(self, stats):
+        buf = self._buffer(stats)
+        latency = buf.enqueue(0, now=0)
+        assert latency == cycles_from_ns(NvmWriteBuffer.INSERT_NS)
+
+    def test_full_buffer_stalls(self, stats):
+        buf = self._buffer(stats, capacity=2)
+        buf.enqueue(0, 0)
+        buf.enqueue(64, 0)
+        latency = buf.enqueue(128, 0)
+        assert latency > cycles_from_ns(NvmWriteBuffer.INSERT_NS)
+        assert stats["nvm.write_buffer_full"] == 1
+
+    def test_drains_free_slots_over_time(self, stats):
+        buf = self._buffer(stats, capacity=2)
+        buf.enqueue(0, 0)
+        buf.enqueue(64, 0)
+        # Far in the future everything has drained.
+        latency = buf.enqueue(128, 10_000_000)
+        assert latency == cycles_from_ns(NvmWriteBuffer.INSERT_NS)
+
+    def test_drain_all_blocks_until_empty(self, stats):
+        buf = self._buffer(stats)
+        buf.enqueue(0, 0)
+        stall = buf.drain_all(0)
+        assert stall > 0
+        assert buf.occupancy == 0
+
+    def test_drain_all_noop_when_empty(self, stats):
+        buf = self._buffer(stats)
+        assert buf.drain_all(0) == 0
+
+    def test_capacity_validation(self, stats):
+        channel = MemoryChannel(PCM, stats, "nvm")
+        with pytest.raises(ValueError):
+            NvmWriteBuffer(0, channel, stats)
+
+    def test_reset_discards_in_flight(self, stats):
+        buf = self._buffer(stats)
+        buf.enqueue(0, 0)
+        buf.reset()
+        assert buf.occupancy == 0
+        assert buf.drain_all(0) == 0
+
+
+class TestHybridController:
+    def _controller(self, stats):
+        return HybridMemoryController(DDR4_2400, PCM, NvmBufferConfig(), stats)
+
+    def test_routes_reads_by_technology(self, stats):
+        ctrl = self._controller(stats)
+        ctrl.read(0, is_nvm=False, now=0)
+        ctrl.read(0, is_nvm=True, now=0)
+        assert stats["dram.reads"] == 1
+        assert stats["nvm.reads"] == 1
+
+    def test_nvm_writes_are_buffered(self, stats):
+        ctrl = self._controller(stats)
+        ctrl.write(0, is_nvm=True, now=0)
+        assert stats["nvm.buffered_writes"] == 1
+
+    def test_persist_barrier_drains(self, stats):
+        ctrl = self._controller(stats)
+        ctrl.write(0, is_nvm=True, now=0)
+        assert ctrl.persist_barrier(0) > 0
+        assert ctrl.persist_barrier(0) == 0
+
+    def test_power_cycle_clears_buffer(self, stats):
+        ctrl = self._controller(stats)
+        ctrl.write(0, is_nvm=True, now=0)
+        ctrl.power_cycle()
+        assert ctrl.persist_barrier(0) == 0

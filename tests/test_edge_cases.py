@@ -1,0 +1,137 @@
+"""Edge cases and failure injection across subsystems."""
+
+import pytest
+
+from repro.arch.msr import MSR_NVM_RANGE_LO
+from repro.common.units import CACHE_LINE, PAGE_SIZE
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+from repro.ssp.manager import SspManager
+from repro.ssp.sspcache import SspCache
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestSspCacheCapacity:
+    def test_insert_beyond_capacity_fails_loudly(self):
+        cache = SspCache(base_paddr=0, capacity=2)
+        cache.insert(1, 10, 11)
+        cache.insert(2, 20, 21)
+        with pytest.raises(ValueError):
+            cache.insert(3, 30, 31)
+
+    def test_slots_are_not_reused_after_remove(self):
+        # Slots are append-only (the paddr of a slot must stay stable).
+        cache = SspCache(base_paddr=0, capacity=4)
+        a = cache.insert(1, 0, 0)
+        cache.remove(1)
+        b = cache.insert(2, 0, 0)
+        assert b.slot == a.slot + 1
+
+
+class TestSspPowerCycle:
+    def test_crash_disables_tracking_and_clears_msrs(self, plain_system):
+        system = plain_system
+        proc = system.spawn("app")
+        addr = system.kernel.sys_mmap(proc, None, 4 * PAGE_SIZE, RW, MAP_NVM)
+        ssp = SspManager(system.kernel, proc, cache_capacity=64)
+        ssp.checkpoint_start(addr, addr + 4 * PAGE_SIZE)
+        system.machine.access(addr, 8, True)
+        assert ssp.extension.dirty_lines
+        system.machine.power_fail()
+        assert not ssp.extension.enabled
+        assert not ssp.extension.dirty_lines
+        assert system.machine.msr.read(MSR_NVM_RANGE_LO) == 0
+
+
+class TestKernelEdgeCases:
+    def test_exit_current_process_clears_current(self, plain_system):
+        k = plain_system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        k.exit_process(p)
+        assert k.current is None
+
+    def test_pids_continue_after_crash_recovery(self, rebuild_system):
+        system = rebuild_system
+        p1 = system.spawn("a")
+        system.checkpoint()
+        system.crash()
+        (recovered,) = system.boot()
+        p2 = system.kernel.create_process("b")
+        assert p2.pid > recovered.pid
+
+    def test_mmap_hint_adjacent_to_existing(self, plain_system):
+        k = plain_system.kernel
+        p = k.create_process("a")
+        a = k.sys_mmap(p, None, PAGE_SIZE, RW)
+        b = k.sys_mmap(p, a + PAGE_SIZE, PAGE_SIZE, RW)
+        assert b == a + PAGE_SIZE
+
+    def test_munmap_middle_keeps_outer_mappings_live(self, rebuild_system):
+        system = rebuild_system
+        p = system.spawn("a")
+        k = system.kernel
+        addr = k.sys_mmap(p, None, 3 * PAGE_SIZE, RW, MAP_NVM)
+        for i in range(3):
+            system.machine.store(addr + i * PAGE_SIZE, bytes([i + 1]))
+        k.sys_munmap(p, addr + PAGE_SIZE, PAGE_SIZE)
+        assert system.machine.load(addr, 1) == b"\x01"
+        assert system.machine.load(addr + 2 * PAGE_SIZE, 1) == b"\x03"
+        from repro.common.errors import SegmentationFault
+
+        with pytest.raises(SegmentationFault):
+            system.machine.access(addr + PAGE_SIZE, 8, False)
+
+
+class TestWorkloadDeterminism:
+    def test_gapbs_deterministic(self):
+        from repro.workloads import generate_pagerank
+
+        a = generate_pagerank(total_ops=3_000, nodes=1024)
+        b = generate_pagerank(total_ops=3_000, nodes=1024)
+        assert a.tuples == b.tuples
+
+    def test_sssp_deterministic(self):
+        from repro.workloads import generate_sssp
+
+        a = generate_sssp(total_ops=3_000, nodes=1024)
+        b = generate_sssp(total_ops=3_000, nodes=1024)
+        assert a.tuples == b.tuples
+
+
+class TestWriteBufferSteadyState:
+    def test_latencies_bounded_by_device_write(self):
+        """No single buffered write may stall longer than a full device
+        write plus insert, in any arrival pattern."""
+        from repro.common.config import PCM
+        from repro.common.stats import Stats
+        from repro.common.units import cycles_from_ns
+        from repro.mem.controller import MemoryChannel, NvmWriteBuffer
+
+        stats = Stats()
+        channel = MemoryChannel(PCM, stats, "nvm")
+        buf = NvmWriteBuffer(4, channel, stats)
+        bound = cycles_from_ns(
+            PCM.write_row_miss_ns + NvmWriteBuffer.INSERT_NS
+        )
+        now = 0
+        for i in range(200):
+            latency = buf.enqueue(i * CACHE_LINE, now)
+            assert latency <= bound
+            # The writer experiences its own stall: the clock advances
+            # by the observed latency plus a small issue gap (this is
+            # what Machine.advance does with the returned cycles).
+            now += latency + 10
+
+
+class TestHsccStudyConfig:
+    def test_memory_side_parameters_untouched(self):
+        from repro.common.config import MachineConfig
+        from repro.harness.experiments import hscc_study_config
+
+        scaled = hscc_study_config()
+        default = MachineConfig()
+        assert scaled.nvm == default.nvm
+        assert scaled.dram == default.dram
+        assert scaled.nvm_buffers == default.nvm_buffers
+        assert scaled.llc.size < default.llc.size

@@ -1,0 +1,126 @@
+"""Integration: the full pipeline and cross-cutting scenarios."""
+
+import pytest
+
+from repro.common.units import PAGE_SIZE
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+from repro.platform import HybridSystem
+from repro.prep.codegen import PlacementPolicy, ReplayProgram
+from repro.prep.imagegen import generate_image, load_image, save_image
+from repro.prep.trace import load_trace, save_trace
+from repro.prep.tracer import TracedProcess
+from repro.workloads import generate_ycsb
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestPreparationPipeline:
+    """Trace -> maps -> image -> template -> replay (Fig. 3 end to end)."""
+
+    def test_full_pipeline_through_files(self, tmp_path):
+        # 1. trace an application on the "host".
+        tp = TracedProcess("app")
+        buf = tp.alloc_heap("table", 16 * PAGE_SIZE)
+        stack = tp.stacks.register_thread(0)
+        stack.push_frame(slots=2)
+        for i in range(0, 1024, 8):
+            buf.store(i)
+            stack.local_store(0)
+        stack.pop_frame()
+
+        # 2. persist + reload the trace artifact.
+        trace_path = tmp_path / "app.trace"
+        save_trace(tp.trace, trace_path)
+        trace = load_trace(trace_path)
+        assert trace == tp.trace
+
+        # 3. image generation + persistence.
+        image = generate_image("app", trace, tp.layout)
+        image_path = tmp_path / "app.img"
+        save_image(image, image_path)
+        image = load_image(image_path)
+
+        # 4. replay on the simulated platform.
+        system = HybridSystem(persistence=False)
+        system.boot()
+        proc = system.spawn("app")
+        program = ReplayProgram(image, PlacementPolicy.HEAP_NVM)
+        program.install(system.kernel, proc)
+        executed = program.run(system.kernel, proc)
+        assert executed == image.total_ops
+        # Heap went to NVM, stack to DRAM.
+        assert system.stats["nvm.reads"] + system.stats["nvm.writes"] >= 0
+        assert system.stats["fault.demand"] > 0
+
+
+class TestReplayCrashResume:
+    @pytest.mark.parametrize("scheme", ["rebuild", "persistent"])
+    def test_workload_resumes_after_crash(self, scheme):
+        image = generate_ycsb(total_ops=8_000, records=2048)
+        program = ReplayProgram(image, PlacementPolicy.ALL_NVM)
+        system = HybridSystem(scheme=scheme, checkpoint_interval_ms=0.02)
+        system.boot()
+        proc = system.spawn(image.name)
+        program.install(system.kernel, proc)
+        program.run(system.kernel, proc, max_ops=5_000)
+        pc_at_crash = proc.registers["pc"]
+        system.crash()
+        (recovered,) = system.boot()
+        assert 0 < recovered.registers["pc"] <= pc_at_crash
+        program.run(system.kernel, recovered)
+        assert program.is_finished(recovered)
+
+    def test_checkpoints_fire_automatically_during_replay(self):
+        image = generate_ycsb(total_ops=8_000, records=2048)
+        program = ReplayProgram(image, PlacementPolicy.ALL_NVM)
+        system = HybridSystem(scheme="rebuild", checkpoint_interval_ms=0.02)
+        system.boot()
+        proc = system.spawn(image.name)
+        program.install(system.kernel, proc)
+        program.run(system.kernel, proc)
+        assert system.stats["checkpoint.taken"] >= 2
+
+
+class TestSspAndHsccTogether:
+    def test_extensions_compose(self, plain_system):
+        """SSP and HSCC hooks can coexist on one machine (Kindle's
+        extensibility claim): SSP tracks one range, HSCC migrates."""
+        from repro.hscc.manager import HsccManager
+        from repro.ssp.manager import SspManager
+
+        system = plain_system
+        proc = system.spawn("app")
+        k = system.kernel
+        ssp_addr = k.sys_mmap(proc, None, 4 * PAGE_SIZE, RW, MAP_NVM, name="ssp")
+        hscc_addr = k.sys_mmap(proc, None, 4 * PAGE_SIZE, RW, MAP_NVM, name="hot")
+        ssp = SspManager(system.kernel, proc, cache_capacity=64)
+        hscc = HsccManager(
+            k, proc, fetch_threshold=2, migration_interval_ms=1000.0,
+            pool_pages=4, auto_arm=False,
+        )
+        ssp.checkpoint_start(ssp_addr, ssp_addr + 4 * PAGE_SIZE)
+        system.machine.access(ssp_addr, 8, True)
+        for i in range(8):
+            system.machine.access(hscc_addr + i * 64, 8, False)
+        ssp.checkpoint_end()
+        hscc.migrate()
+        assert system.stats["ssp.routed_stores"] >= 1
+        assert hscc.pages_migrated >= 1
+
+
+class TestStatsDump:
+    def test_dump_is_parseable(self, rebuild_system):
+        p = rebuild_system.spawn("app")
+        addr = rebuild_system.kernel.sys_mmap(p, None, PAGE_SIZE, RW, MAP_NVM)
+        rebuild_system.machine.access(addr, 8, True)
+        dump = rebuild_system.stats.dump()
+        for line in dump.splitlines():
+            name, value = line.rsplit(" ", 1)
+            assert int(value) >= 0
+
+
+class TestElapsed:
+    def test_elapsed_ms_tracks_clock(self, rebuild_system):
+        assert rebuild_system.elapsed_ms >= 0
+        rebuild_system.machine.advance(3_000_000)
+        assert rebuild_system.elapsed_ms == pytest.approx(1.0)

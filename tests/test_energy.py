@@ -1,0 +1,66 @@
+"""Energy model arithmetic and end-to-end shape."""
+
+import pytest
+
+from repro.common.config import small_machine_config
+from repro.common.stats import Stats
+from repro.common.units import GiB, cycles_from_s
+from repro.mem.energy import EnergyConfig, EnergyModel
+
+
+class TestArithmetic:
+    def test_empty_run_has_only_background(self):
+        model = EnergyModel()
+        report = model.report(Stats(), cycles_from_s(1), 1 * GiB, 1 * GiB)
+        assert report.dynamic_mj == 0
+        assert report.background_mj > 0
+
+    def test_background_scales_with_time_and_size(self):
+        model = EnergyModel()
+        small = model.report(Stats(), cycles_from_s(1), 1 * GiB, 0 * GiB + 1)
+        big = model.report(Stats(), cycles_from_s(2), 2 * GiB, 0 * GiB + 1)
+        assert big.components_mj["dram.background"] == pytest.approx(
+            4 * small.components_mj["dram.background"]
+        )
+
+    def test_nvm_write_dominates_dynamic(self):
+        stats = Stats()
+        stats.add("nvm.writes", 1000)
+        stats.add("dram.writes", 1000)
+        report = EnergyModel().report(stats, 0, 1 * GiB, 1 * GiB)
+        assert (
+            report.components_mj["nvm.dynamic"]
+            > 5 * report.components_mj["dram.dynamic"]
+        )
+
+    def test_bulk_lines_counted(self):
+        stats = Stats()
+        stats.add("bulk.nvm.write_lines", 100)
+        report = EnergyModel().report(stats, 0, 1 * GiB, 1 * GiB)
+        assert report.components_mj["nvm.dynamic"] == pytest.approx(
+            100 * EnergyConfig().nvm_write_nj / 1e6
+        )
+
+    def test_render(self):
+        report = EnergyModel().report(Stats(), cycles_from_s(1), GiB, GiB)
+        text = report.render()
+        assert "total" in text and "dram.background" in text
+
+
+class TestEndToEnd:
+    def test_idle_dram_refresh_dominates(self):
+        """A mostly idle system burns DRAM refresh — the hybrid-memory
+        energy motivation."""
+        from repro.arch.machine import Machine
+
+        machine = Machine(small_machine_config())
+        machine.advance(cycles_from_s(0.01))  # 10 ms idle
+        layout = machine.config.layout
+        report = EnergyModel().report(
+            machine.stats, machine.clock, layout.dram_bytes, layout.nvm_bytes
+        )
+        assert report.components_mj["dram.background"] > report.dynamic_mj
+        assert (
+            report.components_mj["dram.background"]
+            > report.components_mj["nvm.background"]
+        )

@@ -1,0 +1,40 @@
+"""Smoke-run the fast examples (they assert their own invariants)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        assert "quickstart OK" in capsys.readouterr().out
+
+    def test_prepare_and_replay(self, capsys):
+        run_example("prepare_and_replay.py")
+        assert "pipeline OK" in capsys.readouterr().out
+
+    def test_persistent_kv_store(self, capsys):
+        run_example("persistent_kv_store.py")
+        assert "persistent kv example OK" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_process_persistence(self, capsys):
+        run_example("process_persistence.py")
+        assert "process persistence OK" in capsys.readouterr().out

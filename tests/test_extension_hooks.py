@@ -1,0 +1,128 @@
+"""Direct unit coverage of the SSP/HSCC hardware hook behaviours."""
+
+import pytest
+
+from repro.arch.msr import MSR_NVM_RANGE_HI, MSR_NVM_RANGE_LO
+from repro.common.units import CACHE_LINE, PAGE_SIZE
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+from repro.hscc.manager import HsccManager
+from repro.ssp.manager import SspManager
+
+RW = PROT_READ | PROT_WRITE
+
+
+@pytest.fixture
+def tracked(plain_system):
+    system = plain_system
+    proc = system.spawn("app")
+    addr = system.kernel.sys_mmap(proc, None, 8 * PAGE_SIZE, RW, MAP_NVM)
+    ssp = SspManager(system.kernel, proc, cache_capacity=128)
+    ssp.checkpoint_start(addr, addr + 8 * PAGE_SIZE)
+    return system, proc, ssp, addr
+
+
+class TestSspExtensionDirect:
+    def test_disabled_extension_never_routes(self, plain_system):
+        system = plain_system
+        proc = system.spawn("app")
+        addr = system.kernel.sys_mmap(proc, None, PAGE_SIZE, RW, MAP_NVM)
+        ssp = SspManager(system.kernel, proc, cache_capacity=16)
+        # FASE never started: stores go straight to the primary page.
+        system.machine.access(addr, 8, True)
+        assert system.stats["ssp.routed_stores"] == 0
+
+    def test_tlb_fill_loads_bitmaps_from_metadata(self, tracked):
+        system, proc, ssp, addr = tracked
+        system.machine.access(addr, 8, True)
+        vpn = addr // PAGE_SIZE
+        meta = ssp.cache.get(vpn)
+        ssp.interval_end()  # commit: current bitmap set
+        committed = meta.current_bitmap
+        system.machine.tlb.flush()
+        system.machine.access(addr, 8, False)  # refill
+        entry = system.machine.tlb.lookup(proc.asid, vpn)
+        assert entry.current_bitmap == committed
+        assert entry.shadow_pfn == meta.shadow_pfn
+
+    def test_routing_alternates_with_commits(self, tracked):
+        system, proc, ssp, addr = tracked
+        system.machine.access(addr, 8, True)  # fault creates the shadow
+        meta = ssp.cache.get(addr // PAGE_SIZE)
+        first_target = meta.working_pfn_for_line(0)
+        assert first_target == meta.shadow_pfn
+        ssp.interval_end()
+        # After commit, the shadow holds the current copy: new writes
+        # must route back to the primary.
+        assert meta.working_pfn_for_line(0) == meta.primary_pfn
+
+    def test_msr_range_bounds_routing(self, tracked):
+        system, proc, ssp, addr = tracked
+        lo = system.machine.msr.read(MSR_NVM_RANGE_LO)
+        hi = system.machine.msr.read(MSR_NVM_RANGE_HI)
+        assert lo == addr and hi == addr + 8 * PAGE_SIZE
+        # Shrink the window via MSR and confirm the hardware honours it.
+        system.machine.msr.write(MSR_NVM_RANGE_HI, addr + PAGE_SIZE)
+        before = system.stats["ssp.routed_stores"]
+        system.machine.access(addr + 2 * PAGE_SIZE, 8, True)
+        assert system.stats["ssp.routed_stores"] == before
+
+
+@pytest.fixture
+def cached(plain_system):
+    system = plain_system
+    proc = system.spawn("app")
+    addr = system.kernel.sys_mmap(proc, None, 8 * PAGE_SIZE, RW, MAP_NVM)
+    manager = HsccManager(
+        system.kernel, proc, fetch_threshold=2,
+        migration_interval_ms=1000.0, pool_pages=4, auto_arm=False,
+    )
+    for i in range(8):
+        system.machine.access(addr + (i * CACHE_LINE), 8, False)
+    manager.migrate()
+    assert manager.pages_migrated == 1
+    return system, proc, manager, addr
+
+
+class TestHsccExtensionDirect:
+    def test_remap_charges_table_lookup(self, cached):
+        system, proc, manager, addr = cached
+        system.machine.tlb.flush()
+        before = system.stats["hscc.remapped_fills"]
+        system.machine.access(addr, 8, False)
+        assert system.stats["hscc.remapped_fills"] == before + 1
+
+    def test_cached_entry_carries_nvm_home(self, cached):
+        system, proc, manager, addr = cached
+        system.machine.tlb.flush()
+        system.machine.access(addr, 8, False)
+        entry = system.machine.tlb.lookup(proc.asid, addr // PAGE_SIZE)
+        assert "nvm_home" in entry.ext
+        remap = manager.remap_table.lookup_dram(entry.pfn)
+        assert remap.nvm_pfn == entry.ext["nvm_home"]
+
+    def test_store_marks_pool_page_dirty(self, cached):
+        system, proc, manager, addr = cached
+        system.machine.access(addr, 8, True)
+        entry = system.machine.translate(addr, False)
+        assert manager.pool.is_dirty(entry.pfn)
+
+    def test_reads_leave_pool_page_clean(self, cached):
+        system, proc, manager, addr = cached
+        system.machine.access(addr, 8, False)
+        entry = system.machine.translate(addr, False)
+        assert not manager.pool.is_dirty(entry.pfn)
+
+    def test_power_cycle_clears_remap_table(self, cached):
+        system, proc, manager, addr = cached
+        assert len(manager.remap_table) == 1
+        system.machine.power_fail()
+        assert len(manager.remap_table) == 0
+
+    def test_second_migration_skips_cached_page(self, cached):
+        system, proc, manager, addr = cached
+        # Re-heat the already-cached page: counts accrue to the DRAM
+        # copy and must not trigger a second migration of the same page.
+        for i in range(8):
+            system.machine.access(addr + i * CACHE_LINE, 8, False)
+        manager.migrate()
+        assert manager.pages_migrated == 1

@@ -1,0 +1,105 @@
+"""Frame allocators: ranges, reuse, persistence metadata."""
+
+import pytest
+
+from repro.arch.machine import Machine
+from repro.common.config import small_machine_config
+from repro.common.errors import OutOfMemoryError
+from repro.common.stats import Stats
+from repro.gemos.frames import FrameAllocator
+from repro.mem.hybrid import MemType
+from repro.mem.nvmstore import NvmObjectStore
+
+
+def volatile_allocator(lo=0, hi=8):
+    return FrameAllocator(MemType.DRAM, lo, hi, Stats())
+
+
+class TestBasicAllocation:
+    def test_allocates_within_range(self):
+        alloc = volatile_allocator(10, 20)
+        pfn = alloc.alloc()
+        assert 10 <= pfn < 20
+
+    def test_allocates_distinct_frames(self):
+        alloc = volatile_allocator()
+        assert len({alloc.alloc() for _ in range(8)}) == 8
+
+    def test_exhaustion(self):
+        alloc = volatile_allocator(0, 2)
+        alloc.alloc()
+        alloc.alloc()
+        with pytest.raises(OutOfMemoryError):
+            alloc.alloc()
+
+    def test_free_enables_reuse(self):
+        alloc = volatile_allocator(0, 1)
+        pfn = alloc.alloc()
+        alloc.free(pfn)
+        assert alloc.alloc() == pfn
+
+    def test_double_free_rejected(self):
+        alloc = volatile_allocator()
+        pfn = alloc.alloc()
+        alloc.free(pfn)
+        with pytest.raises(ValueError):
+            alloc.free(pfn)
+
+    def test_foreign_free_rejected(self):
+        with pytest.raises(ValueError):
+            volatile_allocator().free(5)
+
+    def test_counters(self):
+        alloc = volatile_allocator(0, 4)
+        alloc.alloc()
+        assert alloc.allocated_count == 1
+        assert alloc.free_count == 3
+
+    def test_is_allocated(self):
+        alloc = volatile_allocator()
+        pfn = alloc.alloc()
+        assert alloc.is_allocated(pfn)
+        alloc.free(pfn)
+        assert not alloc.is_allocated(pfn)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(MemType.DRAM, 5, 5, Stats())
+
+    def test_reset_volatile(self):
+        alloc = volatile_allocator(0, 2)
+        alloc.alloc()
+        alloc.reset_volatile()
+        assert alloc.allocated_count == 0
+        assert alloc.free_count == 2
+
+
+class TestPersistentAllocator:
+    def _persistent(self, store, machine):
+        lo, hi = machine.layout.pfn_range(MemType.NVM)
+        return FrameAllocator(
+            MemType.NVM, lo, lo + 16, machine.stats,
+            machine=machine, nvm_store=store,
+        )
+
+    def test_state_survives_reconstruction(self):
+        machine = Machine(small_machine_config())
+        store = NvmObjectStore()
+        first = self._persistent(store, machine)
+        pfn = first.alloc()
+        # A "new kernel" builds a new allocator over the same store.
+        second = self._persistent(store, machine)
+        assert second.is_allocated(pfn)
+
+    def test_metadata_writes_charged(self):
+        machine = Machine(small_machine_config())
+        alloc = self._persistent(NvmObjectStore(), machine)
+        alloc.alloc()
+        assert machine.stats["alloc.nvm_metadata_writes"] == 1
+        assert machine.clock > 0
+
+    def test_reset_volatile_forbidden(self):
+        machine = Machine(small_machine_config())
+        alloc = self._persistent(NvmObjectStore(), machine)
+        with pytest.raises(ValueError):
+            alloc.reset_volatile()

@@ -1,0 +1,123 @@
+"""Experiment harness: scaled-down runs must reproduce paper shapes."""
+
+import pytest
+
+from repro.harness import experiments, format_table
+from repro.harness.fig1_data import FIG1_PUBLICATIONS, average_per_year
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 3.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in text
+
+    def test_fig1_average_matches_paper_claim(self):
+        # "an average of 120 research papers annually"
+        assert average_per_year() == pytest.approx(120, abs=3)
+        assert len(FIG1_PUBLICATIONS) == 6
+
+
+class TestTable2:
+    def test_rows_and_mixes(self):
+        result = experiments.run_table2(total_ops=20_000)
+        assert len(result["rows"]) == 3
+        for row in result["rows"]:
+            assert abs(row["read_pct"] - row["paper_read_pct"]) <= 4
+
+
+class TestFig4aShape:
+    def test_rebuild_loses_and_gap_widens(self):
+        result = experiments.run_fig4a(sizes_mb=(32, 64), touches_per_page=4)
+        rows = result["rows"]
+        assert all(r["rebuild_ms"] > r["persistent_ms"] for r in rows)
+        assert rows[1]["overhead_x"] > rows[0]["overhead_x"]
+
+
+class TestFig4bShape:
+    def test_persistent_relatively_better_at_small_stride(self):
+        result = experiments.run_fig4b(rounds=120)
+        by_stride = {r["stride"]: r["ratio"] for r in result["rows"]}
+        # persistent/rebuild ratio falls as the stride shrinks.
+        assert by_stride["1GB"] > by_stride["2MB"] > by_stride["4KB"]
+
+
+class TestTable3Shape:
+    def test_both_grow_with_churn_and_rebuild_dominates(self):
+        result = experiments.run_table3(
+            churn_sizes_mb=(16, 32), total_mb=128, scale=1.0
+        )
+        rows = result["rows"]
+        assert all(r["rebuild_ms"] > r["persistent_ms"] for r in rows)
+        assert rows[1]["persistent_ms"] > rows[0]["persistent_ms"]
+        assert rows[1]["rebuild_ms"] > rows[0]["rebuild_ms"]
+
+
+class TestTable4Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return experiments.run_table4(
+            churn_sizes_mb=(16,),
+            total_mb=128,
+            intervals_ms=(10.0, 100.0, 1000.0),
+            access_rounds=3,
+        )
+
+    def test_persistent_flat_across_intervals(self, result):
+        times = [r["persistent_ms"] for r in result["rows"]]
+        assert max(times) / min(times) < 1.05
+
+    def test_rebuild_improves_with_interval(self, result):
+        times = {r["interval_ms"]: r["rebuild_ms"] for r in result["rows"]}
+        assert times[10.0] > 2 * times[100.0]
+        assert times[100.0] >= times[1000.0]
+
+    def test_rebuild_beats_persistent_at_one_second(self, result):
+        row = next(r for r in result["rows"] if r["interval_ms"] == 1000.0)
+        assert row["rebuild_ms"] < row["persistent_ms"]
+
+
+class TestFig5Shape:
+    def test_overhead_shrinks_with_interval(self):
+        result = experiments.run_fig5(
+            total_ops=20_000,
+            intervals_ms=(1.0, 10.0),
+            workloads=["ycsb_mem"],
+            target_ms=12.0,
+        )
+        rows = {r["interval_ms"]: r for r in result["rows"]}
+        assert rows[1.0]["normalized_time"] > rows[10.0]["normalized_time"] >= 1.0
+
+
+class TestFig6Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return experiments.run_fig6(
+            total_ops=20_000,
+            thresholds=(2, 20),
+            workloads=["ycsb_mem"],
+            migration_interval_ms=2.0,
+            pool_pages=64,
+            target_ms=16.0,
+        )
+
+    def test_os_overhead_positive(self, result):
+        assert all(r["normalized_time"] > 1.0 for r in result["rows"])
+
+    def test_migrations_fall_with_threshold(self, result):
+        rows = {r["threshold"]: r for r in result["rows"]}
+        assert rows[2]["pages_migrated"] > rows[20]["pages_migrated"]
+
+    def test_split_percentages_sum(self, result):
+        for row in result["rows"]:
+            assert row["selection_pct"] + row["copy_pct"] == pytest.approx(100)
+
+
+class TestCli:
+    def test_table2_via_main(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["table2", "--ops", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "gapbs_pr" in out and "table2" in out

@@ -1,0 +1,22 @@
+"""Harness CLI coverage beyond table2."""
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+class TestCliExperiments:
+    def test_fig4b_runs(self, capsys):
+        # The smallest real experiment the CLI exposes end to end.
+        assert main(["fig4b"]) == 0
+        out = capsys.readouterr().out
+        assert "1GB" in out and "4KB" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_scale_flag_parses(self, capsys):
+        assert main(["table3", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out

@@ -1,0 +1,288 @@
+"""HSCC: remap table, DRAM pool, access counting, migration."""
+
+import pytest
+
+from repro.common.errors import KindleError
+from repro.common.units import PAGE_SIZE
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+from repro.hscc.manager import HsccManager
+from repro.hscc.mapping import RemapTable
+from repro.hscc.pool import DramPool
+from repro.mem.hybrid import MemType
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestRemapTable:
+    def test_insert_and_bidirectional_lookup(self):
+        table = RemapTable(base_paddr=0)
+        table.insert(100, 5, vpn=7)
+        assert table.lookup_nvm(100).dram_pfn == 5
+        assert table.lookup_dram(5).nvm_pfn == 100
+        assert table.lookup_dram(5).vpn == 7
+
+    def test_duplicate_nvm_rejected(self):
+        table = RemapTable(0)
+        table.insert(100, 5, 7)
+        with pytest.raises(ValueError):
+            table.insert(100, 6, 8)
+
+    def test_duplicate_dram_rejected(self):
+        table = RemapTable(0)
+        table.insert(100, 5, 7)
+        with pytest.raises(ValueError):
+            table.insert(101, 5, 8)
+
+    def test_remove_by_dram(self):
+        table = RemapTable(0)
+        table.insert(100, 5, 7)
+        removed = table.remove_by_dram(5)
+        assert removed.nvm_pfn == 100
+        assert table.lookup_nvm(100) is None
+        assert len(table) == 0
+
+    def test_remove_missing(self):
+        assert RemapTable(0).remove_by_dram(5) is None
+
+    def test_clear(self):
+        table = RemapTable(0)
+        table.insert(100, 5, 7)
+        table.clear()
+        assert len(table) == 0
+
+
+class TestDramPool:
+    def test_take_free(self):
+        pool = DramPool([1, 2, 3])
+        pfn = pool.take_free()
+        assert pfn in (1, 2, 3)
+        assert pool.free_count == 2
+        assert pool.clean_count == 1
+
+    def test_take_free_exhausted(self):
+        pool = DramPool([1])
+        pool.take_free()
+        assert pool.take_free() is None
+
+    def test_dirty_tracking(self):
+        pool = DramPool([1, 2])
+        pfn = pool.take_free()
+        assert pool.mark_dirty(pfn)
+        assert pool.dirty_count == 1 and pool.clean_count == 0
+        assert not pool.mark_dirty(99)
+
+    def test_oldest_clean_fifo(self):
+        pool = DramPool([1, 2, 3])
+        a = pool.take_free()
+        b = pool.take_free()
+        assert pool.oldest_clean() == a
+        pool.mark_dirty(a)
+        assert pool.oldest_clean() == b
+
+    def test_oldest_dirty(self):
+        pool = DramPool([1, 2])
+        a = pool.take_free()
+        assert pool.oldest_dirty() is None
+        pool.mark_dirty(a)
+        assert pool.oldest_dirty() == a
+
+    def test_recycle_resets_to_clean_and_refreshes_fifo(self):
+        pool = DramPool([1, 2])
+        a = pool.take_free()
+        b = pool.take_free()
+        pool.mark_dirty(a)
+        pool.recycle(a)
+        assert not pool.is_dirty(a)
+        assert pool.oldest_clean() == b  # a moved to the back
+
+    def test_release_returns_to_free(self):
+        pool = DramPool([1])
+        a = pool.take_free()
+        pool.release(a)
+        assert pool.free_count == 1
+
+    def test_invalid_operations(self):
+        pool = DramPool([1])
+        with pytest.raises(ValueError):
+            pool.recycle(99)
+        with pytest.raises(ValueError):
+            pool.release(99)
+
+    def test_empty_pool_rejected(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            DramPool([])
+
+
+@pytest.fixture
+def hscc_setup(plain_system):
+    """A process with hot NVM pages and a tiny HSCC configuration."""
+    system = plain_system
+    proc = system.spawn("app")
+    addr = system.kernel.sys_mmap(proc, None, 32 * PAGE_SIZE, RW, MAP_NVM)
+    manager = HsccManager(
+        system.kernel,
+        proc,
+        fetch_threshold=2,
+        migration_interval_ms=1000.0,  # manual migrate() calls only
+        pool_pages=4,
+        auto_arm=False,
+    )
+    return system, proc, manager, addr
+
+
+def heat_page(system, addr, times=8):
+    """Generate LLC misses on a page by touching distinct lines and
+    evicting between rounds (simplest: touch many distinct lines)."""
+    for i in range(times):
+        system.machine.access(addr + (i * 64) % PAGE_SIZE, 8, False)
+
+
+class TestAccessCounting:
+    def test_llc_misses_counted_in_tlb(self, hscc_setup):
+        system, proc, manager, addr = hscc_setup
+        heat_page(system, addr)
+        entry = system.machine.tlb.lookup(proc.asid, addr // PAGE_SIZE)
+        assert entry.access_count >= 8
+
+    def test_counts_synced_to_pte_at_migration(self, hscc_setup):
+        system, proc, manager, addr = hscc_setup
+        heat_page(system, addr)
+        manager.migrate()
+        assert system.stats["hscc.count_syncs"] >= 1
+
+    def test_dram_pages_not_counted(self, plain_system):
+        system = plain_system
+        proc = system.spawn("app")
+        addr = system.kernel.sys_mmap(proc, None, PAGE_SIZE, RW, 0)  # DRAM
+        HsccManager(
+            system.kernel, proc, fetch_threshold=2,
+            migration_interval_ms=1000.0, pool_pages=2, auto_arm=False,
+        )
+        system.machine.access(addr, 8, False)
+        assert system.stats["hscc.counted_misses"] == 0
+
+
+class TestMigration:
+    def test_hot_page_migrates(self, hscc_setup):
+        system, proc, manager, addr = hscc_setup
+        heat_page(system, addr)
+        manager.migrate()
+        assert manager.pages_migrated == 1
+        vpn = addr // PAGE_SIZE
+        pte = proc.page_table.lookup(vpn)
+        assert manager.remap_table.lookup_nvm(pte.pfn) is not None
+
+    def test_cold_page_stays(self, hscc_setup):
+        system, proc, manager, addr = hscc_setup
+        system.machine.access(addr, 8, False)  # one miss < threshold 2
+        manager.migrate()
+        assert manager.pages_migrated == 0
+
+    def test_migrated_page_translates_to_dram(self, hscc_setup):
+        system, proc, manager, addr = hscc_setup
+        heat_page(system, addr)
+        manager.migrate()
+        entry = system.machine.translate(addr, False)
+        assert system.machine.layout.mem_type_of_pfn(entry.pfn) is MemType.DRAM
+
+    def test_migration_preserves_data(self, hscc_setup):
+        system, proc, manager, addr = hscc_setup
+        system.machine.store(addr, b"hotdata!")
+        heat_page(system, addr)
+        manager.migrate()
+        assert system.machine.load(addr, 8) == b"hotdata!"
+
+    def test_counts_reset_after_interval(self, hscc_setup):
+        system, proc, manager, addr = hscc_setup
+        heat_page(system, addr)
+        manager.migrate()
+        for _vpn, pte in proc.page_table.iter_leaves():
+            assert pte.access_count == 0
+
+    def test_migrated_pages_not_recounted(self, hscc_setup):
+        system, proc, manager, addr = hscc_setup
+        heat_page(system, addr)
+        manager.migrate()
+        before = system.stats["hscc.counted_misses"]
+        heat_page(system, addr)  # now DRAM-cached
+        assert system.stats["hscc.counted_misses"] == before
+
+    def test_selection_and_copy_cycles_attributed(self, hscc_setup):
+        system, proc, manager, addr = hscc_setup
+        heat_page(system, addr)
+        manager.migrate()
+        selection, copy = manager.migration_cycle_split()
+        assert selection > 0 and copy > 0
+
+
+class TestPoolPressure:
+    def _heat_many(self, system, addr, pages):
+        for p in range(pages):
+            heat_page(system, addr + p * PAGE_SIZE, times=4)
+
+    def test_clean_eviction_when_free_exhausted(self, hscc_setup):
+        system, proc, manager, addr = hscc_setup
+        self._heat_many(system, addr, 4)
+        manager.migrate()  # fills the 4-page pool
+        assert manager.pages_migrated == 4
+        self._heat_many(system, addr + 4 * PAGE_SIZE, 2)
+        manager.migrate()
+        assert manager.clean_evictions >= 2
+        assert system.stats["hscc.dest_from_clean"] >= 2
+
+    def test_dirty_copyback_preserves_data(self, hscc_setup):
+        system, proc, manager, addr = hscc_setup
+        system.machine.store(addr, b"original")
+        heat_page(system, addr)
+        manager.migrate()
+        system.machine.store(addr, b"modified")  # dirties the DRAM copy
+        # Force eviction of the dirty page by migrating 4 new hot pages.
+        self._heat_many(system, addr + PAGE_SIZE, 4)
+        manager.migrate()
+        assert manager.dirty_copybacks >= 1
+        # The page went back to NVM with its modifications.
+        assert system.machine.load(addr, 8) == b"modified"
+
+    def test_eviction_invalidates_stale_translation(self, hscc_setup):
+        system, proc, manager, addr = hscc_setup
+        heat_page(system, addr)
+        manager.migrate()
+        self._heat_many(system, addr + PAGE_SIZE, 4)
+        manager.migrate()  # evicts the first page's mapping
+        entry = system.machine.translate(addr, False)
+        assert system.machine.layout.mem_type_of_pfn(entry.pfn) is MemType.NVM
+
+
+class TestChargeModes:
+    def test_uncharged_migration_freezes_clock(self, plain_system):
+        system = plain_system
+        proc = system.spawn("app")
+        addr = system.kernel.sys_mmap(proc, None, 8 * PAGE_SIZE, RW, MAP_NVM)
+        manager = HsccManager(
+            system.kernel, proc, fetch_threshold=2,
+            migration_interval_ms=1000.0, pool_pages=4,
+            charge_os=False, auto_arm=False,
+        )
+        heat_page(system, addr)
+        before = system.machine.clock
+        manager.migrate()
+        assert system.machine.clock == before
+        assert manager.pages_migrated == 1  # hardware effect still happened
+        selection, copy = manager.migration_cycle_split()
+        assert selection > 0 and copy > 0  # tracked as uncharged
+
+
+class TestValidation:
+    def test_bad_threshold(self, plain_system):
+        proc = plain_system.spawn("app")
+        with pytest.raises(KindleError):
+            HsccManager(plain_system.kernel, proc, fetch_threshold=0)
+
+    def test_bad_interval(self, plain_system):
+        proc = plain_system.spawn("app")
+        with pytest.raises(KindleError):
+            HsccManager(
+                plain_system.kernel, proc, migration_interval_ms=0
+            )

@@ -1,0 +1,98 @@
+"""HSCC dynamic fetch-threshold policy (the paper's omitted feature)."""
+
+import pytest
+
+from repro.common.errors import KindleError
+from repro.common.units import PAGE_SIZE
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+from repro.hscc.manager import DynamicThresholdPolicy, HsccManager
+from repro.hscc.pool import DramPool
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestPolicyUnit:
+    def test_underuse_halves_threshold(self):
+        policy = DynamicThresholdPolicy()
+        pool = DramPool(list(range(16)))  # fully free
+        assert policy.adjust(32, migrated=0, copybacks=0, pool=pool) == 16
+
+    def test_copybacks_double_threshold(self):
+        policy = DynamicThresholdPolicy()
+        pool = DramPool(list(range(16)))
+        assert policy.adjust(32, migrated=3, copybacks=2, pool=pool) == 64
+
+    def test_pool_saturation_doubles(self):
+        policy = DynamicThresholdPolicy()
+        pool = DramPool(list(range(4)))
+        assert policy.adjust(8, migrated=4, copybacks=0, pool=pool) == 16
+
+    def test_bounds_respected(self):
+        policy = DynamicThresholdPolicy(lo=4, hi=16)
+        pool = DramPool(list(range(16)))
+        assert policy.adjust(4, 0, 0, pool) == 4  # floor
+        assert policy.adjust(16, 0, 5, pool) == 16  # ceiling
+
+    def test_steady_state_unchanged(self):
+        policy = DynamicThresholdPolicy()
+        pool = DramPool(list(range(16)))
+        for _ in range(10):
+            pool.take_free()  # half the pool in use
+        assert policy.adjust(8, migrated=4, copybacks=0, pool=pool) == 8
+
+    def test_history_recorded(self):
+        policy = DynamicThresholdPolicy()
+        pool = DramPool(list(range(16)))
+        policy.adjust(8, 0, 0, pool)
+        policy.adjust(4, 0, 0, pool)
+        assert policy.history == [4, 2]
+
+    def test_bad_bounds(self):
+        with pytest.raises(KindleError):
+            DynamicThresholdPolicy(lo=0)
+        with pytest.raises(KindleError):
+            DynamicThresholdPolicy(lo=10, hi=5)
+
+
+class TestManagerIntegration:
+    def test_threshold_adapts_downward_when_idle(self, plain_system):
+        system = plain_system
+        proc = system.spawn("app")
+        system.kernel.sys_mmap(proc, None, 8 * PAGE_SIZE, RW, MAP_NVM)
+        manager = HsccManager(
+            system.kernel,
+            proc,
+            fetch_threshold=64,
+            migration_interval_ms=1000.0,
+            pool_pages=8,
+            auto_arm=False,
+            dynamic_threshold=DynamicThresholdPolicy(),
+        )
+        # No hot pages at all: the policy hunts downward.
+        for _ in range(4):
+            manager.migrate()
+        assert manager.fetch_threshold == 4
+        assert system.stats["hscc.current_threshold"] == 4
+
+    def test_adaptive_finds_migrations_a_static_high_threshold_misses(
+        self, plain_system
+    ):
+        system = plain_system
+        proc = system.spawn("app")
+        addr = system.kernel.sys_mmap(proc, None, 8 * PAGE_SIZE, RW, MAP_NVM)
+        manager = HsccManager(
+            system.kernel,
+            proc,
+            fetch_threshold=1024,  # hopeless static value
+            migration_interval_ms=1000.0,
+            pool_pages=8,
+            auto_arm=False,
+            dynamic_threshold=DynamicThresholdPolicy(),
+        )
+        for interval in range(10):
+            for i in range(16):
+                offset = ((interval * 16 + i) * 64) % (8 * PAGE_SIZE)
+                system.machine.access(addr + offset, 8, False)
+            manager.migrate()
+        assert manager.pages_migrated >= 1
+        assert manager.fetch_threshold < 1024

@@ -1,0 +1,70 @@
+"""Hybrid physical layout and the e820 map."""
+
+import pytest
+
+from repro.common.config import HybridLayoutConfig
+from repro.common.errors import FaultError
+from repro.common.units import MiB, PAGE_SIZE
+from repro.mem.hybrid import E820Type, HybridLayout, MemType
+
+
+@pytest.fixture
+def layout():
+    return HybridLayout(HybridLayoutConfig(dram_bytes=16 * MiB, nvm_bytes=8 * MiB))
+
+
+class TestAddressClassification:
+    def test_dram_range(self, layout):
+        assert layout.mem_type_of_addr(0) is MemType.DRAM
+        assert layout.mem_type_of_addr(16 * MiB - 1) is MemType.DRAM
+
+    def test_nvm_range(self, layout):
+        assert layout.mem_type_of_addr(16 * MiB) is MemType.NVM
+        assert layout.mem_type_of_addr(24 * MiB - 1) is MemType.NVM
+
+    def test_out_of_range_raises(self, layout):
+        with pytest.raises(FaultError):
+            layout.mem_type_of_addr(24 * MiB)
+
+    def test_pfn_classification(self, layout):
+        dram_pages = 16 * MiB // PAGE_SIZE
+        assert layout.mem_type_of_pfn(0) is MemType.DRAM
+        assert layout.mem_type_of_pfn(dram_pages - 1) is MemType.DRAM
+        assert layout.mem_type_of_pfn(dram_pages) is MemType.NVM
+
+    def test_pfn_out_of_range(self, layout):
+        with pytest.raises(FaultError):
+            layout.mem_type_of_pfn(24 * MiB // PAGE_SIZE)
+
+    def test_pfn_ranges_cover_memory(self, layout):
+        d_lo, d_hi = layout.pfn_range(MemType.DRAM)
+        n_lo, n_hi = layout.pfn_range(MemType.NVM)
+        assert d_lo == 0
+        assert d_hi == n_lo
+        assert (n_hi - d_lo) * PAGE_SIZE == 24 * MiB
+
+    def test_contains_pfn(self, layout):
+        assert layout.contains_pfn(0)
+        assert not layout.contains_pfn(24 * MiB // PAGE_SIZE)
+
+
+class TestE820:
+    def test_two_entries(self, layout):
+        entries = layout.e820_map()
+        assert len(entries) == 2
+
+    def test_dram_entry_is_usable(self, layout):
+        entry = layout.e820_map()[0]
+        assert entry.kind is E820Type.USABLE
+        assert entry.base == 0
+        assert entry.length == 16 * MiB
+
+    def test_nvm_entry_is_pmem(self, layout):
+        entry = layout.e820_map()[1]
+        assert entry.kind is E820Type.PMEM
+        assert entry.base == 16 * MiB
+        assert entry.length == 8 * MiB
+
+    def test_entries_tile_address_space(self, layout):
+        entries = layout.e820_map()
+        assert entries[0].base + entries[0].length == entries[1].base

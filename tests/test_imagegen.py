@@ -1,0 +1,111 @@
+"""Disk image generation: labeling, offsets, serialization."""
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.prep.imagegen import (
+    AreaSpec,
+    DiskImage,
+    ReplayTuple,
+    generate_image,
+    load_image,
+    save_image,
+)
+from repro.prep.maps import AddressLayout, Region
+from repro.prep.trace import READ, WRITE, TraceRecord
+from repro.prep.tracer import TracedProcess
+
+
+def simple_layout():
+    layout = AddressLayout()
+    layout.add(Region(0x1000, 0x3000, "heap1"))
+    layout.add(Region(0x10000, 0x11000, "stack_t0", "stack"))
+    return layout
+
+
+class TestGeneration:
+    def test_labels_by_containing_region(self):
+        trace = [
+            TraceRecord(0, 0x1000, READ, 8),
+            TraceRecord(1, 0x10020, WRITE, 4),
+        ]
+        image = generate_image("t", trace, simple_layout())
+        assert image.tuples[0].area == "heap1"
+        assert image.tuples[1].area == "stack_t0"
+
+    def test_offsets_are_region_relative(self):
+        trace = [TraceRecord(0, 0x1040, READ, 8)]
+        image = generate_image("t", trace, simple_layout())
+        assert image.tuples[0].offset == 0x40
+
+    def test_periods_preserved(self):
+        trace = [TraceRecord(17, 0x1000, READ, 8)]
+        image = generate_image("t", trace, simple_layout())
+        assert image.tuples[0].period == 17
+
+    def test_unlabelable_access_rejected(self):
+        trace = [TraceRecord(0, 0x9000, READ, 8)]
+        with pytest.raises(TraceFormatError):
+            generate_image("t", trace, simple_layout())
+
+    def test_access_spilling_out_of_region_rejected(self):
+        trace = [TraceRecord(0, 0x2FFC, READ, 8)]
+        with pytest.raises(TraceFormatError):
+            generate_image("t", trace, simple_layout())
+
+    def test_areas_capture_all_regions(self):
+        image = generate_image("t", [], simple_layout())
+        assert {a.name for a in image.areas} == {"heap1", "stack_t0"}
+        assert image.area("heap1").size == 0x2000
+
+    def test_area_lookup_missing(self):
+        image = generate_image("t", [], simple_layout())
+        with pytest.raises(KeyError):
+            image.area("nope")
+
+    def test_mix(self):
+        trace = [
+            TraceRecord(0, 0x1000, READ, 8),
+            TraceRecord(1, 0x1008, READ, 8),
+            TraceRecord(2, 0x1010, WRITE, 8),
+            TraceRecord(3, 0x1018, WRITE, 8),
+        ]
+        image = generate_image("t", trace, simple_layout())
+        assert image.mix() == (50, 50)
+        assert image.write_fraction == 0.5
+
+    def test_end_to_end_from_tracer(self):
+        tp = TracedProcess("app")
+        buf = tp.alloc_heap("h", 4096)
+        buf.store(0)
+        buf.load(64)
+        image = generate_image("app", tp.trace, tp.layout)
+        assert image.total_ops == 2
+        assert image.tuples[0].is_write
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        image = DiskImage(
+            name="demo",
+            areas=[AreaSpec("h", 4096, "heap")],
+            tuples=[ReplayTuple(0, 64, WRITE, 8, "h")],
+        )
+        path = tmp_path / "demo.img"
+        save_image(image, path)
+        loaded = load_image(path)
+        assert loaded.name == "demo"
+        assert loaded.areas == image.areas
+        assert loaded.tuples == image.tuples
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "x.img"
+        path.write_text("wrong\n")
+        with pytest.raises(TraceFormatError):
+            load_image(path)
+
+    def test_bad_tuple_row(self, tmp_path):
+        path = tmp_path / "x.img"
+        path.write_text("# kindle-image v1\nname x\n0 0 Z 8 h\n")
+        with pytest.raises(TraceFormatError):
+            load_image(path)

@@ -1,0 +1,190 @@
+"""Kernel: boot, syscalls, demand paging, process lifecycle."""
+
+import pytest
+
+from repro.common.errors import SegmentationFault
+from repro.common.units import MiB, PAGE_SIZE
+from repro.gemos.process import ProcessState
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+from repro.mem.hybrid import MemType
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestBoot:
+    def test_allocators_cover_e820(self, rebuild_system):
+        kernel = rebuild_system.kernel
+        assert kernel.dram_alloc.mem_type is MemType.DRAM
+        assert kernel.nvm_alloc.mem_type is MemType.NVM
+
+    def test_nvm_reservation_excluded_from_allocator(self, rebuild_system):
+        kernel = rebuild_system.kernel
+        lo, _ = rebuild_system.machine.layout.pfn_range(MemType.NVM)
+        reserved = kernel.config.nvm_reserved_frames
+        # First allocatable NVM frame lies above the reserved area.
+        pfn = kernel.nvm_alloc.alloc()
+        assert pfn >= lo + reserved
+
+    def test_reserve_nvm_area(self, rebuild_system):
+        kernel = rebuild_system.kernel
+        base1 = kernel.reserve_nvm_area("a", 100)
+        base2 = kernel.reserve_nvm_area("b", 100)
+        assert base2 == base1 + PAGE_SIZE  # page-granular carving
+
+    def test_reserved_area_bounded(self, rebuild_system):
+        kernel = rebuild_system.kernel
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            kernel.reserve_nvm_area("huge", 10 * 1024 * MiB)
+
+
+class TestProcessLifecycle:
+    def test_create_assigns_pids(self, rebuild_system):
+        k = rebuild_system.kernel
+        p1 = k.create_process("a")
+        p2 = k.create_process("b")
+        assert p2.pid == p1.pid + 1
+        assert p1.state is ProcessState.READY
+
+    def test_switch_to(self, rebuild_system):
+        k = rebuild_system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        assert k.current is p
+        assert p.state is ProcessState.RUNNING
+        assert rebuild_system.machine.asid == p.pid
+
+    def test_switch_between(self, rebuild_system):
+        k = rebuild_system.kernel
+        p1, p2 = k.create_process("a"), k.create_process("b")
+        k.switch_to(p1)
+        k.switch_to(p2)
+        assert p1.state is ProcessState.READY
+
+    def test_exit_frees_resources(self, rebuild_system):
+        k = rebuild_system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        addr = k.sys_mmap(p, None, PAGE_SIZE, RW, MAP_NVM)
+        rebuild_system.machine.access(addr, 8, True)
+        nvm_used = k.nvm_alloc.allocated_count
+        k.exit_process(p)
+        assert k.nvm_alloc.allocated_count == nvm_used - 1
+        assert p.pid not in k.processes
+
+
+class TestMmapAndPaging:
+    def test_mmap_returns_address(self, rebuild_system):
+        k = rebuild_system.kernel
+        p = k.create_process("a")
+        addr = k.sys_mmap(p, None, PAGE_SIZE, RW, MAP_NVM)
+        vma = p.address_space.find(addr)
+        assert vma is not None and vma.mem_type is MemType.NVM
+
+    def test_demand_fault_allocates_matching_type(self, rebuild_system):
+        k = rebuild_system.kernel
+        machine = rebuild_system.machine
+        p = k.create_process("a")
+        k.switch_to(p)
+        nvm_addr = k.sys_mmap(p, None, PAGE_SIZE, RW, MAP_NVM)
+        dram_addr = k.sys_mmap(p, None, PAGE_SIZE, RW, 0)
+        machine.access(nvm_addr, 8, True)
+        machine.access(dram_addr, 8, True)
+        nvm_pte = p.page_table.lookup(nvm_addr // PAGE_SIZE)
+        dram_pte = p.page_table.lookup(dram_addr // PAGE_SIZE)
+        assert machine.layout.mem_type_of_pfn(nvm_pte.pfn) is MemType.NVM
+        assert machine.layout.mem_type_of_pfn(dram_pte.pfn) is MemType.DRAM
+
+    def test_fault_outside_vma_raises(self, rebuild_system):
+        k = rebuild_system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        with pytest.raises(SegmentationFault):
+            rebuild_system.machine.access(0x500000000, 8, True)
+
+    def test_write_to_readonly_raises(self, rebuild_system):
+        k = rebuild_system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        addr = k.sys_mmap(p, None, PAGE_SIZE, PROT_READ)
+        rebuild_system.machine.access(addr, 8, False)  # read is fine
+        with pytest.raises(SegmentationFault):
+            rebuild_system.machine.access(addr, 8, True)
+
+    def test_new_pages_read_zero(self, rebuild_system):
+        k = rebuild_system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        addr = k.sys_mmap(p, None, PAGE_SIZE, RW, MAP_NVM)
+        assert rebuild_system.machine.load(addr, 8) == b"\x00" * 8
+
+    def test_fault_charges_os_time(self, rebuild_system):
+        k = rebuild_system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        addr = k.sys_mmap(p, None, PAGE_SIZE, RW, MAP_NVM)
+        rebuild_system.machine.access(addr, 8, True)
+        assert rebuild_system.stats["cycles.os.fault"] > 0
+
+
+class TestMunmap:
+    def _mapped_process(self, system, pages=4):
+        k = system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        addr = k.sys_mmap(p, None, pages * PAGE_SIZE, RW, MAP_NVM)
+        for i in range(pages):
+            system.machine.access(addr + i * PAGE_SIZE, 8, True)
+        return k, p, addr
+
+    def test_munmap_frees_frames(self, rebuild_system):
+        k, p, addr = self._mapped_process(rebuild_system)
+        used = k.nvm_alloc.allocated_count
+        k.sys_munmap(p, addr, 2 * PAGE_SIZE)
+        assert k.nvm_alloc.allocated_count == used - 2
+
+    def test_munmap_clears_translations(self, rebuild_system):
+        k, p, addr = self._mapped_process(rebuild_system)
+        k.sys_munmap(p, addr, PAGE_SIZE)
+        assert p.page_table.lookup(addr // PAGE_SIZE) is None
+        assert rebuild_system.machine.tlb.lookup(p.asid, addr // PAGE_SIZE) is None
+
+    def test_refault_after_munmap_gets_fresh_zero_page(self, rebuild_system):
+        k, p, addr = self._mapped_process(rebuild_system)
+        rebuild_system.machine.store(addr, b"dirty")
+        k.sys_munmap(p, addr, PAGE_SIZE)
+        k.sys_mmap(p, addr, PAGE_SIZE, RW, MAP_NVM)
+        assert rebuild_system.machine.load(addr, 5) == b"\x00" * 5
+
+    def test_journal_records_churn(self, rebuild_system):
+        k, p, addr = self._mapped_process(rebuild_system, pages=2)
+        k.sys_munmap(p, addr, 2 * PAGE_SIZE)
+        ops = [op for op, _, _ in p.pending_nvm_ops]
+        assert ops.count("map") == 2 and ops.count("unmap") == 2
+
+
+class TestMprotect:
+    def test_mprotect_updates_ptes(self, rebuild_system):
+        k = rebuild_system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        addr = k.sys_mmap(p, None, PAGE_SIZE, RW, MAP_NVM)
+        rebuild_system.machine.access(addr, 8, True)
+        k.sys_mprotect(p, addr, PAGE_SIZE, PROT_READ)
+        assert not p.page_table.lookup(addr // PAGE_SIZE).writable
+        with pytest.raises(SegmentationFault):
+            rebuild_system.machine.access(addr, 8, True)
+
+
+class TestEvents:
+    def test_event_stream(self, rebuild_system):
+        events = []
+        k = rebuild_system.kernel
+        k.add_listener(lambda e, pid, payload: events.append(e))
+        p = k.create_process("a")
+        k.switch_to(p)
+        addr = k.sys_mmap(p, None, PAGE_SIZE, RW, MAP_NVM)
+        rebuild_system.machine.access(addr, 8, True)
+        k.sys_munmap(p, addr, PAGE_SIZE)
+        assert events == ["proc_create", "mmap", "fault_mapped", "munmap"]

@@ -1,0 +1,68 @@
+"""Address layout (the /proc/pid/maps substitute)."""
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.prep.maps import HEAP, STACK, AddressLayout, Region
+
+
+class TestRegion:
+    def test_properties(self):
+        r = Region(0x1000, 0x3000, "heap1", HEAP)
+        assert r.size == 0x2000
+        assert r.contains(0x1000) and not r.contains(0x3000)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Region(0x1000, 0x1000, "x")
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            Region(0, 0x1000, "x", "bogus")
+
+
+class TestLayout:
+    def test_add_and_find(self):
+        layout = AddressLayout()
+        r = layout.add(Region(0x1000, 0x2000, "a"))
+        assert layout.region_for(0x1800) is r
+        assert layout.region_for(0x2000) is None
+
+    def test_overlap_rejected(self):
+        layout = AddressLayout()
+        layout.add(Region(0x1000, 0x3000, "a"))
+        with pytest.raises(ValueError):
+            layout.add(Region(0x2000, 0x4000, "b"))
+
+    def test_duplicate_name_rejected(self):
+        layout = AddressLayout()
+        layout.add(Region(0x1000, 0x2000, "a"))
+        with pytest.raises(ValueError):
+            layout.add(Region(0x5000, 0x6000, "a"))
+
+    def test_by_name(self):
+        layout = AddressLayout()
+        layout.add(Region(0x1000, 0x2000, "a"))
+        assert layout.by_name("a").start == 0x1000
+        assert layout.by_name("missing") is None
+
+    def test_sorted_iteration(self):
+        layout = AddressLayout()
+        layout.add(Region(0x5000, 0x6000, "b"))
+        layout.add(Region(0x1000, 0x2000, "a"))
+        assert [r.name for r in layout] == ["a", "b"]
+
+
+class TestMapsText:
+    def test_render_parse_roundtrip(self):
+        layout = AddressLayout()
+        layout.add(Region(0x7F0000000000, 0x7F0000010000, "heap1", HEAP))
+        layout.add(Region(0x7FFF00000000, 0x7FFF00010000, "stack_t0", STACK))
+        parsed = AddressLayout.parse(layout.render())
+        assert [(r.start, r.end, r.name, r.kind) for r in parsed] == [
+            (r.start, r.end, r.name, r.kind) for r in layout
+        ]
+
+    def test_parse_garbage(self):
+        with pytest.raises(TraceFormatError):
+            AddressLayout.parse("garbage line here extra tokens !!!")

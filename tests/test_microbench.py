@@ -1,0 +1,91 @@
+"""Persistence micro-benchmarks: structure and scheme behaviour."""
+
+import pytest
+
+from repro.common.errors import KindleError
+from repro.common.units import KiB, MiB, PAGE_SIZE
+from repro.workloads.microbench import (
+    seq_alloc_access,
+    stride_alloc_access,
+    vma_churn,
+)
+
+
+class TestSeqAllocAccess:
+    def test_returns_positive_cycles(self, any_system):
+        any_system.spawn("m")
+        assert seq_alloc_access(any_system, 1 * MiB) > 0
+
+    def test_all_pages_faulted(self, rebuild_system):
+        rebuild_system.spawn("m")
+        seq_alloc_access(rebuild_system, 1 * MiB, unmap=False)
+        assert rebuild_system.stats["fault.demand"] == 256
+
+    def test_bad_touches_rejected(self, rebuild_system):
+        rebuild_system.spawn("m")
+        with pytest.raises(ValueError):
+            seq_alloc_access(rebuild_system, 1 * MiB, touches_per_page=0)
+
+    def test_requires_process(self, rebuild_system):
+        with pytest.raises(KindleError):
+            seq_alloc_access(rebuild_system, 1 * MiB)
+
+    def test_rebuild_slower_than_persistent(self):
+        """The Fig. 4a headline at a small size."""
+        from repro.harness.experiments import run_fig4a
+
+        result = run_fig4a(sizes_mb=(64,), touches_per_page=4)
+        row = result["rows"][0]
+        assert row["rebuild_ms"] > row["persistent_ms"]
+
+
+class TestStrideAllocAccess:
+    def test_gap_must_be_page_aligned(self, rebuild_system):
+        rebuild_system.spawn("m")
+        with pytest.raises(ValueError):
+            stride_alloc_access(rebuild_system, 100)
+
+    def test_address_space_clean_after_run(self, rebuild_system):
+        rebuild_system.spawn("m")
+        stride_alloc_access(rebuild_system, 4 * KiB, count=4, rounds=2)
+        assert len(rebuild_system.kernel.current.address_space) == 0
+
+    def test_larger_gap_builds_more_tables(self, persistent_system):
+        """1 GiB strides must create more page-table consistency work
+        than 4 KiB strides (the Fig. 4b mechanism)."""
+        system = persistent_system
+        system.spawn("m")
+        stride_alloc_access(system, 4 * KiB, count=8, rounds=1)
+        small_gap = system.stats["ptp.consistent_updates"]
+        system.stats.set("ptp.consistent_updates", 0)
+        stride_alloc_access(system, 1024 * MiB, count=8, rounds=1)
+        large_gap = system.stats["ptp.consistent_updates"]
+        assert large_gap > small_gap
+
+
+class TestVmaChurn:
+    def test_churn_size_validation(self, rebuild_system):
+        rebuild_system.spawn("m")
+        with pytest.raises(ValueError):
+            vma_churn(rebuild_system, 1 * MiB, 2 * MiB)
+
+    def test_runs_clean(self, any_system):
+        any_system.spawn("m")
+        cycles = vma_churn(any_system, 2 * MiB, 1 * MiB, churn_rounds=1)
+        assert cycles > 0
+        assert len(any_system.kernel.current.address_space) == 0
+
+    def test_access_rounds_add_reads(self, rebuild_system):
+        rebuild_system.spawn("m")
+        vma_churn(
+            rebuild_system, 1 * MiB, 512 * KiB, churn_rounds=1, access_rounds=2
+        )
+        assert rebuild_system.stats["ops.reads"] > 0
+
+    def test_refaults_after_remap(self, rebuild_system):
+        rebuild_system.spawn("m")
+        vma_churn(rebuild_system, 1 * MiB, 512 * KiB, churn_rounds=2)
+        pages = 256  # 1 MiB
+        churn_pages = 128
+        expected = pages + 2 * churn_pages
+        assert rebuild_system.stats["fault.demand"] == expected

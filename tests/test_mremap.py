@@ -1,0 +1,112 @@
+"""mremap: grow, shrink, move — one of the paper's PT-update sources."""
+
+import pytest
+
+from repro.common.errors import FaultError
+from repro.common.units import PAGE_SIZE
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+
+RW = PROT_READ | PROT_WRITE
+
+
+@pytest.fixture
+def mapped(rebuild_system):
+    system = rebuild_system
+    proc = system.spawn("app")
+    addr = system.kernel.sys_mmap(proc, None, 4 * PAGE_SIZE, RW, MAP_NVM, name="r")
+    for i in range(4):
+        system.machine.store(addr + i * PAGE_SIZE, bytes([i + 1]))
+    return system, proc, addr
+
+
+class TestShrink:
+    def test_tail_trimmed(self, mapped):
+        system, proc, addr = mapped
+        got = system.kernel.sys_mremap(proc, addr, 4 * PAGE_SIZE, 2 * PAGE_SIZE)
+        assert got == addr
+        vma = proc.address_space.find(addr)
+        assert vma.length == 2 * PAGE_SIZE
+        assert proc.address_space.find(addr + 3 * PAGE_SIZE) is None
+
+    def test_frames_freed(self, mapped):
+        system, proc, addr = mapped
+        used = system.kernel.nvm_alloc.allocated_count
+        system.kernel.sys_mremap(proc, addr, 4 * PAGE_SIZE, 2 * PAGE_SIZE)
+        assert system.kernel.nvm_alloc.allocated_count == used - 2
+
+
+class TestGrowInPlace:
+    def test_same_address_more_pages(self, mapped):
+        system, proc, addr = mapped
+        got = system.kernel.sys_mremap(proc, addr, 4 * PAGE_SIZE, 8 * PAGE_SIZE)
+        assert got == addr
+        assert proc.address_space.find(addr + 7 * PAGE_SIZE) is not None
+        # Old data still readable.
+        assert system.machine.load(addr, 1) == b"\x01"
+
+    def test_new_tail_demand_faults_zero(self, mapped):
+        system, proc, addr = mapped
+        system.kernel.sys_mremap(proc, addr, 4 * PAGE_SIZE, 6 * PAGE_SIZE)
+        assert system.machine.load(addr + 5 * PAGE_SIZE, 1) == b"\x00"
+
+
+class TestMove:
+    def _force_move(self, system, proc, addr):
+        # Block in-place growth with a barrier mapping right after.
+        system.kernel.sys_mmap(
+            proc, addr + 4 * PAGE_SIZE, PAGE_SIZE, RW, 0, name="barrier"
+        )
+        return system.kernel.sys_mremap(proc, addr, 4 * PAGE_SIZE, 8 * PAGE_SIZE)
+
+    def test_moves_to_new_address(self, mapped):
+        system, proc, addr = mapped
+        new_addr = self._force_move(system, proc, addr)
+        assert new_addr != addr
+        assert proc.address_space.find(addr) is None
+
+    def test_data_visible_at_new_address_without_copy(self, mapped):
+        system, proc, addr = mapped
+        before = system.stats["pages.copied"]
+        new_addr = self._force_move(system, proc, addr)
+        for i in range(4):
+            assert system.machine.load(new_addr + i * PAGE_SIZE, 1) == bytes(
+                [i + 1]
+            )
+        assert system.stats["pages.copied"] == before  # remap, not copy
+
+    def test_old_translations_invalidated(self, mapped):
+        system, proc, addr = mapped
+        self._force_move(system, proc, addr)
+        assert system.machine.tlb.lookup(proc.asid, addr // PAGE_SIZE) is None
+
+    def test_journal_records_the_move(self, mapped):
+        system, proc, addr = mapped
+        proc.pending_nvm_ops.clear()
+        new_addr = self._force_move(system, proc, addr)
+        ops = [(op, vpn) for op, vpn, _ in proc.pending_nvm_ops]
+        assert ("unmap", addr // PAGE_SIZE) in ops
+        assert ("map", new_addr // PAGE_SIZE) in ops
+
+    def test_survives_checkpoint_and_crash(self, mapped):
+        system, proc, addr = mapped
+        new_addr = self._force_move(system, proc, addr)
+        system.checkpoint()
+        system.crash()
+        recovered = system.boot()
+        proc2 = next(p for p in recovered if p.name == "app")
+        system.kernel.switch_to(proc2)
+        assert system.machine.load(new_addr, 1) == b"\x01"
+
+
+class TestValidation:
+    def test_requires_exact_vma(self, mapped):
+        system, proc, addr = mapped
+        with pytest.raises(FaultError):
+            system.kernel.sys_mremap(proc, addr + PAGE_SIZE, PAGE_SIZE, 2 * PAGE_SIZE)
+
+    def test_same_size_is_noop(self, mapped):
+        system, proc, addr = mapped
+        assert (
+            system.kernel.sys_mremap(proc, addr, 4 * PAGE_SIZE, 4 * PAGE_SIZE)
+            == addr
+        )

@@ -1,0 +1,26 @@
+"""MSR file behaviour."""
+
+import pytest
+
+from repro.arch.msr import MSR_NVM_RANGE_LO, MsrFile
+from repro.common.errors import FaultError
+
+
+class TestMsrFile:
+    def test_unwritten_reads_zero(self):
+        assert MsrFile().read(MSR_NVM_RANGE_LO) == 0
+
+    def test_write_read(self):
+        msr = MsrFile()
+        msr.write(MSR_NVM_RANGE_LO, 0x1234)
+        assert msr.read(MSR_NVM_RANGE_LO) == 0x1234
+
+    def test_negative_rejected(self):
+        with pytest.raises(FaultError):
+            MsrFile().write(MSR_NVM_RANGE_LO, -1)
+
+    def test_clear(self):
+        msr = MsrFile()
+        msr.write(MSR_NVM_RANGE_LO, 1)
+        msr.clear()
+        assert msr.read(MSR_NVM_RANGE_LO) == 0

@@ -1,0 +1,87 @@
+"""Persistence with several processes: isolation across crash cycles."""
+
+import pytest
+
+from repro.common.units import PAGE_SIZE
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+
+RW = PROT_READ | PROT_WRITE
+
+
+@pytest.fixture
+def three_processes(any_system):
+    """Three persistent processes, each with its own NVM heap + data."""
+    system = any_system
+    k = system.kernel
+    setups = []
+    for index in range(3):
+        proc = k.create_process(f"app{index}")
+        k.switch_to(proc)
+        addr = k.sys_mmap(proc, None, 2 * PAGE_SIZE, RW, MAP_NVM, name="heap")
+        payload = f"proc{index}data".encode()
+        system.machine.store(addr, payload)
+        setups.append((proc.pid, addr, payload))
+    system.checkpoint()
+    return system, setups
+
+
+class TestMultiProcessRecovery:
+    def test_all_processes_recover_with_their_data(self, three_processes):
+        system, setups = three_processes
+        system.crash()
+        recovered = {p.pid: p for p in system.boot()}
+        assert len(recovered) == 3
+        for pid, addr, payload in setups:
+            proc = recovered[pid]
+            system.kernel.switch_to(proc)
+            assert system.machine.load(addr, len(payload)) == payload
+
+    def test_frames_remain_disjoint_after_recovery(self, three_processes):
+        system, setups = three_processes
+        system.crash()
+        recovered = system.boot()
+        seen = set()
+        for proc in recovered:
+            frames = {pte.pfn for _v, pte in proc.page_table.iter_leaves()}
+            assert not (frames & seen), "frame shared across processes"
+            seen |= frames
+
+    def test_asid_isolation_in_tlb(self, three_processes):
+        """Identical virtual addresses in different processes must not
+        alias in the TLB."""
+        system, setups = three_processes
+        system.crash()
+        recovered = {p.pid: p for p in system.boot()}
+        (pid_a, addr_a, payload_a) = setups[0]
+        (pid_b, addr_b, payload_b) = setups[1]
+        # Same VMA layout => same virtual addresses.
+        assert addr_a == addr_b
+        system.kernel.switch_to(recovered[pid_a])
+        data_a = system.machine.load(addr_a, len(payload_a))
+        system.kernel.switch_to(recovered[pid_b])
+        data_b = system.machine.load(addr_b, len(payload_b))
+        assert data_a == payload_a and data_b == payload_b
+
+    def test_one_exited_process_stays_dead(self, any_system):
+        system = any_system
+        k = system.kernel
+        keeper = k.create_process("keeper")
+        goner = k.create_process("goner")
+        k.switch_to(goner)
+        system.checkpoint()
+        k.exit_process(goner)
+        system.checkpoint()
+        system.crash()
+        recovered = system.boot()
+        assert [p.name for p in recovered] == ["keeper"]
+
+    def test_selective_persistence(self, any_system):
+        """Non-persistent processes vanish; persistent ones survive."""
+        system = any_system
+        k = system.kernel
+        k.create_process("durable")
+        k.create_process("ephemeral", persistent=False)
+        system.checkpoint()
+        system.crash()
+        recovered = system.boot()
+        assert [p.name for p in recovered] == ["durable"]

@@ -1,0 +1,43 @@
+"""NVM object store semantics."""
+
+from repro.mem.nvmstore import NvmObjectStore
+
+
+class TestNvmObjectStore:
+    def test_put_get(self):
+        store = NvmObjectStore()
+        obj = {"a": 1}
+        assert store.put("k", obj) is obj
+        assert store.get("k") is obj
+
+    def test_get_missing(self):
+        assert NvmObjectStore().get("nope") is None
+
+    def test_setdefault_keeps_existing(self):
+        store = NvmObjectStore()
+        first = store.setdefault("k", [1])
+        second = store.setdefault("k", [2])
+        assert first is second == [1]
+
+    def test_remove(self):
+        store = NvmObjectStore()
+        store.put("k", 1)
+        store.remove("k")
+        assert "k" not in store
+        store.remove("k")  # idempotent
+
+    def test_prefix_iteration_sorted(self):
+        store = NvmObjectStore()
+        store.put("saved_state:2", "b")
+        store.put("saved_state:1", "a")
+        store.put("other:x", "c")
+        keys = [k for k, _ in store.keys_with_prefix("saved_state:")]
+        assert keys == ["saved_state:1", "saved_state:2"]
+
+    def test_len_and_wipe(self):
+        store = NvmObjectStore()
+        store.put("a", 1)
+        store.put("b", 2)
+        assert len(store) == 2
+        store.wipe()
+        assert len(store) == 0

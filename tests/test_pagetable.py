@@ -1,0 +1,146 @@
+"""Four-level page table: mapping, reclamation, walks, observers."""
+
+import pytest
+
+from repro.arch.machine import Machine
+from repro.common.config import small_machine_config
+from repro.common.stats import Stats
+from repro.gemos.frames import FrameAllocator
+from repro.gemos.pagetable import ENTRIES_PER_TABLE, LEVELS, PageTable
+from repro.mem.hybrid import MemType
+
+
+@pytest.fixture
+def allocator():
+    return FrameAllocator(MemType.DRAM, 0, 4096, Stats())
+
+
+@pytest.fixture
+def table(allocator):
+    return PageTable(allocator)
+
+
+class TestMapping:
+    def test_lookup_unmapped(self, table):
+        assert table.lookup(5) is None
+
+    def test_map_then_lookup(self, table):
+        table.map(5, 42)
+        pte = table.lookup(5)
+        assert pte is not None and pte.pfn == 42 and pte.writable
+
+    def test_map_readonly(self, table):
+        table.map(5, 42, writable=False)
+        assert not table.lookup(5).writable
+
+    def test_first_map_writes_all_levels(self, table):
+        writes = table.map(0, 1)
+        assert writes == LEVELS  # 3 new tables + 1 leaf
+
+    def test_adjacent_map_writes_only_leaf(self, table):
+        table.map(0, 1)
+        assert table.map(1, 2) == 1
+
+    def test_distant_vpns_use_separate_subtrees(self, table):
+        far = ENTRIES_PER_TABLE**3  # different level-3 slot
+        table.map(0, 1)
+        writes = table.map(far, 2)
+        assert writes == LEVELS
+
+    def test_valid_leaves_counter(self, table):
+        table.map(0, 1)
+        table.map(1, 2)
+        assert table.valid_leaves == 2
+        table.unmap(0)
+        assert table.valid_leaves == 1
+
+    def test_iter_leaves_sorted(self, table):
+        table.map(9, 1)
+        table.map(3, 2)
+        assert [vpn for vpn, _ in table.iter_leaves()] == [3, 9]
+
+    def test_update_pfn(self, table):
+        table.map(5, 42)
+        assert table.update_pfn(5, 43)
+        assert table.lookup(5).pfn == 43
+
+    def test_update_pfn_missing(self, table):
+        assert not table.update_pfn(5, 43)
+
+    def test_protect(self, table):
+        table.map(5, 42)
+        assert table.protect(5, writable=False)
+        assert not table.lookup(5).writable
+
+    def test_protect_missing(self, table):
+        assert not table.protect(5, True)
+
+
+class TestReclamation:
+    def test_unmap_returns_pte(self, table):
+        table.map(5, 42)
+        pte = table.unmap(5)
+        assert pte.pfn == 42
+        assert table.lookup(5) is None
+
+    def test_unmap_missing(self, table):
+        assert table.unmap(5) is None
+
+    def test_empty_tables_are_reclaimed(self, table, allocator):
+        before = allocator.allocated_count  # just the root
+        table.map(5, 42)
+        table.unmap(5)
+        assert allocator.allocated_count == before
+
+    def test_shared_tables_survive_partial_unmap(self, table):
+        table.map(0, 1)
+        table.map(1, 2)
+        table.unmap(0)
+        assert table.lookup(1).pfn == 2
+
+    def test_table_count(self, table):
+        assert table.table_count() == 1  # root only
+        table.map(0, 1)
+        assert table.table_count() == LEVELS
+
+    def test_destroy_frees_everything(self, table, allocator):
+        table.map(0, 1)
+        table.map(ENTRIES_PER_TABLE**3, 2)
+        table.destroy()
+        assert allocator.allocated_count == 0
+
+
+class TestObserver:
+    def test_observer_sees_every_entry_write(self, allocator):
+        paddrs = []
+        table = PageTable(allocator, write_observer=paddrs.append)
+        table.map(0, 1)
+        assert len(paddrs) == LEVELS
+        table.unmap(0)
+        # leaf clear + 3 parent clears from reclamation
+        assert len(paddrs) == 2 * LEVELS
+
+    def test_entry_writes_counter(self, table):
+        table.map(0, 1)
+        assert table.entry_writes == LEVELS
+
+
+class TestHardwareWalk:
+    def test_walk_finds_mapping(self, table):
+        machine = Machine(small_machine_config())
+        table.map(7, 12)
+        assert table.hw_walk(machine, 7) == (12, True)
+        assert machine.stats["walk.completed"] == 1
+
+    def test_walk_charges_four_accesses(self, table):
+        machine = Machine(small_machine_config())
+        table.map(7, 12)
+        machine.stats.reset()
+        table.hw_walk(machine, 7)
+        probes = machine.stats["l1.hit"] + machine.stats["l1.miss"]
+        assert probes == LEVELS
+
+    def test_walk_aborts_on_missing(self, table):
+        machine = Machine(small_machine_config())
+        assert table.hw_walk(machine, 7) is None
+        assert machine.stats["walk.aborted"] == 1

@@ -1,0 +1,268 @@
+"""Persistent heap: allocation, media-resident metadata, crash recovery."""
+
+import pytest
+
+from repro.common.errors import KindleError
+from repro.pheap import HeapCorruption, PersistentHeap
+
+
+@pytest.fixture
+def booted(persistent_system):
+    system = persistent_system
+    proc = system.spawn("app")
+    return system, proc
+
+
+@pytest.fixture
+def heap(booted):
+    system, proc = booted
+    return system, proc, PersistentHeap.create(system.kernel, proc, size=64 * 1024)
+
+
+class TestAllocation:
+    def test_alloc_returns_heap_addresses(self, heap):
+        system, proc, h = heap
+        a = h.alloc(100)
+        b = h.alloc(100)
+        assert h.base < a < h.base + h.size
+        assert a != b
+
+    def test_allocations_do_not_overlap(self, heap):
+        _s, _p, h = heap
+        spans = []
+        for _ in range(10):
+            addr = h.alloc(64)
+            spans.append((addr, addr + 64))
+        spans.sort()
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_free_enables_reuse(self, heap):
+        _s, _p, h = heap
+        a = h.alloc(100)
+        h.free(a)
+        assert h.alloc(100) == a  # first fit lands in the same hole
+
+    def test_double_free_rejected(self, heap):
+        _s, _p, h = heap
+        a = h.alloc(100)
+        h.free(a)
+        with pytest.raises(KindleError):
+            h.free(a)
+
+    def test_bogus_free_rejected(self, heap):
+        _s, _p, h = heap
+        with pytest.raises(KindleError):
+            h.free(h.base + 12345)
+
+    def test_exhaustion(self, heap):
+        _s, _p, h = heap
+        with pytest.raises(KindleError):
+            h.alloc(10 ** 9)
+
+    def test_zero_alloc_rejected(self, heap):
+        _s, _p, h = heap
+        with pytest.raises(KindleError):
+            h.alloc(0)
+
+    def test_free_bytes_accounting(self, heap):
+        _s, _p, h = heap
+        before = h.free_bytes
+        addr = h.alloc(256)
+        assert h.free_bytes < before
+        h.free(addr)
+        # Forward coalescing reabsorbs the split tail completely.
+        assert h.free_bytes == before
+
+    def test_check_passes_through_lifecycle(self, heap):
+        _s, _p, h = heap
+        addrs = [h.alloc(40) for _ in range(8)]
+        for addr in addrs[::2]:
+            h.free(addr)
+        h.check()
+
+
+class TestRootPointer:
+    def test_root_roundtrip(self, heap):
+        _s, _p, h = heap
+        addr = h.alloc(64)
+        h.set_root(addr)
+        assert h.get_root() == addr
+
+    def test_unset_root_is_none(self, heap):
+        _s, _p, h = heap
+        assert h.get_root() is None
+
+    def test_root_outside_heap_rejected(self, heap):
+        _s, _p, h = heap
+        with pytest.raises(KindleError):
+            h.set_root(h.base + h.size + 4096)
+
+
+class TestDataPath:
+    def test_write_read_roundtrip(self, heap):
+        _s, _p, h = heap
+        addr = h.alloc(32)
+        h.write(addr, b"persistent payload!")
+        assert h.read(addr, 19) == b"persistent payload!"
+
+    def test_writes_charge_persist_path(self, heap):
+        system, _p, h = heap
+        addr = h.alloc(64)
+        before = system.stats["persist_barriers"]
+        h.write(addr, b"x" * 64)
+        assert system.stats["persist_barriers"] > before
+
+
+class TestCrashRecovery:
+    def test_heap_survives_crash(self, heap):
+        system, proc, h = heap
+        addr = h.alloc(64)
+        h.write(addr, b"crashme!")
+        h.set_root(addr)
+        base = h.base
+        system.checkpoint()
+        system.crash()
+        (recovered,) = system.boot()
+        system.kernel.switch_to(recovered)
+        h2 = PersistentHeap.attach(system.kernel, recovered, base)
+        root = h2.get_root()
+        assert root == addr
+        assert h2.read(root, 8) == b"crashme!"
+
+    def test_allocation_state_survives(self, heap):
+        system, proc, h = heap
+        kept = h.alloc(100)
+        freed = h.alloc(100)
+        h.free(freed)
+        used_before = h.used_blocks
+        system.checkpoint()
+        system.crash()
+        (recovered,) = system.boot()
+        system.kernel.switch_to(recovered)
+        h2 = PersistentHeap.attach(system.kernel, recovered, h.base)
+        assert h2.used_blocks == used_before
+        # The freed hole is allocatable again; the kept block is not
+        # handed out.
+        again = h2.alloc(100)
+        assert again == freed
+        assert again != kept
+
+    def test_attach_without_mapping_fails(self, booted):
+        system, proc = booted
+        with pytest.raises(HeapCorruption):
+            PersistentHeap.attach(system.kernel, proc, 0x123456000)
+
+    def test_attach_to_garbage_fails(self, booted):
+        system, proc = booted
+        from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+
+        base = system.kernel.sys_mmap(
+            proc, None, 16 * 1024, PROT_READ | PROT_WRITE, MAP_NVM
+        )
+        with pytest.raises(HeapCorruption):
+            PersistentHeap.attach(system.kernel, proc, base)
+
+    def test_multiple_crash_cycles(self, heap):
+        system, proc, h = heap
+        base = h.base
+        values = []
+        for generation in range(3):
+            addr = h.alloc(16)
+            payload = f"gen{generation}".encode()
+            h.write(addr, payload)
+            values.append((addr, payload))
+            system.checkpoint()
+            system.crash()
+            (proc,) = system.boot()
+            system.kernel.switch_to(proc)
+            h = PersistentHeap.attach(system.kernel, proc, base)
+            for a, expect in values:
+                assert h.read(a, len(expect)) == expect
+
+
+class TestCoalescing:
+    def test_adjacent_free_blocks_merge(self, heap):
+        _s, _p, h = heap
+        a = h.alloc(64)
+        b = h.alloc(64)
+        barrier = h.alloc(64)  # keeps the tail block out of the merge
+        h.free(b)
+        h.free(a)  # a coalesces forward into b's hole
+        h.check()
+        big = h.alloc(120)  # only fits in the merged hole
+        assert big == a
+
+    def test_free_before_used_block_does_not_merge(self, heap):
+        _s, _p, h = heap
+        a = h.alloc(64)
+        b = h.alloc(64)
+        h.free(a)
+        # b still used: block count unchanged by coalescing.
+        payload, used = h._read_header(a - h.base - 8)
+        assert not used and payload == 64
+
+    def test_chain_valid_through_heavy_churn(self, heap):
+        _s, _p, h = heap
+        import random
+
+        rng = random.Random(7)
+        live = []
+        for _ in range(120):
+            if live and rng.random() < 0.5:
+                h.free(live.pop(rng.randrange(len(live))))
+            else:
+                live.append(h.alloc(rng.randrange(16, 200)))
+            h.check()
+
+
+class TestRealloc:
+    def test_shrink_keeps_address(self, heap):
+        _s, _p, h = heap
+        a = h.alloc(128)
+        assert h.realloc(a, 64) == a
+
+    def test_grow_in_place_into_free_successor(self, heap):
+        _s, _p, h = heap
+        a = h.alloc(64)
+        b = h.alloc(64)
+        tail = h.alloc(64)
+        h.free(b)
+        h.write(a, b"keepme!!")
+        assert h.realloc(a, 120) == a
+        assert h.read(a, 8) == b"keepme!!"
+        h.check()
+
+    def test_grow_moves_when_blocked(self, heap):
+        _s, _p, h = heap
+        a = h.alloc(64)
+        h.alloc(64)  # used successor blocks in-place growth
+        h.write(a, b"movedata")
+        moved = h.realloc(a, 512)
+        assert moved != a
+        assert h.read(moved, 8) == b"movedata"
+        h.check()
+
+    def test_realloc_free_block_rejected(self, heap):
+        _s, _p, h = heap
+        a = h.alloc(64)
+        h.free(a)
+        with pytest.raises(KindleError):
+            h.realloc(a, 128)
+
+    def test_realloc_survives_crash(self, heap):
+        system, proc, h = heap
+        a = h.alloc(64)
+        h.write(a, b"before--")
+        h.alloc(64)
+        moved = h.realloc(a, 400)
+        h.write(moved, b"after---")
+        h.set_root(moved)
+        system.checkpoint()
+        system.crash()
+        (proc,) = system.boot()
+        system.kernel.switch_to(proc)
+        from repro.pheap import PersistentHeap
+
+        h2 = PersistentHeap.attach(system.kernel, proc, h.base)
+        assert h2.read(h2.get_root(), 8) == b"after---"

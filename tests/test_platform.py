@@ -1,0 +1,74 @@
+"""HybridSystem lifecycle and error paths."""
+
+import pytest
+
+from repro.common.config import small_machine_config
+from repro.common.errors import KindleError
+from repro.platform import HybridSystem
+
+
+def make_system(**kwargs):
+    return HybridSystem(config=small_machine_config(), **kwargs)
+
+
+class TestLifecycle:
+    def test_double_boot_rejected(self):
+        system = make_system()
+        system.boot()
+        with pytest.raises(KindleError):
+            system.boot()
+
+    def test_crash_before_boot_rejected(self):
+        with pytest.raises(KindleError):
+            make_system().crash()
+
+    def test_boot_after_shutdown(self):
+        system = make_system()
+        system.boot()
+        system.shutdown()
+        assert system.boot() == []
+
+    def test_spawn_requires_boot(self):
+        with pytest.raises(KindleError):
+            make_system().spawn()
+
+    def test_checkpoint_requires_persistence(self):
+        system = make_system(persistence=False)
+        system.boot()
+        with pytest.raises(KindleError):
+            system.checkpoint()
+
+    def test_unknown_scheme_rejected(self):
+        system = make_system(scheme="bogus")
+        with pytest.raises(ValueError):
+            system.boot()
+
+    def test_spawn_switches_current(self):
+        system = make_system()
+        system.boot()
+        proc = system.spawn("x")
+        assert system.kernel.current is proc
+
+    def test_clock_monotonic_across_crashes(self):
+        system = make_system()
+        system.boot()
+        system.spawn()
+        system.machine.advance(1000)
+        before = system.machine.clock
+        system.crash()
+        system.boot()
+        assert system.machine.clock >= before
+
+    def test_persistence_disabled_has_no_manager(self):
+        system = make_system(persistence=False)
+        system.boot()
+        assert system.manager is None
+        assert system.stats["checkpoint.taken"] == 0
+
+
+class TestVolatileSchemeDefault:
+    def test_kernel_without_persistence_uses_dram_tables(self):
+        system = make_system(persistence=False)
+        system.boot()
+        proc = system.spawn("x")
+        assert proc.page_table.allocator is system.kernel.dram_alloc

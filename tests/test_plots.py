@@ -1,0 +1,66 @@
+"""ASCII figure rendering."""
+
+import pytest
+
+from repro.harness.plots import render_bars, render_figure
+
+
+class TestRenderBars:
+    def test_empty(self):
+        assert "(no data)" in render_bars([], "v", ["k"])
+
+    def test_bars_scale_to_peak(self):
+        rows = [{"k": "a", "v": 1.0}, {"k": "b", "v": 2.0}]
+        text = render_bars(rows, "v", ["k"])
+        line_a, line_b = text.splitlines()
+        assert line_b.count("#") == 2 * line_a.count("#")
+
+    def test_labels_aligned(self):
+        rows = [{"k": "short", "v": 1.0}, {"k": "muchlonger", "v": 1.0}]
+        text = render_bars(rows, "v", ["k"])
+        bars = [line.index("|") for line in text.splitlines()]
+        assert len(set(bars)) == 1
+
+    def test_title_and_groups(self):
+        rows = [
+            {"g": "x", "v": 1.0},
+            {"g": "x", "v": 2.0},
+            {"g": "y", "v": 3.0},
+        ]
+        text = render_bars(rows, "v", ["g"], group_key="g", title="T")
+        assert text.startswith("T\n=")
+        assert "\n\n" in text  # group separator
+
+    def test_minimum_one_char_bar(self):
+        rows = [{"k": "tiny", "v": 0.0001}, {"k": "big", "v": 100.0}]
+        text = render_bars(rows, "v", ["k"])
+        assert all("#" in line for line in text.splitlines())
+
+
+class TestRenderFigure:
+    def test_fig4a(self):
+        result = {
+            "experiment": "fig4a",
+            "rows": [
+                {"size_mb": 64, "overhead_x": 2.15},
+                {"size_mb": 512, "overhead_x": 8.66},
+            ],
+        }
+        text = render_figure(result)
+        assert "Fig. 4a" in text and "512" in text
+
+    def test_fig5_grouped(self):
+        result = {
+            "experiment": "fig5",
+            "rows": [
+                {"benchmark": "a", "interval_ms": 1.0, "normalized_time": 2.0},
+                {"benchmark": "a", "interval_ms": 10.0, "normalized_time": 1.5},
+                {"benchmark": "b", "interval_ms": 1.0, "normalized_time": 3.0},
+            ],
+        }
+        text = render_figure(result)
+        assert "Fig. 5" in text
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            render_figure({"experiment": "mystery", "rows": [{}]})

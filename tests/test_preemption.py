@@ -1,0 +1,98 @@
+"""Replay preemption semantics and multiprogrammed execution."""
+
+import pytest
+
+from repro.common.errors import KindleError
+from repro.gemos.scheduler import RoundRobinScheduler, run_multiprogrammed
+from repro.prep.codegen import PlacementPolicy, ReplayProgram
+from repro.prep.imagegen import AreaSpec, DiskImage, ReplayTuple
+from repro.prep.trace import READ
+
+
+def linear_image(ops=50, name="lin"):
+    return DiskImage(
+        name=name,
+        areas=[AreaSpec("h", 65536, "heap")],
+        tuples=[ReplayTuple(i, (i * 64) % 65536, READ, 8, "h") for i in range(ops)],
+    )
+
+
+class TestPreemption:
+    def test_run_stops_when_preempted(self, plain_system):
+        """If another process becomes current mid-run, the replay
+        pauses at the preemption point instead of mistranslating."""
+        k = plain_system.kernel
+        victim = k.create_process("victim")
+        other = k.create_process("other")
+        program = ReplayProgram(linear_image(1000))
+        k.switch_to(victim)
+        program.install(k, victim)
+
+        # Preempt after ~1 ms of simulated time via a one-shot timer.
+        plain_system.machine.timers.arm(
+            plain_system.machine.clock + 30_000,
+            lambda: k.switch_to(other),
+            name="preempt",
+        )
+        executed = program.run(k, victim)
+        assert executed < 1000
+        assert victim.registers["pc"] == executed
+        # Resuming finishes the remainder.
+        executed += program.run(k, victim)
+        assert executed == 1000
+
+    def test_preempted_process_state_is_ready(self, plain_system):
+        k = plain_system.kernel
+        a, b = k.create_process("a"), k.create_process("b")
+        k.switch_to(a)
+        k.switch_to(b)
+        from repro.gemos.process import ProcessState
+
+        assert a.state is ProcessState.READY
+        assert b.state is ProcessState.RUNNING
+
+
+class TestMultiprogrammed:
+    def _installed(self, kernel, name, ops=300):
+        proc = kernel.create_process(name)
+        program = ReplayProgram(linear_image(ops, name))
+        kernel.switch_to(proc)
+        program.install(kernel, proc)
+        return proc, program
+
+    def test_all_programs_finish(self, plain_system):
+        k = plain_system.kernel
+        pairs = dict(
+            self._installed(k, f"p{i}", ops=200 + 50 * i) for i in range(3)
+        )
+        sched = RoundRobinScheduler(k, quantum_ms=0.01)
+        for proc in pairs:
+            sched.add(proc)
+        sched.start()
+        executed = run_multiprogrammed(k, sched, pairs, batch_ops=16)
+        sched.stop()
+        assert executed == 200 + 250 + 300
+
+    def test_unequal_lengths_drain_cleanly(self, plain_system):
+        k = plain_system.kernel
+        short = dict([self._installed(k, "short", ops=10)])
+        long_pair = dict([self._installed(k, "long", ops=500)])
+        pairs = {**short, **long_pair}
+        sched = RoundRobinScheduler(k, quantum_ms=0.01)
+        for proc in pairs:
+            sched.add(proc)
+        sched.start()
+        executed = run_multiprogrammed(k, sched, pairs, batch_ops=8)
+        sched.stop()
+        assert executed == 510
+        assert all(p.registers["pc"] == len(pr.image.tuples) for p, pr in pairs.items())
+
+    def test_divergence_guard(self, plain_system):
+        k = plain_system.kernel
+        pairs = dict([self._installed(k, "p", ops=100)])
+        sched = RoundRobinScheduler(k, quantum_ms=10.0)
+        for proc in pairs:
+            sched.add(proc)
+        sched.start()
+        with pytest.raises(KindleError):
+            run_multiprogrammed(k, sched, pairs, batch_ops=8, max_batches=2)

@@ -1,0 +1,92 @@
+"""The preparation driver: artifact generation and reload."""
+
+import pytest
+
+from repro.common.errors import KindleError
+from repro.prep.codegen import PlacementPolicy
+from repro.prep.driver import PreparationDriver
+from repro.prep.imagegen import load_image
+from repro.prep.maps import AddressLayout
+from repro.prep.trace import load_trace
+from repro.prep.tracer import TracedProcess
+
+
+def traced_app(name="demo", ops=64):
+    tp = TracedProcess(name)
+    buf = tp.alloc_heap("table", 8192)
+    stack = tp.stacks.register_thread(0)
+    stack.push_frame(slots=2)
+    for i in range(ops):
+        buf.store((i * 8) % 8192)
+        stack.local_load(0)
+    stack.pop_frame()
+    return tp
+
+
+class TestPrepareTraced:
+    def test_writes_all_four_artifacts(self, tmp_path):
+        driver = PreparationDriver(tmp_path / "out")
+        artifacts = driver.prepare_traced(traced_app())
+        for path in (
+            artifacts.trace_path,
+            artifacts.maps_path,
+            artifacts.image_path,
+            artifacts.source_path,
+        ):
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_artifacts_are_loadable_and_consistent(self, tmp_path):
+        driver = PreparationDriver(tmp_path)
+        tp = traced_app(ops=32)
+        artifacts = driver.prepare_traced(tp)
+        trace = load_trace(artifacts.trace_path)
+        assert trace == tp.trace
+        layout = AddressLayout.parse(artifacts.maps_path.read_text())
+        assert len(layout) == len(tp.layout)
+        image = load_image(artifacts.image_path)
+        assert image.total_ops == artifacts.total_ops == len(trace)
+
+    def test_source_contains_allocations(self, tmp_path):
+        driver = PreparationDriver(tmp_path)
+        artifacts = driver.prepare_traced(traced_app())
+        source = artifacts.source_path.read_text()
+        assert "mmap(NULL, 8192UL" in source
+
+    def test_empty_trace_rejected(self, tmp_path):
+        driver = PreparationDriver(tmp_path)
+        with pytest.raises(KindleError):
+            driver.prepare_traced(TracedProcess("empty"))
+
+    def test_prepared_program_replays(self, tmp_path, plain_system):
+        driver = PreparationDriver(tmp_path)
+        artifacts = driver.prepare_traced(traced_app(ops=48))
+        program = artifacts.load_program(PlacementPolicy.HEAP_NVM)
+        proc = plain_system.spawn("demo")
+        program.install(plain_system.kernel, proc)
+        assert program.run(plain_system.kernel, proc) == artifacts.total_ops
+
+
+class TestPrepareWorkload:
+    def test_named_workload(self, tmp_path):
+        driver = PreparationDriver(tmp_path)
+        artifacts = driver.prepare_workload("ycsb_mem", total_ops=2_000)
+        assert artifacts.image_path.exists()
+        image = load_image(artifacts.image_path)
+        assert image.total_ops >= 2_000
+
+    def test_unknown_workload(self, tmp_path):
+        with pytest.raises(KindleError):
+            PreparationDriver(tmp_path).prepare_workload("nope")
+
+
+class TestCli:
+    def test_main(self, tmp_path, capsys):
+        from repro.prep.__main__ import main
+
+        assert (
+            main(["ycsb_mem", "-o", str(tmp_path), "--ops", "1000"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "prepared ycsb_mem" in out
+        assert (tmp_path / "ycsb_mem.img").exists()
+        assert (tmp_path / "ycsb_mem.c").exists()

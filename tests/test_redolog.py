@@ -1,0 +1,65 @@
+"""Redo log: append, apply watermark, recovery truncation."""
+
+import pytest
+
+from repro.persist.redolog import RedoLog
+
+
+class TestRedoLog:
+    def test_append_assigns_sequence(self):
+        log = RedoLog()
+        r1 = log.append("mmap", {"start": 1})
+        r2 = log.append("munmap", {"start": 1})
+        assert (r1.seq, r2.seq) == (0, 1)
+
+    def test_payload_copied(self):
+        log = RedoLog()
+        payload = {"x": 1}
+        record = log.append("mmap", payload)
+        payload["x"] = 2
+        assert record.payload["x"] == 1
+
+    def test_pending_before_any_apply(self):
+        log = RedoLog()
+        log.append("a", {})
+        log.append("b", {})
+        assert [r.op for r in log.pending()] == ["a", "b"]
+
+    def test_mark_applied_truncates(self):
+        log = RedoLog()
+        log.append("a", {})
+        log.append("b", {})
+        log.mark_applied(2)
+        assert log.pending() == []
+        assert len(log) == 0
+
+    def test_partial_apply(self):
+        log = RedoLog()
+        log.append("a", {})
+        log.append("b", {})
+        log.mark_applied(1)
+        assert [r.op for r in log.pending()] == ["b"]
+
+    def test_watermark_cannot_regress(self):
+        log = RedoLog()
+        log.append("a", {})
+        log.mark_applied(1)
+        with pytest.raises(ValueError):
+            log.mark_applied(0)
+
+    def test_sequence_continues_after_truncation(self):
+        log = RedoLog()
+        log.append("a", {})
+        log.mark_applied(1)
+        assert log.append("b", {}).seq == 1
+
+    def test_discard_unapplied(self):
+        log = RedoLog()
+        log.append("a", {})
+        log.mark_applied(1)
+        log.append("b", {})
+        log.append("c", {})
+        dropped = log.discard_unapplied()
+        assert dropped == 2
+        assert log.pending() == []
+        assert log.next_seq == 1

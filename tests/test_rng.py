@@ -1,0 +1,44 @@
+"""Deterministic RNG derivation and the zipf sampler."""
+
+import pytest
+
+from repro.common.rng import ZipfSampler, derive_rng
+
+
+class TestDeriveRng:
+    def test_same_inputs_same_stream(self):
+        a = derive_rng(7, "x").random()
+        b = derive_rng(7, "x").random()
+        assert a == b
+
+    def test_different_labels_differ(self):
+        assert derive_rng(7, "x").random() != derive_rng(7, "y").random()
+
+    def test_different_seeds_differ(self):
+        assert derive_rng(1, "x").random() != derive_rng(2, "x").random()
+
+
+class TestZipfSampler:
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(100, 0.99, derive_rng(1, "z"))
+        for _ in range(1000):
+            assert 0 <= sampler.sample() < 100
+
+    def test_skew_favors_low_ranks(self):
+        sampler = ZipfSampler(1000, 0.99, derive_rng(1, "z"))
+        draws = [sampler.sample() for _ in range(5000)]
+        top10 = sum(1 for d in draws if d < 10)
+        # Zipf(0.99) puts far more than 10/1000 of the mass on the top 10.
+        assert top10 / len(draws) > 0.2
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 0.99, derive_rng(1, "z"))
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(10, 2.5, derive_rng(1, "z"))
+
+    def test_single_item_population(self):
+        sampler = ZipfSampler(1, 0.5, derive_rng(1, "z"))
+        assert sampler.sample() == 0

@@ -1,0 +1,45 @@
+"""Saved state: two-copy flip semantics."""
+
+from repro.persist.savedstate import ContextCopy, SavedState, store_key
+
+
+class TestSavedState:
+    def test_initially_inconsistent(self):
+        saved = SavedState(pid=1, name="a")
+        assert saved.consistent is None
+        assert saved.working is saved.slots[0]
+
+    def test_first_commit_makes_slot0_consistent(self):
+        saved = SavedState(pid=1, name="a")
+        saved.commit_working()
+        assert saved.consistent_idx == 0
+        assert saved.consistent.valid
+
+    def test_working_always_opposite_of_consistent(self):
+        saved = SavedState(pid=1, name="a")
+        saved.commit_working()
+        assert saved.working is saved.slots[1]
+        saved.commit_working()
+        assert saved.consistent_idx == 1
+        assert saved.working is saved.slots[0]
+
+    def test_commit_counts(self):
+        saved = SavedState(pid=1, name="a")
+        saved.commit_working()
+        saved.commit_working()
+        assert saved.checkpoints_taken == 2
+
+    def test_consistent_copy_untouched_while_working_mutates(self):
+        saved = SavedState(pid=1, name="a")
+        saved.working.registers = {"pc": 1}
+        saved.commit_working()
+        saved.working.registers = {"pc": 99}
+        assert saved.consistent.registers == {"pc": 1}
+
+    def test_store_key_format(self):
+        assert store_key(3) == "saved_state:00000003"
+
+    def test_context_copy_defaults(self):
+        copy = ContextCopy()
+        assert not copy.valid
+        assert copy.registers == {} and copy.vmas == []

@@ -1,0 +1,136 @@
+"""Scheduler and OS background noise (context-switch studies)."""
+
+import pytest
+
+from repro.common.errors import KindleError
+from repro.common.units import PAGE_SIZE, cycles_from_ms
+from repro.gemos.scheduler import (
+    CONTEXT_SWITCH_CYCLES,
+    OsNoiseSource,
+    RoundRobinScheduler,
+)
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestRoundRobin:
+    def test_rotates_between_processes(self, plain_system):
+        from repro.gemos.scheduler import run_multiprogrammed
+        from repro.prep.codegen import PlacementPolicy, ReplayProgram
+        from repro.workloads import generate_ycsb
+
+        k = plain_system.kernel
+        image = generate_ycsb(total_ops=4_000, records=512)
+        p1, p2 = k.create_process("a"), k.create_process("b")
+        programs = {}
+        for proc in (p1, p2):
+            program = ReplayProgram(image, PlacementPolicy.ALL_NVM)
+            k.switch_to(proc)
+            program.install(k, proc)
+            programs[proc] = program
+        sched = RoundRobinScheduler(k, quantum_ms=0.005)
+        sched.add(p1)
+        sched.add(p2)
+        sched.start()
+        executed = run_multiprogrammed(k, sched, programs, batch_ops=32)
+        sched.stop()
+        assert executed == 2 * image.total_ops
+        assert sched.switches >= 1
+        assert all(programs[p].is_finished(p) for p in (p1, p2))
+
+    def test_switch_cost_charged(self, plain_system):
+        k = plain_system.kernel
+        sched = RoundRobinScheduler(k, quantum_ms=1.0)
+        sched.add(k.create_process("a"))
+        sched.add(k.create_process("b"))
+        sched.start()
+        sched.tick()
+        assert (
+            plain_system.stats["cycles.os.context_switch"]
+            == CONTEXT_SWITCH_CYCLES
+        )
+
+    def test_single_process_never_switches(self, plain_system):
+        k = plain_system.kernel
+        sched = RoundRobinScheduler(k, quantum_ms=1.0)
+        sched.add(k.create_process("a"))
+        sched.start()
+        sched.tick()
+        assert sched.switches == 0
+
+    def test_duplicate_add_rejected(self, plain_system):
+        k = plain_system.kernel
+        sched = RoundRobinScheduler(k)
+        p = k.create_process("a")
+        sched.add(p)
+        with pytest.raises(KindleError):
+            sched.add(p)
+
+    def test_start_requires_processes(self, plain_system):
+        with pytest.raises(KindleError):
+            RoundRobinScheduler(plain_system.kernel).start()
+
+    def test_bad_quantum(self, plain_system):
+        with pytest.raises(KindleError):
+            RoundRobinScheduler(plain_system.kernel, quantum_ms=0)
+
+    def test_remove(self, plain_system):
+        k = plain_system.kernel
+        sched = RoundRobinScheduler(k)
+        p = k.create_process("a")
+        sched.add(p)
+        sched.remove(p)
+        sched.remove(p)  # idempotent
+
+
+class TestOsNoise:
+    def test_tick_pollutes_caches_and_charges_os(self, plain_system):
+        noise = OsNoiseSource(plain_system.kernel, lines_per_tick=128)
+        resident_before = plain_system.machine.llc.resident_lines()
+        noise.tick()
+        assert plain_system.stats["cycles.os.background"] > 0
+        assert plain_system.machine.llc.resident_lines() > resident_before
+
+    def test_periodic_operation(self, plain_system):
+        k = plain_system.kernel
+        p = k.create_process("a")
+        k.switch_to(p)
+        noise = OsNoiseSource(k, interval_ms=0.01, lines_per_tick=16)
+        noise.start()
+        addr = k.sys_mmap(p, None, 64 * PAGE_SIZE, RW, MAP_NVM)
+        for i in range(64):
+            plain_system.machine.access(addr + i * PAGE_SIZE, 8, True)
+        noise.stop()
+        assert noise.ticks >= 1
+
+    def test_noise_slows_the_application(self):
+        """Cache pollution from OS activity costs the app real time —
+        the ZSim-can't-see-this effect the paper highlights."""
+        from repro.common.config import small_machine_config
+        from repro.platform import HybridSystem
+
+        def run(with_noise: bool) -> int:
+            system = HybridSystem(
+                config=small_machine_config(), persistence=False
+            )
+            system.boot()
+            proc = system.spawn("app")
+            k = system.kernel
+            if with_noise:
+                noise = OsNoiseSource(k, interval_ms=0.02, lines_per_tick=512)
+                noise.start()
+            addr = k.sys_mmap(proc, None, 128 * PAGE_SIZE, RW, MAP_NVM)
+            for i in range(128):
+                system.machine.access(addr + i * PAGE_SIZE, 8, True)
+            start = system.machine.clock
+            for _round in range(10):
+                for i in range(128):
+                    system.machine.access(addr + i * PAGE_SIZE, 8, False)
+            return system.machine.clock - start
+
+        assert run(with_noise=True) > run(with_noise=False)
+
+    def test_validation(self, plain_system):
+        with pytest.raises(KindleError):
+            OsNoiseSource(plain_system.kernel, interval_ms=0)

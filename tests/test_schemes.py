@@ -1,0 +1,95 @@
+"""Page-table scheme unit behaviour (cost attribution and placement)."""
+
+import pytest
+
+from repro.common.units import PAGE_SIZE
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+from repro.mem.hybrid import MemType
+from repro.persist.schemes import (
+    PersistentScheme,
+    RebuildScheme,
+    make_scheme,
+)
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestFactory:
+    def test_known_schemes(self):
+        assert isinstance(make_scheme("rebuild"), RebuildScheme)
+        assert isinstance(make_scheme("persistent"), PersistentScheme)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            make_scheme("nope")
+
+
+class TestTablePlacement:
+    def test_rebuild_tables_in_dram(self, rebuild_system):
+        proc = rebuild_system.spawn("a")
+        root_pfn = proc.page_table.root.frame
+        layout = rebuild_system.machine.layout
+        assert layout.mem_type_of_pfn(root_pfn) is MemType.DRAM
+
+    def test_persistent_tables_in_nvm(self, persistent_system):
+        proc = persistent_system.spawn("a")
+        root_pfn = proc.page_table.root.frame
+        layout = persistent_system.machine.layout
+        assert layout.mem_type_of_pfn(root_pfn) is MemType.NVM
+
+
+class TestUpdateCosts:
+    def _fault_one_page(self, system):
+        proc = system.spawn("a")
+        addr = system.kernel.sys_mmap(proc, None, PAGE_SIZE, RW, MAP_NVM)
+        system.machine.access(addr, 8, True)
+        return system
+
+    def test_persistent_updates_pay_consistency(self, persistent_system):
+        self._fault_one_page(persistent_system)
+        stats = persistent_system.stats
+        assert stats["ptp.consistent_updates"] >= 4  # 3 tables + 1 leaf
+        assert stats["persist_barriers"] >= 4
+
+    def test_rebuild_updates_are_plain_writes(self, rebuild_system):
+        self._fault_one_page(rebuild_system)
+        assert rebuild_system.stats["ptp.consistent_updates"] == 0
+
+    def test_persistent_update_costlier_than_rebuild(
+        self, rebuild_system, persistent_system
+    ):
+        self._fault_one_page(rebuild_system)
+        self._fault_one_page(persistent_system)
+        assert (
+            persistent_system.stats["cycles.os.fault"]
+            > rebuild_system.stats["cycles.os.fault"]
+        )
+
+
+class TestCheckpointCostScaling:
+    def _checkpoint_cost(self, pages):
+        from repro.common.config import small_machine_config
+        from repro.common.units import PAGE_SIZE
+        from repro.platform import HybridSystem
+
+        system = HybridSystem(
+            config=small_machine_config(nvm_bytes=64 * 1024 * 1024),
+            scheme="rebuild",
+            checkpoint_interval_ms=10_000,
+        )
+        system.boot()
+        proc = system.spawn("a")
+        addr = system.kernel.sys_mmap(
+            proc, None, pages * PAGE_SIZE, RW, MAP_NVM
+        )
+        for i in range(pages):
+            system.machine.access(addr + i * PAGE_SIZE, 8, True)
+        system.checkpoint()  # absorbs the journal
+        before = system.machine.clock
+        system.checkpoint()  # steady-state: pure verification pass
+        return system.machine.clock - before
+
+    def test_rebuild_checkpoint_cost_grows_with_mapped_size(self):
+        small = self._checkpoint_cost(64)
+        large = self._checkpoint_cost(512)
+        assert large > 4 * small

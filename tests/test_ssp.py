@@ -1,0 +1,221 @@
+"""Shadow sub-paging: metadata, routing, intervals, consolidation."""
+
+import pytest
+
+from repro.arch.msr import MSR_NVM_RANGE_HI, MSR_NVM_RANGE_LO, MSR_SSP_CACHE_BASE
+from repro.common.units import CACHE_LINE, PAGE_SIZE
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+from repro.ssp.manager import SspManager
+from repro.ssp.sspcache import SspCache, SspCacheEntry, split_bitmap_lines
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestSspCache:
+    def test_insert_and_get(self):
+        cache = SspCache(base_paddr=0x1000)
+        entry = cache.insert(5, 100, 200)
+        assert cache.get(5) is entry
+        assert entry.primary_pfn == 100 and entry.shadow_pfn == 200
+
+    def test_duplicate_rejected(self):
+        cache = SspCache(base_paddr=0x1000)
+        cache.insert(5, 100, 200)
+        with pytest.raises(ValueError):
+            cache.insert(5, 1, 2)
+
+    def test_entry_paddrs_are_distinct_slots(self):
+        cache = SspCache(base_paddr=0x1000)
+        a = cache.insert(1, 0, 0)
+        b = cache.insert(2, 0, 0)
+        assert cache.entry_paddr(b) - cache.entry_paddr(a) == 32
+
+    def test_committed_and_working_pfns(self):
+        entry = SspCacheEntry(vpn=0, primary_pfn=10, shadow_pfn=20, slot=0)
+        assert entry.committed_pfn_for_line(3) == 10
+        assert entry.working_pfn_for_line(3) == 20
+        entry.current_bitmap = 1 << 3
+        assert entry.committed_pfn_for_line(3) == 20
+        assert entry.working_pfn_for_line(3) == 10
+
+    def test_split_bitmap_lines(self):
+        assert split_bitmap_lines(0b1010) == (1, 3)
+
+    def test_evicted_iteration(self):
+        cache = SspCache(base_paddr=0)
+        a = cache.insert(1, 0, 0)
+        b = cache.insert(2, 0, 0)
+        b.tlb_evicted = True
+        assert list(cache.evicted_entries()) == [b]
+
+
+@pytest.fixture
+def ssp_setup(plain_system):
+    """A process with an NVM VMA under SSP tracking."""
+    system = plain_system
+    proc = system.spawn("app")
+    addr = system.kernel.sys_mmap(proc, None, 16 * PAGE_SIZE, RW, MAP_NVM)
+    manager = SspManager(
+        system.kernel,
+        proc,
+        consistency_interval_ms=1.0,
+        consolidation_interval_ms=0.5,
+        cache_capacity=1024,
+    )
+    return system, proc, manager, addr
+
+
+class TestFase:
+    def test_checkpoint_start_programs_msrs(self, ssp_setup):
+        system, proc, manager, addr = ssp_setup
+        manager.checkpoint_start(addr, addr + 16 * PAGE_SIZE)
+        msr = system.machine.msr
+        assert msr.read(MSR_NVM_RANGE_LO) == addr
+        assert msr.read(MSR_NVM_RANGE_HI) == addr + 16 * PAGE_SIZE
+        assert msr.read(MSR_SSP_CACHE_BASE) == manager.cache.base_paddr
+
+    def test_empty_range_rejected(self, ssp_setup):
+        _, _, manager, addr = ssp_setup
+        from repro.common.errors import KindleError
+
+        with pytest.raises(KindleError):
+            manager.checkpoint_start(addr, addr)
+
+    def test_existing_pages_get_shadows(self, ssp_setup):
+        system, proc, manager, addr = ssp_setup
+        system.machine.access(addr, 8, True)  # fault before FASE
+        manager.checkpoint_start(addr, addr + 16 * PAGE_SIZE)
+        assert len(manager.cache) == 1
+
+    def test_faults_inside_fase_get_shadows(self, ssp_setup):
+        system, proc, manager, addr = ssp_setup
+        manager.checkpoint_start(addr, addr + 16 * PAGE_SIZE)
+        system.machine.access(addr + PAGE_SIZE, 8, True)
+        vpn = (addr + PAGE_SIZE) // PAGE_SIZE
+        meta = manager.cache.get(vpn)
+        assert meta is not None and meta.shadow_pfn != meta.primary_pfn
+
+    def test_checkpoint_end_disables_tracking(self, ssp_setup):
+        system, proc, manager, addr = ssp_setup
+        manager.checkpoint_start(addr, addr + 16 * PAGE_SIZE)
+        manager.checkpoint_end()
+        assert not manager.extension.enabled
+        before = system.stats["ssp.routed_stores"]
+        system.machine.access(addr, 8, True)
+        assert system.stats["ssp.routed_stores"] == before
+
+
+class TestRouting:
+    def test_store_routes_to_shadow(self, ssp_setup):
+        system, proc, manager, addr = ssp_setup
+        manager.checkpoint_start(addr, addr + 16 * PAGE_SIZE)
+        system.machine.access(addr, 8, True)
+        vpn = addr // PAGE_SIZE
+        meta = manager.cache.get(vpn)
+        shadow_line = meta.shadow_pfn * (PAGE_SIZE // CACHE_LINE)
+        assert shadow_line in manager.extension.dirty_lines
+        assert system.stats["ssp.routed_stores"] == 1
+
+    def test_updated_bitmap_set_per_line(self, ssp_setup):
+        system, proc, manager, addr = ssp_setup
+        manager.checkpoint_start(addr, addr + 16 * PAGE_SIZE)
+        system.machine.access(addr + 2 * CACHE_LINE, 8, True)
+        meta = manager.cache.get(addr // PAGE_SIZE)
+        assert meta.updated_bitmap == 1 << 2
+
+    def test_reads_not_routed(self, ssp_setup):
+        system, proc, manager, addr = ssp_setup
+        manager.checkpoint_start(addr, addr + 16 * PAGE_SIZE)
+        system.machine.access(addr, 8, False)
+        assert system.stats["ssp.routed_stores"] == 0
+
+    def test_stores_outside_range_not_routed(self, ssp_setup):
+        system, proc, manager, addr = ssp_setup
+        manager.checkpoint_start(addr, addr + PAGE_SIZE)  # one page only
+        system.machine.access(addr + 2 * PAGE_SIZE, 8, True)
+        assert system.stats["ssp.routed_stores"] == 0
+
+
+class TestIntervalCommit:
+    def test_interval_end_toggles_current(self, ssp_setup):
+        system, proc, manager, addr = ssp_setup
+        manager.checkpoint_start(addr, addr + 16 * PAGE_SIZE)
+        system.machine.access(addr, 8, True)  # line 0 updated
+        manager.interval_end()
+        meta = manager.cache.get(addr // PAGE_SIZE)
+        assert meta.current_bitmap == 1
+        assert meta.updated_bitmap == 0
+
+    def test_interval_end_flushes_dirty_lines(self, ssp_setup):
+        system, proc, manager, addr = ssp_setup
+        manager.checkpoint_start(addr, addr + 16 * PAGE_SIZE)
+        system.machine.access(addr, 8, True)
+        manager.interval_end()
+        assert system.stats["clwb.issued"] >= 1
+        assert not manager.extension.dirty_lines
+        assert system.stats["persist_barriers"] >= 1
+
+    def test_double_toggle_returns_to_primary(self, ssp_setup):
+        system, proc, manager, addr = ssp_setup
+        manager.checkpoint_start(addr, addr + 16 * PAGE_SIZE)
+        system.machine.access(addr, 8, True)
+        manager.interval_end()
+        system.machine.access(addr, 8, True)
+        manager.interval_end()
+        meta = manager.cache.get(addr // PAGE_SIZE)
+        assert meta.current_bitmap == 0
+
+    def test_interval_charges_os_time(self, ssp_setup):
+        system, proc, manager, addr = ssp_setup
+        manager.checkpoint_start(addr, addr + 16 * PAGE_SIZE)
+        system.machine.access(addr, 8, True)
+        manager.interval_end()
+        assert system.stats["cycles.os.ssp.interval"] > 0
+
+
+class TestConsolidation:
+    def test_consolidates_committed_shadow_lines(self, ssp_setup):
+        system, proc, manager, addr = ssp_setup
+        manager.checkpoint_start(addr, addr + 16 * PAGE_SIZE)
+        system.machine.access(addr, 8, True)
+        manager.interval_end()
+        meta = manager.cache.get(addr // PAGE_SIZE)
+        meta.tlb_evicted = True
+        manager.consolidate_tick()
+        assert meta.current_bitmap == 0
+        assert system.stats["ssp.consolidated_lines"] == 1
+
+    def test_unevicted_entries_skipped(self, ssp_setup):
+        system, proc, manager, addr = ssp_setup
+        manager.checkpoint_start(addr, addr + 16 * PAGE_SIZE)
+        system.machine.access(addr, 8, True)
+        manager.interval_end()
+        manager.consolidate_tick()  # entry still in TLB
+        assert system.stats["ssp.consolidations"] == 0
+
+    def test_force_all_at_fase_end(self, ssp_setup):
+        system, proc, manager, addr = ssp_setup
+        manager.checkpoint_start(addr, addr + 16 * PAGE_SIZE)
+        system.machine.access(addr, 8, True)
+        manager.checkpoint_end()
+        meta = manager.cache.get(addr // PAGE_SIZE)
+        assert meta.current_bitmap == 0
+
+
+class TestTlbInteraction:
+    def test_eviction_writes_bitmap_back(self, ssp_setup):
+        system, proc, manager, addr = ssp_setup
+        manager.checkpoint_start(addr, addr + 16 * PAGE_SIZE)
+        system.machine.access(addr, 8, True)
+        # Thrash the TLB to evict the tracked entry.
+        victim_vpn = addr // PAGE_SIZE
+        for i in range(system.machine.config.tlb.entries + 4):
+            system.machine.access(addr + (i % 16) * PAGE_SIZE, 8, False)
+        # Either it was evicted (bitmap written back) or still resident.
+        meta = manager.cache.get(victim_vpn)
+        assert meta.updated_bitmap or system.stats["ssp.tlb_evict_writebacks"] >= 0
+
+    def test_validation(self, plain_system):
+        proc = plain_system.spawn("app")
+        with pytest.raises(ValueError):
+            SspManager(plain_system.kernel, proc, consistency_interval_ms=0)

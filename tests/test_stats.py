@@ -1,0 +1,75 @@
+"""Stats registry behaviour."""
+
+from repro.common.stats import Stats
+
+
+class TestStats:
+    def test_counters_start_at_zero(self):
+        assert Stats()["anything"] == 0
+
+    def test_add_accumulates(self):
+        s = Stats()
+        s.add("x")
+        s.add("x", 2)
+        assert s["x"] == 3
+
+    def test_set_overwrites(self):
+        s = Stats()
+        s.add("x", 5)
+        s.set("x", 1)
+        assert s["x"] == 1
+
+    def test_get_does_not_create(self):
+        s = Stats()
+        assert s.get("ghost") == 0
+        assert "ghost" not in s
+
+    def test_with_prefix(self):
+        s = Stats()
+        s.add("llc.hit")
+        s.add("llc.miss", 2)
+        s.add("l1.hit")
+        assert s.with_prefix("llc.") == {"llc.hit": 1, "llc.miss": 2}
+
+    def test_items_sorted(self):
+        s = Stats()
+        s.add("b")
+        s.add("a")
+        assert [name for name, _ in s.items()] == ["a", "b"]
+
+    def test_reset(self):
+        s = Stats()
+        s.add("x")
+        s.reset()
+        assert s["x"] == 0
+
+    def test_snapshot_is_independent(self):
+        s = Stats()
+        s.add("x")
+        snap = s.snapshot()
+        s.add("x")
+        assert snap["x"] == 1
+
+    def test_dump_format(self):
+        s = Stats()
+        s.add("a.b", 7)
+        assert s.dump() == "a.b 7"
+
+
+class TestDumpParsing:
+    def test_roundtrip(self):
+        s = Stats()
+        s.add("llc.miss", 42)
+        s.add("cycles.user", 7)
+        parsed = Stats.parse_dump(s.dump())
+        assert parsed.snapshot() == s.snapshot()
+
+    def test_comments_and_blanks_skipped(self):
+        parsed = Stats.parse_dump("# header\n\nx.y 3\n")
+        assert parsed["x.y"] == 3
+
+    def test_bad_line_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Stats.parse_dump("novalue\n")

@@ -1,0 +1,207 @@
+"""Tiering prototype: promotion, demotion, exclusivity, pressure."""
+
+import pytest
+
+from repro.common.errors import KindleError
+from repro.common.units import PAGE_SIZE
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+from repro.mem.hybrid import MemType
+from repro.tiering.daemon import TieringDaemon
+
+RW = PROT_READ | PROT_WRITE
+
+
+@pytest.fixture
+def setup(plain_system):
+    system = plain_system
+    proc = system.spawn("app")
+    addr = system.kernel.sys_mmap(proc, None, 16 * PAGE_SIZE, RW, MAP_NVM)
+    daemon = TieringDaemon(
+        system.kernel,
+        proc,
+        epoch_ms=1000.0,  # manual epoch() calls
+        hot_threshold=4,
+        cold_epochs=2,
+        auto_arm=False,
+    )
+    return system, proc, daemon, addr
+
+
+def tier_of(system, proc, addr):
+    pte = proc.page_table.lookup(addr // PAGE_SIZE)
+    return system.machine.layout.mem_type_of_pfn(pte.pfn)
+
+
+def heat(system, addr, lines=8):
+    for i in range(lines):
+        system.machine.access(addr + i * 64, 8, False)
+
+
+class TestPromotion:
+    def test_hot_nvm_page_promotes_to_dram(self, setup):
+        system, proc, daemon, addr = setup
+        heat(system, addr)
+        assert tier_of(system, proc, addr) is MemType.NVM
+        daemon.epoch()
+        assert tier_of(system, proc, addr) is MemType.DRAM
+        assert daemon.promotions == 1
+
+    def test_cold_nvm_page_stays(self, setup):
+        system, proc, daemon, addr = setup
+        system.machine.access(addr, 8, False)  # 1 miss < threshold 4
+        daemon.epoch()
+        assert tier_of(system, proc, addr) is MemType.NVM
+
+    def test_promotion_preserves_data(self, setup):
+        system, proc, daemon, addr = setup
+        system.machine.store(addr, b"hot-data")
+        heat(system, addr)
+        daemon.epoch()
+        assert system.machine.load(addr, 8) == b"hot-data"
+
+    def test_nvm_frame_freed_after_promotion(self, setup):
+        system, proc, daemon, addr = setup
+        heat(system, addr)
+        nvm_used = system.kernel.nvm_alloc.allocated_count
+        daemon.epoch()
+        assert system.kernel.nvm_alloc.allocated_count == nvm_used - 1
+
+    def test_budget_limits_promotions(self, plain_system):
+        system = plain_system
+        proc = system.spawn("app")
+        addr = system.kernel.sys_mmap(proc, None, 8 * PAGE_SIZE, RW, MAP_NVM)
+        daemon = TieringDaemon(
+            system.kernel, proc, epoch_ms=1000.0, hot_threshold=2,
+            migration_budget=3, auto_arm=False,
+        )
+        for p in range(8):
+            heat(system, addr + p * PAGE_SIZE, lines=4)
+        daemon.epoch()
+        assert daemon.promotions == 3
+
+    def test_dram_pressure_blocks_promotion(self, plain_system):
+        system = plain_system
+        proc = system.spawn("app")
+        addr = system.kernel.sys_mmap(proc, None, PAGE_SIZE, RW, MAP_NVM)
+        free = system.kernel.dram_alloc.free_count
+        daemon = TieringDaemon(
+            system.kernel, proc, epoch_ms=1000.0, hot_threshold=2,
+            dram_reserve_frames=free + 10,  # no headroom at all
+            auto_arm=False,
+        )
+        heat(system, addr)
+        daemon.epoch()
+        assert daemon.promotions == 0
+        assert system.stats["tiering.dram_pressure_skips"] == 1
+
+
+class TestDemotion:
+    def test_idle_dram_page_demotes_after_cold_epochs(self, setup):
+        system, proc, daemon, addr = setup
+        heat(system, addr)
+        daemon.epoch()  # promoted
+        assert tier_of(system, proc, addr) is MemType.DRAM
+        daemon.epoch()  # cold streak 1
+        assert tier_of(system, proc, addr) is MemType.DRAM
+        daemon.epoch()  # cold streak 2 -> demote
+        assert tier_of(system, proc, addr) is MemType.NVM
+        assert daemon.demotions == 1
+
+    def test_active_dram_page_stays(self, setup):
+        system, proc, daemon, addr = setup
+        heat(system, addr, lines=8)
+        daemon.epoch()
+        for epoch_index in range(3):
+            # Miss on fresh lines of the same page every epoch.
+            line = 8 + 2 * epoch_index
+            system.machine.access(addr + line * 64, 8, False)
+            system.machine.access(addr + (line + 1) * 64, 8, False)
+            daemon.epoch()
+        # Accessed every epoch: never demoted.
+        assert daemon.demotions == 0
+
+    def test_demotion_preserves_data(self, setup):
+        system, proc, daemon, addr = setup
+        system.machine.store(addr, b"round-trip")
+        heat(system, addr)
+        daemon.epoch()
+        daemon.epoch()
+        daemon.epoch()
+        assert tier_of(system, proc, addr) is MemType.NVM
+        assert system.machine.load(addr, 10) == b"round-trip"
+
+
+class TestAccounting:
+    def test_epoch_charges_os_time(self, setup):
+        system, proc, daemon, addr = setup
+        heat(system, addr)
+        daemon.epoch()
+        assert system.stats["cycles.os.tiering"] > 0
+
+    def test_counts_reset_each_epoch(self, setup):
+        system, proc, daemon, addr = setup
+        heat(system, addr)
+        daemon.epoch()
+        for _vpn, pte in proc.page_table.iter_leaves():
+            assert pte.access_count == 0
+
+    def test_validation(self, plain_system):
+        proc = plain_system.spawn("app")
+        with pytest.raises(KindleError):
+            TieringDaemon(plain_system.kernel, proc, epoch_ms=0)
+        with pytest.raises(KindleError):
+            TieringDaemon(plain_system.kernel, proc, hot_threshold=0)
+
+
+class TestEndToEndBenefit:
+    def test_tiering_speeds_up_skewed_workload(self):
+        """Hot pages in DRAM beat an all-NVM placement end to end."""
+        from repro.common.config import small_machine_config
+        from repro.platform import HybridSystem
+
+        from repro.common.config import CacheConfig, MachineConfig
+        from repro.common.units import KiB
+
+        # Shrunken caches so the cold stream genuinely evicts the hot
+        # set every few rounds (a 2 MB LLC would shelter it).
+        config = MachineConfig(
+            l1=CacheConfig("L1", 8 * KiB, 8, 4),
+            l2=CacheConfig("L2", 32 * KiB, 8, 14),
+            llc=CacheConfig("LLC", 128 * KiB, 16, 40),
+            layout=small_machine_config().layout,
+        )
+
+        def run(with_tiering: bool) -> int:
+            system = HybridSystem(config=config, persistence=False)
+            system.boot()
+            proc = system.spawn("app")
+            k = system.kernel
+            hot_base = k.sys_mmap(proc, None, 16 * PAGE_SIZE, RW, MAP_NVM)
+            cold_pages = 1024  # 4 MiB: twice the LLC, evicts hot lines
+            cold_base = k.sys_mmap(
+                proc, None, cold_pages * PAGE_SIZE, RW, MAP_NVM
+            )
+            daemon = None
+            if with_tiering:
+                daemon = TieringDaemon(
+                    system.kernel, proc, epoch_ms=0.25, hot_threshold=8,
+                )
+            start = system.machine.clock
+            cold_cursor = 0
+            for round_index in range(200):
+                for hot_page in range(16):
+                    offset = (round_index % 64) * 64
+                    system.machine.access(
+                        hot_base + hot_page * PAGE_SIZE + offset, 8, False
+                    )
+                for _ in range(64):
+                    offset = (cold_cursor * 64 * 17) % (cold_pages * PAGE_SIZE)
+                    system.machine.access(cold_base + offset, 8, False)
+                    cold_cursor += 1
+            elapsed = system.machine.clock - start
+            if daemon is not None:
+                assert daemon.promotions >= 1
+                daemon.disarm()
+            return elapsed
+
+        assert run(with_tiering=True) < run(with_tiering=False)

@@ -1,0 +1,119 @@
+"""TimerWheel semantics: ordering, periods, cancellation, re-arming."""
+
+import pytest
+
+from repro.common.timers import TimerWheel
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+
+class TestOneShot:
+    def test_fires_at_deadline(self):
+        wheel, clock, fired = TimerWheel(), FakeClock(), []
+        wheel.arm(10, lambda: fired.append("a"))
+        clock.now = 9
+        assert wheel.fire_due(clock) == 0
+        clock.now = 10
+        assert wheel.fire_due(clock) == 1
+        assert fired == ["a"]
+
+    def test_does_not_fire_twice(self):
+        wheel, clock, fired = TimerWheel(), FakeClock(), []
+        wheel.arm(5, lambda: fired.append(1))
+        clock.now = 20
+        wheel.fire_due(clock)
+        wheel.fire_due(clock)
+        assert fired == [1]
+
+    def test_fires_in_deadline_order(self):
+        wheel, clock, fired = TimerWheel(), FakeClock(), []
+        wheel.arm(20, lambda: fired.append("late"))
+        wheel.arm(10, lambda: fired.append("early"))
+        clock.now = 30
+        wheel.fire_due(clock)
+        assert fired == ["early", "late"]
+
+    def test_ties_break_by_arming_order(self):
+        wheel, clock, fired = TimerWheel(), FakeClock(), []
+        wheel.arm(10, lambda: fired.append("first"))
+        wheel.arm(10, lambda: fired.append("second"))
+        clock.now = 10
+        wheel.fire_due(clock)
+        assert fired == ["first", "second"]
+
+    def test_cancel(self):
+        wheel, clock, fired = TimerWheel(), FakeClock(), []
+        timer = wheel.arm(10, lambda: fired.append(1))
+        timer.cancel()
+        clock.now = 100
+        assert wheel.fire_due(clock) == 0
+        assert not fired
+
+
+class TestPeriodic:
+    def test_rearms_after_callback(self):
+        wheel, clock, fired = TimerWheel(), FakeClock(), []
+        wheel.arm(10, lambda: fired.append(clock.now), period=10)
+        for now in (10, 20, 30):
+            clock.now = now
+            wheel.fire_due(clock)
+        assert fired == [10, 20, 30]
+
+    def test_rearm_is_relative_to_callback_completion(self):
+        """A callback that advances the clock delays the next period
+        (checkpoint work longer than the interval must not stack)."""
+        wheel, clock, fired = TimerWheel(), FakeClock(), []
+
+        def slow_callback():
+            fired.append(clock.now)
+            clock.now += 25  # work takes longer than the period
+
+        wheel.arm(10, slow_callback, period=10)
+        clock.now = 10
+        wheel.fire_due(clock)  # fires at 10, finishes at 35, re-arms at 45
+        assert fired == [10]
+        clock.now = 44
+        assert wheel.fire_due(clock) == 0
+        clock.now = 45
+        assert wheel.fire_due(clock) == 1
+
+    def test_period_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimerWheel().arm(10, lambda: None, period=0)
+
+    def test_cancel_stops_periodic(self):
+        wheel, clock, fired = TimerWheel(), FakeClock(), []
+        timer = wheel.arm(10, lambda: fired.append(1), period=10)
+        clock.now = 10
+        wheel.fire_due(clock)
+        timer.cancel()
+        clock.now = 100
+        wheel.fire_due(clock)
+        assert fired == [1]
+
+
+class TestMaintenance:
+    def test_clear_disarms_everything(self):
+        wheel, clock = TimerWheel(), FakeClock()
+        wheel.arm(10, lambda: None)
+        wheel.arm(20, lambda: None, period=5)
+        wheel.clear()
+        clock.now = 1000
+        assert wheel.fire_due(clock) == 0
+        assert len(wheel) == 0
+
+    def test_next_deadline_skips_cancelled(self):
+        wheel = TimerWheel()
+        t1 = wheel.arm(10, lambda: None)
+        wheel.arm(20, lambda: None)
+        t1.cancel()
+        assert wheel.next_deadline() == 20
+
+    def test_next_deadline_empty(self):
+        assert TimerWheel().next_deadline() is None

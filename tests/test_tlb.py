@@ -1,0 +1,106 @@
+"""TLB: LRU, eviction hooks, ASID handling, extension fields."""
+
+from repro.arch.tlb import Tlb, TlbEntry
+from repro.common.config import TlbConfig
+from repro.common.stats import Stats
+
+
+def make_tlb(entries=4):
+    return Tlb(TlbConfig(entries=entries), Stats())
+
+
+def entry(vpn, pfn=99, asid=0):
+    return TlbEntry(vpn=vpn, pfn=pfn, asid=asid)
+
+
+class TestLookup:
+    def test_miss_on_empty(self):
+        assert make_tlb().lookup(0, 5) is None
+
+    def test_hit_after_insert(self):
+        tlb = make_tlb()
+        tlb.insert(entry(5, pfn=7))
+        hit = tlb.lookup(0, 5)
+        assert hit is not None and hit.pfn == 7
+
+    def test_asid_isolation(self):
+        tlb = make_tlb()
+        tlb.insert(entry(5, asid=1))
+        assert tlb.lookup(2, 5) is None
+
+    def test_lru_eviction_order(self):
+        tlb = make_tlb(entries=2)
+        tlb.insert(entry(1))
+        tlb.insert(entry(2))
+        tlb.lookup(0, 1)  # refresh 1
+        tlb.insert(entry(3))  # evicts 2
+        assert tlb.lookup(0, 2) is None
+        assert tlb.lookup(0, 1) is not None
+
+
+class TestEviction:
+    def test_evict_hook_fires_on_capacity(self):
+        tlb = make_tlb(entries=1)
+        victims = []
+        tlb.on_evict = victims.append
+        tlb.insert(entry(1))
+        tlb.insert(entry(2))
+        assert [v.vpn for v in victims] == [1]
+
+    def test_reinsert_same_vpn_does_not_evict(self):
+        tlb = make_tlb(entries=1)
+        victims = []
+        tlb.on_evict = victims.append
+        tlb.insert(entry(1, pfn=10))
+        tlb.insert(entry(1, pfn=20))
+        assert not victims
+        assert tlb.lookup(0, 1).pfn == 20
+
+    def test_explicit_invalidate_skips_hook(self):
+        tlb = make_tlb()
+        victims = []
+        tlb.on_evict = victims.append
+        tlb.insert(entry(1))
+        removed = tlb.invalidate(0, 1)
+        assert removed is not None and not victims
+
+    def test_invalidate_missing(self):
+        assert make_tlb().invalidate(0, 1) is None
+
+    def test_invalidate_asid(self):
+        tlb = make_tlb()
+        tlb.insert(entry(1, asid=1))
+        tlb.insert(entry(2, asid=2))
+        removed = tlb.invalidate_asid(1)
+        assert [e.vpn for e in removed] == [1]
+        assert tlb.lookup(2, 2) is not None
+
+    def test_flush(self):
+        tlb = make_tlb()
+        tlb.insert(entry(1))
+        tlb.insert(entry(2))
+        victims = tlb.flush()
+        assert len(victims) == 2 and len(tlb) == 0
+
+
+class TestExtensionFields:
+    def test_defaults(self):
+        e = entry(1)
+        assert e.shadow_pfn is None
+        assert e.updated_bitmap == 0
+        assert e.access_count == 0
+
+    def test_entries_lru_order(self):
+        tlb = make_tlb()
+        tlb.insert(entry(1))
+        tlb.insert(entry(2))
+        tlb.lookup(0, 1)
+        assert [e.vpn for e in tlb.entries()] == [2, 1]
+
+    def test_stats(self):
+        tlb = make_tlb()
+        tlb.insert(entry(1))
+        tlb.lookup(0, 1)
+        tlb.lookup(0, 9)
+        assert tlb.stats["tlb.hit"] == 1
+        assert tlb.stats["tlb.miss"] == 1

@@ -1,0 +1,60 @@
+"""Trace record validation and file round trips."""
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.prep.trace import READ, WRITE, TraceRecord, load_trace, save_trace
+
+
+class TestTraceRecord:
+    def test_valid_record(self):
+        r = TraceRecord(0, 0x1000, READ, 8)
+        assert not r.is_write
+
+    def test_write_flag(self):
+        assert TraceRecord(0, 0, WRITE, 8).is_write
+
+    def test_bad_op(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord(0, 0, "X", 8)
+
+    def test_bad_size(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord(0, 0, READ, 0)
+
+    def test_negative_addr(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord(0, -1, READ, 8)
+
+
+class TestFileRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        records = [
+            TraceRecord(0, 0x1000, READ, 8),
+            TraceRecord(1, 0x1040, WRITE, 64),
+        ]
+        path = tmp_path / "t.trace"
+        assert save_trace(records, path) == 2
+        assert load_trace(path) == records
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace([], path)
+        assert load_trace(path) == []
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("not a trace\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# kindle-trace v1\n1 2 3\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# kindle-trace v1\n\n# comment\n5 0x10 R 8\n")
+        assert load_trace(path) == [TraceRecord(5, 0x10, READ, 8)]

@@ -1,0 +1,126 @@
+"""Tracing runtime and the SniP stack substitute."""
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.prep.maps import HEAP, STACK
+from repro.prep.trace import READ, WRITE
+from repro.prep.tracer import TracedProcess
+
+
+class TestHeapTracing:
+    def test_alloc_creates_region(self):
+        tp = TracedProcess()
+        buf = tp.alloc_heap("table", 8192)
+        region = tp.layout.by_name("table")
+        assert region is not None and region.kind == HEAP
+        assert region.size == 8192
+
+    def test_alloc_rounds_to_pages(self):
+        tp = TracedProcess()
+        assert tp.alloc_heap("x", 100).size == 4096
+
+    def test_loads_and_stores_recorded_in_order(self):
+        tp = TracedProcess()
+        buf = tp.alloc_heap("x", 4096)
+        buf.load(0)
+        buf.store(8, 4)
+        assert [(r.op, r.size) for r in tp.trace] == [(READ, 8), (WRITE, 4)]
+        assert tp.trace[0].addr == buf.base
+        assert tp.trace[1].addr == buf.base + 8
+
+    def test_periods_monotonic(self):
+        tp = TracedProcess()
+        buf = tp.alloc_heap("x", 4096)
+        buf.load(0)
+        tp.compute(10)
+        buf.load(8)
+        assert tp.trace[1].period - tp.trace[0].period == 11
+
+    def test_update_is_read_then_write(self):
+        tp = TracedProcess()
+        buf = tp.alloc_heap("x", 4096)
+        buf.update(0)
+        assert [r.op for r in tp.trace] == [READ, WRITE]
+
+    def test_out_of_bounds_access(self):
+        tp = TracedProcess()
+        buf = tp.alloc_heap("x", 4096)
+        with pytest.raises(TraceFormatError):
+            buf.load(4095, 8)
+
+    def test_zero_size_region(self):
+        with pytest.raises(TraceFormatError):
+            TracedProcess().alloc_heap("x", 0)
+
+    def test_regions_do_not_overlap(self):
+        tp = TracedProcess()
+        a = tp.alloc_heap("a", 1 << 20)
+        b = tp.alloc_heap("b", 1 << 20)
+        assert a.region.end <= b.region.start
+
+    def test_mix_reporting(self):
+        tp = TracedProcess()
+        buf = tp.alloc_heap("x", 4096)
+        for _ in range(3):
+            buf.load(0)
+        buf.store(0)
+        assert tp.mix() == (75, 25)
+        assert tp.read_fraction == 0.75
+
+
+class TestStackTracking:
+    def test_register_thread_creates_stack_region(self):
+        tp = TracedProcess()
+        tp.stacks.register_thread(0)
+        region = tp.layout.by_name("stack_t0")
+        assert region is not None and region.kind == STACK
+
+    def test_duplicate_thread_rejected(self):
+        tp = TracedProcess()
+        tp.stacks.register_thread(0)
+        with pytest.raises(TraceFormatError):
+            tp.stacks.register_thread(0)
+
+    def test_frames_grow_down(self):
+        tp = TracedProcess()
+        stack = tp.stacks.register_thread(0)
+        top0 = stack.top
+        stack.push_frame(slots=4)
+        assert stack.top == top0 - 32
+        stack.pop_frame()
+        assert stack.top == top0
+
+    def test_locals_traced_within_stack_region(self):
+        tp = TracedProcess()
+        stack = tp.stacks.register_thread(0)
+        stack.push_frame(slots=2)
+        stack.local_store(0)
+        stack.local_load(1)
+        region = tp.layout.by_name("stack_t0")
+        for record in tp.trace:
+            assert region.contains(record.addr)
+
+    def test_pop_empty_rejected(self):
+        tp = TracedProcess()
+        stack = tp.stacks.register_thread(0)
+        with pytest.raises(TraceFormatError):
+            stack.pop_frame()
+
+    def test_stack_overflow_detected(self):
+        tp = TracedProcess()
+        stack = tp.stacks.register_thread(0, stack_bytes=4096)
+        with pytest.raises(TraceFormatError):
+            stack.push_frame(slots=1024)
+
+    def test_multi_threaded_stacks(self):
+        tp = TracedProcess()
+        tp.stacks.register_thread(0)
+        tp.stacks.register_thread(1)
+        assert len(tp.stacks) == 2
+        assert tp.layout.by_name("stack_t1") is not None
+
+    def test_unknown_thread(self):
+        tp = TracedProcess()
+        with pytest.raises(TraceFormatError):
+            tp.stacks.thread(3)

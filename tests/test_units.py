@@ -1,0 +1,70 @@
+"""Unit conversions and address arithmetic."""
+
+import pytest
+
+from repro.common import units
+
+
+class TestCycleConversions:
+    def test_one_ns_is_three_cycles(self):
+        assert units.cycles_from_ns(1) == 3
+
+    def test_rounds_up_to_whole_cycles(self):
+        assert units.cycles_from_ns(0.1) == 1
+        assert units.cycles_from_ns(1.4) == 5
+
+    def test_exact_values_do_not_round(self):
+        assert units.cycles_from_ns(2.0) == 6
+
+    def test_ms_conversion(self):
+        assert units.cycles_from_ms(1) == 3_000_000
+
+    def test_us_conversion(self):
+        assert units.cycles_from_us(1) == 3_000
+
+    def test_s_conversion(self):
+        assert units.cycles_from_s(1) == units.CPU_FREQ_HZ
+
+    def test_roundtrip_ns(self):
+        assert units.ns_from_cycles(units.cycles_from_ns(100)) == pytest.approx(100)
+
+    def test_ms_from_cycles(self):
+        assert units.ms_from_cycles(3_000_000) == pytest.approx(1.0)
+
+
+class TestAddressArithmetic:
+    def test_line_of(self):
+        assert units.line_of(0) == 0
+        assert units.line_of(63) == 0
+        assert units.line_of(64) == 1
+
+    def test_page_of(self):
+        assert units.page_of(4095) == 0
+        assert units.page_of(4096) == 1
+
+    def test_pages_in_rounds_up(self):
+        assert units.pages_in(1) == 1
+        assert units.pages_in(4096) == 1
+        assert units.pages_in(4097) == 2
+
+    def test_lines_in_rounds_up(self):
+        assert units.lines_in(64) == 1
+        assert units.lines_in(65) == 2
+
+    def test_align_down_up(self):
+        assert units.align_down(4100, 4096) == 4096
+        assert units.align_up(4100, 4096) == 8192
+        assert units.align_up(4096, 4096) == 4096
+
+    def test_span_lines_single(self):
+        assert list(units.span_lines(0, 8)) == [0]
+
+    def test_span_lines_crossing(self):
+        assert list(units.span_lines(60, 8)) == [0, 1]
+
+    def test_span_lines_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            units.span_lines(0, 0)
+
+    def test_span_pages_crossing(self):
+        assert list(units.span_pages(4090, 16)) == [0, 1]

@@ -1,0 +1,161 @@
+"""VMA layout: placement, overlap handling, unmap splitting, mprotect."""
+
+import pytest
+
+from repro.common.errors import FaultError
+from repro.common.units import GiB, MiB, PAGE_SIZE
+from repro.gemos.vma import (
+    MAP_FIXED,
+    MAP_NVM,
+    MMAP_BASE,
+    PROT_READ,
+    PROT_WRITE,
+    AddressSpace,
+    Vma,
+)
+from repro.mem.hybrid import MemType
+
+RW = PROT_READ | PROT_WRITE
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+class TestVmaBasics:
+    def test_rejects_unaligned(self):
+        with pytest.raises(FaultError):
+            Vma(100, PAGE_SIZE, True, MemType.DRAM)
+
+    def test_rejects_empty(self):
+        with pytest.raises(FaultError):
+            Vma(PAGE_SIZE, PAGE_SIZE, True, MemType.DRAM)
+
+    def test_properties(self):
+        vma = Vma(0, 2 * PAGE_SIZE, True, MemType.NVM, "x")
+        assert vma.length == 2 * PAGE_SIZE
+        assert vma.pages == 2
+        assert list(vma.vpn_range()) == [0, 1]
+        assert vma.contains(PAGE_SIZE) and not vma.contains(2 * PAGE_SIZE)
+
+
+class TestMap:
+    def test_unhinted_goes_to_mmap_base(self, space):
+        vma = space.map(None, PAGE_SIZE, RW)
+        assert vma.start == MMAP_BASE
+
+    def test_consecutive_maps_do_not_overlap(self, space):
+        a = space.map(None, PAGE_SIZE, RW)
+        b = space.map(None, PAGE_SIZE, RW)
+        assert a.end <= b.start or b.end <= a.start
+
+    def test_nvm_flag_tags_vma(self, space):
+        assert space.map(None, PAGE_SIZE, RW, MAP_NVM).mem_type is MemType.NVM
+        assert space.map(None, PAGE_SIZE, RW).mem_type is MemType.DRAM
+
+    def test_hint_honored_when_free(self, space):
+        vma = space.map(8 * GiB, PAGE_SIZE, RW)
+        assert vma.start == 8 * GiB
+
+    def test_overlapping_hint_falls_back(self, space):
+        space.map(MMAP_BASE, PAGE_SIZE, RW)
+        vma = space.map(MMAP_BASE, PAGE_SIZE, RW)
+        assert vma.start != MMAP_BASE
+
+    def test_map_fixed_overlap_raises(self, space):
+        space.map(MMAP_BASE, PAGE_SIZE, RW)
+        with pytest.raises(FaultError):
+            space.map(MMAP_BASE, PAGE_SIZE, RW, MAP_FIXED)
+
+    def test_length_rounds_to_pages(self, space):
+        assert space.map(None, 100, RW).length == PAGE_SIZE
+
+    def test_bad_length(self, space):
+        with pytest.raises(FaultError):
+            space.map(None, 0, RW)
+
+    def test_unaligned_hint(self, space):
+        with pytest.raises(FaultError):
+            space.map(123, PAGE_SIZE, RW)
+
+    def test_fills_hole_between_vmas(self, space):
+        a = space.map(None, PAGE_SIZE, RW)
+        b = space.map(None, PAGE_SIZE, RW)
+        space.unmap(a.start, PAGE_SIZE)
+        c = space.map(None, PAGE_SIZE, RW)
+        assert c.start == a.start
+
+    def test_writable_from_prot(self, space):
+        assert not space.map(None, PAGE_SIZE, PROT_READ).writable
+        assert space.map(None, PAGE_SIZE, RW).writable
+
+
+class TestFind:
+    def test_find_hit_and_miss(self, space):
+        vma = space.map(None, 2 * PAGE_SIZE, RW)
+        assert space.find(vma.start) is vma
+        assert space.find(vma.end) is None
+        assert space.find(vma.start - 1) is None
+
+    def test_mapped_bytes(self, space):
+        space.map(None, 3 * PAGE_SIZE, RW)
+        assert space.mapped_bytes == 3 * PAGE_SIZE
+
+
+class TestUnmap:
+    def test_full_unmap(self, space):
+        vma = space.map(None, 2 * PAGE_SIZE, RW)
+        removed = space.unmap(vma.start, 2 * PAGE_SIZE)
+        assert removed == [(vma.start, vma.end, vma)]
+        assert len(space) == 0
+
+    def test_unmap_prefix_trims(self, space):
+        vma = space.map(None, 4 * PAGE_SIZE, RW)
+        space.unmap(vma.start, PAGE_SIZE)
+        remaining = list(space)
+        assert len(remaining) == 1
+        assert remaining[0].start == vma.start + PAGE_SIZE
+
+    def test_unmap_middle_splits(self, space):
+        vma = space.map(None, 3 * PAGE_SIZE, RW, MAP_NVM, name="x")
+        space.unmap(vma.start + PAGE_SIZE, PAGE_SIZE)
+        parts = list(space)
+        assert len(parts) == 2
+        assert all(p.mem_type is MemType.NVM and p.name == "x" for p in parts)
+
+    def test_unmap_spanning_vmas(self, space):
+        a = space.map(MMAP_BASE, PAGE_SIZE, RW)
+        b = space.map(MMAP_BASE + PAGE_SIZE, PAGE_SIZE, RW)
+        removed = space.unmap(MMAP_BASE, 2 * PAGE_SIZE)
+        assert len(removed) == 2
+
+    def test_unmap_nothing(self, space):
+        assert space.unmap(MMAP_BASE, PAGE_SIZE) == []
+
+    def test_unmap_validation(self, space):
+        with pytest.raises(FaultError):
+            space.unmap(MMAP_BASE, 0)
+        with pytest.raises(FaultError):
+            space.unmap(MMAP_BASE + 1, PAGE_SIZE)
+
+
+class TestProtect:
+    def test_protect_whole(self, space):
+        vma = space.map(None, PAGE_SIZE, RW)
+        changed = space.protect(vma.start, PAGE_SIZE, PROT_READ)
+        assert len(changed) == 1 and not changed[0].writable
+
+    def test_protect_splits(self, space):
+        vma = space.map(None, 3 * PAGE_SIZE, RW)
+        space.protect(vma.start + PAGE_SIZE, PAGE_SIZE, PROT_READ)
+        parts = list(space)
+        assert [p.writable for p in parts] == [True, False, True]
+
+
+class TestSnapshot:
+    def test_roundtrip(self, space):
+        space.map(None, PAGE_SIZE, RW, MAP_NVM, name="heap")
+        space.map(None, 2 * PAGE_SIZE, PROT_READ, name="ro")
+        restored = AddressSpace.from_snapshot(space.snapshot())
+        assert restored.snapshot() == space.snapshot()

@@ -1,0 +1,84 @@
+"""Workload generators: Table II fidelity, determinism, structure."""
+
+import pytest
+
+from repro.workloads import TABLE2_MIXES, WORKLOAD_GENERATORS
+
+SMALL_OPS = 30_000
+
+
+@pytest.fixture(scope="module")
+def images():
+    """Generate each workload once for the whole module (they're slow)."""
+    return {
+        name: gen(total_ops=SMALL_OPS)
+        for name, gen in WORKLOAD_GENERATORS.items()
+    }
+
+
+class TestTable2Fidelity:
+    @pytest.mark.parametrize("name", list(WORKLOAD_GENERATORS))
+    def test_mix_close_to_paper(self, images, name):
+        reads, writes = images[name].mix()
+        paper_reads, paper_writes = TABLE2_MIXES[name]
+        assert abs(reads - paper_reads) <= 4, (
+            f"{name}: measured {reads}/{writes}, paper {paper_reads}/{paper_writes}"
+        )
+
+    @pytest.mark.parametrize("name", list(WORKLOAD_GENERATORS))
+    def test_op_budget_respected(self, images, name):
+        # Budget may be exceeded by at most one inner-loop step.
+        assert SMALL_OPS <= images[name].total_ops < SMALL_OPS + 200
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", list(WORKLOAD_GENERATORS))
+    def test_has_heap_and_stack_areas(self, images, name):
+        kinds = {a.kind for a in images[name].areas}
+        assert kinds == {"heap", "stack"}
+
+    @pytest.mark.parametrize("name", list(WORKLOAD_GENERATORS))
+    def test_offsets_inside_areas(self, images, name):
+        image = images[name]
+        sizes = {a.name: a.size for a in image.areas}
+        for t in image.tuples:
+            assert 0 <= t.offset and t.offset + t.size <= sizes[t.area]
+
+    @pytest.mark.parametrize("name", list(WORKLOAD_GENERATORS))
+    def test_periods_nondecreasing(self, images, name):
+        periods = [t.period for t in images[name].tuples]
+        assert all(a <= b for a, b in zip(periods, periods[1:]))
+
+    def test_pagerank_touches_expected_arrays(self, images):
+        areas = {t.area for t in images["gapbs_pr"].tuples}
+        assert {"scores", "contrib", "offsets", "neighbors", "out_degree"} <= areas
+
+    def test_sssp_writes_dist(self, images):
+        writes = {t.area for t in images["g500_sssp"].tuples if t.is_write}
+        assert "dist" in writes and "parent" in writes
+
+    def test_ycsb_zipf_skews_record_accesses(self, images):
+        from collections import Counter
+
+        hits = Counter(
+            t.offset // 4096
+            for t in images["ycsb_mem"].tuples
+            if t.area == "records"
+        )
+        total = sum(hits.values())
+        top = sum(count for _page, count in hits.most_common(10))
+        assert top / total > 0.1  # zipf: top pages dominate vs uniform
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = WORKLOAD_GENERATORS["ycsb_mem"](total_ops=2_000)
+        b = WORKLOAD_GENERATORS["ycsb_mem"](total_ops=2_000)
+        assert a.tuples == b.tuples
+
+    def test_different_seed_differs(self):
+        from repro.workloads import generate_ycsb
+
+        a = generate_ycsb(total_ops=2_000, seed=1)
+        b = generate_ycsb(total_ops=2_000, seed=2)
+        assert a.tuples != b.tuples
