@@ -1,0 +1,46 @@
+"""Replay-throughput trajectory bench (ops/sec of the simulator itself).
+
+Unlike the paper benches (which regenerate tables/figures of *simulated*
+results), this one measures the simulator: wall-clock throughput of the
+replay hot path per scenario, persisted to ``benchmarks/results/`` next
+to the paper artifacts.  The committed trajectory lives in the repo-root
+``BENCH_machine.json`` (see README); this bench keeps a smoke-scale copy
+flowing through the same results pipeline and asserts the shape that
+must hold for any healthy tree: scenarios that touch more machinery are
+slower, and simulated clocks stay deterministic run to run.
+"""
+
+from conftest import write_result
+
+from repro.harness.bench import SMOKE_OPS, run_bench, run_scenario
+
+
+def test_replay_throughput(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_bench(smoke=True), rounds=1, iterations=1
+    )
+    rates = report["current"]["ops_per_sec"]
+    rows = [
+        {
+            "scenario": name,
+            "ops": report["current"]["ops"][name],
+            "ops_per_sec": round(rate),
+            "final_clock": report["current"]["final_clock"][name],
+        }
+        for name, rate in rates.items()
+    ]
+    write_result(
+        "replay_throughput", {"experiment": "replay throughput", "rows": rows}
+    )
+    # The pure hot path outruns every scenario that leaves the L1.
+    assert rates["l1_resident"] > rates["llc_resident"]
+    assert rates["l1_resident"] > rates["nvm_miss_heavy"]
+    assert rates["l1_resident"] > rates["fault_heavy"]
+
+
+def test_simulated_clock_is_timing_independent():
+    """Wall-clock speed must never leak into simulated time."""
+    ops = SMOKE_OPS["nvm_miss_heavy"]
+    first = run_scenario("nvm_miss_heavy", ops, repeats=1)
+    second = run_scenario("nvm_miss_heavy", ops, repeats=2)
+    assert first["final_clock"] == second["final_clock"]

@@ -24,19 +24,26 @@ class Cache:
         self.assoc = config.assoc
         self.num_sets = config.num_sets
         self._sets: List[Dict[int, bool]] = [{} for _ in range(self.num_sets)]
+        # Stat keys are precomputed and bumped directly on the counter
+        # mapping: lookup() runs once per line per cache level, so
+        # per-probe f-string formatting dominated the replay hot path.
+        lower = self.name.lower()
+        self._hit_key = f"{lower}.hit"
+        self._miss_key = f"{lower}.miss"
+        self._evict_key = f"{lower}.evictions"
+        self._counters = stats.counters
 
     def _set_for(self, line: int) -> Dict[int, bool]:
         return self._sets[line % self.num_sets]
 
     def lookup(self, line: int, is_write: bool) -> bool:
         """Probe for ``line``; on hit, refresh LRU and merge dirty bit."""
-        cache_set = self._set_for(line)
+        cache_set = self._sets[line % self.num_sets]
         if line not in cache_set:
-            self.stats.add(f"{self.name.lower()}.miss")
+            self._counters[self._miss_key] += 1
             return False
-        dirty = cache_set.pop(line) or is_write
-        cache_set[line] = dirty
-        self.stats.add(f"{self.name.lower()}.hit")
+        cache_set[line] = cache_set.pop(line) or is_write
+        self._counters[self._hit_key] += 1
         return True
 
     def contains(self, line: int) -> bool:
@@ -57,7 +64,7 @@ class Cache:
         if len(cache_set) >= self.assoc:
             victim_line = next(iter(cache_set))
             victim = (victim_line, cache_set.pop(victim_line))
-            self.stats.add(f"{self.name.lower()}.evictions")
+            self._counters[self._evict_key] += 1
         cache_set[line] = dirty
         return victim
 

@@ -63,6 +63,9 @@ BULK_NVM_WRITE_PIPELINE = 1
 #: CPU work per line moved in a kernel bulk loop (load/store/loop ALU).
 BULK_CPU_CYCLES_PER_LINE = 2
 
+#: Cache lines per page (used by the replay fast path).
+LINES_PER_PAGE = PAGE_SIZE // CACHE_LINE
+
 
 class Machine:
     """A configured simulated platform (see module docstring)."""
@@ -90,10 +93,36 @@ class Machine:
         self.asid = 0
         self.walker: Optional[Walker] = None
         self.fault_handler: Optional[FaultHandler] = None
-        #: (category, charge) stack; empty means user mode.
-        self._mode_stack: List[Tuple[str, bool]] = []
+        #: (category, charge, counter key) stack; empty means user mode.
+        self._mode_stack: List[Tuple[str, bool, str]] = []
         self._lines_per_row = self.config.dram.row_size // CACHE_LINE
         self._read_clock = lambda: self.clock
+        # --- replay hot path ------------------------------------------
+        # access() runs hundreds of thousands of times per experiment;
+        # everything it needs is pinned here so the common op costs a
+        # handful of dict operations instead of a method-call chain.
+        # The references stay valid for the machine's lifetime: Stats
+        # resets clear the counter dict in place, Cache.drop_all clears
+        # the set dicts in place, and TimerWheel.clear empties the heap
+        # list in place.
+        self._counters = self.stats.counters
+        self._fast_path = True
+        #: Collapsed precondition for the inline path: fast path on AND
+        #: no extensions attached (kept in sync by attach_extension /
+        #: set_fast_path so access() tests one flag, not three).
+        self._fast_ok = True
+        #: ``asid << 40`` of the installed context (TLB key prefix).
+        self._asid_base = 0
+        self._op_base_cycles = self.config.op_base_cycles
+        self._l1_hit_latency = self.config.l1.hit_latency
+        self._l2_hit_latency = self.config.l2.hit_latency
+        self._llc_hit_latency = self.config.llc.hit_latency
+        self._fast_cycles = self._op_base_cycles + self._l1_hit_latency
+        self._l1_sets = self.l1._sets  # noqa: SLF001 - hot path
+        self._l1_nsets = self.l1.num_sets
+        self._l1_hit_key = self.l1._hit_key  # noqa: SLF001 - hot path
+        self._l1_miss_key = self.l1._miss_key  # noqa: SLF001 - hot path
+        self._timer_heap = self.timers._heap  # noqa: SLF001 - hot path
 
     # ------------------------------------------------------------------
     # mode and time
@@ -108,7 +137,11 @@ class Machine:
         but the clock does not move — this is how the HSCC baseline
         models "hardware migration activities only" (Fig. 6).
         """
-        self._mode_stack.append((category, charge))
+        # The counter key is formatted once per region entry instead of
+        # once per advance() inside it (bulk loops advance thousands of
+        # times per region).
+        key = f"cycles.os.{category}" if charge else f"uncharged.os.{category}"
+        self._mode_stack.append((category, charge, key))
         try:
             yield
         finally:
@@ -120,15 +153,15 @@ class Machine:
             raise ValueError(f"cannot advance by negative cycles: {cycles}")
         if not self._mode_stack:
             self.clock += cycles
-            self.stats.add("cycles.user", cycles)
+            self._counters["cycles.user"] += cycles
             return
-        category, charge = self._mode_stack[-1]
+        _category, charge, key = self._mode_stack[-1]
         if charge:
             self.clock += cycles
-            self.stats.add(f"cycles.os.{category}", cycles)
-            self.stats.add("cycles.os.total", cycles)
+            self._counters[key] += cycles
+            self._counters["cycles.os.total"] += cycles
         else:
-            self.stats.add(f"uncharged.os.{category}", cycles)
+            self._counters[key] += cycles
 
     @property
     def in_os_mode(self) -> bool:
@@ -140,6 +173,15 @@ class Machine:
 
     def attach_extension(self, extension: HardwareExtension) -> None:
         self.extensions.append(extension)
+        # Extensions hook stores and LLC misses, so ops must take the
+        # general path.
+        self._fast_ok = False
+
+    def set_fast_path(self, enabled: bool) -> None:
+        """Toggle the inline replay fast path (the golden-equivalence
+        test runs the same trace both ways; results must be identical)."""
+        self._fast_path = enabled
+        self._fast_ok = enabled and not self.extensions
 
     def _tlb_evict_hook(self, entry: TlbEntry) -> None:
         for ext in self.extensions:
@@ -157,24 +199,31 @@ class Machine:
     ) -> None:
         """One line-granularity access through the full cache hierarchy."""
         line = paddr // CACHE_LINE
-        if self.l1.lookup(line, is_write):
-            self.advance(self.config.l1.hit_latency)
+        # Inlined L1 probe (the per-access common case; equivalent to
+        # Cache.lookup but without the call overhead).
+        cache_set = self._l1_sets[line % self._l1_nsets]
+        if line in cache_set:
+            cache_set[line] = cache_set.pop(line) or is_write
+            self._counters[self._l1_hit_key] += 1
+            self.advance(self._l1_hit_latency)
             return
+        self._counters[self._l1_miss_key] += 1
         if self.l2.lookup(line, False):
-            self.advance(self.config.l2.hit_latency)
+            self.advance(self._l2_hit_latency)
             self._fill_l1(line, dirty=is_write)
             return
         if self.llc.lookup(line, False):
-            self.advance(self.config.llc.hit_latency)
+            self.advance(self._llc_hit_latency)
             self._fill_l2(line)
             self._fill_l1(line, dirty=is_write)
             return
         # Demand miss all the way to memory.
-        for ext in self.extensions:
-            ext.on_llc_miss(self, entry, line, is_write)
+        if self.extensions:
+            for ext in self.extensions:
+                ext.on_llc_miss(self, entry, line, is_write)
         is_nvm = self.layout.mem_type_of_addr(paddr) is MemType.NVM
         latency = self.controller.read(paddr, is_nvm, self.clock)
-        self.advance(self.config.llc.hit_latency + latency)
+        self.advance(self._llc_hit_latency + latency)
         self._fill_llc(line)
         self._fill_l2(line)
         self._fill_l1(line, dirty=is_write)
@@ -185,7 +234,7 @@ class Machine:
         is_nvm = self.layout.mem_type_of_addr(addr) is MemType.NVM
         latency = self.controller.write(addr, is_nvm, self.clock)
         self.advance(latency)
-        self.stats.add("cache.writebacks")
+        self._counters["cache.writebacks"] += 1
 
     def _fill_l1(self, line: int, dirty: bool) -> None:
         victim = self.l1.fill(line, dirty)
@@ -316,6 +365,7 @@ class Machine:
     ) -> None:
         """Point the hardware at a new address space (context switch)."""
         self.asid = asid
+        self._asid_base = asid << 40
         self.walker = walker
         self.fault_handler = fault_handler
 
@@ -363,13 +413,42 @@ class Machine:
         Splits at page boundaries, translates per page, routes stores
         through extension hooks (SSP shadow routing), then performs
         line-granularity cache accesses.  Fires due timers afterwards.
+
+        The overwhelmingly common op — single line, user mode, no
+        extensions, translation in the TLB micro-cache, line resident in
+        the L1 — is committed inline: one batched clock advance and four
+        counter bumps.  Every step of that inline path commutes with the
+        general path's ordering (no clock reads happen before the final
+        timer check), so results are bit-identical with the fast path
+        disabled (``_fast_path = False``; the golden-equivalence test
+        holds the two machines against each other).
         """
         if size <= 0:
             raise ValueError(f"access size must be positive: {size}")
-        self.advance(self.config.op_base_cycles)
-        # Fast path: the overwhelmingly common single-line access.
         offset = vaddr % PAGE_SIZE
         if offset % CACHE_LINE + size <= CACHE_LINE:
+            if self._fast_ok and not self._mode_stack:
+                tlb = self.tlb
+                if tlb._mru_key == self._asid_base | (vaddr // PAGE_SIZE):  # noqa: SLF001
+                    entry = tlb._mru_entry  # noqa: SLF001 - hot path
+                    if entry.writable or not is_write:
+                        line = entry.pfn * LINES_PER_PAGE + offset // CACHE_LINE
+                        cache_set = self._l1_sets[line % self._l1_nsets]
+                        if line in cache_set:
+                            cache_set[line] = cache_set.pop(line) or is_write
+                            counters = self._counters
+                            counters["tlb.hit"] += 1
+                            counters[self._l1_hit_key] += 1
+                            counters["ops.writes" if is_write else "ops.reads"] += 1
+                            cycles = self._fast_cycles
+                            self.clock += cycles
+                            counters["cycles.user"] += cycles
+                            heap = self._timer_heap
+                            if heap and heap[0][0] <= self.clock:
+                                self.timers.fire_due(self._read_clock)
+                            return
+            # Single line, but cold somewhere: the full path.
+            self.advance(self._op_base_cycles)
             entry = self.translate(vaddr, is_write)
             paddr = entry.pfn * PAGE_SIZE + (offset // CACHE_LINE) * CACHE_LINE
             if is_write and self.extensions:
@@ -379,8 +458,9 @@ class Machine:
                         paddr = routed * CACHE_LINE
                         break
             self.phys_line_access(paddr, is_write, entry)
-            self.stats.add("ops.writes" if is_write else "ops.reads")
+            self._counters["ops.writes" if is_write else "ops.reads"] += 1
         else:
+            self.advance(self._op_base_cycles)
             remaining = size
             addr = vaddr
             while remaining > 0:
@@ -400,21 +480,28 @@ class Machine:
                                 paddr = routed * CACHE_LINE
                                 break
                     self.phys_line_access(paddr, is_write, entry)
-                self.stats.add("ops.writes" if is_write else "ops.reads")
+                self._counters["ops.writes" if is_write else "ops.reads"] += 1
                 remaining -= chunk
                 addr += chunk
         # Inline deadline peek: only enter the timer machinery when a
         # timer is actually due (this runs once per replayed op).
-        heap = self.timers._heap  # noqa: SLF001 - hot path
+        heap = self._timer_heap
         if heap and heap[0][0] <= self.clock:
             self.timers.fire_due(self._read_clock)
 
     def load(self, vaddr: int, size: int) -> bytes:
-        """Replay a load and return the actual bytes (value fidelity)."""
-        entry = self.translate(vaddr, False)
+        """Replay a load and return the actual bytes (value fidelity).
+
+        The byte move is split per translated page: virtually contiguous
+        pages are *not* physically contiguous in general, so reading
+        ``size`` bytes from the first page's frame would pull bytes from
+        whatever frame happens to sit next to it.
+        """
+        chunks = self._span_chunks(vaddr, size, is_write=False)
         self.access(vaddr, size, is_write=False)
-        paddr = entry.pfn * PAGE_SIZE + (vaddr % PAGE_SIZE)
-        return self.physmem.read(paddr, size)
+        return b"".join(
+            self.physmem.read(paddr, chunk) for paddr, chunk in chunks
+        )
 
     def store(self, vaddr: int, data: bytes) -> None:
         """Replay a store carrying real bytes (value fidelity).
@@ -424,13 +511,42 @@ class Machine:
         some existing memory consistency techniques", so values land in
         the physical store immediately; timing still pays the full
         cache/memory path.
+
+        Like :meth:`load`, the byte move is split at every page
+        boundary and each chunk goes through its own translation —
+        writing ``len(data)`` physically contiguous bytes would corrupt
+        the frame physically adjacent to the first page.
         """
         if not data:
             raise ValueError("store needs at least one byte")
-        entry = self.translate(vaddr, True)
+        chunks = self._span_chunks(vaddr, len(data), is_write=True)
         self.access(vaddr, len(data), is_write=True)
-        paddr = entry.pfn * PAGE_SIZE + (vaddr % PAGE_SIZE)
-        self.physmem.write(paddr, data)
+        pos = 0
+        for paddr, chunk in chunks:
+            self.physmem.write(paddr, data[pos : pos + chunk])
+            pos += chunk
+
+    def _span_chunks(
+        self, vaddr: int, size: int, is_write: bool
+    ) -> List[Tuple[int, int]]:
+        """Translate ``[vaddr, vaddr+size)`` page by page.
+
+        Returns ``(paddr, nbytes)`` per page touched.  Translation
+        happens *before* the timed replay (mirroring the hardware, which
+        resolves the mapping before the bytes move), so a timer firing
+        at the end of :meth:`access` cannot retarget the byte move.
+        """
+        chunks: List[Tuple[int, int]] = []
+        addr = vaddr
+        remaining = size
+        while remaining > 0:
+            offset = addr % PAGE_SIZE
+            chunk = min(remaining, PAGE_SIZE - offset)
+            entry = self.translate(addr, is_write)
+            chunks.append((entry.pfn * PAGE_SIZE + offset, chunk))
+            remaining -= chunk
+            addr += chunk
+        return chunks
 
     # ------------------------------------------------------------------
     # analytic bulk path (kernel loops)
@@ -504,6 +620,7 @@ class Machine:
         self.walker = None
         self.fault_handler = None
         self.asid = 0
+        self._asid_base = 0
         self.powered = False
         self.stats.add("power.failures")
 

@@ -49,6 +49,15 @@ class Tlb:
         #: Called with the victim entry on every capacity eviction; the
         #: machine routes this to hardware-extension hooks.
         self.on_evict: Optional[Callable[[TlbEntry], None]] = None
+        self._counters = stats.counters
+        # Translation micro-cache: the last key/entry touched.  The
+        # cached key is always the most-recently-used (hence last) key
+        # in the LRU dict, so serving it without the pop/reinsert
+        # refresh is *exactly* equivalent — the refresh of an MRU key is
+        # a no-op.  Every mutation that could break that invariant
+        # (insert, invalidate, flush) updates or clears it.
+        self._mru_key: Optional[int] = None
+        self._mru_entry: Optional[TlbEntry] = None
 
     @staticmethod
     def _key(asid: int, vpn: int) -> int:
@@ -56,13 +65,18 @@ class Tlb:
 
     def lookup(self, asid: int, vpn: int) -> Optional[TlbEntry]:
         """Probe; refreshes LRU on hit."""
-        key = self._key(asid, vpn)
+        key = (asid << 40) | vpn
+        if key == self._mru_key:
+            self._counters["tlb.hit"] += 1
+            return self._mru_entry
         entry = self._entries.get(key)
         if entry is None:
-            self.stats.add("tlb.miss")
+            self._counters["tlb.miss"] += 1
             return None
         self._entries[key] = self._entries.pop(key)
-        self.stats.add("tlb.hit")
+        self._mru_key = key
+        self._mru_entry = entry
+        self._counters["tlb.hit"] += 1
         return entry
 
     def insert(self, entry: TlbEntry) -> Optional[TlbEntry]:
@@ -72,11 +86,16 @@ class Tlb:
         if key not in self._entries and len(self._entries) >= self.config.entries:
             victim_key = next(iter(self._entries))
             victim = self._entries.pop(victim_key)
+            if victim_key == self._mru_key:
+                self._mru_key = None
+                self._mru_entry = None
             self.stats.add("tlb.evictions")
             if self.on_evict is not None:
                 self.on_evict(victim)
         self._entries.pop(key, None)
         self._entries[key] = entry
+        self._mru_key = key
+        self._mru_entry = entry
         return victim
 
     def invalidate(self, asid: int, vpn: int) -> Optional[TlbEntry]:
@@ -86,15 +105,23 @@ class Tlb:
         the eviction hook: the OS initiated them and handles any
         metadata writeback itself.
         """
-        return self._entries.pop(self._key(asid, vpn), None)
+        key = self._key(asid, vpn)
+        if key == self._mru_key:
+            self._mru_key = None
+            self._mru_entry = None
+        return self._entries.pop(key, None)
 
     def invalidate_asid(self, asid: int) -> List[TlbEntry]:
         """Drop all translations of one address space (context teardown)."""
+        self._mru_key = None
+        self._mru_entry = None
         doomed = [k for k, e in self._entries.items() if e.asid == asid]
         return [self._entries.pop(k) for k in doomed]
 
     def flush(self) -> List[TlbEntry]:
         """Drop everything (full TLB shootdown or power cycle)."""
+        self._mru_key = None
+        self._mru_entry = None
         victims = list(self._entries.values())
         self._entries.clear()
         return victims

@@ -25,6 +25,13 @@ class Stats:
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = defaultdict(int)
+        #: The live counter mapping itself.  Hot-path components (cache,
+        #: TLB, memory channels, the machine's replay loop) hold a direct
+        #: reference and do ``counters[key] += amount`` to skip the
+        #: method-call overhead of :meth:`add`; it is the same object for
+        #: the lifetime of the registry (:meth:`reset` clears it in
+        #: place), so cached references never go stale.
+        self.counters = self._counters
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount``."""

@@ -44,6 +44,7 @@ def main(argv=None) -> int:
             "table6",
             "validate",
             "compare",
+            "bench",
         ],
     )
     parser.add_argument(
@@ -63,8 +64,28 @@ def main(argv=None) -> int:
         action="store_true",
         help="also render figure experiments as ASCII bar charts",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="bench: tiny op budgets, single repeat (CI smoke run)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="bench: timing repeats per scenario (best is kept)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_machine.json",
+        help="bench: output path for the throughput trajectory JSON",
+    )
     args = parser.parse_args(argv)
 
+    if args.experiment == "bench":
+        from repro.harness.bench import bench_main
+
+        return bench_main(args.out, smoke=args.smoke, repeats=args.repeats)
     if args.experiment == "compare":
         from pathlib import Path
 

@@ -1,0 +1,274 @@
+"""Replay-throughput benchmark: ``python -m repro.harness bench``.
+
+The paper experiments replay 60-200k-operation traces across many
+checkpoint/migration intervals, so simulator throughput (wall-clock
+ops/sec of :meth:`Machine.access`) bounds experiment coverage.  This
+harness replays calibrated synthetic traces through a freshly built
+machine per scenario and records ops/sec so every PR leaves a perf
+trajectory behind (``BENCH_machine.json``).
+
+Scenarios
+---------
+
+``l1_resident``
+    16 KiB working set, every access hits the L1 — the pure hot-path
+    cost of ``access`` + ``translate`` + ``phys_line_access``.
+``llc_resident``
+    1 MiB working set: misses L1/L2, hits the LLC.
+``nvm_miss_heavy``
+    8 MiB working set in NVM, strided to defeat the LLC; exercises the
+    controller, open-row model and NVM write buffer.
+``fault_heavy``
+    every op touches a brand-new page: TLB miss, failed walk, demand
+    fault, re-walk, TLB fill/eviction.
+``l1_extensions``
+    the L1-resident trace with a no-op hardware extension attached, so
+    the hook-dispatch overhead is tracked separately.
+
+Output schema (``BENCH_machine.json``)
+--------------------------------------
+
+``schema``
+    ``"bench_machine/v1"``.
+``unit``
+    always ``"simulated memory operations per wall-clock second"``.
+``baseline``
+    the pre-optimisation (PR 1 seed) measurement this machine's numbers
+    are compared against: ``{"label": ..., "ops_per_sec": {scenario: float}}``.
+``current``
+    this run: ``ops_per_sec``, ``elapsed_s``, ``ops`` and the simulated
+    ``final_clock`` per scenario (the clock doubles as a fidelity
+    anchor: optimisations must not change it).
+``speedup_vs_baseline``
+    ``current/baseline`` per scenario present in both.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.arch.hooks import HardwareExtension
+from repro.arch.machine import Machine
+from repro.common.config import MachineConfig, small_machine_config
+from repro.common.rng import derive_rng
+from repro.common.units import CACHE_LINE, PAGE_SIZE
+from repro.mem.hybrid import MemType
+
+#: One trace record: (vaddr, size, is_write).
+Op = Tuple[int, int, bool]
+
+SCHEMA = "bench_machine/v1"
+
+#: Seed-tree throughput measured before the PR 1 hot-path overhaul
+#: (same scenarios, same op counts, best of 3 on the reference runner).
+#: This is the denominator of ``speedup_vs_baseline`` — update it only
+#: when re-baselining on purpose.
+SEED_BASELINE = {
+    "label": "seed tree (pre hot-path overhaul, PR 1), best of 3",
+    "ops_per_sec": {
+        "l1_resident": 539_420.4,
+        "llc_resident": 92_814.7,
+        "nvm_miss_heavy": 67_869.4,
+        "fault_heavy": 63_616.2,
+        "l1_extensions": 360_124.0,
+    },
+}
+
+#: Default replayed ops per scenario (full run / --smoke run).
+DEFAULT_OPS = {
+    "l1_resident": 200_000,
+    "llc_resident": 120_000,
+    "nvm_miss_heavy": 60_000,
+    "fault_heavy": 30_000,
+    "l1_extensions": 120_000,
+}
+SMOKE_OPS = {name: 2_000 for name in DEFAULT_OPS}
+
+
+class _NopExtension(HardwareExtension):
+    """Attached by ``l1_extensions`` to price the hook-dispatch path."""
+
+
+def _premapped_machine(
+    config: Optional[MachineConfig] = None,
+    nvm: bool = False,
+    npages: int = 0,
+) -> Tuple[Machine, Dict[int, Tuple[int, bool]]]:
+    """A machine with ``npages`` identity-mapped pages and no fault path."""
+    machine = Machine(config or small_machine_config())
+    if nvm:
+        base_pfn, _ = machine.layout.pfn_range(MemType.NVM)
+    else:
+        base_pfn, _ = machine.layout.pfn_range(MemType.DRAM)
+    mapping: Dict[int, Tuple[int, bool]] = {
+        vpn: (base_pfn + vpn, True) for vpn in range(npages)
+    }
+
+    def walker(_machine: Machine, vpn: int) -> Optional[Tuple[int, bool]]:
+        return mapping.get(vpn)
+
+    machine.install_context(1, walker, None)
+    return machine, mapping
+
+
+def _mixed_rw_trace(
+    name: str, ops: int, nbytes: int, stride: int, write_every: int
+) -> List[Op]:
+    """Strided sweep over ``nbytes`` with every ``write_every``-th op a write."""
+    rng = derive_rng(17, f"bench.{name}")
+    lines = nbytes // CACHE_LINE
+    trace: List[Op] = []
+    line = 0
+    for i in range(ops):
+        line = (line + stride) % lines
+        vaddr = line * CACHE_LINE + rng.randrange(0, CACHE_LINE - 8)
+        trace.append((vaddr, 8, i % write_every == 0))
+    return trace
+
+
+def _build_l1_resident(ops: int, extensions: bool = False):
+    nbytes = 16 * 1024
+    machine, _ = _premapped_machine(npages=nbytes // PAGE_SIZE)
+    if extensions:
+        machine.attach_extension(_NopExtension())
+    return machine, _mixed_rw_trace("l1", ops, nbytes, stride=1, write_every=4)
+
+
+def _build_llc_resident(ops: int):
+    nbytes = 1024 * 1024
+    machine, _ = _premapped_machine(npages=nbytes // PAGE_SIZE)
+    # Stride of 131 lines (coprime with the set counts) sweeps the whole
+    # working set while defeating the L1/L2 but staying LLC-resident.
+    return machine, _mixed_rw_trace("llc", ops, nbytes, stride=131, write_every=4)
+
+
+def _build_nvm_miss_heavy(ops: int):
+    nbytes = 8 * 1024 * 1024
+    machine, _ = _premapped_machine(nvm=True, npages=nbytes // PAGE_SIZE)
+    # A large coprime stride defeats the 2 MiB LLC: most ops miss all
+    # the way to the NVM devices; 1 in 3 ops writes into the buffer.
+    return machine, _mixed_rw_trace("nvm", ops, nbytes, stride=4099, write_every=3)
+
+
+def _build_fault_heavy(ops: int):
+    machine = Machine(small_machine_config())
+    npages = machine.layout.config.dram_bytes // PAGE_SIZE
+    mapping: Dict[int, Tuple[int, bool]] = {}
+
+    def walker(_machine: Machine, vpn: int) -> Optional[Tuple[int, bool]]:
+        return mapping.get(vpn)
+
+    def fault_handler(vaddr: int, _is_write: bool) -> None:
+        vpn = vaddr // PAGE_SIZE
+        mapping[vpn] = (vpn % npages, True)
+
+    machine.install_context(1, walker, fault_handler)
+    rng = derive_rng(17, "bench.fault")
+    trace: List[Op] = [
+        (vpn * PAGE_SIZE + rng.randrange(0, PAGE_SIZE - 8), 8, vpn % 2 == 0)
+        for vpn in range(ops)
+    ]
+    return machine, trace
+
+
+#: scenario name -> builder(ops) -> (machine, trace).
+SCENARIOS: Dict[str, Callable] = {
+    "l1_resident": _build_l1_resident,
+    "llc_resident": _build_llc_resident,
+    "nvm_miss_heavy": _build_nvm_miss_heavy,
+    "fault_heavy": _build_fault_heavy,
+    "l1_extensions": lambda ops: _build_l1_resident(ops, extensions=True),
+}
+
+
+def _replay(machine: Machine, trace: List[Op]) -> float:
+    """Replay ``trace`` and return elapsed wall-clock seconds."""
+    access = machine.access
+    start = time.perf_counter()
+    for vaddr, size, is_write in trace:
+        access(vaddr, size, is_write)
+    return time.perf_counter() - start
+
+
+def run_scenario(name: str, ops: int, repeats: int = 3) -> Dict[str, float]:
+    """Run one scenario ``repeats`` times on fresh machines; keep the best.
+
+    A fresh machine per repeat keeps cache/TLB warm-up identical across
+    repeats, so the best run measures interpreter speed, not state.
+    """
+    builder = SCENARIOS[name]
+    best = float("inf")
+    final_clock = 0
+    for _ in range(max(1, repeats)):
+        machine, trace = builder(ops)
+        elapsed = _replay(machine, trace)
+        best = min(best, elapsed)
+        final_clock = machine.clock
+    return {
+        "ops": ops,
+        "elapsed_s": best,
+        "ops_per_sec": ops / best if best > 0 else float("inf"),
+        "final_clock": final_clock,
+    }
+
+
+def run_bench(
+    smoke: bool = False,
+    repeats: int = 3,
+    scenarios: Optional[List[str]] = None,
+) -> Dict[str, object]:
+    """Run all (or the selected) scenarios and assemble the report."""
+    budgets = SMOKE_OPS if smoke else DEFAULT_OPS
+    names = scenarios or list(SCENARIOS)
+    current_ops_per_sec: Dict[str, float] = {}
+    elapsed: Dict[str, float] = {}
+    ops: Dict[str, int] = {}
+    clocks: Dict[str, int] = {}
+    for name in names:
+        result = run_scenario(name, budgets[name], repeats=1 if smoke else repeats)
+        current_ops_per_sec[name] = round(result["ops_per_sec"], 1)
+        elapsed[name] = round(result["elapsed_s"], 4)
+        ops[name] = result["ops"]
+        clocks[name] = result["final_clock"]
+    report: Dict[str, object] = {
+        "schema": SCHEMA,
+        "generated_by": "python -m repro.harness bench"
+        + (" --smoke" if smoke else ""),
+        "unit": "simulated memory operations per wall-clock second",
+        "smoke": smoke,
+        "baseline": SEED_BASELINE,
+        "current": {
+            "ops_per_sec": current_ops_per_sec,
+            "elapsed_s": elapsed,
+            "ops": ops,
+            "final_clock": clocks,
+        },
+        "speedup_vs_baseline": {
+            name: round(current_ops_per_sec[name] / base, 2)
+            for name, base in SEED_BASELINE["ops_per_sec"].items()
+            if name in current_ops_per_sec and base > 0
+        },
+    }
+    return report
+
+
+def bench_main(out_path: str, smoke: bool = False, repeats: int = 3) -> int:
+    """CLI entry: run, print a table, write the JSON trajectory file."""
+    report = run_bench(smoke=smoke, repeats=repeats)
+    current = report["current"]
+    print(f"== replay throughput ({report['unit']}) ==")
+    for name, rate in current["ops_per_sec"].items():
+        base = report["baseline"]["ops_per_sec"].get(name, 0.0)
+        speedup = f"  ({rate / base:.2f}x baseline)" if base > 0 else ""
+        print(
+            f"  {name:<16} {rate:>12,.0f} ops/s  "
+            f"[{current['ops'][name]} ops in {current['elapsed_s'][name]:.3f}s]"
+            f"{speedup}"
+        )
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+    return 0

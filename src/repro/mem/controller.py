@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict  # noqa: F401 (Dict used in annotations)
 
+from repro.common import units
 from repro.common.config import MemTimingConfig, NvmBufferConfig
 from repro.common.stats import Stats
 from repro.common.units import cycles_from_ns
@@ -40,41 +41,51 @@ class MemoryChannel:
         self.name = name
         self.banks = banks
         self._open_rows: Dict[int, int] = {}
+        #: Row-buffer outcome of the most recent access, for callers
+        #: tracking per-page locality (the RBLA policy, after [49]).
+        #: False until the first access — policies may legitimately poll
+        #: it before any traffic has been issued.
+        self.last_row_hit = False
         self._read_hit = cycles_from_ns(timing.read_row_hit_ns)
         self._read_miss = cycles_from_ns(timing.read_row_miss_ns)
         self._write_hit = cycles_from_ns(timing.write_row_hit_ns)
         self._write_miss = cycles_from_ns(timing.write_row_miss_ns)
+        self._row_size = timing.row_size
+        self._counters = stats.counters
+        self._read_hit_key = f"{name}.read_row_hit"
+        self._read_miss_key = f"{name}.read_row_miss"
+        self._write_hit_key = f"{name}.write_row_hit"
+        self._write_miss_key = f"{name}.write_row_miss"
 
     def _row_lookup(self, addr: int) -> bool:
         """Open the row containing ``addr``; True if it was already open."""
-        row = addr // self.timing.row_size
+        row = addr // self._row_size
         bank = row % self.banks
         hit = self._open_rows.get(bank) == row
         self._open_rows[bank] = row
-        #: Row-buffer outcome of the most recent access, for callers
-        #: tracking per-page locality (the RBLA policy, after [49]).
         self.last_row_hit = hit
         return hit
 
     def read_latency(self, addr: int) -> int:
         """Cycles for a demand line read at ``addr``."""
         if self._row_lookup(addr):
-            self.stats.add(f"{self.name}.read_row_hit")
+            self._counters[self._read_hit_key] += 1
             return self._read_hit
-        self.stats.add(f"{self.name}.read_row_miss")
+        self._counters[self._read_miss_key] += 1
         return self._read_miss
 
     def write_latency(self, addr: int) -> int:
         """Cycles for a line write at ``addr`` hitting the device array."""
         if self._row_lookup(addr):
-            self.stats.add(f"{self.name}.write_row_hit")
+            self._counters[self._write_hit_key] += 1
             return self._write_hit
-        self.stats.add(f"{self.name}.write_row_miss")
+        self._counters[self._write_miss_key] += 1
         return self._write_miss
 
     def reset_rows(self) -> None:
-        """Close all rows (power cycle)."""
+        """Close all rows (power cycle); the row-hit flag starts over too."""
         self._open_rows.clear()
+        self.last_row_hit = False
 
 
 class NvmWriteBuffer:
@@ -94,6 +105,7 @@ class NvmWriteBuffer:
         self.capacity = capacity
         self.channel = channel
         self.stats = stats
+        self._counters = stats.counters
         self._insert_cycles = cycles_from_ns(self.INSERT_NS)
         #: Completion times of in-flight drains, oldest first.
         self._drains: Deque[int] = deque()
@@ -110,12 +122,12 @@ class NvmWriteBuffer:
         if len(self._drains) >= self.capacity:
             # Wait for the oldest drain to complete, freeing a slot.
             stall = self._drains.popleft() - now
-            self.stats.add("nvm.write_buffer_full")
+            self._counters["nvm.write_buffer_full"] += 1
         drain_start = max(now + stall, self._last_drain_end)
         drain_end = drain_start + self.channel.write_latency(addr)
         self._drains.append(drain_end)
         self._last_drain_end = drain_end
-        self.stats.add("nvm.buffered_writes")
+        self._counters["nvm.buffered_writes"] += 1
         return stall + self._insert_cycles
 
     def drain_all(self, now: int) -> int:
@@ -172,29 +184,37 @@ class HybridMemoryController:
         #: NVM page -> demand-read row-buffer misses (row locality; the
         #: RBLA migration policy [49] ranks pages by this).
         self.nvm_page_row_misses: Dict[int, int] = {}
+        # Wear/locality accounting is per page, so the shift must follow
+        # the configured page size (read at construction time, so tests
+        # can patch ``repro.common.units.PAGE_SIZE``), not a 4K literal.
+        page_size = units.PAGE_SIZE
+        self._page_shift = page_size.bit_length() - 1
+        if 1 << self._page_shift != page_size:
+            raise ValueError(f"PAGE_SIZE must be a power of two: {page_size}")
+        self._counters = stats.counters
 
     def read(self, addr: int, is_nvm: bool, now: int) -> int:
         """Demand line read; returns latency in cycles."""
         if is_nvm:
-            self.stats.add("nvm.reads")
+            self._counters["nvm.reads"] += 1
             latency = self.nvm.read_latency(addr)
             if not self.nvm.last_row_hit:
-                page = addr >> 12
+                page = addr >> self._page_shift
                 self.nvm_page_row_misses[page] = (
                     self.nvm_page_row_misses.get(page, 0) + 1
                 )
             return latency
-        self.stats.add("dram.reads")
+        self._counters["dram.reads"] += 1
         return self.dram.read_latency(addr)
 
     def write(self, addr: int, is_nvm: bool, now: int) -> int:
         """Line write (writeback or streaming store); returns latency."""
         if is_nvm:
-            self.stats.add("nvm.writes")
-            page = addr >> 12
+            self._counters["nvm.writes"] += 1
+            page = addr >> self._page_shift
             self.nvm_page_writes[page] = self.nvm_page_writes.get(page, 0) + 1
             return self.nvm_write_buffer.enqueue(addr, now)
-        self.stats.add("dram.writes")
+        self._counters["dram.writes"] += 1
         # DRAM writes are posted: the write queue in a DDR4 controller
         # absorbs them; charge the row activity cost only.
         return self.dram.write_latency(addr)

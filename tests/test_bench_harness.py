@@ -1,0 +1,87 @@
+"""The throughput bench harness: scenarios, schema, CLI round trip."""
+
+import json
+
+from repro.harness.bench import (
+    DEFAULT_OPS,
+    SCENARIOS,
+    SEED_BASELINE,
+    SMOKE_OPS,
+    run_bench,
+    run_scenario,
+)
+
+
+class TestScenarios:
+    def test_at_least_four_scenarios(self):
+        assert len(SCENARIOS) >= 4
+        assert "l1_resident" in SCENARIOS
+        assert "nvm_miss_heavy" in SCENARIOS
+        assert "fault_heavy" in SCENARIOS
+
+    def test_every_scenario_has_an_op_budget(self):
+        assert set(DEFAULT_OPS) == set(SCENARIOS)
+        assert set(SMOKE_OPS) == set(SCENARIOS)
+
+    def test_l1_scenario_is_l1_resident(self):
+        machine, trace = SCENARIOS["l1_resident"](2000)
+        for vaddr, size, is_write in trace:
+            machine.access(vaddr, size, is_write)
+        stats = machine.stats
+        # Once the 256-line working set is warm, everything hits the L1.
+        assert stats["l1.hit"] >= len(trace) - 300
+
+    def test_nvm_scenario_reaches_the_devices(self):
+        machine, trace = SCENARIOS["nvm_miss_heavy"](500)
+        for vaddr, size, is_write in trace:
+            machine.access(vaddr, size, is_write)
+        assert machine.stats["nvm.reads"] > 0
+
+    def test_fault_scenario_faults_every_op(self):
+        machine, trace = SCENARIOS["fault_heavy"](200)
+        for vaddr, size, is_write in trace:
+            machine.access(vaddr, size, is_write)
+        assert machine.stats["tlb.miss"] >= 200
+
+    def test_run_scenario_reports_rate_and_clock(self):
+        result = run_scenario("l1_resident", 300, repeats=1)
+        assert result["ops"] == 300
+        assert result["ops_per_sec"] > 0
+        assert result["final_clock"] > 0
+
+
+class TestReportSchema:
+    def test_smoke_report_schema(self):
+        report = run_bench(smoke=True)
+        assert report["schema"] == "bench_machine/v1"
+        current = report["current"]
+        assert set(current["ops_per_sec"]) == set(SCENARIOS)
+        assert all(rate > 0 for rate in current["ops_per_sec"].values())
+        assert all(clock > 0 for clock in current["final_clock"].values())
+        assert set(report["baseline"]["ops_per_sec"]) == set(SCENARIOS)
+        for name, speedup in report["speedup_vs_baseline"].items():
+            base = report["baseline"]["ops_per_sec"][name]
+            assert speedup > 0 and base > 0
+
+    def test_scenario_clocks_are_deterministic(self):
+        first = run_scenario("llc_resident", 400, repeats=1)
+        second = run_scenario("llc_resident", 400, repeats=1)
+        assert first["final_clock"] == second["final_clock"]
+
+
+class TestCli:
+    def test_bench_cli_writes_json(self, tmp_path, capsys):
+        from repro.harness.__main__ import main
+
+        out = tmp_path / "BENCH_machine.json"
+        assert main(["bench", "--smoke", "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "bench_machine/v1"
+        assert report["smoke"] is True
+        captured = capsys.readouterr()
+        assert "replay throughput" in captured.out
+
+    def test_committed_baseline_is_recorded(self):
+        # The trajectory file must carry the pre-PR baseline so future
+        # sessions can see the whole perf history.
+        assert SEED_BASELINE["ops_per_sec"]["l1_resident"] > 0

@@ -128,3 +128,63 @@ class TestHybridController:
         ctrl.write(0, is_nvm=True, now=0)
         ctrl.power_cycle()
         assert ctrl.persist_barrier(0) == 0
+
+
+class TestLastRowHitInitialisation:
+    """``last_row_hit`` must be defined from construction (RBLA/tiering
+    policies may poll it before the channel has seen any traffic)."""
+
+    def test_defined_before_first_access(self, stats):
+        channel = MemoryChannel(PCM, stats, "nvm")
+        assert channel.last_row_hit is False
+
+    def test_defined_on_fresh_machine(self):
+        from repro.arch.machine import Machine
+        from repro.common.config import small_machine_config
+
+        machine = Machine(small_machine_config())
+        assert machine.controller.nvm.last_row_hit is False
+        assert machine.controller.dram.last_row_hit is False
+
+    def test_reset_rows_clears_it(self, stats):
+        channel = MemoryChannel(PCM, stats, "nvm")
+        channel.read_latency(0)
+        channel.read_latency(64)
+        assert channel.last_row_hit is True
+        channel.reset_rows()
+        assert channel.last_row_hit is False
+
+
+class TestPageSizeDerivedAccounting:
+    """Wear/row-miss accounting must follow the configured page size,
+    not a hardcoded ``addr >> 12``."""
+
+    def test_wear_page_under_8k_pages(self, stats, monkeypatch):
+        from repro.common import units
+
+        monkeypatch.setattr(units, "PAGE_SIZE", 8192)
+        ctrl = HybridMemoryController(DDR4_2400, PCM, NvmBufferConfig(), stats)
+        addr = 3 * 8192 + 64  # page 3 under 8K pages; page 6 under 4K
+        ctrl.write(addr, is_nvm=True, now=0)
+        assert ctrl.nvm_page_writes == {3: 1}
+
+    def test_row_miss_page_under_8k_pages(self, stats, monkeypatch):
+        from repro.common import units
+
+        monkeypatch.setattr(units, "PAGE_SIZE", 8192)
+        ctrl = HybridMemoryController(DDR4_2400, PCM, NvmBufferConfig(), stats)
+        addr = 5 * 8192  # cold row -> miss recorded against page 5
+        ctrl.read(addr, is_nvm=True, now=0)
+        assert ctrl.nvm_page_row_misses == {5: 1}
+
+    def test_default_page_size_unchanged(self, stats):
+        ctrl = HybridMemoryController(DDR4_2400, PCM, NvmBufferConfig(), stats)
+        ctrl.write(6 * 4096, is_nvm=True, now=0)
+        assert ctrl.nvm_page_writes == {6: 1}
+
+    def test_rejects_non_power_of_two_page_size(self, stats, monkeypatch):
+        from repro.common import units
+
+        monkeypatch.setattr(units, "PAGE_SIZE", 3000)
+        with pytest.raises(ValueError):
+            HybridMemoryController(DDR4_2400, PCM, NvmBufferConfig(), stats)

@@ -1,0 +1,161 @@
+"""Golden equivalence: the replay fast path must change *nothing*.
+
+The hot-path overhaul (TLB micro-cache, inlined L1 probe, batched cycle
+flush) is a pure optimisation: a mixed trace replayed with the fast
+path enabled and disabled must produce byte-identical stats dumps, the
+same final clock and the same physical memory contents — with and
+without hardware extensions attached.
+"""
+
+from repro.arch.hooks import HardwareExtension
+from repro.arch.machine import Machine
+from repro.common.config import small_machine_config
+from repro.common.rng import derive_rng
+from repro.common.units import PAGE_SIZE
+from repro.mem.hybrid import MemType
+
+
+class _NoisyExtension(HardwareExtension):
+    """Deterministic extension that leaves observable traces in stats."""
+
+    def on_tlb_fill(self, machine, entry) -> None:
+        machine.stats.add("ext.tlb_fills")
+
+    def on_llc_miss(self, machine, entry, paddr_line, is_write) -> None:
+        machine.stats.add("ext.llc_misses")
+
+    def route_store(self, machine, entry, vaddr, paddr_line):
+        # Route every 16th store line back to itself (exercises the
+        # routing hook without perturbing addresses).
+        if paddr_line % 16 == 0:
+            machine.stats.add("ext.routed_stores")
+            return paddr_line
+        return None
+
+
+def _install_space(machine: Machine):
+    """A demand-paged address space with non-contiguous v2p placement."""
+    nvm_base, nvm_end = machine.layout.pfn_range(MemType.NVM)
+    dram_base, dram_end = machine.layout.pfn_range(MemType.DRAM)
+    dram_pages = dram_end - dram_base
+    mapping = {}
+
+    def walker(_machine, vpn):
+        entry = mapping.get(vpn)
+        return (entry[0], entry[1]) if entry else None
+
+    def fault(vaddr, is_write):
+        vpn = vaddr // PAGE_SIZE
+        entry = mapping.get(vpn)
+        if entry is None:
+            if vpn % 3 == 0:
+                pfn = nvm_base + (vpn % (nvm_end - nvm_base))
+            else:
+                pfn = dram_base + (17 * vpn + 5) % dram_pages
+            # Read faults map read-only so later writes exercise the
+            # protection-upgrade path.
+            mapping[vpn] = [pfn, is_write]
+        else:
+            entry[1] = True
+
+    machine.install_context(1, walker, fault)
+    return walker, fault
+
+
+def _run_mixed_trace(machine: Machine) -> None:
+    rng = derive_rng(99, "golden-mixed")
+    walker, fault = _install_space(machine)
+
+    def tick():
+        with machine.os_region("tick"):
+            machine.advance(123)
+
+    machine.timers.arm(machine.clock + 40_000, tick, period=90_000, name="tick")
+
+    span = 48 * PAGE_SIZE
+    for step in range(2500):
+        roll = rng.random()
+        vaddr = rng.randrange(0, span - 2 * PAGE_SIZE)
+        if roll < 0.55:
+            # Single-line hot accesses (the fast-path candidates).
+            base = (vaddr % (4 * PAGE_SIZE)) & ~63
+            machine.access(base, 8, is_write=rng.random() < 0.3)
+        elif roll < 0.70:
+            machine.access(vaddr, rng.choice([1, 8, 64, 200]), rng.random() < 0.5)
+        elif roll < 0.80:
+            # Multi-line / page-crossing accesses.
+            machine.access(vaddr, rng.choice([128, 512, PAGE_SIZE + 96]), True)
+        elif roll < 0.90:
+            data = bytes(rng.randrange(0, 256) for _ in range(rng.choice([5, 80, 300])))
+            machine.store(vaddr, data)
+            assert machine.load(vaddr, len(data)) == data
+        elif roll < 0.95:
+            with machine.os_region("maintenance"):
+                machine.bulk_lines(rng.randrange(1, 64), MemType.DRAM, is_write=False)
+        else:
+            machine.store(vaddr, b"persist-me")
+            machine.clwb_virtual(vaddr, 10)
+            machine.persist_barrier()
+        if step == 1600:
+            machine.power_fail()
+            machine.power_on()
+            _install_space(machine)  # fresh space after the crash
+
+
+def _fingerprint(machine: Machine):
+    frames = {
+        pfn: bytes(frame)
+        for pfn, frame in machine.physmem._frames.items()  # noqa: SLF001
+    }
+    return machine.stats.dump(), machine.clock, frames
+
+
+def _equivalence_pair(extensions: bool):
+    machines = []
+    for fast in (True, False):
+        machine = Machine(small_machine_config())
+        if extensions:
+            machine.attach_extension(_NoisyExtension())
+        machine.set_fast_path(fast)
+        _run_mixed_trace(machine)
+        machines.append(machine)
+    return machines
+
+
+class TestGoldenEquivalence:
+    def test_identical_without_extensions(self):
+        fast, slow = _equivalence_pair(extensions=False)
+        fast_dump, fast_clock, fast_frames = _fingerprint(fast)
+        slow_dump, slow_clock, slow_frames = _fingerprint(slow)
+        assert fast_dump == slow_dump
+        assert fast_clock == slow_clock
+        assert fast_frames == slow_frames
+        assert fast.clock > 0 and fast.stats["ops.reads"] > 0
+
+    def test_identical_with_extensions(self):
+        fast, slow = _equivalence_pair(extensions=True)
+        fast_dump, fast_clock, fast_frames = _fingerprint(fast)
+        slow_dump, slow_clock, slow_frames = _fingerprint(slow)
+        assert fast_dump == slow_dump
+        assert fast_clock == slow_clock
+        assert fast_frames == slow_frames
+        assert fast.stats["ext.llc_misses"] > 0
+
+    def test_fast_path_actually_taken(self):
+        """The fast machine must serve ops without entering Tlb.lookup."""
+        counts = {}
+        for fast in (True, False):
+            machine = Machine(small_machine_config())
+            machine.set_fast_path(fast)
+            calls = 0
+            original = machine.tlb.lookup
+
+            def counting_lookup(asid, vpn, _original=original):
+                nonlocal calls
+                calls += 1
+                return _original(asid, vpn)
+
+            machine.tlb.lookup = counting_lookup
+            _run_mixed_trace(machine)
+            counts[fast] = calls
+        assert counts[True] < counts[False]
