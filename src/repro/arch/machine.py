@@ -88,6 +88,15 @@ class Machine:
         self.msr = MsrFile()
         self.timers = TimerWheel()
         self.extensions: List[HardwareExtension] = []
+        #: Persist-boundary hook: ``hook(kind, detail)`` called on every
+        #: durable NVM write event — ``"bulk"`` (streamed kernel write,
+        #: detail = line count), ``"clwb"`` / ``"wb"`` (one line reaching
+        #: the NVM write buffer, detail = line number), ``"fence"``
+        #: (persist barrier), ``"label"`` (explicit protocol boundary,
+        #: detail = name) and ``"power_fail"``.  Installed by
+        #: :class:`repro.faults.CrashInjector`; ``None`` (the default)
+        #: costs one attribute test per event and nothing else.
+        self.persist_hook = None
         self.clock = 0
         self.powered = True
         self.asid = 0
@@ -228,10 +237,12 @@ class Machine:
         self._fill_l2(line)
         self._fill_l1(line, dirty=is_write)
 
-    def _writeback(self, line: int) -> None:
+    def _writeback(self, line: int, _kind: str = "wb") -> None:
         """Send a dirty victim line to memory."""
         addr = line * CACHE_LINE
         is_nvm = self.layout.mem_type_of_addr(addr) is MemType.NVM
+        if is_nvm and self.persist_hook is not None:
+            self.persist_hook(_kind, line)
         latency = self.controller.write(addr, is_nvm, self.clock)
         self.advance(latency)
         self._counters["cache.writebacks"] += 1
@@ -302,16 +313,32 @@ class Machine:
         dirty = self.l2.clean(line) or dirty
         dirty = self.llc.clean(line) or dirty
         if dirty:
-            self._writeback(line)
+            self._writeback(line, _kind="clwb")
             self.stats.add("clwb.writebacks")
         self.stats.add("clwb.issued")
         return dirty
 
     def persist_barrier(self) -> None:
         """sfence-to-durability: stall until the NVM write buffer drains."""
+        if self.persist_hook is not None:
+            # Emitted before the drain: a crash here means writes issued
+            # since the previous fence never became durable.
+            self.persist_hook("fence", None)
         stall = self.controller.persist_barrier(self.clock)
         self.advance(stall)
         self.stats.add("persist_barriers")
+
+    def persist_point(self, label: str) -> None:
+        """Declare a named durability boundary in a persistence protocol.
+
+        The checkpoint/recovery machinery calls this between the durable
+        NVM write that makes a state transition permanent and the
+        in-memory bookkeeping that assumes it happened; a crash injected
+        at the point therefore models the transition *not* having
+        reached NVM.  Free when no hook is installed.
+        """
+        if self.persist_hook is not None:
+            self.persist_hook("label", label)
 
     def clwb_virtual(self, vaddr: int, size: int) -> int:
         """clwb every line covering ``[vaddr, vaddr+size)`` (user-space
@@ -583,6 +610,14 @@ class Machine:
             raise ValueError(f"negative line count {n_lines}")
         if n_lines == 0:
             return
+        if (
+            is_write
+            and mem_type is MemType.NVM
+            and self.persist_hook is not None
+        ):
+            # One durable-write event per streamed burst, emitted before
+            # the burst: a crash at this point means none of it landed.
+            self.persist_hook("bulk", n_lines)
         self.advance(self._bulk_cost(n_lines, mem_type, is_write))
         kind = "write" if is_write else "read"
         self.stats.add(f"bulk.{mem_type.value}.{kind}_lines", n_lines)
@@ -607,6 +642,10 @@ class Machine:
 
     def power_fail(self) -> None:
         """Drop every volatile structure; NVM frame contents survive."""
+        if self.persist_hook is not None:
+            # Fault models (torn writes, bit rot) act at the instant the
+            # power drops, before volatile state is discarded.
+            self.persist_hook("power_fail", None)
         self.l1.drop_all()
         self.l2.drop_all()
         self.llc.drop_all()

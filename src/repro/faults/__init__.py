@@ -1,0 +1,48 @@
+"""Crash-point fault injection for the persistence stack.
+
+The persistence machinery's core claim — a crash at *any* instant is
+recoverable — is only testable by actually crashing at every instant.
+This package threads a numbered *crash point* through every durable NVM
+write event (line writebacks, clwb flushes, streamed bursts, fences,
+explicit protocol labels, object-store registrations) and provides:
+
+:class:`CrashInjector`
+    counts the points of a run, or kills the simulation at point *k* by
+    raising :class:`CrashPointReached`; tracks which lines are pending
+    (written, unfenced) vs durable (fenced) and applies byte-level NVM
+    fault models (:mod:`repro.mem.nvmstore`) at power-fail time.
+
+:class:`CrashExplorer`
+    enumerates all crash points of a :class:`CrashScenario`, re-runs it
+    killed at each one, reboots from the surviving NVM image, and checks
+    the recovery invariants (:mod:`repro.faults.invariants`).
+
+:mod:`repro.faults.scenarios`
+    the five standard scenarios of the crashtest harness.
+"""
+
+from repro.faults.explorer import (
+    CrashExplorer,
+    CrashScenario,
+    ExplorationReport,
+    ScenarioContext,
+    Violation,
+)
+from repro.faults.injector import CrashInjector, CrashPoint, CrashPointReached
+from repro.faults.scenarios import (
+    RandomOpsScenario,
+    standard_scenarios,
+)
+
+__all__ = [
+    "CrashExplorer",
+    "CrashInjector",
+    "CrashPoint",
+    "CrashPointReached",
+    "CrashScenario",
+    "ExplorationReport",
+    "RandomOpsScenario",
+    "ScenarioContext",
+    "Violation",
+    "standard_scenarios",
+]

@@ -1,0 +1,257 @@
+"""The crash explorer: every crash point of a scenario, exhaustively.
+
+A :class:`CrashScenario` is a deterministic workload over a fresh
+:class:`~repro.platform.HybridSystem`.  The explorer runs it once in
+counting mode to number its crash points, then re-runs it from scratch
+once per point with the injector armed to kill there, crashes the
+system, reboots it from the surviving NVM image, and checks the
+recovery invariants (:mod:`repro.faults.invariants`).  Determinism of
+the whole stack (bump/LIFO allocators, seeded RNG, timer wheel) is what
+makes the per-point re-runs valid: point *k* is the same event in every
+run.
+
+Golden snapshots are captured by a commit listener on the persistence
+manager at the exact instant each checkpoint commits, so the set of
+admissible recovery targets is precise even when the kill lands between
+the commit flip and the next line of scenario code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.config import small_machine_config
+from repro.common.errors import KindleError
+from repro.faults.injector import CrashInjector, CrashPoint, CrashPointReached
+from repro.faults.invariants import (
+    Golden,
+    PointResult,
+    Violation,
+    check_nvm_image,
+    check_recovery,
+)
+from repro.gemos.process import Process
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+from repro.platform import HybridSystem
+
+
+class CrashScenario:
+    """One deterministic workload for the explorer to crash repeatedly."""
+
+    name = "abstract"
+    scheme = "rebuild"
+    #: Kept long so the periodic timer stays out of the way and the
+    #: scenario controls checkpoint placement explicitly.
+    checkpoint_interval_ms = 1000.0
+
+    def run(self, ctx: "ScenarioContext") -> None:
+        """The workload; raises CrashPointReached when the kill fires."""
+        raise NotImplementedError
+
+    def at_kill(
+        self, ctx: "ScenarioContext", injector: CrashInjector, violations: List[Violation]
+    ) -> None:
+        """Scenario-specific checks at the crash instant (pre-reboot)."""
+
+    def after_crash(self, ctx: "ScenarioContext") -> None:
+        """Cleanup of volatile scenario state before the reboot."""
+
+
+class ScenarioContext:
+    """One fresh system plus the golden/durable-data bookkeeping."""
+
+    def __init__(self, scenario: CrashScenario) -> None:
+        self.scenario = scenario
+        self.system = HybridSystem(
+            config=small_machine_config(),
+            scheme=scenario.scheme,
+            checkpoint_interval_ms=scenario.checkpoint_interval_ms,
+        )
+        self.system.boot()
+        assert self.system.manager is not None
+        self.system.manager.on_commit.append(self._capture_golden)
+        #: pid -> goldens in commit order.
+        self.goldens: Dict[int, List[Golden]] = {}
+        #: pid -> vaddr -> bytes made durable with an explicit flush+fence.
+        self.durable_data: Dict[int, Dict[int, bytes]] = {}
+        #: Scenario-private storage (e.g. the SSP manager).
+        self.scratch: Dict[str, object] = {}
+
+    def _capture_golden(self, process: Process, saved) -> None:
+        self.goldens.setdefault(saved.pid, []).append(Golden.capture(saved))
+
+    # ------------------------------------------------------------------
+    # workload helpers
+    # ------------------------------------------------------------------
+
+    def mmap_nvm(
+        self,
+        process: Process,
+        length: int,
+        addr: Optional[int] = None,
+        writable: bool = True,
+        name: str = "anon",
+    ) -> int:
+        assert self.system.kernel is not None
+        prot = PROT_READ | (PROT_WRITE if writable else 0)
+        return self.system.kernel.sys_mmap(
+            process, addr, length, prot, MAP_NVM, name
+        )
+
+    def write_durable(self, process: Process, vaddr: int, data: bytes) -> None:
+        """Store + clwb + fence; recorded only once actually durable."""
+        machine = self.system.machine
+        machine.store(vaddr, data)
+        machine.clwb_virtual(vaddr, len(data))
+        machine.persist_barrier()
+        self.durable_data.setdefault(process.pid, {})[vaddr] = bytes(data)
+
+
+@dataclass
+class ExplorationReport:
+    """Aggregate outcome of exploring one scenario."""
+
+    scenario: str
+    scheme: str
+    total_points: int
+    explored: int = 0
+    recoveries: int = 0
+    results: List[PointResult] = field(default_factory=list)
+    label_points: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def violations(self) -> List[Violation]:
+        return [v for r in self.results for v in r.violations]
+
+    def summary(self) -> str:
+        status = "OK" if not self.violations else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"{self.scenario:<24} scheme={self.scheme:<10} "
+            f"points={self.total_points:<4} explored={self.explored:<4} "
+            f"recovered={self.recoveries:<4} {status}"
+        )
+
+
+class CrashExplorer:
+    """Enumerate, kill, recover, check — for one scenario."""
+
+    def __init__(
+        self,
+        scenario: CrashScenario,
+        fault_models: Iterable = (),
+        record_journal: bool = False,
+    ) -> None:
+        self.scenario = scenario
+        self.fault_models = list(fault_models)
+        self.record_journal = record_journal
+        #: Journal of the most recent counting pass (ordering tests).
+        self.last_journal: List[CrashPoint] = []
+
+    # ------------------------------------------------------------------
+    # passes
+    # ------------------------------------------------------------------
+
+    def count_points(self) -> Tuple[int, Dict[str, int]]:
+        """Run the scenario to completion, numbering every crash point."""
+        ctx = ScenarioContext(self.scenario)
+        injector = CrashInjector(record_journal=True)
+        injector.attach(ctx.system.machine, ctx.system.nvm_store)
+        injector.arm_counting()
+        self.scenario.run(ctx)
+        injector.detach()
+        self.last_journal = list(injector.journal)
+        return injector.points_seen, injector.label_points()
+
+    def run_point(self, index: int) -> Tuple[ScenarioContext, PointResult]:
+        """Kill at crash point ``index`` and run the full recovery check."""
+        return self._run_killed(lambda inj: inj.arm_kill(index))
+
+    def run_label(
+        self, label: str, occurrence: int = 0
+    ) -> Tuple[ScenarioContext, PointResult]:
+        """Kill at the ``occurrence``-th emission of a protocol label."""
+        return self._run_killed(
+            lambda inj: inj.arm_kill_label(label, occurrence)
+        )
+
+    def explore(
+        self, points: Optional[Iterable[int]] = None
+    ) -> ExplorationReport:
+        """Kill at every (or the given) crash points; check each recovery."""
+        total, labels = self.count_points()
+        indices = sorted(points) if points is not None else range(total)
+        report = ExplorationReport(
+            scenario=self.scenario.name,
+            scheme=self.scenario.scheme,
+            total_points=total,
+            label_points=labels,
+        )
+        for index in indices:
+            if index >= total:
+                continue
+            _ctx, result = self.run_point(index)
+            report.explored += 1
+            if result.recovered_pids:
+                report.recoveries += 1
+            report.results.append(result)
+        return report
+
+    # ------------------------------------------------------------------
+    # one kill-and-recover cycle
+    # ------------------------------------------------------------------
+
+    def _run_killed(self, arm) -> Tuple[ScenarioContext, PointResult]:
+        ctx = ScenarioContext(self.scenario)
+        injector = CrashInjector(
+            fault_models=self.fault_models, record_journal=self.record_journal
+        )
+        injector.attach(ctx.system.machine, ctx.system.nvm_store)
+        arm(injector)
+        try:
+            self.scenario.run(ctx)
+        except CrashPointReached as exc:
+            point = exc.point
+        else:
+            injector.detach()
+            missed = PointResult(
+                point=CrashPoint(-1, "missed", None, 0),
+                violations=[
+                    Violation(
+                        self.scenario.name,
+                        "armed kill never fired — the scenario's crash "
+                        "points are not deterministic",
+                    )
+                ],
+            )
+            return ctx, missed
+        violations: List[Violation] = []
+        self.scenario.at_kill(ctx, injector, violations)
+        # Power fails: volatile state dies, fault models scramble the
+        # pending lines, the kernel object is discarded.
+        ctx.system.crash()
+        # Recovery itself writes NVM (allocator reconciliation, pruning);
+        # those must not emit crash points, so detach first.
+        injector.detach()
+        self.scenario.after_crash(ctx)
+        check_nvm_image(ctx, violations)
+        recovered: List[Process] = []
+        try:
+            recovered = ctx.system.boot()
+        except KindleError as exc:
+            violations.append(
+                Violation(
+                    self.scenario.name, f"recovery failed: {exc}", point=point
+                )
+            )
+        else:
+            check_recovery(ctx, recovered, violations)
+        for violation in violations:
+            if violation.point is None:
+                violation.point = point
+        result = PointResult(
+            point=point,
+            recovered_pids=tuple(sorted(p.pid for p in recovered)),
+            violations=violations,
+        )
+        return ctx, result

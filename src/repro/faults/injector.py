@@ -1,0 +1,229 @@
+"""The crash injector: numbered kill points on the NVM write path.
+
+Every durable-write event in the simulation calls a hook *before* its
+effect takes place (see :attr:`repro.arch.machine.Machine.persist_hook`
+and :attr:`repro.mem.nvmstore.NvmObjectStore.hook`).  The injector
+numbers those calls; killing at point *k* raises
+:class:`CrashPointReached` out of the hook, so everything that happened
+before point *k* survived and the guarded write never did — exactly the
+state NVM would hold if power dropped at that instant.
+
+Event kinds (the ``kind`` argument of the hook):
+
+``"wb"``      spontaneous dirty-line eviction to NVM (detail: line number)
+``"clwb"``    protocol-ordered line flush (detail: line number)
+``"bulk"``    streamed NVM write burst (detail: line count)
+``"fence"``   persist barrier — promotes pending lines to durable
+``"label"``   explicit protocol boundary (detail: label string)
+``"store.put"`` / ``"store.remove"``  NVM object (de)registration
+``"power_fail"``  not a crash point; the instant fault models run
+
+Epochs count fences: lines written since the last fence are *pending*
+(in the volatile NVM write buffer), lines a fence has drained are
+*durable*.  That split is what the torn-write fault model and the SSP
+commit-atomicity invariant consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.common.errors import KindleError
+from repro.mem.nvmstore import NvmFaultModel, NvmObjectStore
+
+#: Machine-hook kinds that carry a line number to track.
+_LINE_KINDS = ("wb", "clwb")
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One numbered durable-write event."""
+
+    index: int
+    kind: str
+    detail: object
+    epoch: int
+
+    def __str__(self) -> str:
+        return f"#{self.index} {self.kind}({self.detail}) epoch {self.epoch}"
+
+
+class CrashPointReached(KindleError):
+    """Raised out of a persist hook to model power failing right there.
+
+    Subclasses :class:`KindleError` deliberately: nothing in the
+    simulator catches broad exceptions, so the unwind reaches the
+    explorer with every mutation before the point intact and the
+    guarded write not performed.
+    """
+
+    def __init__(self, point: CrashPoint) -> None:
+        super().__init__(f"crash injected at point {point}")
+        self.point = point
+
+
+class CrashInjector:
+    """Counts, journals, or kills at persist-boundary crash points.
+
+    Lifecycle: :meth:`attach` installs the hooks; the injector then does
+    *nothing* until armed (``active`` is False and every hook call
+    returns immediately — attached-but-disarmed runs must stay
+    byte-identical to unhooked runs).  :meth:`arm_counting` numbers the
+    points of a run; :meth:`arm_kill` / :meth:`arm_kill_label` raise
+    :class:`CrashPointReached` at a chosen point.  At power-fail the
+    injector applies its byte-level fault models to the pending
+    (unfenced) lines and forgets the volatile write-buffer state.
+    """
+
+    def __init__(
+        self,
+        fault_models: Iterable[NvmFaultModel] = (),
+        record_journal: bool = False,
+    ) -> None:
+        self.fault_models: List[NvmFaultModel] = list(fault_models)
+        self.record_journal = record_journal
+        self.journal: List[CrashPoint] = []
+        self.points_seen = 0
+        self.epoch = 0
+        self.pending_lines: Set[int] = set()
+        self.durable_lines: Set[int] = set()
+        self.active = False
+        self.kill_at: Optional[int] = None
+        self.kill_label: Optional[Tuple[str, int]] = None
+        self.killed: Optional[CrashPoint] = None
+        #: Pending/durable line sets frozen at the kill instant (the
+        #: power-fail handler clears the live sets afterwards).
+        self.pending_at_kill: frozenset = frozenset()
+        self.durable_at_kill: frozenset = frozenset()
+        self._label_seen: dict = {}
+        self._machine = None
+        self._store: Optional[NvmObjectStore] = None
+        self._points_at_attach = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, machine, store: Optional[NvmObjectStore] = None) -> None:
+        """Install the persist hooks on a machine (and object store)."""
+        if self._machine is not None:
+            raise KindleError("injector is already attached")
+        if machine.persist_hook is not None or (
+            store is not None and store.hook is not None
+        ):
+            raise KindleError("another persist hook is already installed")
+        self._machine = machine
+        self._store = store
+        machine.persist_hook = self._on_event
+        if store is not None:
+            store.hook = self._on_event
+        self._points_at_attach = self.points_seen
+
+    def detach(self) -> None:
+        """Remove the hooks; the target emits no further crash points."""
+        if self._machine is None:
+            return
+        if self.active:
+            self._machine.stats.add(
+                "faults.points_enumerated", self.points_seen - self._points_at_attach
+            )
+        self._machine.persist_hook = None
+        if self._store is not None:
+            self._store.hook = None
+        self._machine = None
+        self._store = None
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+
+    def arm_counting(self) -> None:
+        """Number every crash point without killing."""
+        self.active = True
+        self.kill_at = None
+        self.kill_label = None
+
+    def arm_kill(self, index: int) -> None:
+        """Kill the run at crash point ``index``."""
+        if index < 0:
+            raise ValueError("crash point index must be >= 0")
+        self.active = True
+        self.kill_at = index
+        self.kill_label = None
+
+    def arm_kill_label(self, label: str, occurrence: int = 0) -> None:
+        """Kill at the ``occurrence``-th emission of a named label."""
+        self.active = True
+        self.kill_at = None
+        self.kill_label = (label, occurrence)
+
+    def disarm(self) -> None:
+        """Stop reacting to events (hooks stay installed but inert)."""
+        self.active = False
+
+    # ------------------------------------------------------------------
+    # the hook
+    # ------------------------------------------------------------------
+
+    def _on_event(self, kind: str, detail: object) -> None:
+        if not self.active:
+            return
+        if kind == "power_fail":
+            self._power_fail()
+            return
+        index = self.points_seen
+        self.points_seen += 1
+        point = None
+        if self.record_journal:
+            point = CrashPoint(index, kind, detail, self.epoch)
+            self.journal.append(point)
+        if self.kill_at is not None and index == self.kill_at:
+            self._kill(point or CrashPoint(index, kind, detail, self.epoch))
+        if kind == "label":
+            seen = self._label_seen.get(detail, 0)
+            self._label_seen[detail] = seen + 1
+            if (
+                self.kill_label is not None
+                and detail == self.kill_label[0]
+                and seen == self.kill_label[1]
+            ):
+                self._kill(point or CrashPoint(index, kind, detail, self.epoch))
+        # Only reached when the event survives: apply its effect on the
+        # pending/durable tracking.
+        if kind in _LINE_KINDS:
+            self.pending_lines.add(detail)  # type: ignore[arg-type]
+        elif kind == "fence":
+            self.epoch += 1
+            self.durable_lines |= self.pending_lines
+            self.pending_lines.clear()
+
+    def _kill(self, point: CrashPoint) -> None:
+        self.killed = point
+        self.pending_at_kill = frozenset(self.pending_lines)
+        self.durable_at_kill = frozenset(self.durable_lines)
+        if self._machine is not None:
+            self._machine.stats.add("faults.kills")
+        raise CrashPointReached(point)
+
+    def _power_fail(self) -> None:
+        machine = self._machine
+        if machine is not None:
+            if self.fault_models:
+                damaged = 0
+                for model in self.fault_models:
+                    damaged += model.apply(machine, set(self.pending_lines))
+                machine.stats.add("faults.model_applications", len(self.fault_models))
+                machine.stats.add("faults.damaged_units", damaged)
+            machine.stats.add("faults.power_fails")
+        # The write buffer is volatile: its epoch/pending view resets.
+        self.pending_lines.clear()
+        self.durable_lines.clear()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def label_points(self) -> dict:
+        """Label -> occurrence count observed so far."""
+        return dict(self._label_seen)

@@ -1,0 +1,317 @@
+"""Recovery invariants checked after every injected crash.
+
+A *golden* is the per-process state captured at the exact instant a
+checkpoint commits (the persistence manager's ``on_commit`` listener
+fires right after ``commit_working``).  After a crash at any point and
+a reboot, every recovered process must be byte-for-byte one of its
+goldens — never a hybrid of two — and its page table must walk
+consistently over frames the allocator actually owns.
+
+Checks are grouped in two passes:
+
+:func:`check_nvm_image`
+    runs on the surviving NVM object store *before* recovery: the
+    consistent context copy (and, under the rebuild scheme, the v2p
+    mapping list packaged with it) must match a captured golden.  This
+    is what catches in-place mutation of committed state.
+
+:func:`check_recovery`
+    runs on the rebooted kernel: golden equality, walk consistency,
+    allocator ownership, cross-process frame isolation, and durable
+    byte contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.common.units import PAGE_SIZE
+from repro.mem.hybrid import MemType
+from repro.mem.nvmstore import CorruptObject
+from repro.persist.savedstate import SavedState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.explorer import ScenarioContext
+    from repro.faults.injector import CrashPoint
+
+
+def _rows(vmas) -> Tuple[Tuple, ...]:
+    """Normalize a VMA snapshot for equality comparison."""
+    return tuple(tuple(row) for row in vmas)
+
+
+@dataclass(frozen=True)
+class Golden:
+    """One committed checkpoint of one process."""
+
+    pid: int
+    checkpoint: int
+    registers: Tuple[Tuple[str, int], ...]
+    vmas: Tuple[Tuple, ...]
+    v2p: Tuple[Tuple[int, int], ...]
+
+    @classmethod
+    def capture(cls, saved: SavedState) -> "Golden":
+        consistent = saved.consistent
+        assert consistent is not None
+        return cls(
+            pid=saved.pid,
+            checkpoint=saved.checkpoints_taken,
+            registers=tuple(sorted(consistent.registers.items())),
+            vmas=_rows(consistent.vmas),
+            v2p=tuple(sorted(saved.v2p.items())),
+        )
+
+    def matches_context(self, registers: Dict[str, int], vmas) -> bool:
+        return (
+            tuple(sorted(registers.items())) == self.registers
+            and _rows(vmas) == self.vmas
+        )
+
+    def pages(self) -> set:
+        covered = set()
+        for row in self.vmas:
+            covered.update(range(row[0] // PAGE_SIZE, row[1] // PAGE_SIZE))
+        return covered
+
+
+@dataclass
+class Violation:
+    """One recovery-invariant failure at one crash point."""
+
+    scenario: str
+    message: str
+    point: Optional["CrashPoint"] = None
+    pid: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = f" at {self.point}" if self.point is not None else ""
+        who = f" pid {self.pid}" if self.pid is not None else ""
+        return f"[{self.scenario}{where}]{who}: {self.message}"
+
+
+@dataclass
+class PointResult:
+    """Outcome of one kill-and-recover cycle."""
+
+    point: "CrashPoint"
+    recovered_pids: Tuple[int, ...] = ()
+    violations: List[Violation] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# pass 1: the surviving NVM image, before recovery runs
+# ----------------------------------------------------------------------
+
+
+def check_nvm_image(ctx: "ScenarioContext", violations: List[Violation]) -> None:
+    """Committed NVM state must equal a golden at every crash instant."""
+    scenario = ctx.scenario.name
+    scheme = ctx.system.scheme_name
+    for key, obj in ctx.system.nvm_store.keys_with_prefix("saved_state:"):
+        if isinstance(obj, CorruptObject):
+            continue  # fault-model runs assert on this separately
+        if not isinstance(obj, SavedState):
+            violations.append(
+                Violation(scenario, f"object at {key} is not a SavedState")
+            )
+            continue
+        goldens = ctx.goldens.get(obj.pid, [])
+        consistent = obj.consistent
+        if consistent is None or not consistent.valid:
+            if goldens:
+                violations.append(
+                    Violation(
+                        scenario,
+                        "goldens were captured but NVM holds no consistent copy",
+                        pid=obj.pid,
+                    )
+                )
+            continue
+        if not goldens:
+            violations.append(
+                Violation(
+                    scenario,
+                    "NVM holds a consistent copy but no golden was captured",
+                    pid=obj.pid,
+                )
+            )
+            continue
+        matches = [
+            g
+            for g in goldens
+            if g.matches_context(consistent.registers, consistent.vmas)
+        ]
+        if not matches:
+            violations.append(
+                Violation(
+                    scenario,
+                    "consistent context copy matches no golden (partially "
+                    "committed checkpoint?)",
+                    pid=obj.pid,
+                )
+            )
+            continue
+        if scheme == "rebuild":
+            v2p = tuple(sorted(obj.v2p.items()))
+            if not any(g.v2p == v2p for g in matches):
+                violations.append(
+                    Violation(
+                        scenario,
+                        "v2p list disagrees with the consistent context it is "
+                        "packaged with (in-place refresh of committed state?)",
+                        pid=obj.pid,
+                    )
+                )
+
+
+# ----------------------------------------------------------------------
+# pass 2: the rebooted, recovered kernel
+# ----------------------------------------------------------------------
+
+
+def check_recovery(
+    ctx: "ScenarioContext", recovered, violations: List[Violation]
+) -> None:
+    """Every recovered process equals exactly one golden and walks clean."""
+    scenario = ctx.scenario.name
+    system = ctx.system
+    kernel = system.kernel
+    machine = system.machine
+    assert kernel is not None
+    by_pid = {p.pid: p for p in recovered}
+    for pid in set(ctx.goldens) - set(by_pid):
+        violations.append(
+            Violation(scenario, "checkpointed process was not recovered", pid=pid)
+        )
+    nvm_lo, nvm_hi = machine.layout.pfn_range(MemType.NVM)
+    allocated = kernel.nvm_alloc._state.allocated  # noqa: SLF001
+    frame_owner: Dict[int, int] = {}
+    for process in by_pid.values():
+        goldens = ctx.goldens.get(process.pid, [])
+        if not goldens:
+            violations.append(
+                Violation(
+                    scenario,
+                    "process recovered despite never having checkpointed",
+                    pid=process.pid,
+                )
+            )
+            continue
+        snapshot = process.address_space.snapshot()
+        matches = [
+            g for g in goldens if g.matches_context(process.registers, snapshot)
+        ]
+        if not matches:
+            violations.append(
+                Violation(
+                    scenario,
+                    "recovered context equals no golden — a hybrid of "
+                    f"checkpoints? registers={sorted(process.registers.items())}",
+                    pid=process.pid,
+                )
+            )
+            continue
+        assert process.page_table is not None
+        leaves = dict(process.page_table.iter_leaves())
+        problems = None
+        for golden in matches:
+            problems = _mapping_problems(system.scheme_name, golden, leaves)
+            if not problems:
+                break
+        if problems:
+            for message in problems:
+                violations.append(
+                    Violation(scenario, message, pid=process.pid)
+                )
+            continue
+        # Frames: NVM-resident, owned by the allocator, never shared.
+        for vpn, pte in leaves.items():
+            if machine.layout.mem_type_of_pfn(pte.pfn) is not MemType.NVM:
+                violations.append(
+                    Violation(
+                        scenario,
+                        f"recovered leaf vpn {vpn:#x} points at non-NVM "
+                        f"frame {pte.pfn:#x}",
+                        pid=process.pid,
+                    )
+                )
+                continue
+            if not (nvm_lo <= pte.pfn < nvm_hi) or pte.pfn not in allocated:
+                violations.append(
+                    Violation(
+                        scenario,
+                        f"leaf vpn {vpn:#x} -> frame {pte.pfn:#x} not owned "
+                        "by the NVM allocator after reconciliation",
+                        pid=process.pid,
+                    )
+                )
+            owner = frame_owner.setdefault(pte.pfn, process.pid)
+            if owner != process.pid:
+                violations.append(
+                    Violation(
+                        scenario,
+                        f"frame {pte.pfn:#x} mapped by both pid {owner} "
+                        f"and pid {process.pid}",
+                        pid=process.pid,
+                    )
+                )
+        _check_durable_bytes(ctx, process, leaves, violations)
+
+
+def _mapping_problems(scheme: str, golden: Golden, leaves) -> List[str]:
+    """Scheme-specific consistency of recovered translations vs a golden."""
+    problems: List[str] = []
+    pages = golden.pages()
+    if scheme == "rebuild":
+        expected = dict(golden.v2p)
+        if set(leaves) != set(expected):
+            missing = sorted(set(expected) - set(leaves))
+            extra = sorted(set(leaves) - set(expected))
+            problems.append(
+                "rebuilt page table diverges from the golden v2p list "
+                f"(missing vpns {missing}, extra vpns {extra})"
+            )
+        else:
+            for vpn, pte in leaves.items():
+                if pte.pfn != expected[vpn]:
+                    problems.append(
+                        f"vpn {vpn:#x} rebuilt to frame {pte.pfn:#x}, "
+                        f"golden v2p says {expected[vpn]:#x}"
+                    )
+    for vpn in leaves:
+        if vpn not in pages:
+            problems.append(
+                f"leaf vpn {vpn:#x} lies outside the recovered VMA layout"
+            )
+    return problems
+
+
+def _check_durable_bytes(
+    ctx: "ScenarioContext", process, leaves, violations: List[Violation]
+) -> None:
+    """Explicitly-persisted bytes must read back through recovered maps."""
+    data = ctx.durable_data.get(process.pid)
+    if not data:
+        return
+    kernel = ctx.system.kernel
+    machine = ctx.system.machine
+    assert kernel is not None
+    kernel.switch_to(process)
+    for vaddr, blob in sorted(data.items()):
+        span = range(vaddr // PAGE_SIZE, (vaddr + len(blob) - 1) // PAGE_SIZE + 1)
+        # Only mapped addresses are checkable: an unmapped page would
+        # demand-fault to a fresh zero frame, which is legitimate.
+        if not all(vpn in leaves for vpn in span):
+            continue
+        got = machine.load(vaddr, len(blob))
+        if got != blob:
+            violations.append(
+                Violation(
+                    ctx.scenario.name,
+                    f"durable bytes at {vaddr:#x} read back {got!r}, "
+                    f"expected {blob!r}",
+                    pid=process.pid,
+                )
+            )

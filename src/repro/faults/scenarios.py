@@ -1,0 +1,257 @@
+"""The five standard crashtest scenarios (plus the property-test one).
+
+Each scenario is a small deterministic workload chosen to put a
+different slice of the persistence stack between crash points:
+
+``checkpoint-rebuild`` / ``checkpoint-persistent``
+    the canonical two-checkpoint run — durable data writes, VMA churn
+    between checkpoints, register changes — under each page-table
+    consistency scheme.
+``ssp-commit``
+    a FASE with interval commits and a forced consolidation; checks
+    that shadow sub-paging never declares an unfenced line current.
+``redo-replay``
+    heavy OS-metadata churn so the redo log carries real weight through
+    append, apply, commit and truncate.
+``multiprocess``
+    three persistent processes checkpointed as one interval; recovery
+    must keep their frames disjoint and each process at one of *its
+    own* goldens (cross-process commit atomicity is not promised).
+
+:class:`RandomOpsScenario` drives the same machinery from a seeded
+random op stream for the hypothesis property tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.rng import derive_rng
+from repro.common.units import CACHE_LINE, PAGE_SIZE
+from repro.faults.explorer import CrashScenario, ScenarioContext
+from repro.faults.injector import CrashInjector
+from repro.faults.invariants import Violation
+from repro.gemos.vma import PROT_READ
+from repro.ssp.sspcache import split_bitmap_lines
+
+
+class CheckpointScenario(CrashScenario):
+    """Two checkpoints with durable writes and layout churn between."""
+
+    def __init__(self, scheme: str) -> None:
+        self.scheme = scheme
+        self.name = f"checkpoint-{scheme}"
+
+    def run(self, ctx: ScenarioContext) -> None:
+        system = ctx.system
+        kernel = system.kernel
+        machine = system.machine
+        assert kernel is not None
+        proc = system.spawn("app")
+        base = ctx.mmap_nvm(proc, 8 * PAGE_SIZE, name="stable")
+        for i in range(4):
+            ctx.write_durable(proc, base + i * PAGE_SIZE, f"block-{i}".encode())
+        proc.registers["pc"] = 0x1000
+        system.checkpoint()  # golden 1
+        extra = ctx.mmap_nvm(proc, 4 * PAGE_SIZE, name="scratch")
+        machine.store(extra, b"ephemeral-0")
+        machine.store(extra + PAGE_SIZE, b"ephemeral-1")
+        kernel.sys_munmap(proc, base + 6 * PAGE_SIZE, 2 * PAGE_SIZE)
+        kernel.sys_mprotect(proc, base + 4 * PAGE_SIZE, PAGE_SIZE, PROT_READ)
+        proc.registers["pc"] = 0x2000
+        system.checkpoint()  # golden 2
+        # Post-checkpoint tail: points here must recover to golden 2.
+        machine.store(extra + 2 * PAGE_SIZE, b"post-commit")
+        kernel.sys_munmap(proc, extra, PAGE_SIZE)
+
+
+class SspCommitScenario(CrashScenario):
+    """A FASE over NVM pages: interval commits + forced consolidation."""
+
+    name = "ssp-commit"
+    scheme = "rebuild"
+
+    def run(self, ctx: ScenarioContext) -> None:
+        from repro.ssp.manager import SspManager
+
+        system = ctx.system
+        kernel = system.kernel
+        machine = system.machine
+        assert kernel is not None
+        proc = system.spawn("fase")
+        base = ctx.mmap_nvm(proc, 4 * PAGE_SIZE, name="fase-heap")
+        for i in range(4):
+            machine.store(base + i * PAGE_SIZE, bytes([i + 1]) * 8)
+        proc.registers["pc"] = 0x500
+        system.checkpoint()
+        manager = SspManager(
+            kernel,
+            proc,
+            consistency_interval_ms=50.0,
+            consolidation_interval_ms=50.0,
+            cache_capacity=64,
+        )
+        ctx.scratch["ssp"] = manager
+        manager.checkpoint_start(base, base + 4 * PAGE_SIZE)
+        # The pre-FASE faults left TLB entries without shadow fields;
+        # refills inside the FASE pick them up (on real hardware the
+        # FASE entry point carries a TLB shootdown).
+        machine.tlb.flush()
+        for i in range(4):
+            machine.store(base + i * PAGE_SIZE + i * CACHE_LINE, b"interval-one")
+        manager.interval_end()
+        for i in range(4):
+            machine.store(base + i * PAGE_SIZE + 8 * CACHE_LINE, b"interval-two")
+        manager.interval_end()
+        manager.consolidate_tick(force_all=True)
+        machine.store(base + 2 * CACHE_LINE, b"tail-write")
+        manager.checkpoint_end()
+        system.checkpoint()
+
+    def at_kill(
+        self,
+        ctx: ScenarioContext,
+        injector: CrashInjector,
+        violations: List[Violation],
+    ) -> None:
+        manager = ctx.scratch.get("ssp")
+        if manager is None:
+            return
+        durable = injector.durable_at_kill
+        for entry in manager.cache.entries.values():  # type: ignore[attr-defined]
+            for line_idx in split_bitmap_lines(entry.current_bitmap):
+                line = (entry.shadow_pfn * PAGE_SIZE) // CACHE_LINE + line_idx
+                if line not in durable:
+                    violations.append(
+                        Violation(
+                            self.name,
+                            f"SSP current bit set for vpn {entry.vpn:#x} "
+                            f"line {line_idx} but the shadow line was never "
+                            "fenced — a torn sub-page would surface",
+                        )
+                    )
+
+    def after_crash(self, ctx: ScenarioContext) -> None:
+        manager = ctx.scratch.get("ssp")
+        if manager is not None:
+            # The extension is volatile scenario state; without the
+            # manager it must not keep routing after the reboot.
+            manager.extension.enabled = False  # type: ignore[attr-defined]
+
+
+class RedoReplayScenario(CrashScenario):
+    """Metadata churn heavy enough to make the redo log load-bearing."""
+
+    name = "redo-replay"
+    scheme = "rebuild"
+
+    def run(self, ctx: ScenarioContext) -> None:
+        system = ctx.system
+        kernel = system.kernel
+        machine = system.machine
+        assert kernel is not None
+        proc = system.spawn("churn")
+        base = ctx.mmap_nvm(proc, 16 * PAGE_SIZE, name="arena")
+        for i in range(6):
+            machine.store(base + i * PAGE_SIZE, bytes([0x10 + i]) * 4)
+        proc.registers["pc"] = 0x10
+        system.checkpoint()  # golden 1
+        segments = []
+        for i in range(3):
+            seg = ctx.mmap_nvm(proc, 2 * PAGE_SIZE, name=f"seg{i}")
+            machine.store(seg, f"segment-{i}".encode())
+            kernel.sys_mprotect(proc, seg + PAGE_SIZE, PAGE_SIZE, PROT_READ)
+            segments.append(seg)
+        kernel.sys_munmap(proc, base + 10 * PAGE_SIZE, 4 * PAGE_SIZE)
+        proc.registers["pc"] = 0x20
+        system.checkpoint()  # golden 2
+        kernel.sys_munmap(proc, segments[0], 2 * PAGE_SIZE)
+        machine.store(base + 7 * PAGE_SIZE, b"late")
+        proc.registers["pc"] = 0x30
+        system.checkpoint()  # golden 3
+        kernel.sys_munmap(proc, segments[1], PAGE_SIZE)
+
+
+class MultiprocessScenario(CrashScenario):
+    """Three persistent processes checkpointed as one interval."""
+
+    name = "multiprocess"
+    scheme = "persistent"
+
+    def run(self, ctx: ScenarioContext) -> None:
+        system = ctx.system
+        kernel = system.kernel
+        machine = system.machine
+        assert kernel is not None
+        procs = []
+        bases = []
+        for i in range(3):
+            proc = system.spawn(f"proc{i}")
+            base = ctx.mmap_nvm(proc, 4 * PAGE_SIZE, name="heap")
+            ctx.write_durable(proc, base, f"proc{i}-payload".encode())
+            proc.registers["pc"] = 0x100 * (i + 1)
+            procs.append(proc)
+            bases.append(base)
+        system.checkpoint()  # goldens: one per pid
+        for i, proc in enumerate(procs):
+            kernel.switch_to(proc)
+            machine.store(bases[i] + PAGE_SIZE, f"round-two-{i}".encode())
+            proc.registers["pc"] += 8
+        kernel.switch_to(procs[1])
+        ctx.mmap_nvm(procs[1], 2 * PAGE_SIZE, name="growth")
+        system.checkpoint()
+        kernel.switch_to(procs[2])
+        machine.store(bases[2] + 2 * PAGE_SIZE, b"tail")
+
+
+class RandomOpsScenario(CrashScenario):
+    """Seeded random op stream for the hypothesis property tests."""
+
+    def __init__(self, scheme: str, seed: int, n_ops: int = 20) -> None:
+        self.scheme = scheme
+        self.seed = seed
+        self.n_ops = n_ops
+        self.name = f"random-{scheme}-{seed}"
+
+    def run(self, ctx: ScenarioContext) -> None:
+        rng = derive_rng(self.seed, "crash-random-ops")
+        system = ctx.system
+        kernel = system.kernel
+        machine = system.machine
+        assert kernel is not None
+        proc = system.spawn("rand")
+        base = ctx.mmap_nvm(proc, 4 * PAGE_SIZE, name="anchor")
+        machine.store(base, b"anchor")
+        regions = [(base, 4)]  # regions[0] is never unmapped/protected
+        for step in range(self.n_ops):
+            roll = rng.random()
+            if roll < 0.30:
+                pages = rng.randrange(1, 4)
+                addr = ctx.mmap_nvm(proc, pages * PAGE_SIZE, name=f"r{step}")
+                machine.store(addr, bytes([step % 251 + 1]) * 8)
+                regions.append((addr, pages))
+            elif roll < 0.50 and len(regions) > 1:
+                addr, pages = regions.pop(rng.randrange(1, len(regions)))
+                kernel.sys_munmap(proc, addr, pages * PAGE_SIZE)
+            elif roll < 0.62 and len(regions) > 1:
+                addr, _pages = regions[rng.randrange(1, len(regions))]
+                kernel.sys_mprotect(proc, addr, PAGE_SIZE, PROT_READ)
+            elif roll < 0.85:
+                offset = rng.randrange(4) * PAGE_SIZE
+                machine.store(base + offset, bytes([rng.randrange(1, 256)]) * 16)
+            else:
+                proc.registers["pc"] = rng.randrange(1, 1 << 16)
+                system.checkpoint()
+        proc.registers["pc"] = 0xFFFF
+        system.checkpoint()
+
+
+def standard_scenarios() -> List[CrashScenario]:
+    """The five scenarios of ``python -m repro.harness crashtest``."""
+    return [
+        CheckpointScenario("rebuild"),
+        CheckpointScenario("persistent"),
+        SspCommitScenario(),
+        RedoReplayScenario(),
+        MultiprocessScenario(),
+    ]

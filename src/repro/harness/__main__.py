@@ -45,6 +45,7 @@ def main(argv=None) -> int:
             "validate",
             "compare",
             "bench",
+            "crashtest",
         ],
     )
     parser.add_argument(
@@ -67,7 +68,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="bench: tiny op budgets, single repeat (CI smoke run)",
+        help="bench/crashtest: reduced budgets for a CI smoke run",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        help="crashtest: restrict to a named scenario (repeatable)",
     )
     parser.add_argument(
         "--repeats",
@@ -86,6 +92,10 @@ def main(argv=None) -> int:
         from repro.harness.bench import bench_main
 
         return bench_main(args.out, smoke=args.smoke, repeats=args.repeats)
+    if args.experiment == "crashtest":
+        from repro.harness.crashtest import crashtest_main
+
+        return crashtest_main(smoke=args.smoke, scenario_names=args.scenario)
     if args.experiment == "compare":
         from pathlib import Path
 

@@ -1,0 +1,89 @@
+"""``python -m repro.harness crashtest`` — the crash-matrix campaign.
+
+Runs the five standard fault-injection scenarios
+(:func:`repro.faults.scenarios.standard_scenarios`) through the
+:class:`~repro.faults.explorer.CrashExplorer`: every durable NVM write
+of every scenario becomes a kill point, each kill is followed by a
+reboot-and-recover cycle, and every recovery is checked against the
+golden snapshots and walk-consistency invariants.
+
+``--smoke`` explores a systematic sample of each scenario's points
+(every stride-th point) instead of all of them — the CI configuration.
+Point *counting* is always exhaustive, so the ≥200-distinct-points
+acceptance gate holds in both modes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.faults.explorer import CrashExplorer, ExplorationReport
+from repro.faults.scenarios import standard_scenarios
+from repro.harness.report import format_table
+
+#: The acceptance floor: the five scenarios must expose at least this
+#: many distinct crash points between them.
+MIN_TOTAL_POINTS = 200
+
+#: Target number of explored points per scenario in smoke mode.
+SMOKE_POINTS_PER_SCENARIO = 12
+
+
+def _smoke_sample(total: int) -> List[int]:
+    """Every stride-th point, always including the first and last."""
+    if total <= SMOKE_POINTS_PER_SCENARIO:
+        return list(range(total))
+    stride = max(1, total // SMOKE_POINTS_PER_SCENARIO)
+    points = list(range(0, total, stride))
+    if points[-1] != total - 1:
+        points.append(total - 1)
+    return points
+
+
+def crashtest_main(
+    smoke: bool = False, scenario_names: Optional[Iterable[str]] = None
+) -> int:
+    """Run the campaign; returns a process exit code."""
+    wanted = set(scenario_names) if scenario_names else None
+    scenarios = [
+        s for s in standard_scenarios() if wanted is None or s.name in wanted
+    ]
+    if wanted is not None and len(scenarios) != len(wanted):
+        known = {s.name for s in standard_scenarios()}
+        print(f"unknown scenario(s): {sorted(wanted - known)}")
+        return 2
+    reports: List[ExplorationReport] = []
+    for scenario in scenarios:
+        explorer = CrashExplorer(scenario)
+        if smoke:
+            total, _labels = explorer.count_points()
+            report = explorer.explore(points=_smoke_sample(total))
+        else:
+            report = explorer.explore()
+        reports.append(report)
+
+    headers = ["scenario", "scheme", "points", "explored", "recovered", "violations"]
+    rows = [
+        [r.scenario, r.scheme, r.total_points, r.explored, r.recoveries,
+         len(r.violations)]
+        for r in reports
+    ]
+    print("== crashtest (crash-point fault injection) ==")
+    print(format_table(headers, rows))
+    total_points = sum(r.total_points for r in reports)
+    violations = [v for r in reports for v in r.violations]
+    print(
+        f"total: {total_points} crash points, "
+        f"{sum(r.explored for r in reports)} explored, "
+        f"{len(violations)} invariant violations"
+    )
+    for violation in violations:
+        print(f"  !! {violation}")
+    ok = not violations
+    if wanted is None and total_points < MIN_TOTAL_POINTS:
+        print(
+            f"  !! only {total_points} crash points enumerated "
+            f"(acceptance floor is {MIN_TOTAL_POINTS})"
+        )
+        ok = False
+    return 0 if ok else 1

@@ -12,13 +12,43 @@ object is discarded at crash time.
 
 Timing is *not* modeled here — components charge their own NVM access
 costs on the machine when they mutate registered objects.
+
+Fault injection hooks in here at two granularities:
+
+* every registration/removal is a persist boundary reported to an
+  optional :attr:`NvmObjectStore.hook` (the crash injector numbers
+  these as crash points — killing *at* the point models the mutation
+  never reaching NVM);
+* the media fault models below (:class:`TornWriteFault`,
+  :class:`BitRotFault`) act on the byte-level NVM image in
+  :class:`~repro.mem.physmem.PhysicalMemory` at power-fail time, and
+  :meth:`NvmObjectStore.poison` models whole-object media loss, which
+  recovery must detect (see :mod:`repro.persist.recovery`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple, TypeVar
+from typing import Callable, Dict, Iterator, Optional, Set, Tuple, TypeVar
+
+from repro.common.rng import derive_rng
+from repro.common.units import CACHE_LINE, PAGE_SIZE
 
 T = TypeVar("T")
+
+#: ``hook(kind, key)`` — persist-boundary notification for object
+#: registration (``"store.put"``) and removal (``"store.remove"``).
+StoreHook = Callable[[str, str], None]
+
+
+class CorruptObject:
+    """Sentinel left behind when media faults destroy a stored object."""
+
+    def __init__(self, key: str, reason: str) -> None:
+        self.key = key
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"CorruptObject({self.key!r}, {self.reason!r})"
 
 
 class NvmObjectStore:
@@ -26,9 +56,14 @@ class NvmObjectStore:
 
     def __init__(self) -> None:
         self._objects: Dict[str, object] = {}
+        #: Persist-boundary hook; ``None`` (default) costs one attribute
+        #: test per mutation.  Installed by the crash injector.
+        self.hook: Optional[StoreHook] = None
 
     def put(self, key: str, obj: T) -> T:
         """Register ``obj`` as NVM-resident under ``key``."""
+        if self.hook is not None:
+            self.hook("store.put", key)
         self._objects[key] = obj
         return obj
 
@@ -38,11 +73,15 @@ class NvmObjectStore:
     def setdefault(self, key: str, obj: T) -> T:
         existing = self._objects.get(key)
         if existing is None:
+            if self.hook is not None:
+                self.hook("store.put", key)
             self._objects[key] = obj
             return obj
         return existing  # type: ignore[return-value]
 
     def remove(self, key: str) -> None:
+        if key in self._objects and self.hook is not None:
+            self.hook("store.remove", key)
         self._objects.pop(key, None)
 
     def keys_with_prefix(self, prefix: str) -> Iterator[Tuple[str, object]]:
@@ -50,6 +89,18 @@ class NvmObjectStore:
         for key in sorted(self._objects):
             if key.startswith(prefix):
                 yield key, self._objects[key]
+
+    def poison(self, key: str, reason: str = "media fault") -> bool:
+        """Replace a stored object with a :class:`CorruptObject`.
+
+        Models uncorrectable media loss of one NVM-resident structure;
+        recovery must notice instead of deserializing garbage.  Returns
+        False when ``key`` is not registered.
+        """
+        if key not in self._objects:
+            return False
+        self._objects[key] = CorruptObject(key, reason)
+        return True
 
     def __contains__(self, key: str) -> bool:
         return key in self._objects
@@ -60,3 +111,101 @@ class NvmObjectStore:
     def wipe(self) -> None:
         """Factory reset (NOT a crash — crashes preserve this store)."""
         self._objects.clear()
+
+
+# ----------------------------------------------------------------------
+# media fault models (applied by the crash injector at power-fail time)
+# ----------------------------------------------------------------------
+
+
+class NvmFaultModel:
+    """One byte-level NVM media fault model.
+
+    ``apply`` runs at the instant power drops, before volatile state is
+    discarded, and may scramble the NVM byte image; it returns the
+    number of cache lines it damaged (surfaced through
+    ``faults.<name>.lines`` in :mod:`repro.common.stats`).
+    """
+
+    name = "abstract"
+
+    def apply(self, machine, pending_lines: Set[int]) -> int:
+        raise NotImplementedError
+
+
+class TornWriteFault(NvmFaultModel):
+    """Unfenced line writes tear: power fails mid-program of the line.
+
+    Every line written since the last persist barrier (``pending_lines``
+    — the write-buffer contents the barrier would have drained) survives
+    only with ``survival`` probability; a lost line reads back as an
+    interleave of stale and new data, modeled by scrambling alternating
+    8-byte words.  Fenced data is never touched: the model tests that
+    persistence protocols order their fences correctly, not that they
+    survive arbitrary corruption.
+    """
+
+    name = "torn_write"
+
+    def __init__(self, seed: int = 0, survival: float = 0.5) -> None:
+        if not 0.0 <= survival <= 1.0:
+            raise ValueError(f"survival probability out of range: {survival}")
+        self.seed = seed
+        self.survival = survival
+
+    def apply(self, machine, pending_lines: Set[int]) -> int:
+        rng = derive_rng(self.seed, "torn-write")
+        physmem = machine.physmem
+        torn = 0
+        for line in sorted(pending_lines):
+            if rng.random() < self.survival:
+                continue
+            paddr = line * CACHE_LINE
+            data = bytearray(physmem.read(paddr, CACHE_LINE))
+            # Odd 8-byte words keep the new value, even ones tear to an
+            # inverted (visibly wrong, deterministic) pattern.
+            for word in range(0, CACHE_LINE, 16):
+                for i in range(word, word + 8):
+                    data[i] ^= 0xFF
+            physmem.write(paddr, bytes(data))
+            torn += 1
+        if torn:
+            machine.stats.add(f"faults.{self.name}.lines", torn)
+        return torn
+
+
+class BitRotFault(NvmFaultModel):
+    """Wear-correlated retention loss: worn-out cells flip bits.
+
+    PCM endurance degrades with write count, so the probability that a
+    page loses a bit at power-fail scales with the wear the memory
+    controller has recorded for it (``nvm_page_writes``).  Each page's
+    flip chance is ``min(1, page_writes / writes_per_flip)``; one random
+    bit of an afflicted page flips.
+    """
+
+    name = "bit_rot"
+
+    def __init__(self, seed: int = 0, writes_per_flip: int = 10_000) -> None:
+        if writes_per_flip <= 0:
+            raise ValueError("writes_per_flip must be positive")
+        self.seed = seed
+        self.writes_per_flip = writes_per_flip
+
+    def apply(self, machine, pending_lines: Set[int]) -> int:
+        rng = derive_rng(self.seed, "bit-rot")
+        physmem = machine.physmem
+        wear = machine.controller.nvm_page_writes
+        flipped = 0
+        for page in sorted(wear):
+            chance = min(1.0, wear[page] / self.writes_per_flip)
+            if rng.random() >= chance:
+                continue
+            bit = rng.randrange(PAGE_SIZE * 8)
+            paddr = page * PAGE_SIZE + bit // 8
+            byte = physmem.read(paddr, 1)[0]
+            physmem.write(paddr, bytes([byte ^ (1 << (bit % 8))]))
+            flipped += 1
+        if flipped:
+            machine.stats.add(f"faults.{self.name}.bits", flipped)
+        return flipped

@@ -59,6 +59,12 @@ class PersistenceManager:
         self.interval_cycles = cycles_from_ms(checkpoint_interval_ms)
         self.checkpoint_interval_ms = checkpoint_interval_ms
         kernel.add_listener(self._on_event)
+        #: Callbacks fired immediately after each per-process commit
+        #: point (``commit_working``), with the committed
+        #: :class:`SavedState`.  The crash explorer uses this to capture
+        #: golden snapshots at the exact instant they become the
+        #: recovery target.
+        self.on_commit: List = []
         self._timer = None
         if auto_arm:
             self.arm()
@@ -93,8 +99,12 @@ class PersistenceManager:
         if saved is None:
             return
         with self.machine.os_region("persist_log"):
-            saved.redo.append(event, payload)
+            # Charge the NVM write *before* mutating the log object so a
+            # crash injected at the write boundary models the record
+            # never reaching NVM (the mutation after the kill point is
+            # the write's effect).
             self.machine.bulk_lines(LOG_RECORD_LINES, MemType.NVM, is_write=True)
+            saved.redo.append(event, payload)
         self.machine.stats.add("redo.appends")
 
     # ------------------------------------------------------------------
@@ -144,12 +154,23 @@ class PersistenceManager:
             working.registers = dict(process.registers)
             # 3. scheme-specific refresh (rebuild: v2p maintenance).
             self.scheme.checkpoint_refresh(process, saved)
-            # 4. commit: flip the consistent pointer, truncate the log.
+            # 4. commit: flip the consistent pointer, THEN truncate the
+            # applied log prefix.  The order matters: truncating first
+            # would let a crash between the two silently discard logged
+            # updates — the old consistent copy would be restored with
+            # the records that amend it already gone.  Truncating after
+            # is safe because replaying an applied prefix is idempotent
+            # (recovery discards unapplied records and checkpointing
+            # rebuilds the working copy from the consistent base).
             self.machine.bulk_lines(1, MemType.NVM, is_write=True)
             self.machine.persist_barrier()
             applied_upto = pending[-1].seq + 1 if pending else saved.redo.applied_upto
-            saved.redo.mark_applied(applied_upto)
+            self.machine.persist_point("checkpoint.commit")
             saved.commit_working()
+            for listener in self.on_commit:
+                listener(process, saved)
+            self.machine.persist_point("redo.truncate")
+            saved.redo.mark_applied(applied_upto)
         self.machine.stats.add("checkpoint.taken")
         self.machine.stats.add("redo.applied", len(pending))
 

@@ -47,6 +47,11 @@ def recover(kernel: Kernel, scheme: PageTableScheme) -> List[Process]:
             saved = obj
             dropped = saved.redo.discard_unapplied()
             machine.stats.add("recovery.discarded_records", dropped)
+            if saved.discard_staging():
+                # The crash interrupted a checkpoint between the v2p
+                # refresh and the commit flip; the staged list was never
+                # promoted and must not leak into the next checkpoint.
+                machine.stats.add("recovery.discarded_v2p_staging")
             consistent = saved.consistent
             if consistent is None or not consistent.valid:
                 # Never checkpointed: the process cannot be recovered.

@@ -48,6 +48,13 @@ class SavedState:
     #: page frame mappings" — a single list alongside the two context
     #: copies).
     v2p: Dict[int, int] = field(default_factory=dict)
+    #: In-progress v2p refresh.  The rebuild scheme must not update
+    #: ``v2p`` in place mid-checkpoint: a crash between the refresh and
+    #: the context flip would pair the *old* consistent context with a
+    #: *new* mapping list (a hybrid).  The refresh therefore stages its
+    #: result here and :meth:`commit_working` promotes it together with
+    #: the context flip; recovery discards any leftover staging.
+    v2p_staged: Optional[Dict[int, int]] = None
     checkpoints_taken: int = 0
 
     @property
@@ -64,13 +71,26 @@ class SavedState:
         return self.slots[1 - self.consistent_idx]
 
     def commit_working(self) -> None:
-        """Atomically flip the working copy to consistent."""
+        """Atomically flip the working copy (and staged v2p) to consistent."""
         if self.consistent_idx is None:
             self.consistent_idx = 0
         else:
             self.consistent_idx = 1 - self.consistent_idx
         self.slots[self.consistent_idx].valid = True
+        if self.v2p_staged is not None:
+            self.v2p = self.v2p_staged
+            self.v2p_staged = None
         self.checkpoints_taken += 1
+
+    def discard_staging(self) -> bool:
+        """Drop an uncommitted v2p refresh (recovery path).
+
+        Returns True when stale staging was actually present, i.e. the
+        crash interrupted a checkpoint between refresh and commit.
+        """
+        had = self.v2p_staged is not None
+        self.v2p_staged = None
+        return had
 
 
 def store_key(pid: int) -> str:

@@ -101,7 +101,11 @@ class RebuildScheme(PageTableScheme):
         machine = self.kernel.machine
         table = process.page_table
         assert table is not None
-        v2p = saved.v2p
+        # Stage the refreshed list in a fresh node set and let
+        # ``commit_working`` swing a single pointer to it: updating the
+        # committed list in place would let a crash between here and the
+        # context flip pair the OLD consistent context with NEW mappings.
+        v2p = saved.v2p_staged = dict(saved.v2p)
 
         # 1. page-table traversal (leaf entries + intermediate tables).
         leaves = table.valid_leaves
@@ -222,10 +226,18 @@ class PersistentScheme(PageTableScheme):
         process.pending_nvm_ops = []
 
     def recover_page_table(self, process: Process, saved: "SavedState") -> None:
-        """Set the PTBR to the NVM-resident root; prune DRAM leaves.
+        """Set the PTBR to the NVM-resident root; prune dead leaves.
 
-        Reattaching costs O(1); the pass dropping leaf entries that
-        point at (now meaningless) DRAM frames streams the table once.
+        Reattaching costs O(1); one streaming pass over the table then
+        drops two classes of leaf entry:
+
+        * entries pointing at DRAM frames (their contents are gone);
+        * entries for virtual pages *outside* the recovered consistent
+          VMA layout.  The NVM table is always up-to-the-instant, but
+          the context being restored is the last checkpoint — keeping a
+          mapping the recovered address space never created would let
+          the process touch a frame the allocator reconciliation is
+          about to reclaim.
         """
         machine = self.kernel.machine
         key = saved.pt_root_key or self._root_key(process.pid)
@@ -241,11 +253,24 @@ class PersistentScheme(PageTableScheme):
         table.allocator = self.kernel.nvm_alloc
         table.write_observer = self.pte_write_observer
         dram_lo, dram_hi = machine.layout.pfn_range(MemType.DRAM)
-        stale = [
-            vpn
-            for vpn, pte in table.iter_leaves()
-            if dram_lo <= pte.pfn < dram_hi
-        ]
+        consistent = saved.consistent
+        spans = (
+            [(row[0], row[1]) for row in consistent.vmas]
+            if consistent is not None
+            else []
+        )
+
+        def in_layout(vpn: int) -> bool:
+            addr = vpn * PAGE_SIZE
+            return any(start <= addr < end for start, end in spans)
+
+        stale = []
+        orphans = []
+        for vpn, pte in table.iter_leaves():
+            if dram_lo <= pte.pfn < dram_hi:
+                stale.append(vpn)
+            elif not in_layout(vpn):
+                orphans.append(vpn)
         machine.bulk_lines(
             (table.valid_leaves + PTES_PER_LINE - 1) // PTES_PER_LINE,
             MemType.NVM,
@@ -253,9 +278,12 @@ class PersistentScheme(PageTableScheme):
         )
         for vpn in stale:
             table.unmap(vpn)
+        for vpn in orphans:
+            table.unmap(vpn)
         process.page_table = table
         machine.stats.add("recovery.ptbr_sets")
         machine.stats.add("recovery.stale_dram_leaves", len(stale))
+        machine.stats.add("recovery.orphan_nvm_leaves", len(orphans))
 
 
 _SCHEMES = {

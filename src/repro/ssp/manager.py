@@ -176,6 +176,7 @@ class SspManager:
             for meta in touched:
                 machine.clwb(self.cache.entry_paddr(meta))
             machine.persist_barrier()
+            machine.persist_point("ssp.interval.commit")
             # Commit: the routed-to copies become current.
             for meta in touched:
                 meta.current_bitmap ^= meta.updated_bitmap
@@ -195,7 +196,14 @@ class SspManager:
     # ------------------------------------------------------------------
 
     def consolidate_tick(self, force_all: bool = False) -> None:
-        """Merge page pairs for evicted (or, at FASE end, all) entries."""
+        """Merge page pairs for evicted (or, at FASE end, all) entries.
+
+        Two-phase for crash safety: every data merge is made durable
+        behind a persist barrier *before* any metadata bitmap clears.
+        Clearing a bitmap first would declare the primary copy current
+        while the merge writes still sat in the volatile write buffer —
+        a crash in the gap would surface a partial sub-page.
+        """
         machine = self.machine
         with machine.os_region("ssp.consolidation"):
             candidates = [
@@ -205,17 +213,24 @@ class SspManager:
             ]
             machine.advance(CONSOLIDATE_INSPECT_CYCLES * max(len(self.cache), 1))
             merged_lines = 0
+            # Phase 1: merge shadow lines back into the primaries.
             for meta in candidates:
                 lines = bin(meta.current_bitmap).count("1")
                 machine.bulk_lines(lines, MemType.NVM, is_write=False)
                 machine.bulk_lines(lines, MemType.NVM, is_write=True)
+                merged_lines += lines
+            if candidates:
+                machine.persist_barrier()
+                machine.persist_point("ssp.consolidate.data")
+            # Phase 2: only now retire the metadata.
+            for meta in candidates:
                 meta.current_bitmap = 0
                 meta.tlb_evicted = False
                 machine.phys_line_access(
                     self.cache.entry_paddr(meta), is_write=True
                 )
-                merged_lines += lines
             if candidates:
                 machine.persist_barrier()
+                machine.persist_point("ssp.consolidate.meta")
         machine.stats.add("ssp.consolidations", len(candidates))
         machine.stats.add("ssp.consolidated_lines", merged_lines)

@@ -1,0 +1,57 @@
+"""Exhaustive crash matrix: every point of a 2-checkpoint run.
+
+The core persistence claim — recovery from a crash at *any* instant —
+is tested literally: the canonical two-checkpoint scenario is re-run
+once per crash point under both page-table schemes, killed there,
+rebooted, and checked against the golden snapshots.  Zero invariant
+violations are tolerated.
+"""
+
+import pytest
+
+from repro.faults import CrashExplorer
+from repro.faults.scenarios import CheckpointScenario, standard_scenarios
+
+
+@pytest.mark.parametrize("scheme", ["rebuild", "persistent"])
+class TestCheckpointCrashMatrix:
+    def test_every_crash_point_recovers_consistently(self, scheme):
+        explorer = CrashExplorer(CheckpointScenario(scheme))
+        report = explorer.explore()
+        assert report.total_points > 20, "scenario too small to be a matrix"
+        assert report.explored == report.total_points
+        messages = [str(v) for v in report.violations]
+        assert not messages, "\n".join(messages)
+        # Early points (pre-checkpoint) legitimately recover nothing;
+        # later ones must actually bring the process back.
+        assert 0 < report.recoveries < report.total_points
+        # The protocol labels must have been enumerated for both
+        # checkpoints — they are the regression tests' kill targets.
+        assert report.label_points.get("checkpoint.commit") == 2
+        assert report.label_points.get("redo.truncate") == 2
+
+    def test_recovery_targets_are_monotone(self, scheme):
+        """Later crash points never recover to an older checkpoint."""
+        explorer = CrashExplorer(CheckpointScenario(scheme))
+        total, _labels = explorer.count_points()
+        last_checkpoint = 0
+        for index in range(total):
+            ctx, result = explorer.run_point(index)
+            assert not result.violations, str(result.violations[0])
+            kernel = ctx.system.kernel
+            assert kernel is not None
+            if not result.recovered_pids:
+                continue
+            saved = ctx.system.manager.saved_states()[0]
+            assert saved.checkpoints_taken >= last_checkpoint
+            last_checkpoint = saved.checkpoints_taken
+
+
+def test_standard_scenarios_expose_enough_points():
+    """The five crashtest scenarios must clear the acceptance floor."""
+    total = 0
+    for scenario in standard_scenarios():
+        points, _labels = CrashExplorer(scenario).count_points()
+        assert points > 0, scenario.name
+        total += points
+    assert total >= 200, f"only {total} crash points across the five scenarios"

@@ -1,0 +1,135 @@
+"""Regression pins for the recovery bugs the crash explorer surfaced.
+
+Three latent bugs were found (and fixed) while building the
+fault-injection harness:
+
+1. ``RebuildScheme.checkpoint_refresh`` rewrote ``saved.v2p`` in place,
+   so a crash mid-checkpoint could leave a *hybrid* translation list
+   next to the old consistent context.  Fixed by staging into
+   ``v2p_staged`` and promoting atomically at commit; recovery discards
+   stale staging.
+2. ``checkpoint_process`` truncated the redo log *before* committing
+   the working copy.  Reordered to commit-then-truncate, which makes
+   recovery monotone: once the commit flag flips, recovery always lands
+   on the *new* checkpoint, and replaying applied-but-untruncated
+   records is harmless (they are already baked into the consistent
+   copy).
+3. The persistent scheme recovered page-table leaves for NVM pages
+   faulted *after* the last commit (orphans outside the consistent VMA
+   layout).  Recovery now prunes them.
+
+Each test kills at the protocol label bracketing the fixed window and
+asserts the exact recovery outcome.
+"""
+
+import pytest
+
+from repro.faults import CrashExplorer
+from repro.faults.scenarios import CheckpointScenario
+from repro.persist.redolog import RedoLog
+
+
+def _recovered_pc(ctx, result):
+    assert len(result.recovered_pids) == 1, result.recovered_pids
+    kernel = ctx.system.kernel
+    assert kernel is not None
+    return kernel.processes[result.recovered_pids[0]].registers["pc"]
+
+
+class TestCommitTruncateOrdering:
+    """Bug 2: the commit flag must flip before the log is truncated."""
+
+    def test_kill_before_commit_recovers_old_checkpoint(self):
+        explorer = CrashExplorer(CheckpointScenario("rebuild"))
+        ctx, result = explorer.run_label("checkpoint.commit", occurrence=1)
+        assert not result.violations, str(result.violations[0])
+        # The second commit never flipped: golden 1 it is.
+        assert _recovered_pc(ctx, result) == 0x1000
+        saved = ctx.system.manager.saved_states()[0]
+        assert saved.checkpoints_taken == 1
+
+    def test_kill_after_commit_recovers_new_checkpoint(self):
+        """Monotone recovery: commit flipped, truncation lost — still G2."""
+        explorer = CrashExplorer(CheckpointScenario("rebuild"))
+        ctx, result = explorer.run_label("redo.truncate", occurrence=1)
+        assert not result.violations, str(result.violations[0])
+        assert _recovered_pc(ctx, result) == 0x2000
+        saved = ctx.system.manager.saved_states()[0]
+        assert saved.checkpoints_taken == 2
+        # The applied-but-untruncated tail (the mmap/munmap/mprotect
+        # records of checkpoint 2) was discarded by recovery — their
+        # effects are already baked into the committed copy, so dropping
+        # them is what keeps the commit idempotent.
+        assert ctx.system.machine.stats.get("recovery.discarded_records") >= 3
+
+    def test_first_checkpoint_window_too(self):
+        explorer = CrashExplorer(CheckpointScenario("rebuild"))
+        ctx, result = explorer.run_label("redo.truncate", occurrence=0)
+        assert not result.violations, str(result.violations[0])
+        assert _recovered_pc(ctx, result) == 0x1000
+
+
+class TestV2pStaging:
+    """Bug 1: mid-checkpoint crash must not leave a hybrid v2p."""
+
+    def test_stale_staging_is_discarded(self):
+        explorer = CrashExplorer(CheckpointScenario("rebuild"))
+        ctx, result = explorer.run_label("checkpoint.commit", occurrence=1)
+        assert not result.violations, str(result.violations[0])
+        stats = ctx.system.machine.stats
+        assert stats.get("recovery.discarded_v2p_staging") >= 1
+        saved = ctx.system.manager.saved_states()[0]
+        assert saved.v2p_staged is None
+
+    def test_committed_run_leaves_no_staging(self):
+        explorer = CrashExplorer(CheckpointScenario("rebuild"))
+        ctx, result = explorer.run_label("redo.truncate", occurrence=1)
+        assert not result.violations
+        assert ctx.system.machine.stats.get("recovery.discarded_v2p_staging") == 0
+
+
+class TestOrphanLeafPruning:
+    """Bug 3: persistent-PT leaves outside the consistent layout."""
+
+    def test_post_checkpoint_faults_are_pruned(self):
+        explorer = CrashExplorer(CheckpointScenario("persistent"))
+        ctx, result = explorer.run_label("checkpoint.commit", occurrence=1)
+        assert not result.violations, str(result.violations[0])
+        # Recovery rolled back to golden 1 (pc 0x1000) and the leaves
+        # faulted for the post-G1 "scratch" region were orphans.
+        assert _recovered_pc(ctx, result) == 0x1000
+        stats = ctx.system.machine.stats
+        assert stats.get("recovery.orphan_nvm_leaves") >= 1
+
+
+class TestRedoLogUnit:
+    """Direct pins on the log's watermark discipline."""
+
+    def test_watermark_never_rewinds(self):
+        log = RedoLog()
+        for i in range(3):
+            log.append("mmap", {"i": i})
+        log.mark_applied(2)
+        with pytest.raises(ValueError):
+            log.mark_applied(1)
+
+    def test_truncation_keeps_unapplied_tail(self):
+        log = RedoLog()
+        for i in range(4):
+            log.append("op", {"i": i})
+        log.mark_applied(3)
+        assert [r.seq for r in log.records] == [3]
+        assert log.pending() == log.records
+
+    def test_discard_unapplied_resets_to_watermark(self):
+        log = RedoLog()
+        for i in range(4):
+            log.append("op", {"i": i})
+        log.mark_applied(2)
+        dropped = log.discard_unapplied()
+        assert dropped == 2
+        assert len(log) == 0
+        assert log.next_seq == log.applied_upto == 2
+        # Fresh appends resume exactly at the watermark.
+        record = log.append("op", {"i": 99})
+        assert record.seq == 2

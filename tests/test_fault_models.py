@@ -1,0 +1,175 @@
+"""Byte-level NVM fault models and the object store's persist hooks.
+
+Torn writes act only on *unfenced* lines (the write-buffer contents a
+barrier would have drained) — fenced data is sacred.  Bit rot is
+wear-correlated via the controller's per-page write counts.  Poisoned
+store objects must abort recovery loudly rather than deserialize
+garbage.
+"""
+
+import pytest
+
+from repro.arch.machine import Machine
+from repro.common.config import small_machine_config
+from repro.common.errors import RecoveryError
+from repro.common.units import CACHE_LINE, PAGE_SIZE
+from repro.faults import CrashInjector
+from repro.mem.hybrid import MemType
+from repro.mem.nvmstore import (
+    BitRotFault,
+    CorruptObject,
+    NvmObjectStore,
+    TornWriteFault,
+)
+from repro.persist.savedstate import store_key
+from repro.platform import HybridSystem
+
+
+@pytest.fixture
+def machine():
+    return Machine(small_machine_config())
+
+
+def _nvm_paddr(machine, page_offset=0):
+    lo, _hi = machine.layout.pfn_range(MemType.NVM)
+    return (lo + page_offset) * PAGE_SIZE
+
+
+class TestTornWriteFault:
+    def test_unfenced_lines_tear_deterministically(self, machine):
+        paddr = _nvm_paddr(machine)
+        original = bytes(range(1, CACHE_LINE + 1))
+        machine.physmem.write(paddr, original)
+        model = TornWriteFault(seed=7, survival=0.0)
+        torn = model.apply(machine, {paddr // CACHE_LINE})
+        assert torn == 1
+        data = machine.physmem.read(paddr, CACHE_LINE)
+        for word in range(0, CACHE_LINE, 16):
+            # Even 8-byte words tore (inverted), odd ones kept the value.
+            assert data[word : word + 8] == bytes(
+                b ^ 0xFF for b in original[word : word + 8]
+            )
+            assert data[word + 8 : word + 16] == original[word + 8 : word + 16]
+        assert machine.stats.get("faults.torn_write.lines") == 1
+
+    def test_survival_one_never_tears(self, machine):
+        paddr = _nvm_paddr(machine)
+        machine.physmem.write(paddr, b"\x55" * CACHE_LINE)
+        model = TornWriteFault(seed=7, survival=1.0)
+        assert model.apply(machine, {paddr // CACHE_LINE}) == 0
+        assert machine.physmem.read(paddr, CACHE_LINE) == b"\x55" * CACHE_LINE
+
+    def test_survival_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            TornWriteFault(survival=1.5)
+
+    def test_fenced_data_is_never_touched(self, machine):
+        """Through the injector: a fence empties the pending set, so the
+        model has nothing to tear at power-fail."""
+        paddr = _nvm_paddr(machine)
+        injector = CrashInjector(fault_models=[TornWriteFault(survival=0.0)])
+        injector.attach(machine)
+        injector.arm_counting()
+        machine.physmem.write(paddr, b"\xAA" * CACHE_LINE)
+        machine.phys_line_access(paddr, is_write=True)
+        machine.clwb(paddr)
+        machine.persist_barrier()  # drains the write buffer
+        machine.power_fail()
+        injector.detach()
+        assert machine.physmem.read(paddr, CACHE_LINE) == b"\xAA" * CACHE_LINE
+        assert machine.stats.get("faults.torn_write.lines") == 0
+        assert machine.stats.get("faults.power_fails") == 1
+
+    def test_unfenced_data_tears_at_power_fail(self, machine):
+        paddr = _nvm_paddr(machine)
+        injector = CrashInjector(fault_models=[TornWriteFault(survival=0.0)])
+        injector.attach(machine)
+        injector.arm_counting()
+        machine.physmem.write(paddr, b"\xAA" * CACHE_LINE)
+        machine.phys_line_access(paddr, is_write=True)
+        machine.clwb(paddr)  # flushed but NOT fenced
+        machine.power_fail()
+        injector.detach()
+        assert machine.physmem.read(paddr, CACHE_LINE) != b"\xAA" * CACHE_LINE
+        assert machine.stats.get("faults.damaged_units") == 1
+
+
+class TestBitRotFault:
+    def test_worn_page_flips_exactly_one_bit(self, machine):
+        paddr = _nvm_paddr(machine, page_offset=1)
+        page = paddr // PAGE_SIZE
+        machine.physmem.write(paddr, b"\x00" * PAGE_SIZE)
+        machine.controller.nvm_page_writes[page] = 10_000  # chance = 1.0
+        model = BitRotFault(seed=3, writes_per_flip=10_000)
+        flipped = model.apply(machine, set())
+        assert flipped == 1
+        data = machine.physmem.read(paddr, PAGE_SIZE)
+        set_bits = sum(bin(b).count("1") for b in data)
+        assert set_bits == 1
+        assert machine.stats.get("faults.bit_rot.bits") == 1
+
+    def test_unworn_pages_never_rot(self, machine):
+        paddr = _nvm_paddr(machine, page_offset=2)
+        machine.physmem.write(paddr, b"\xFF" * PAGE_SIZE)
+        machine.controller.nvm_page_writes[paddr // PAGE_SIZE] = 0
+        model = BitRotFault(seed=3, writes_per_flip=10_000)
+        assert model.apply(machine, set()) == 0
+        assert machine.physmem.read(paddr, PAGE_SIZE) == b"\xFF" * PAGE_SIZE
+
+    def test_writes_per_flip_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BitRotFault(writes_per_flip=0)
+
+    def test_deterministic_for_a_seed(self, machine):
+        paddr = _nvm_paddr(machine, page_offset=3)
+        page = paddr // PAGE_SIZE
+        machine.controller.nvm_page_writes[page] = 10_000
+        machine.physmem.write(paddr, b"\x00" * PAGE_SIZE)
+        BitRotFault(seed=11).apply(machine, set())
+        first = machine.physmem.read(paddr, PAGE_SIZE)
+        machine.physmem.write(paddr, b"\x00" * PAGE_SIZE)
+        BitRotFault(seed=11).apply(machine, set())
+        assert machine.physmem.read(paddr, PAGE_SIZE) == first
+
+
+class TestStoreHooks:
+    def test_put_and_remove_emit_boundaries(self):
+        store = NvmObjectStore()
+        events = []
+        store.hook = lambda kind, key: events.append((kind, key))
+        store.put("a", object())
+        store.setdefault("b", object())
+        store.setdefault("b", object())  # existing: no new boundary
+        store.remove("a")
+        store.remove("missing")  # absent: no boundary
+        assert events == [
+            ("store.put", "a"),
+            ("store.put", "b"),
+            ("store.remove", "a"),
+        ]
+
+    def test_poison_replaces_with_sentinel(self):
+        store = NvmObjectStore()
+        store.put("x", [1, 2, 3])
+        assert store.poison("x", "endurance")
+        obj = store.get("x")
+        assert isinstance(obj, CorruptObject)
+        assert obj.key == "x" and obj.reason == "endurance"
+        assert not store.poison("never-stored")
+
+
+class TestPoisonedRecovery:
+    def test_corrupt_saved_state_aborts_recovery(self):
+        system = HybridSystem(
+            config=small_machine_config(),
+            scheme="rebuild",
+            checkpoint_interval_ms=1000.0,
+        )
+        system.boot()
+        proc = system.spawn("victim")
+        proc.registers["pc"] = 0x42
+        system.checkpoint()
+        system.crash()
+        assert system.nvm_store.poison(store_key(proc.pid), "media loss")
+        with pytest.raises(RecoveryError, match="corrupt saved state"):
+            system.boot()

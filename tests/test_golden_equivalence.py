@@ -141,6 +141,29 @@ class TestGoldenEquivalence:
         assert fast_frames == slow_frames
         assert fast.stats["ext.llc_misses"] > 0
 
+    def test_identical_with_disarmed_injector(self):
+        """An attached-but-never-armed crash injector is a pure no-op:
+        the hooked run must be byte-identical to an unhooked one."""
+        from repro.faults import CrashInjector
+
+        plain = Machine(small_machine_config())
+        plain.set_fast_path(True)
+        _run_mixed_trace(plain)
+
+        hooked = Machine(small_machine_config())
+        hooked.set_fast_path(True)
+        injector = CrashInjector(record_journal=True)
+        injector.attach(hooked)
+        _run_mixed_trace(hooked)
+        injector.detach()
+
+        assert injector.points_seen == 0 and injector.journal == []
+        plain_dump, plain_clock, plain_frames = _fingerprint(plain)
+        hooked_dump, hooked_clock, hooked_frames = _fingerprint(hooked)
+        assert hooked_dump == plain_dump
+        assert hooked_clock == plain_clock
+        assert hooked_frames == plain_frames
+
     def test_fast_path_actually_taken(self):
         """The fast machine must serve ops without entering Tlb.lookup."""
         counts = {}

@@ -1,0 +1,166 @@
+"""Fence/flush ordering of the persistence protocols, via the injector.
+
+The crash injector's journal records every durable-write event in
+program order (writebacks, protocol flushes, streamed bursts, fences,
+labels), which lets these tests assert the *ordering* claims the
+consistency primitives and the SSP commit protocol make — e.g. "the
+undo record is fenced before the in-place store can reach NVM".
+"""
+
+import pytest
+
+from repro.arch.machine import Machine
+from repro.common.config import small_machine_config
+from repro.common.errors import KindleError
+from repro.common.units import CACHE_LINE, PAGE_SIZE
+from repro.faults import CrashExplorer, CrashInjector
+from repro.faults.scenarios import CheckpointScenario, SspCommitScenario
+from repro.mem.hybrid import MemType
+from repro.persist.primitives import make_primitive
+
+
+@pytest.fixture
+def machine():
+    return Machine(small_machine_config())
+
+
+@pytest.fixture
+def nvm_paddr(machine):
+    lo, _hi = machine.layout.pfn_range(MemType.NVM)
+    return lo * PAGE_SIZE
+
+
+def _journal_for(machine, fn):
+    injector = CrashInjector(record_journal=True)
+    injector.attach(machine)
+    injector.arm_counting()
+    fn()
+    injector.detach()
+    return injector, injector.journal
+
+
+class TestPrimitiveOrdering:
+    def test_undo_log_is_fenced_before_the_store(self, machine, nvm_paddr):
+        primitive = make_primitive("undo", machine)
+        _inj, journal = _journal_for(machine, lambda: primitive.update(nvm_paddr))
+        kinds = [p.kind for p in journal]
+        assert kinds == ["bulk", "fence", "clwb", "fence"]
+        # The in-place flush targets the updated line and happens in a
+        # later epoch than the log write: the undo record is durable
+        # before the store can possibly reach NVM.
+        clwb = journal[2]
+        assert clwb.detail == nvm_paddr // CACHE_LINE
+        assert clwb.epoch > journal[0].epoch
+        # Nothing is left pending: the final fence drained everything.
+        assert _inj.pending_lines == set()
+        assert nvm_paddr // CACHE_LINE in _inj.durable_lines
+
+    def test_undo_commit_is_one_ordered_write(self, machine, nvm_paddr):
+        primitive = make_primitive("undo", machine)
+        primitive.update(nvm_paddr)
+        _inj, journal = _journal_for(machine, primitive.commit)
+        assert [p.kind for p in journal] == ["bulk", "fence"]
+
+    def test_redo_log_leaves_the_store_unordered(self, machine, nvm_paddr):
+        primitive = make_primitive("redo", machine)
+        _inj, journal = _journal_for(machine, lambda: primitive.update(nvm_paddr))
+        # Log append + fence only: the in-place write stays cached (no
+        # clwb of the target line) and may reach NVM whenever.
+        assert [p.kind for p in journal] == ["bulk", "fence"]
+
+    def test_nolog_is_flush_fence(self, machine, nvm_paddr):
+        primitive = make_primitive("nolog", machine)
+        _inj, journal = _journal_for(machine, lambda: primitive.update(nvm_paddr))
+        assert [p.kind for p in journal] == ["clwb", "fence"]
+        assert journal[0].detail == nvm_paddr // CACHE_LINE
+
+
+class TestSspCommitOrdering:
+    """SSP's two-phase consolidation and interval commit points."""
+
+    def test_consolidation_data_is_fenced_before_metadata_clears(self):
+        explorer = CrashExplorer(SspCommitScenario())
+        _total, labels = explorer.count_points()
+        journal = explorer.last_journal
+        label_indices = {
+            p.detail: i for i, p in enumerate(journal) if p.kind == "label"
+        }
+        data_idx = label_indices["ssp.consolidate.data"]
+        meta_idx = label_indices["ssp.consolidate.meta"]
+        assert data_idx < meta_idx
+        # Phase 1 (data merges) ends with a fence right at the data
+        # label: every merge burst before the label sits in an earlier
+        # or equal epoch, i.e. all merged bytes are durable before any
+        # metadata is touched.
+        last_bulk = max(
+            i for i in range(data_idx) if journal[i].kind == "bulk"
+        )
+        assert any(
+            journal[i].kind == "fence" for i in range(last_bulk + 1, data_idx)
+        ), "no fence between the last data merge and the consolidation label"
+        # Phase 2 is fenced too before declaring itself done.
+        assert any(
+            journal[i].kind == "fence" for i in range(data_idx + 1, meta_idx)
+        )
+        # Two explicit interval commits plus checkpoint_end's final one.
+        assert labels["ssp.interval.commit"] == 3
+
+    def test_kill_between_phases_keeps_metadata_intact(self):
+        """Crash after data merges, before clears: bits still set, data
+        durable — recovery sees a consistent (pre-consolidation) view."""
+        explorer = CrashExplorer(SspCommitScenario())
+        ctx, result = explorer.run_label("ssp.consolidate.data")
+        assert not result.violations, str(result.violations[0])
+        manager = ctx.scratch["ssp"]
+        assert any(
+            entry.current_bitmap for entry in manager.cache.entries.values()
+        ), "candidate bitmaps were cleared before the data fence"
+
+    def test_kill_at_interval_commit_recovers(self):
+        explorer = CrashExplorer(SspCommitScenario())
+        _ctx, result = explorer.run_label("ssp.interval.commit", occurrence=1)
+        assert not result.violations, str(result.violations[0])
+
+
+class TestInjectorWiring:
+    def test_checkpoint_labels_are_counted(self):
+        explorer = CrashExplorer(CheckpointScenario("rebuild"))
+        _total, labels = explorer.count_points()
+        assert labels["checkpoint.commit"] == 2
+        assert labels["redo.truncate"] == 2
+
+    def test_attach_refuses_double_hooking(self, machine):
+        first = CrashInjector()
+        first.attach(machine)
+        with pytest.raises(KindleError):
+            first.attach(machine)
+        second = CrashInjector()
+        with pytest.raises(KindleError):
+            second.attach(machine)
+        first.detach()
+        second.attach(machine)
+        second.detach()
+
+    def test_disarmed_injector_is_invisible(self, nvm_paddr):
+        def trace(m):
+            m.phys_line_access(nvm_paddr, is_write=True)
+            m.clwb(nvm_paddr)
+            m.persist_barrier()
+            m.bulk_lines(4, MemType.NVM, is_write=True)
+            m.persist_point("trace.done")
+            m.power_fail()
+            m.power_on()
+
+        plain = Machine(small_machine_config())
+        trace(plain)
+
+        hooked = Machine(small_machine_config())
+        injector = CrashInjector(record_journal=True)
+        injector.attach(hooked)  # never armed
+        trace(hooked)
+        injector.detach()
+
+        assert injector.points_seen == 0
+        assert injector.journal == []
+        assert hooked.clock == plain.clock
+        assert hooked.stats.dump() == plain.stats.dump()
