@@ -28,7 +28,7 @@ def bench_scale() -> float:
 
 def write_result(name: str, result: dict) -> None:
     """Persist one experiment's rows as an aligned text table."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     rows = result["rows"]
     if not rows:
         return

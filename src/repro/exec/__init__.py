@@ -1,0 +1,32 @@
+"""``repro.exec`` — the parallel sweep execution engine.
+
+Every figure/table sweep, throughput bench and crash-matrix campaign is
+a grid of *cells*: deterministic, state-free simulation runs that differ
+only in their keyword arguments.  This package turns each cell into a
+:class:`~repro.exec.task.Task` (callable name + canonicalized kwargs +
+a code-version fingerprint), fans tasks out across a process pool sized
+from ``os.cpu_count()`` (:class:`~repro.exec.engine.SweepEngine`), and
+persists finished results in an on-disk content-addressed cache
+(:class:`~repro.exec.cache.ResultCache`, ``artifacts/cache/<hash>.json``)
+so re-running a sweep after an unrelated edit — or resuming an
+interrupted one — only recomputes changed or missing cells.
+
+Results are collected in task-submission order, so a parallel sweep is
+observably identical to the serial loop it replaced.
+"""
+
+from repro.exec.cache import ResultCache
+from repro.exec.engine import SweepEngine, sweep
+from repro.exec.fingerprint import code_fingerprint
+from repro.exec.task import Task, canonical_bytes, payload_bytes, resolve
+
+__all__ = [
+    "ResultCache",
+    "SweepEngine",
+    "Task",
+    "canonical_bytes",
+    "code_fingerprint",
+    "payload_bytes",
+    "resolve",
+    "sweep",
+]

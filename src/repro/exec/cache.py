@@ -1,0 +1,122 @@
+"""On-disk content-addressed result cache: ``artifacts/cache/<hash>.json``.
+
+One finished task = one file named by the task key (sha256 of call +
+canonical kwargs + code fingerprint).  The file stores the identity
+document next to the result so entries are self-describing::
+
+    {"schema": "sweep_cache/v1", "key": ..., "task": {...}, "result": ...}
+
+Entries are written atomically (temp file + ``os.replace``) so a sweep
+killed mid-write never leaves a torn entry, and every load re-validates
+schema and key — a corrupt or truncated entry reads as a miss and is
+recomputed, never a crash.  Because the document encoding is canonical,
+recomputing an unchanged cell rewrites byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.exec.task import payload_bytes
+
+SCHEMA = "sweep_cache/v1"
+
+#: Returned by :meth:`ResultCache.get` on a miss; ``None`` is a valid
+#: cached result so a sentinel disambiguates.
+MISS = object()
+
+#: Default location, resolved relative to the working directory (the
+#: repository checkout for CLI runs).  ``KINDLE_CACHE_DIR`` overrides.
+DEFAULT_CACHE_DIR = Path("artifacts") / "cache"
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("KINDLE_CACHE_DIR", str(DEFAULT_CACHE_DIR)))
+
+
+class ResultCache:
+    """Content-addressed store of finished task results."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def encode(self, key: str, task_doc: Dict[str, Any], result: Any) -> bytes:
+        """The entry bytes for a finished task.
+
+        Deterministic for a given code version: the outer document has
+        a fixed field order and the result preserves the cell's own
+        (deterministic) key order, so recomputing an unchanged cell
+        rewrites byte-identical files.
+        """
+        return payload_bytes(
+            {"schema": SCHEMA, "key": key, "task": task_doc, "result": result}
+        )
+
+    def get(self, key: str) -> Any:
+        """The cached result for ``key``, or :data:`MISS`.
+
+        Any defect — absent file, truncated JSON, wrong schema, key
+        mismatch from a hand-edited entry — is a miss; the caller
+        recomputes and overwrites.
+        """
+        try:
+            raw = self.path_for(key).read_bytes()
+        except OSError:
+            self.misses += 1
+            return MISS
+        try:
+            doc = json.loads(raw)
+            if not isinstance(doc, dict):
+                raise ValueError("cache entry is not an object")
+            if doc.get("schema") != SCHEMA or doc.get("key") != key:
+                raise ValueError("cache entry schema/key mismatch")
+            result = doc["result"]
+        except (ValueError, KeyError):
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return result
+
+    def put(self, key: str, task_doc: Dict[str, Any], result: Any) -> Any:
+        """Persist a finished task atomically.
+
+        Returns the result as it will read back from the cache (the
+        canonical-JSON round trip), so callers hand out identical
+        objects on cold and warm runs.
+        """
+        payload = self.encode(key, task_doc, result)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on a failed replace
+                tmp.unlink()
+        self.stores += 1
+        return json.loads(payload)["result"]
+
+    def clear(self) -> int:
+        """Wipe every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}

@@ -1,0 +1,218 @@
+"""The sweep engine: fan cells out, collect in order, cache results.
+
+:class:`SweepEngine` executes a list of :class:`~repro.exec.task.Task`
+cells.  Finished results are collected **in task order** regardless of
+completion order, and every result is normalized through the canonical
+JSON round trip before it is handed back — so serial runs, parallel
+runs, and cache hits all return observably identical values and the
+drivers built on top produce byte-identical output either way.
+
+``jobs`` defaults to ``os.cpu_count()``; one job (or one runnable cell)
+executes inline with no pool, which is the degenerate serial engine.
+Workers receive ``(call, kwargs)`` pairs and resolve the callable by
+import path, so nothing heavier than plain data crosses the process
+boundary; the parent owns the cache (lookups before dispatch, stores on
+completion) so entries are written once, canonically.
+
+Progress goes to **stderr** — drivers print their tables to stdout and
+redirecting one must not corrupt the other.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.exec.cache import MISS, ResultCache
+from repro.exec.fingerprint import code_fingerprint
+from repro.exec.task import Task, payload_bytes
+
+
+def default_jobs() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def _normalize(result: Any) -> Any:
+    """Order-preserving JSON round trip: what a cache hit would return."""
+    return json.loads(payload_bytes(result))
+
+
+def _execute(call: str, kwargs: Dict[str, Any]) -> Any:
+    """Worker entry: run one cell in this process."""
+    return Task(call=call, kwargs=kwargs).run()
+
+
+def _init_worker(path: List[str]) -> None:
+    """Make the parent's import path visible under any start method."""
+    for entry in reversed(path):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+def probe_cell(a: int = 0, b: int = 0) -> Dict[str, int]:
+    """Tiny deterministic cell used by tests and the engine self-check."""
+    return {"a": a, "b": b, "sum": a + b}
+
+
+class SweepEngine:
+    """Execute task grids across a process pool with result caching."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        use_cache: bool = True,
+        cache_dir: Union[str, Path, None] = None,
+        cache: Optional[ResultCache] = None,
+        progress: bool = False,
+        stream=None,
+    ) -> None:
+        self.jobs = default_jobs() if not jobs else max(1, int(jobs))
+        if cache is not None:
+            self.cache: Optional[ResultCache] = cache
+        elif use_cache:
+            self.cache = ResultCache(cache_dir)
+        else:
+            self.cache = None
+        self.progress = progress
+        self.stream = stream if stream is not None else sys.stderr
+        #: Accumulated across every :meth:`map` call on this engine.
+        self.cells = 0
+        self.cache_hits = 0
+        self.executed = 0
+        self.elapsed_s = 0.0
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def map(self, tasks: Sequence[Task]) -> List[Any]:
+        """Run every task; results in task order."""
+        tasks = list(tasks)
+        started = time.perf_counter()
+        results: List[Any] = [None] * len(tasks)
+        pending: List[tuple] = []  # (index, task, key-or-None)
+        done = 0
+        for index, task in enumerate(tasks):
+            key = None
+            if self.cache is not None and task.cacheable:
+                key = task.key(code_fingerprint(task.module))
+                hit = self.cache.get(key)
+                if hit is not MISS:
+                    results[index] = hit
+                    self.cache_hits += 1
+                    done += 1
+                    self._note(done, len(tasks), task, cached=True)
+                    continue
+            pending.append((index, task, key))
+        if len(pending) <= 1 or self.jobs <= 1:
+            for index, task, key in pending:
+                cell_start = time.perf_counter()
+                results[index] = self._finish(task, key, task.run())
+                done += 1
+                self._note(
+                    done, len(tasks), task,
+                    elapsed=time.perf_counter() - cell_start,
+                )
+        else:
+            self._map_pool(pending, results, done, len(tasks))
+        self.cells += len(tasks)
+        self.executed += len(pending)
+        self.elapsed_s += time.perf_counter() - started
+        return results
+
+    def _map_pool(
+        self, pending: List[tuple], results: List[Any], done: int, total: int
+    ) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(list(sys.path),),
+        ) as pool:
+            starts: Dict[Any, float] = {}
+            future_meta: Dict[Any, tuple] = {}
+            for index, task, key in pending:
+                future = pool.submit(_execute, task.call, dict(task.kwargs))
+                future_meta[future] = (index, task, key)
+                starts[future] = time.perf_counter()
+            waiting = set(future_meta)
+            while waiting:
+                finished, waiting = wait(waiting, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index, task, key = future_meta[future]
+                    results[index] = self._finish(task, key, future.result())
+                    done += 1
+                    self._note(
+                        done, total, task,
+                        elapsed=time.perf_counter() - starts[future],
+                    )
+
+    def _finish(self, task: Task, key: Optional[str], result: Any) -> Any:
+        if key is not None and self.cache is not None:
+            return self.cache.put(key, task.describe(), result)
+        return _normalize(result)
+
+    def _note(
+        self,
+        done: int,
+        total: int,
+        task: Task,
+        cached: bool = False,
+        elapsed: Optional[float] = None,
+    ) -> None:
+        if not self.progress:
+            return
+        suffix = "cached" if cached else f"{elapsed:.2f}s"
+        print(
+            f"[sweep] {done}/{total} {task.display()} ({suffix})",
+            file=self.stream,
+            flush=True,
+        )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "cells": self.cells,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "cache_dir": str(self.cache.root) if self.cache else None,
+        }
+
+    def write_stats(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.stats(), indent=2) + "\n")
+
+
+def sweep(
+    engine: Optional[SweepEngine],
+    call: str,
+    kwargs_list: Iterable[Dict[str, Any]],
+    labels: Optional[Iterable[str]] = None,
+    cacheable: bool = True,
+) -> List[Any]:
+    """Run one cell function over a kwargs grid, serially or engine-fanned.
+
+    With ``engine=None`` the cells run inline in this process with no
+    cache and no normalization — the plain loop the drivers always had,
+    and the reference the engine path is tested against.
+    """
+    kwargs_list = list(kwargs_list)
+    if engine is None:
+        return [Task(call=call, kwargs=kwargs).run() for kwargs in kwargs_list]
+    labels = list(labels) if labels is not None else [""] * len(kwargs_list)
+    tasks = [
+        Task(call=call, kwargs=kwargs, cacheable=cacheable, label=label)
+        for kwargs, label in zip(kwargs_list, labels)
+    ]
+    return engine.map(tasks)

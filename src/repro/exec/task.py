@@ -1,0 +1,105 @@
+"""Task descriptions: one deterministic simulation cell, hashable.
+
+A task is ``call`` (a ``"module.path:function"`` string), canonicalized
+``kwargs``, and the code fingerprint of the callable's module (see
+:mod:`repro.exec.fingerprint`).  The three together name the cell's
+result content-addressably: the sha256 of their canonical JSON encoding
+is the cache key and the worker dispatch unit.
+
+Kwargs must be JSON-representable; tuples canonicalize to lists, so a
+cell called with ``sizes=(1, 2)`` and one called with ``sizes=[1, 2]``
+are the same task — cell functions must treat the two identically
+(every driver in this repo only iterates them).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Canonical JSON encoding for *identity*: sorted keys, minimal
+    separators.  Only hashes use this — two kwargs dicts built in
+    different orders must name the same task."""
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), default=_encode_default
+    ).encode("utf-8")
+
+
+def payload_bytes(value: Any) -> bytes:
+    """JSON encoding for *results*: minimal separators, **insertion
+    order preserved**.  Cell results flow through this round trip on
+    their way to the caller and into cache entries; sorting keys here
+    would reorder table columns relative to the serial loop and break
+    byte-identical output."""
+    return json.dumps(
+        value, separators=(",", ":"), default=_encode_default
+    ).encode("utf-8")
+
+
+def _encode_default(value: Any):
+    if isinstance(value, (tuple, set, frozenset)):
+        # Sets have no stable order; only tuples appear in our kwargs.
+        if isinstance(value, (set, frozenset)):
+            return sorted(value)
+        return list(value)
+    raise TypeError(f"task kwargs must be JSON-representable, got {value!r}")
+
+
+def resolve(call: str) -> Callable:
+    """``"repro.harness.experiments:fig4a_cell"`` -> the callable."""
+    module_name, _, attr_path = call.partition(":")
+    if not attr_path:
+        raise ValueError(f"task call {call!r} is not 'module:function'")
+    obj: Any = importlib.import_module(module_name)
+    for attr in attr_path.split("."):
+        obj = getattr(obj, attr)
+    if not callable(obj):
+        raise TypeError(f"task call {call!r} resolved to non-callable {obj!r}")
+    return obj
+
+
+@dataclass(frozen=True)
+class Task:
+    """One deterministic cell of a sweep."""
+
+    call: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Timing-style cells (the throughput bench) set this False: their
+    #: results depend on wall-clock, not just code + kwargs.
+    cacheable: bool = True
+    #: Human label for progress lines; defaults to the call target.
+    label: str = ""
+
+    @property
+    def module(self) -> str:
+        return self.call.partition(":")[0]
+
+    def display(self) -> str:
+        return self.label or self.call.partition(":")[2] or self.call
+
+    def describe(self, fingerprint: Optional[str] = None) -> Dict[str, Any]:
+        """The identity document hashed into the cache key."""
+        if fingerprint is None:
+            from repro.exec.fingerprint import code_fingerprint
+
+            fingerprint = code_fingerprint(self.module)
+        return {
+            "call": self.call,
+            "kwargs": json.loads(canonical_bytes(self.kwargs)),
+            "fingerprint": fingerprint,
+        }
+
+    def key(self, fingerprint: Optional[str] = None) -> str:
+        """Content address: sha256 over call + kwargs + code version."""
+        return hashlib.sha256(
+            canonical_bytes(self.describe(fingerprint))
+        ).hexdigest()
+
+    def run(self) -> Any:
+        """Execute the cell in this process (serial path and workers)."""
+        return resolve(self.call)(**self.kwargs)

@@ -31,6 +31,7 @@ from repro.faults.explorer import (
 from repro.faults.injector import CrashInjector, CrashPoint, CrashPointReached
 from repro.faults.scenarios import (
     RandomOpsScenario,
+    scenario_by_name,
     standard_scenarios,
 )
 
@@ -44,5 +45,6 @@ __all__ = [
     "RandomOpsScenario",
     "ScenarioContext",
     "Violation",
+    "scenario_by_name",
     "standard_scenarios",
 ]

@@ -19,10 +19,11 @@ the commit flip and the next line of scenario code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.config import small_machine_config
 from repro.common.errors import KindleError
+from repro.exec import SweepEngine, Task
 from repro.faults.injector import CrashInjector, CrashPoint, CrashPointReached
 from repro.faults.invariants import (
     Golden,
@@ -176,26 +177,76 @@ class CrashExplorer:
         )
 
     def explore(
-        self, points: Optional[Iterable[int]] = None
+        self,
+        points: Optional[Iterable[int]] = None,
+        engine: Optional[SweepEngine] = None,
     ) -> ExplorationReport:
-        """Kill at every (or the given) crash points; check each recovery."""
+        """Kill at every (or the given) crash points; check each recovery.
+
+        With an ``engine``, the kill-and-recover cycles of a *standard*
+        scenario fan out across worker processes in contiguous index
+        batches; results are reassembled in index order, so the report
+        is identical to a serial exploration.  Custom scenario objects
+        and fault-model runs are not name-addressable across processes
+        and fall back to the serial loop.
+        """
         total, labels = self.count_points()
-        indices = sorted(points) if points is not None else range(total)
+        indices = [
+            index
+            for index in (sorted(points) if points is not None else range(total))
+            if index < total
+        ]
         report = ExplorationReport(
             scenario=self.scenario.name,
             scheme=self.scenario.scheme,
             total_points=total,
             label_points=labels,
         )
-        for index in indices:
-            if index >= total:
-                continue
-            _ctx, result = self.run_point(index)
+        if engine is not None and self._parallel_safe():
+            results = self._explore_engine(engine, indices)
+        else:
+            results = [self.run_point(index)[1] for index in indices]
+        for result in results:
             report.explored += 1
             if result.recovered_pids:
                 report.recoveries += 1
             report.results.append(result)
         return report
+
+    def _parallel_safe(self) -> bool:
+        """Workers rebuild scenarios by name — only standard ones, and
+        only without live fault-model objects to ship across."""
+        if self.fault_models or self.record_journal:
+            return False
+        from repro.faults.scenarios import scenario_by_name
+
+        try:
+            rebuilt = scenario_by_name(self.scenario.name)
+        except KeyError:
+            return False
+        return type(rebuilt) is type(self.scenario) and (
+            rebuilt.scheme == self.scenario.scheme
+        )
+
+    def _explore_engine(
+        self, engine: SweepEngine, indices: List[int]
+    ) -> List[PointResult]:
+        name = self.scenario.name
+        batches = _index_batches(indices, engine.jobs)
+        tasks = [
+            Task(
+                "repro.faults.explorer:explore_scenario_points",
+                {"scenario": name, "indices": batch},
+                label=f"{name}[{batch[0]}..{batch[-1]}]",
+            )
+            for batch in batches
+        ]
+        outputs = engine.map(tasks)
+        return [
+            _result_from_payload(payload)
+            for output in outputs
+            for payload in output["results"]
+        ]
 
     # ------------------------------------------------------------------
     # one kill-and-recover cycle
@@ -255,3 +306,95 @@ class CrashExplorer:
             violations=violations,
         )
         return ctx, result
+
+
+# ----------------------------------------------------------------------
+# parallel exploration plumbing
+# ----------------------------------------------------------------------
+
+
+def _index_batches(indices: Sequence[int], jobs: int) -> List[List[int]]:
+    """Contiguous batches, a few per worker so stragglers rebalance."""
+    indices = list(indices)
+    if not indices:
+        return []
+    target = max(1, jobs) * 3
+    size = max(1, -(-len(indices) // target))
+    return [indices[i : i + size] for i in range(0, len(indices), size)]
+
+
+def _point_payload(point: CrashPoint) -> Dict:
+    return {
+        "index": point.index,
+        "kind": point.kind,
+        "detail": point.detail,
+        "epoch": point.epoch,
+    }
+
+
+def _point_from_payload(payload: Optional[Dict]) -> Optional[CrashPoint]:
+    if payload is None:
+        return None
+    return CrashPoint(
+        index=payload["index"],
+        kind=payload["kind"],
+        detail=payload["detail"],
+        epoch=payload["epoch"],
+    )
+
+
+def _result_payload(result: PointResult) -> Dict:
+    return {
+        "point": _point_payload(result.point),
+        "recovered_pids": list(result.recovered_pids),
+        "violations": [
+            {
+                "scenario": violation.scenario,
+                "message": violation.message,
+                "point": (
+                    _point_payload(violation.point)
+                    if violation.point is not None
+                    else None
+                ),
+                "pid": violation.pid,
+            }
+            for violation in result.violations
+        ],
+    }
+
+
+def _result_from_payload(payload: Dict) -> PointResult:
+    point = _point_from_payload(payload["point"])
+    assert point is not None
+    return PointResult(
+        point=point,
+        recovered_pids=tuple(payload["recovered_pids"]),
+        violations=[
+            Violation(
+                scenario=violation["scenario"],
+                message=violation["message"],
+                point=_point_from_payload(violation["point"]),
+                pid=violation["pid"],
+            )
+            for violation in payload["violations"]
+        ],
+    )
+
+
+def explore_scenario_points(scenario: str, indices: Iterable[int]) -> Dict:
+    """Sweep-engine cell: kill-and-recover at each index of a standard
+    scenario, returning JSON-serializable point results.
+
+    Determinism of the whole stack makes this partition-safe: point *k*
+    is the same event whether this process explored the preceding
+    points or not, so any batch of indices reproduces exactly the
+    results a serial exploration assigns to those indices.
+    """
+    from repro.faults.scenarios import scenario_by_name
+
+    explorer = CrashExplorer(scenario_by_name(scenario))
+    return {
+        "results": [
+            _result_payload(explorer.run_point(index)[1]) for index in indices
+        ]
+    }

@@ -255,3 +255,17 @@ def standard_scenarios() -> List[CrashScenario]:
         RedoReplayScenario(),
         MultiprocessScenario(),
     ]
+
+
+def scenario_by_name(name: str) -> CrashScenario:
+    """A fresh instance of the named standard scenario.
+
+    Scenario names are the cross-process addressing scheme of the
+    parallel crash explorer: workers rebuild the scenario from its name
+    instead of pickling live objects, so only standard scenarios are
+    addressable (custom instances fall back to serial exploration).
+    """
+    for scenario in standard_scenarios():
+        if scenario.name == name:
+            return scenario
+    raise KeyError(f"unknown standard scenario {name!r}")

@@ -3,6 +3,14 @@
 Runs one paper experiment and prints its table.  ``--scale`` shrinks
 region sizes and ``--ops`` shrinks workload lengths for quick runs;
 defaults regenerate the paper-scale configuration.
+
+Sweeps (the experiment drivers and ``crashtest``) execute through the
+:mod:`repro.exec` engine: ``--jobs/-j`` sizes the worker pool (default
+``os.cpu_count()``; ``-j 1`` forces the serial loop), finished cells
+persist in a content-addressed cache under ``artifacts/cache/`` (skip
+with ``--no-cache``, relocate with ``--cache-dir``), and ``--sweep-stats
+PATH`` writes the engine's cells/cache-hits/elapsed counters as JSON —
+CI uses it to assert warm-cache re-runs actually hit.
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ import argparse
 import sys
 from typing import Dict, List
 
+from repro.exec import SweepEngine
 from repro.harness import experiments
 from repro.harness.report import format_table
 
@@ -86,16 +95,56 @@ def main(argv=None) -> int:
         default="BENCH_machine.json",
         help="bench: output path for the throughput trajectory JSON",
     )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: cpu count; 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every sweep cell, ignore artifacts/cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="sweep result cache location (default: artifacts/cache)",
+    )
+    parser.add_argument(
+        "--sweep-stats",
+        default=None,
+        metavar="PATH",
+        help="write sweep-engine stats (cells, cache hits, elapsed) as JSON",
+    )
     args = parser.parse_args(argv)
+
+    engine = SweepEngine(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        progress=True,
+    )
+
+    def _write_sweep_stats() -> None:
+        if args.sweep_stats:
+            engine.write_stats(args.sweep_stats)
 
     if args.experiment == "bench":
         from repro.harness.bench import bench_main
 
-        return bench_main(args.out, smoke=args.smoke, repeats=args.repeats)
+        return bench_main(
+            args.out, smoke=args.smoke, repeats=args.repeats, jobs=args.jobs
+        )
     if args.experiment == "crashtest":
         from repro.harness.crashtest import crashtest_main
 
-        return crashtest_main(smoke=args.smoke, scenario_names=args.scenario)
+        code = crashtest_main(
+            smoke=args.smoke, scenario_names=args.scenario, engine=engine
+        )
+        _write_sweep_stats()
+        return code
     if args.experiment == "compare":
         from pathlib import Path
 
@@ -135,19 +184,20 @@ def main(argv=None) -> int:
         _print_rows({"experiment": "validate (Section V-A)", "rows": rows})
         return 0 if all(r["result"] == "PASS" for r in rows) else 1
     if args.experiment == "table2":
-        result = experiments.run_table2(total_ops=args.ops)
+        result = experiments.run_table2(total_ops=args.ops, engine=engine)
     elif args.experiment == "fig4a":
-        result = experiments.run_fig4a(scale=args.scale)
+        result = experiments.run_fig4a(scale=args.scale, engine=engine)
     elif args.experiment == "fig4b":
-        result = experiments.run_fig4b()
+        result = experiments.run_fig4b(engine=engine)
     elif args.experiment == "table3":
-        result = experiments.run_table3(scale=args.scale)
+        result = experiments.run_table3(scale=args.scale, engine=engine)
     elif args.experiment == "table4":
-        result = experiments.run_table4(scale=args.scale)
+        result = experiments.run_table4(scale=args.scale, engine=engine)
     elif args.experiment == "fig5":
-        result = experiments.run_fig5(total_ops=args.ops)
+        result = experiments.run_fig5(total_ops=args.ops, engine=engine)
     else:  # fig6 / table5 / table6 share one runner
-        result = experiments.run_fig6(total_ops=args.ops)
+        result = experiments.run_fig6(total_ops=args.ops, engine=engine)
+    _write_sweep_stats()
     _print_rows(result)
     if args.plot and result["experiment"].startswith("fig"):
         from repro.harness.plots import render_figure

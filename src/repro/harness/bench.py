@@ -29,9 +29,12 @@ Output schema (``BENCH_machine.json``)
 --------------------------------------
 
 ``schema``
-    ``"bench_machine/v1"``.
+    ``"bench_machine/v2"`` (v2 added ``host`` and ``sweep``).
 ``unit``
     always ``"simulated memory operations per wall-clock second"``.
+``host``
+    cpu count, python version and platform of the machine that produced
+    the numbers — cross-machine comparisons are meaningless without it.
 ``baseline``
     the pre-optimisation (PR 1 seed) measurement this machine's numbers
     are compared against: ``{"label": ..., "ops_per_sec": {scenario: float}}``.
@@ -41,12 +44,21 @@ Output schema (``BENCH_machine.json``)
     anchor: optimisations must not change it).
 ``speedup_vs_baseline``
     ``current/baseline`` per scenario present in both.
+``sweep``
+    the sweep-engine measurement (:func:`measure_sweep`): wall-clock of
+    a representative experiment sweep run serially, in parallel at
+    ``workers`` jobs, and again warm from the result cache, plus the
+    derived speedup / warm-over-cold ratio / cache-hit rate.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import platform
+import tempfile
 import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.arch.hooks import HardwareExtension
@@ -54,12 +66,13 @@ from repro.arch.machine import Machine
 from repro.common.config import MachineConfig, small_machine_config
 from repro.common.rng import derive_rng
 from repro.common.units import CACHE_LINE, PAGE_SIZE
+from repro.exec import SweepEngine, sweep
 from repro.mem.hybrid import MemType
 
 #: One trace record: (vaddr, size, is_write).
 Op = Tuple[int, int, bool]
 
-SCHEMA = "bench_machine/v1"
+SCHEMA = "bench_machine/v2"
 
 #: Seed-tree throughput measured before the PR 1 hot-path overhaul
 #: (same scenarios, same op counts, best of 3 on the reference runner).
@@ -214,20 +227,57 @@ def run_scenario(name: str, ops: int, repeats: int = 3) -> Dict[str, float]:
     }
 
 
+def bench_cell(name: str, ops: int, repeats: int = 3) -> Dict[str, float]:
+    """Sweep-engine cell: one timed scenario (never cached — timings
+    depend on the machine's wall-clock, not just code + kwargs)."""
+    return run_scenario(name, ops, repeats=repeats)
+
+
+def host_metadata() -> Dict[str, object]:
+    """Who produced these numbers — without this, cross-machine
+    comparisons of ops/sec (or sweep speedups) are meaningless."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+    }
+
+
 def run_bench(
     smoke: bool = False,
     repeats: int = 3,
     scenarios: Optional[List[str]] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[str, object]:
-    """Run all (or the selected) scenarios and assemble the report."""
+    """Run all (or the selected) scenarios and assemble the report.
+
+    With an ``engine``, scenarios dispatch as (uncacheable) sweep cells.
+    Note that timing cells contend for cores when run concurrently —
+    parallel bench runs finish sooner but report lower ops/sec; leave
+    the engine serial (the default) for trajectory-quality numbers.
+    """
     budgets = SMOKE_OPS if smoke else DEFAULT_OPS
     names = scenarios or list(SCENARIOS)
+    results = sweep(
+        engine,
+        "repro.harness.bench:bench_cell",
+        [
+            {
+                "name": name,
+                "ops": budgets[name],
+                "repeats": 1 if smoke else repeats,
+            }
+            for name in names
+        ],
+        labels=[f"bench[{name}]" for name in names],
+        cacheable=False,
+    )
     current_ops_per_sec: Dict[str, float] = {}
     elapsed: Dict[str, float] = {}
     ops: Dict[str, int] = {}
     clocks: Dict[str, int] = {}
-    for name in names:
-        result = run_scenario(name, budgets[name], repeats=1 if smoke else repeats)
+    for name, result in zip(names, results):
         current_ops_per_sec[name] = round(result["ops_per_sec"], 1)
         elapsed[name] = round(result["elapsed_s"], 4)
         ops[name] = result["ops"]
@@ -238,6 +288,7 @@ def run_bench(
         + (" --smoke" if smoke else ""),
         "unit": "simulated memory operations per wall-clock second",
         "smoke": smoke,
+        "host": host_metadata(),
         "baseline": SEED_BASELINE,
         "current": {
             "ops_per_sec": current_ops_per_sec,
@@ -254,8 +305,76 @@ def run_bench(
     return report
 
 
-def bench_main(out_path: str, smoke: bool = False, repeats: int = 3) -> int:
-    """CLI entry: run, print a table, write the JSON trajectory file."""
+# ----------------------------------------------------------------------
+# sweep-engine measurement (the ``sweep`` section)
+# ----------------------------------------------------------------------
+
+#: Representative experiment sweep timed by :func:`measure_sweep`:
+#: the Fig. 4a grid at reduced region scale (full run / --smoke run).
+SWEEP_SIZES_MB = (64, 128, 256, 512)
+SWEEP_SCALE = 0.125
+SMOKE_SWEEP_SIZES_MB = (16, 32)
+SMOKE_SWEEP_SCALE = 0.25
+
+
+def measure_sweep(jobs: Optional[int] = None, smoke: bool = False) -> Dict:
+    """Time a representative sweep serial vs parallel vs cache-warm.
+
+    Three runs of the same Fig. 4a grid: the plain serial loop (no
+    engine), a cold parallel run against a fresh cache, and a re-run
+    against that now-warm cache.  Scratch cache directories live under
+    a temp dir so measurement never touches ``artifacts/cache``.
+    """
+    from repro.harness.experiments import run_fig4a
+
+    sizes = SMOKE_SWEEP_SIZES_MB if smoke else SWEEP_SIZES_MB
+    scale = SMOKE_SWEEP_SCALE if smoke else SWEEP_SCALE
+    with tempfile.TemporaryDirectory(prefix="kindle-sweep-") as tmp:
+        start = time.perf_counter()
+        serial = run_fig4a(sizes_mb=sizes, scale=scale)
+        serial_s = time.perf_counter() - start
+        cold_engine = SweepEngine(jobs=jobs, cache_dir=Path(tmp) / "cache")
+        start = time.perf_counter()
+        parallel = run_fig4a(sizes_mb=sizes, scale=scale, engine=cold_engine)
+        parallel_s = time.perf_counter() - start
+        warm_engine = SweepEngine(
+            jobs=cold_engine.jobs, cache_dir=Path(tmp) / "cache"
+        )
+        start = time.perf_counter()
+        warm = run_fig4a(sizes_mb=sizes, scale=scale, engine=warm_engine)
+        warm_s = time.perf_counter() - start
+    return {
+        "experiment": "fig4a",
+        "sizes_mb": list(sizes),
+        "scale": scale,
+        "cells": warm_engine.cells,
+        "workers": cold_engine.jobs,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s else 0.0,
+        "warm_s": round(warm_s, 4),
+        "warm_over_cold": round(warm_s / parallel_s, 4) if parallel_s else 0.0,
+        "warm_cache_hit_rate": (
+            round(warm_engine.cache_hits / warm_engine.cells, 4)
+            if warm_engine.cells
+            else 0.0
+        ),
+        "identical_output": serial == parallel == warm,
+    }
+
+
+def bench_main(
+    out_path: str,
+    smoke: bool = False,
+    repeats: int = 3,
+    jobs: Optional[int] = None,
+) -> int:
+    """CLI entry: run, print a table, write the JSON trajectory file.
+
+    ``jobs`` sizes the sweep-engine measurement's worker pool (default:
+    ``os.cpu_count()``); the throughput scenarios themselves always run
+    serially so the trajectory stays contention-free.
+    """
     report = run_bench(smoke=smoke, repeats=repeats)
     current = report["current"]
     print(f"== replay throughput ({report['unit']}) ==")
@@ -267,7 +386,23 @@ def bench_main(out_path: str, smoke: bool = False, repeats: int = 3) -> int:
             f"[{current['ops'][name]} ops in {current['elapsed_s'][name]:.3f}s]"
             f"{speedup}"
         )
-    with open(out_path, "w", encoding="utf-8") as fh:
+    sweep_report = measure_sweep(jobs=jobs, smoke=smoke)
+    report["sweep"] = sweep_report
+    print(
+        f"== sweep engine ({sweep_report['experiment']}, "
+        f"{sweep_report['cells']} cells, {sweep_report['workers']} workers) =="
+    )
+    print(
+        f"  serial {sweep_report['serial_s']:.2f}s  "
+        f"parallel {sweep_report['parallel_s']:.2f}s "
+        f"({sweep_report['speedup']:.2f}x)  "
+        f"warm-cache {sweep_report['warm_s']:.2f}s "
+        f"({100 * sweep_report['warm_over_cold']:.1f}% of cold, "
+        f"{100 * sweep_report['warm_cache_hit_rate']:.0f}% hits)"
+    )
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=False)
         fh.write("\n")
     print(f"wrote {out_path}")

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
+from repro.exec import SweepEngine
 from repro.faults.explorer import CrashExplorer, ExplorationReport
 from repro.faults.scenarios import standard_scenarios
 from repro.harness.report import format_table
@@ -41,9 +42,17 @@ def _smoke_sample(total: int) -> List[int]:
 
 
 def crashtest_main(
-    smoke: bool = False, scenario_names: Optional[Iterable[str]] = None
+    smoke: bool = False,
+    scenario_names: Optional[Iterable[str]] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> int:
-    """Run the campaign; returns a process exit code."""
+    """Run the campaign; returns a process exit code.
+
+    With an ``engine`` the per-point kill-and-recover cycles fan out
+    across worker processes in index batches (and finished batches are
+    served from the result cache on re-runs); the reports — ordering
+    included — are identical to a serial campaign.
+    """
     wanted = set(scenario_names) if scenario_names else None
     scenarios = [
         s for s in standard_scenarios() if wanted is None or s.name in wanted
@@ -57,9 +66,11 @@ def crashtest_main(
         explorer = CrashExplorer(scenario)
         if smoke:
             total, _labels = explorer.count_points()
-            report = explorer.explore(points=_smoke_sample(total))
+            report = explorer.explore(
+                points=_smoke_sample(total), engine=engine
+            )
         else:
-            report = explorer.explore()
+            report = explorer.explore(engine=engine)
         reports.append(report)
 
     headers = ["scenario", "scheme", "points", "explored", "recovered", "violations"]

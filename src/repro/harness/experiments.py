@@ -4,11 +4,23 @@ All sizes default to the paper's; ``scale`` shrinks region sizes (and
 ``total_ops`` shrinks workload length) proportionally so tests and
 quick runs keep the same structure.  Results are plain dicts of rows so
 callers (CLI, benchmarks, tests) can assert on them directly.
+
+Each driver is factored into *cell functions* (``fig4a_cell`` & co.):
+one deterministic simulation run per grid point, taking only
+JSON-representable kwargs and returning plain dicts.  ``run_*`` builds
+the grid and executes it through :func:`repro.exec.sweep` — inline when
+``engine is None`` (the historical serial loop, what tests and the
+benchmark suite call), or fanned across a process pool with
+content-addressed result caching when the CLI passes a
+:class:`~repro.exec.SweepEngine`.  Cells share no state and results are
+collected in grid order, so both paths produce identical tables.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.exec import SweepEngine, sweep
 
 from repro.common.units import GiB, KiB, MiB, cycles_from_ms, ms_from_cycles
 from repro.gemos.process import Process
@@ -39,31 +51,74 @@ def _persistence_system(scheme: str, interval_ms: float) -> HybridSystem:
     return system
 
 
+def fig4a_cell(
+    size_mb: int,
+    interval_ms: float = 10.0,
+    touches_per_page: int = 4,
+    scale: float = 1.0,
+) -> Dict:
+    """One Fig. 4a grid point: both schemes at one region size."""
+    alloc_bytes = max(int(size_mb * MiB * scale), 1 * MiB)
+    times = {}
+    for scheme in SCHEMES:
+        system = _persistence_system(scheme, interval_ms)
+        cycles = seq_alloc_access(system, alloc_bytes, touches_per_page)
+        times[scheme] = ms_from_cycles(cycles)
+        system.shutdown()
+    return {
+        "size_mb": size_mb,
+        "persistent_ms": times["persistent"],
+        "rebuild_ms": times["rebuild"],
+        "overhead_x": times["rebuild"] / times["persistent"],
+    }
+
+
 def run_fig4a(
     sizes_mb: Iterable[int] = (64, 128, 256, 512),
     interval_ms: float = 10.0,
     touches_per_page: int = 4,
     scale: float = 1.0,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict:
     """Fig. 4a: sequential alloc/access under both PT schemes."""
-    rows: List[Dict] = []
-    for size_mb in sizes_mb:
-        alloc_bytes = max(int(size_mb * MiB * scale), 1 * MiB)
-        times = {}
-        for scheme in SCHEMES:
-            system = _persistence_system(scheme, interval_ms)
-            cycles = seq_alloc_access(system, alloc_bytes, touches_per_page)
-            times[scheme] = ms_from_cycles(cycles)
-            system.shutdown()
-        rows.append(
+    sizes = list(sizes_mb)
+    rows = sweep(
+        engine,
+        "repro.harness.experiments:fig4a_cell",
+        [
             {
                 "size_mb": size_mb,
-                "persistent_ms": times["persistent"],
-                "rebuild_ms": times["rebuild"],
-                "overhead_x": times["rebuild"] / times["persistent"],
+                "interval_ms": interval_ms,
+                "touches_per_page": touches_per_page,
+                "scale": scale,
             }
-        )
+            for size_mb in sizes
+        ],
+        labels=[f"fig4a[{size_mb}MB]" for size_mb in sizes],
+    )
     return {"experiment": "fig4a", "interval_ms": interval_ms, "rows": rows}
+
+
+def fig4b_cell(
+    stride: str,
+    gap: int,
+    interval_ms: float = 10.0,
+    count: int = 10,
+    rounds: int = 1000,
+) -> Dict:
+    """One Fig. 4b grid point: both schemes at one stride gap."""
+    times = {}
+    for scheme in SCHEMES:
+        system = _persistence_system(scheme, interval_ms)
+        cycles = stride_alloc_access(system, gap, count=count, rounds=rounds)
+        times[scheme] = ms_from_cycles(cycles)
+        system.shutdown()
+    return {
+        "stride": stride,
+        "persistent_ms": times["persistent"],
+        "rebuild_ms": times["rebuild"],
+        "ratio": times["persistent"] / times["rebuild"],
+    }
 
 
 def run_fig4b(
@@ -75,25 +130,50 @@ def run_fig4b(
     interval_ms: float = 10.0,
     count: int = 10,
     rounds: int = 1000,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict:
     """Fig. 4b: stride placement varying page-table population."""
-    rows: List[Dict] = []
-    for label, gap in gaps:
-        times = {}
-        for scheme in SCHEMES:
-            system = _persistence_system(scheme, interval_ms)
-            cycles = stride_alloc_access(system, gap, count=count, rounds=rounds)
-            times[scheme] = ms_from_cycles(cycles)
-            system.shutdown()
-        rows.append(
+    gaps = list(gaps)
+    rows = sweep(
+        engine,
+        "repro.harness.experiments:fig4b_cell",
+        [
             {
                 "stride": label,
-                "persistent_ms": times["persistent"],
-                "rebuild_ms": times["rebuild"],
-                "ratio": times["persistent"] / times["rebuild"],
+                "gap": gap,
+                "interval_ms": interval_ms,
+                "count": count,
+                "rounds": rounds,
             }
-        )
+            for label, gap in gaps
+        ],
+        labels=[f"fig4b[{label}]" for label, _gap in gaps],
+    )
     return {"experiment": "fig4b", "interval_ms": interval_ms, "rows": rows}
+
+
+def table3_cell(
+    churn_mb: int,
+    total_mb: int = 512,
+    interval_ms: float = 10.0,
+    scale: float = 1.0,
+) -> Dict:
+    """One Table III grid point: both schemes at one churn size."""
+    total_bytes = max(int(total_mb * MiB * scale), 2 * MiB)
+    churn_bytes = max(int(churn_mb * MiB * scale), 1 * MiB)
+    times = {}
+    for scheme in SCHEMES:
+        system = _persistence_system(scheme, interval_ms)
+        cycles = vma_churn(
+            system, total_bytes, churn_bytes, churn_rounds=2, access_rounds=0
+        )
+        times[scheme] = ms_from_cycles(cycles)
+        system.shutdown()
+    return {
+        "churn_mb": churn_mb,
+        "persistent_ms": times["persistent"],
+        "rebuild_ms": times["rebuild"],
+    }
 
 
 def run_table3(
@@ -101,28 +181,55 @@ def run_table3(
     total_mb: int = 512,
     interval_ms: float = 10.0,
     scale: float = 1.0,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict:
     """Table III: mmap/munmap churn of different sizes."""
-    rows: List[Dict] = []
-    total_bytes = max(int(total_mb * MiB * scale), 2 * MiB)
-    for churn_mb in churn_sizes_mb:
-        churn_bytes = max(int(churn_mb * MiB * scale), 1 * MiB)
-        times = {}
-        for scheme in SCHEMES:
-            system = _persistence_system(scheme, interval_ms)
-            cycles = vma_churn(
-                system, total_bytes, churn_bytes, churn_rounds=2, access_rounds=0
-            )
-            times[scheme] = ms_from_cycles(cycles)
-            system.shutdown()
-        rows.append(
+    churn_sizes = list(churn_sizes_mb)
+    rows = sweep(
+        engine,
+        "repro.harness.experiments:table3_cell",
+        [
             {
                 "churn_mb": churn_mb,
-                "persistent_ms": times["persistent"],
-                "rebuild_ms": times["rebuild"],
+                "total_mb": total_mb,
+                "interval_ms": interval_ms,
+                "scale": scale,
             }
-        )
+            for churn_mb in churn_sizes
+        ],
+        labels=[f"table3[{churn_mb}MB]" for churn_mb in churn_sizes],
+    )
     return {"experiment": "table3", "interval_ms": interval_ms, "rows": rows}
+
+
+def table4_cell(
+    churn_mb: int,
+    interval_ms: float,
+    total_mb: int = 512,
+    access_rounds: int = 3,
+    scale: float = 1.0,
+) -> Dict:
+    """One Table IV grid point: both schemes at one (churn, interval)."""
+    total_bytes = max(int(total_mb * MiB * scale), 2 * MiB)
+    churn_bytes = max(int(churn_mb * MiB * scale), 1 * MiB)
+    times = {}
+    for scheme in SCHEMES:
+        system = _persistence_system(scheme, interval_ms)
+        cycles = vma_churn(
+            system,
+            total_bytes,
+            churn_bytes,
+            churn_rounds=2,
+            access_rounds=access_rounds,
+        )
+        times[scheme] = ms_from_cycles(cycles)
+        system.shutdown()
+    return {
+        "churn_mb": churn_mb,
+        "interval_ms": interval_ms,
+        "persistent_ms": times["persistent"],
+        "rebuild_ms": times["rebuild"],
+    }
 
 
 def run_table4(
@@ -131,33 +238,29 @@ def run_table4(
     total_mb: int = 512,
     access_rounds: int = 3,
     scale: float = 1.0,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict:
     """Table IV: checkpoint interval sweep over the churn benchmark."""
-    rows: List[Dict] = []
-    total_bytes = max(int(total_mb * MiB * scale), 2 * MiB)
-    for churn_mb in churn_sizes_mb:
-        churn_bytes = max(int(churn_mb * MiB * scale), 1 * MiB)
-        for interval_ms in intervals_ms:
-            times = {}
-            for scheme in SCHEMES:
-                system = _persistence_system(scheme, interval_ms)
-                cycles = vma_churn(
-                    system,
-                    total_bytes,
-                    churn_bytes,
-                    churn_rounds=2,
-                    access_rounds=access_rounds,
-                )
-                times[scheme] = ms_from_cycles(cycles)
-                system.shutdown()
-            rows.append(
-                {
-                    "churn_mb": churn_mb,
-                    "interval_ms": interval_ms,
-                    "persistent_ms": times["persistent"],
-                    "rebuild_ms": times["rebuild"],
-                }
-            )
+    grid = [
+        (churn_mb, interval_ms)
+        for churn_mb in churn_sizes_mb
+        for interval_ms in intervals_ms
+    ]
+    rows = sweep(
+        engine,
+        "repro.harness.experiments:table4_cell",
+        [
+            {
+                "churn_mb": churn_mb,
+                "interval_ms": interval_ms,
+                "total_mb": total_mb,
+                "access_rounds": access_rounds,
+                "scale": scale,
+            }
+            for churn_mb, interval_ms in grid
+        ],
+        labels=[f"table4[{c}MB,{i}ms]" for c, i in grid],
+    )
     return {"experiment": "table4", "rows": rows}
 
 
@@ -166,23 +269,32 @@ def run_table4(
 # ----------------------------------------------------------------------
 
 
-def run_table2(total_ops: int = 200_000) -> Dict:
+def table2_cell(benchmark: str, total_ops: int = 200_000) -> Dict:
+    """One Table II row: generate one workload image, measure its mix."""
+    image = WORKLOAD_GENERATORS[benchmark](total_ops=total_ops)
+    reads, writes = image.mix()
+    paper_r, paper_w = TABLE2_MIXES[benchmark]
+    return {
+        "benchmark": benchmark,
+        "total_ops": image.total_ops,
+        "read_pct": reads,
+        "write_pct": writes,
+        "paper_read_pct": paper_r,
+        "paper_write_pct": paper_w,
+    }
+
+
+def run_table2(
+    total_ops: int = 200_000, engine: Optional[SweepEngine] = None
+) -> Dict:
     """Table II: workload op counts and measured read/write mixes."""
-    rows = []
-    for name, generator in WORKLOAD_GENERATORS.items():
-        image = generator(total_ops=total_ops)
-        reads, writes = image.mix()
-        paper_r, paper_w = TABLE2_MIXES[name]
-        rows.append(
-            {
-                "benchmark": name,
-                "total_ops": image.total_ops,
-                "read_pct": reads,
-                "write_pct": writes,
-                "paper_read_pct": paper_r,
-                "paper_write_pct": paper_w,
-            }
-        )
+    names = list(WORKLOAD_GENERATORS)
+    rows = sweep(
+        engine,
+        "repro.harness.experiments:table2_cell",
+        [{"benchmark": name, "total_ops": total_ops} for name in names],
+        labels=[f"table2[{name}]" for name in names],
+    )
     return {"experiment": "table2", "rows": rows}
 
 
@@ -275,12 +387,62 @@ def _run_until(
 # ----------------------------------------------------------------------
 
 
+def fig5_cell(
+    benchmark: str,
+    total_ops: int = 60_000,
+    intervals_ms: Iterable[float] = (1.0, 5.0, 10.0),
+    consolidation_interval_ms: float = 1.0,
+    target_ms: float = 30.0,
+) -> List[Dict]:
+    """One Fig. 5 workload: the no-consistency baseline plus every
+    interval, as a list of rows.
+
+    The interval runs reuse the baseline's pass count, so one workload
+    is the smallest independently schedulable unit.
+    """
+    image = WORKLOAD_GENERATORS[benchmark](total_ops=total_ops)
+    # Baseline: no memory consistency.
+    system = _replay_system()
+    process, program = _install_program(system, image)
+    baseline_cycles, repeats = _run_until(system, program, process, target_ms)
+    system.shutdown()
+    rows: List[Dict] = []
+    for interval_ms in intervals_ms:
+        system = _replay_system()
+        process, program = _install_program(system, image)
+        ssp = SspManager(
+            system.kernel,
+            process,
+            consistency_interval_ms=interval_ms,
+            consolidation_interval_ms=consolidation_interval_ms,
+        )
+        lo, hi = _nvm_span(process)
+        start = system.machine.clock
+        ssp.checkpoint_start(lo, hi)
+        _run_repeated(system, program, process, repeats)
+        ssp.checkpoint_end()
+        cycles = system.machine.clock - start
+        system.shutdown()
+        rows.append(
+            {
+                "benchmark": benchmark,
+                "interval_ms": interval_ms,
+                "normalized_time": cycles / baseline_cycles,
+                "baseline_ms": ms_from_cycles(baseline_cycles),
+                "ssp_ms": ms_from_cycles(cycles),
+                "passes": repeats,
+            }
+        )
+    return rows
+
+
 def run_fig5(
     total_ops: int = 60_000,
     intervals_ms: Iterable[float] = (1.0, 5.0, 10.0),
     consolidation_interval_ms: float = 1.0,
     workloads: Optional[Iterable[str]] = None,
     target_ms: float = 30.0,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict:
     """Fig. 5: SSP overhead vs consistency interval, normalized to a
     run with no memory consistency.
@@ -290,40 +452,22 @@ def run_fig5(
     execute the same number of passes.
     """
     names = list(workloads or WORKLOAD_GENERATORS)
-    rows: List[Dict] = []
-    for name in names:
-        image = WORKLOAD_GENERATORS[name](total_ops=total_ops)
-        # Baseline: no memory consistency.
-        system = _replay_system()
-        process, program = _install_program(system, image)
-        baseline_cycles, repeats = _run_until(system, program, process, target_ms)
-        system.shutdown()
-        for interval_ms in intervals_ms:
-            system = _replay_system()
-            process, program = _install_program(system, image)
-            ssp = SspManager(
-                system.kernel,
-                process,
-                consistency_interval_ms=interval_ms,
-                consolidation_interval_ms=consolidation_interval_ms,
-            )
-            lo, hi = _nvm_span(process)
-            start = system.machine.clock
-            ssp.checkpoint_start(lo, hi)
-            _run_repeated(system, program, process, repeats)
-            ssp.checkpoint_end()
-            cycles = system.machine.clock - start
-            system.shutdown()
-            rows.append(
-                {
-                    "benchmark": name,
-                    "interval_ms": interval_ms,
-                    "normalized_time": cycles / baseline_cycles,
-                    "baseline_ms": ms_from_cycles(baseline_cycles),
-                    "ssp_ms": ms_from_cycles(cycles),
-                    "passes": repeats,
-                }
-            )
+    groups = sweep(
+        engine,
+        "repro.harness.experiments:fig5_cell",
+        [
+            {
+                "benchmark": name,
+                "total_ops": total_ops,
+                "intervals_ms": list(intervals_ms),
+                "consolidation_interval_ms": consolidation_interval_ms,
+                "target_ms": target_ms,
+            }
+            for name in names
+        ],
+        labels=[f"fig5[{name}]" for name in names],
+    )
+    rows = [row for group in groups for row in group]
     return {"experiment": "fig5", "rows": rows}
 
 
@@ -371,6 +515,51 @@ def _run_hscc_once(
     return result
 
 
+def fig6_cell(
+    benchmark: str,
+    threshold: int,
+    total_ops: int = 60_000,
+    migration_interval_ms: float = 31.25,
+    pool_pages: int = 512,
+    target_ms: float = 130.0,
+) -> Dict:
+    """One Fig. 6 grid point: charged + hardware-only pair at one
+    (workload, fetch threshold)."""
+    image = WORKLOAD_GENERATORS[benchmark](total_ops=total_ops)
+    charged = _run_hscc_once(
+        image,
+        threshold,
+        True,
+        migration_interval_ms,
+        pool_pages,
+        target_ms=target_ms,
+    )
+    hw_only = _run_hscc_once(
+        image,
+        threshold,
+        False,
+        migration_interval_ms,
+        pool_pages,
+        repeats=charged["passes"],
+    )
+    os_cycles = charged["selection_cycles"] + charged["copy_cycles"]
+    return {
+        "benchmark": benchmark,
+        "threshold": threshold,
+        "normalized_time": charged["cycles"] / hw_only["cycles"],
+        "pages_migrated": charged["pages_migrated"],
+        "selection_pct": (
+            100.0 * charged["selection_cycles"] / os_cycles if os_cycles else 0.0
+        ),
+        "copy_pct": (
+            100.0 * charged["copy_cycles"] / os_cycles if os_cycles else 0.0
+        ),
+        "dirty_copybacks": charged["dirty_copybacks"],
+        "charged_ms": ms_from_cycles(charged["cycles"]),
+        "hw_only_ms": ms_from_cycles(hw_only["cycles"]),
+    }
+
+
 def run_fig6(
     total_ops: int = 60_000,
     thresholds: Iterable[int] = (5, 25, 50),
@@ -378,6 +567,7 @@ def run_fig6(
     pool_pages: int = 512,
     workloads: Optional[Iterable[str]] = None,
     target_ms: float = 130.0,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict:
     """Fig. 6 + Tables V/VI: OS migration overhead per fetch threshold.
 
@@ -388,48 +578,23 @@ def run_fig6(
     intervals); the baseline executes the same number of passes.
     """
     names = list(workloads or WORKLOAD_GENERATORS)
-    rows: List[Dict] = []
-    for name in names:
-        image = WORKLOAD_GENERATORS[name](total_ops=total_ops)
-        for threshold in thresholds:
-            charged = _run_hscc_once(
-                image,
-                threshold,
-                True,
-                migration_interval_ms,
-                pool_pages,
-                target_ms=target_ms,
-            )
-            hw_only = _run_hscc_once(
-                image,
-                threshold,
-                False,
-                migration_interval_ms,
-                pool_pages,
-                repeats=charged["passes"],
-            )
-            os_cycles = charged["selection_cycles"] + charged["copy_cycles"]
-            rows.append(
-                {
-                    "benchmark": name,
-                    "threshold": threshold,
-                    "normalized_time": charged["cycles"] / hw_only["cycles"],
-                    "pages_migrated": charged["pages_migrated"],
-                    "selection_pct": (
-                        100.0 * charged["selection_cycles"] / os_cycles
-                        if os_cycles
-                        else 0.0
-                    ),
-                    "copy_pct": (
-                        100.0 * charged["copy_cycles"] / os_cycles
-                        if os_cycles
-                        else 0.0
-                    ),
-                    "dirty_copybacks": charged["dirty_copybacks"],
-                    "charged_ms": ms_from_cycles(charged["cycles"]),
-                    "hw_only_ms": ms_from_cycles(hw_only["cycles"]),
-                }
-            )
+    grid = [(name, threshold) for name in names for threshold in thresholds]
+    rows = sweep(
+        engine,
+        "repro.harness.experiments:fig6_cell",
+        [
+            {
+                "benchmark": name,
+                "threshold": threshold,
+                "total_ops": total_ops,
+                "migration_interval_ms": migration_interval_ms,
+                "pool_pages": pool_pages,
+                "target_ms": target_ms,
+            }
+            for name, threshold in grid
+        ],
+        labels=[f"fig6[{name},t={threshold}]" for name, threshold in grid],
+    )
     return {"experiment": "fig6", "rows": rows}
 
 

@@ -53,7 +53,7 @@ class TestScenarios:
 class TestReportSchema:
     def test_smoke_report_schema(self):
         report = run_bench(smoke=True)
-        assert report["schema"] == "bench_machine/v1"
+        assert report["schema"] == "bench_machine/v2"
         current = report["current"]
         assert set(current["ops_per_sec"]) == set(SCENARIOS)
         assert all(rate > 0 for rate in current["ops_per_sec"].values())
@@ -62,6 +62,10 @@ class TestReportSchema:
         for name, speedup in report["speedup_vs_baseline"].items():
             base = report["baseline"]["ops_per_sec"][name]
             assert speedup > 0 and base > 0
+        # v2: host metadata makes cross-machine numbers interpretable.
+        host = report["host"]
+        assert host["cpu_count"] >= 1
+        assert host["python"] and host["platform"]
 
     def test_scenario_clocks_are_deterministic(self):
         first = run_scenario("llc_resident", 400, repeats=1)
@@ -73,13 +77,19 @@ class TestCli:
     def test_bench_cli_writes_json(self, tmp_path, capsys):
         from repro.harness.__main__ import main
 
-        out = tmp_path / "BENCH_machine.json"
+        out = tmp_path / "deep" / "results" / "BENCH_machine.json"
         assert main(["bench", "--smoke", "--out", str(out)]) == 0
         report = json.loads(out.read_text())
-        assert report["schema"] == "bench_machine/v1"
+        assert report["schema"] == "bench_machine/v2"
         assert report["smoke"] is True
+        sweep_section = report["sweep"]
+        assert sweep_section["cells"] >= 2
+        assert sweep_section["workers"] >= 1
+        assert sweep_section["identical_output"] is True
+        assert 0.0 <= sweep_section["warm_cache_hit_rate"] <= 1.0
         captured = capsys.readouterr()
         assert "replay throughput" in captured.out
+        assert "sweep engine" in captured.out
 
     def test_committed_baseline_is_recorded(self):
         # The trajectory file must carry the pre-PR baseline so future

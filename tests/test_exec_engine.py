@@ -1,0 +1,237 @@
+"""The sweep engine: tasks, fingerprints, cache, ordered execution."""
+
+import importlib
+import json
+import sys
+import textwrap
+
+import pytest
+
+from repro.exec import ResultCache, SweepEngine, Task, code_fingerprint, sweep
+from repro.exec.cache import MISS
+from repro.exec.fingerprint import clear_caches, closure_modules
+from repro.exec.task import canonical_bytes, payload_bytes, resolve
+
+PROBE = "repro.exec.engine:probe_cell"
+
+
+class TestTaskIdentity:
+    def test_key_is_insertion_order_independent(self):
+        a = Task(PROBE, {"a": 1, "b": 2})
+        b = Task(PROBE, {"b": 2, "a": 1})
+        assert a.key("fp") == b.key("fp")
+
+    def test_key_distinguishes_kwargs_call_and_fingerprint(self):
+        base = Task(PROBE, {"a": 1})
+        assert base.key("fp") != Task(PROBE, {"a": 2}).key("fp")
+        assert base.key("fp") != Task("repro.exec.task:resolve", {"a": 1}).key("fp")
+        assert base.key("fp") != base.key("other-fp")
+
+    def test_tuple_and_list_kwargs_are_the_same_task(self):
+        assert Task(PROBE, {"xs": (1, 2)}).key("fp") == Task(
+            PROBE, {"xs": [1, 2]}
+        ).key("fp")
+
+    def test_payload_bytes_preserve_key_order(self):
+        doc = {"zeta": 1, "alpha": 2}
+        assert list(json.loads(payload_bytes(doc))) == ["zeta", "alpha"]
+        # identity hashing, by contrast, sorts
+        assert canonical_bytes(doc) == canonical_bytes({"alpha": 2, "zeta": 1})
+
+    def test_resolve_and_run(self):
+        assert resolve(PROBE)(a=2, b=3) == {"a": 2, "b": 3, "sum": 5}
+        assert Task(PROBE, {"a": 1, "b": 1}).run()["sum"] == 2
+
+    def test_resolve_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            resolve("repro.exec.engine.probe_cell")  # missing colon
+        with pytest.raises(TypeError):
+            resolve("repro.exec:__name__")  # resolves, but not callable
+
+
+class TestFingerprint:
+    @pytest.fixture()
+    def fake_package(self, tmp_path, monkeypatch):
+        # find_spec imports parent packages; purge any fpkg left in
+        # sys.modules by a previous test's tmp dir or the closure would
+        # resolve against the stale package path.
+        for name in [m for m in sys.modules if m.split(".")[0] == "fpkg"]:
+            monkeypatch.delitem(sys.modules, name)
+        pkg = tmp_path / "fpkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "b.py").write_text("VALUE = 1\n")
+        (pkg / "a.py").write_text(
+            textwrap.dedent(
+                """
+                from fpkg.b import VALUE
+
+                def cell():
+                    return VALUE
+                """
+            )
+        )
+        (pkg / "unrelated.py").write_text("OTHER = 1\n")
+        monkeypatch.syspath_prepend(str(tmp_path))
+        clear_caches()
+        importlib.invalidate_caches()
+        yield pkg
+        clear_caches()
+        importlib.invalidate_caches()
+
+    def test_closure_follows_in_package_imports(self, fake_package):
+        closure = set(closure_modules("fpkg.a", root="fpkg"))
+        assert "fpkg.a" in closure and "fpkg.b" in closure
+        assert "fpkg.unrelated" not in closure
+
+    def test_editing_a_dependency_changes_the_fingerprint(self, fake_package):
+        before = code_fingerprint("fpkg.a", root="fpkg")
+        clear_caches()
+        importlib.invalidate_caches()
+        (fake_package / "b.py").write_text("VALUE = 2\n")
+        assert code_fingerprint("fpkg.a", root="fpkg") != before
+
+    def test_unrelated_edit_keeps_the_fingerprint(self, fake_package):
+        before = code_fingerprint("fpkg.a", root="fpkg")
+        clear_caches()
+        importlib.invalidate_caches()
+        (fake_package / "unrelated.py").write_text("OTHER = 99\n")
+        assert code_fingerprint("fpkg.a", root="fpkg") == before
+
+    def test_experiment_cells_depend_on_the_machine_model(self):
+        closure = set(closure_modules("repro.harness.experiments"))
+        assert "repro.arch.machine" in closure
+        assert "repro.platform" in closure
+
+    def test_explorer_worker_depends_on_scenarios(self):
+        closure = set(closure_modules("repro.faults.explorer"))
+        assert "repro.faults.scenarios" in closure
+        assert "repro.faults.invariants" in closure
+
+
+class TestResultCache:
+    def test_roundtrip_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        task = Task(PROBE, {"a": 1, "b": 2})
+        key = task.key("fp")
+        assert cache.get(key) is MISS
+        stored = cache.put(key, task.describe("fp"), {"sum": 3})
+        assert stored == {"sum": 3}
+        assert cache.get(key) == {"sum": 3}
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_corrupt_entry_is_a_miss_not_a_crash(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = Task(PROBE, {}).key("fp")
+        cache.put(key, {}, {"x": 1})
+        for garbage in (b"{truncated", b"[]", b'{"schema":"wrong"}', b""):
+            cache.path_for(key).write_bytes(garbage)
+            assert cache.get(key) is MISS
+
+    def test_key_mismatch_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key_a = Task(PROBE, {"a": 1}).key("fp")
+        key_b = Task(PROBE, {"a": 2}).key("fp")
+        cache.put(key_a, {}, {"x": 1})
+        # copy A's entry over B's filename: self-description catches it
+        cache.path_for(key_b).write_bytes(cache.path_for(key_a).read_bytes())
+        assert cache.get(key_b) is MISS
+
+    def test_recompute_rewrites_identical_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = Task(PROBE, {"a": 5, "b": 7})
+        key = task.key("fp")
+        cache.put(key, task.describe("fp"), {"z": 1, "a": 2})
+        first = cache.path_for(key).read_bytes()
+        cache.put(key, task.describe("fp"), {"z": 1, "a": 2})
+        assert cache.path_for(key).read_bytes() == first
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for a in range(3):
+            task = Task(PROBE, {"a": a})
+            cache.put(task.key("fp"), {}, a)
+        assert cache.clear() == 3
+        assert cache.get(Task(PROBE, {"a": 0}).key("fp")) is MISS
+
+
+class TestSweepEngine:
+    GRID = [{"a": i, "b": 10 - i} for i in range(6)]
+
+    def test_results_arrive_in_task_order(self, tmp_path):
+        engine = SweepEngine(jobs=3, cache_dir=tmp_path)
+        results = engine.map([Task(PROBE, kw) for kw in self.GRID])
+        assert [r["a"] for r in results] == [kw["a"] for kw in self.GRID]
+
+    def test_parallel_equals_inline_equals_no_engine(self, tmp_path):
+        inline = SweepEngine(jobs=1, use_cache=False)
+        pooled = SweepEngine(jobs=2, cache_dir=tmp_path)
+        plain = sweep(None, PROBE, self.GRID)
+        assert inline.map([Task(PROBE, kw) for kw in self.GRID]) == plain
+        assert pooled.map([Task(PROBE, kw) for kw in self.GRID]) == plain
+
+    def test_warm_run_hits_the_cache(self, tmp_path):
+        cold = SweepEngine(jobs=2, cache_dir=tmp_path)
+        tasks = [Task(PROBE, kw) for kw in self.GRID]
+        first = cold.map(tasks)
+        warm = SweepEngine(jobs=2, cache_dir=tmp_path)
+        assert warm.map(tasks) == first
+        assert warm.cache_hits == len(tasks)
+        assert warm.executed == 0
+
+    def test_uncacheable_tasks_always_execute(self, tmp_path):
+        engine = SweepEngine(jobs=1, cache_dir=tmp_path)
+        tasks = [Task(PROBE, kw, cacheable=False) for kw in self.GRID]
+        engine.map(tasks)
+        engine.map(tasks)
+        assert engine.cache_hits == 0
+        assert engine.executed == 2 * len(tasks)
+
+    def test_corrupt_cache_entry_recomputes(self, tmp_path):
+        engine = SweepEngine(jobs=1, cache_dir=tmp_path)
+        tasks = [Task(PROBE, kw) for kw in self.GRID]
+        first = engine.map(tasks)
+        victim = next(iter(sorted((tmp_path).glob("*.json"))))
+        victim.write_bytes(b"{definitely not json")
+        again = SweepEngine(jobs=1, cache_dir=tmp_path)
+        assert again.map(tasks) == first
+        assert again.executed == 1
+        assert again.cache_hits == len(tasks) - 1
+
+    def test_stats_writing_creates_parents(self, tmp_path):
+        engine = SweepEngine(jobs=1, use_cache=False)
+        engine.map([Task(PROBE, {"a": 1})])
+        out = tmp_path / "deep" / "nested" / "stats.json"
+        engine.write_stats(out)
+        stats = json.loads(out.read_text())
+        assert stats["cells"] == 1 and stats["executed"] == 1
+
+    def test_progress_goes_to_the_given_stream(self, tmp_path):
+        class Sink:
+            def __init__(self):
+                self.lines = []
+
+            def write(self, text):
+                self.lines.append(text)
+
+            def flush(self):
+                pass
+
+        sink = Sink()
+        engine = SweepEngine(
+            jobs=1, cache_dir=tmp_path, progress=True, stream=sink
+        )
+        engine.map([Task(PROBE, {"a": 1}, label="probe[1]")])
+        joined = "".join(sink.lines)
+        assert "probe[1]" in joined and "1/1" in joined
+
+    def test_jobs_default_comes_from_cpu_count(self):
+        import os
+
+        assert SweepEngine(jobs=None, use_cache=False).jobs == max(
+            1, os.cpu_count() or 1
+        )
+        assert SweepEngine(jobs=0, use_cache=False).jobs == max(
+            1, os.cpu_count() or 1
+        )
+        assert SweepEngine(jobs=7, use_cache=False).jobs == 7

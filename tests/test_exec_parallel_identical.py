@@ -1,0 +1,186 @@
+"""Parallel execution must be observably identical to serial.
+
+The acceptance bar for the sweep engine: every rewired driver produces
+the *same experiment dicts* through the pool as through the plain loop,
+the crash explorer's per-point results (ordering included) match, and a
+cache hit returns exactly what the original run returned — down to the
+entry bytes on disk.
+"""
+
+import json
+
+import pytest
+
+from repro.exec import SweepEngine
+from repro.faults import CrashExplorer
+from repro.faults.explorer import (
+    _index_batches,
+    _result_from_payload,
+    _result_payload,
+    explore_scenario_points,
+)
+from repro.faults.invariants import PointResult, Violation
+from repro.faults.injector import CrashPoint
+from repro.faults.scenarios import CheckpointScenario
+from repro.harness import experiments
+
+
+@pytest.fixture()
+def parallel_engine(tmp_path):
+    return SweepEngine(jobs=2, cache_dir=tmp_path / "cache")
+
+
+class TestExperimentsIdentical:
+    def test_fig4a_parallel_and_warm_match_serial(self, tmp_path):
+        kwargs = dict(sizes_mb=(16, 32), scale=0.5)
+        serial = experiments.run_fig4a(**kwargs)
+        engine = SweepEngine(jobs=2, cache_dir=tmp_path / "cache")
+        parallel = experiments.run_fig4a(**kwargs, engine=engine)
+        assert parallel == serial
+        warm_engine = SweepEngine(jobs=2, cache_dir=tmp_path / "cache")
+        warm = experiments.run_fig4a(**kwargs, engine=warm_engine)
+        assert warm == serial
+        assert warm_engine.cache_hits == 2
+        # Column order matters: the tables print keys in row order.
+        assert [list(r) for r in parallel["rows"]] == [
+            list(r) for r in serial["rows"]
+        ]
+
+    def test_fig4b_parallel_matches_serial(self, parallel_engine):
+        kwargs = dict(rounds=40)
+        serial = experiments.run_fig4b(**kwargs)
+        parallel = experiments.run_fig4b(**kwargs, engine=parallel_engine)
+        assert parallel == serial
+
+    def test_table2_parallel_matches_serial(self, parallel_engine):
+        serial = experiments.run_table2(total_ops=5_000)
+        parallel = experiments.run_table2(
+            total_ops=5_000, engine=parallel_engine
+        )
+        assert parallel == serial
+
+    def test_table4_parallel_matches_serial(self, parallel_engine):
+        kwargs = dict(
+            churn_sizes_mb=(16,),
+            total_mb=64,
+            intervals_ms=(10.0, 100.0),
+            scale=0.5,
+        )
+        serial = experiments.run_table4(**kwargs)
+        parallel = experiments.run_table4(**kwargs, engine=parallel_engine)
+        assert parallel == serial
+
+
+class TestExplorerIdentical:
+    POINTS = range(0, 36, 4)
+
+    def _normalize(self, report):
+        return (
+            report.total_points,
+            report.explored,
+            report.recoveries,
+            report.label_points,
+            [
+                (r.point, r.recovered_pids, [str(v) for v in r.violations])
+                for r in report.results
+            ],
+        )
+
+    def test_subset_exploration_matches_serial(self, tmp_path):
+        serial = CrashExplorer(CheckpointScenario("rebuild")).explore(
+            points=self.POINTS
+        )
+        engine = SweepEngine(jobs=2, cache_dir=tmp_path / "cache")
+        parallel = CrashExplorer(CheckpointScenario("rebuild")).explore(
+            points=self.POINTS, engine=engine
+        )
+        assert self._normalize(parallel) == self._normalize(serial)
+        # Warm re-run: batches come straight from the cache, same report.
+        warm_engine = SweepEngine(jobs=2, cache_dir=tmp_path / "cache")
+        warm = CrashExplorer(CheckpointScenario("rebuild")).explore(
+            points=self.POINTS, engine=warm_engine
+        )
+        assert self._normalize(warm) == self._normalize(serial)
+        assert warm_engine.executed == 0
+
+    def test_custom_scenarios_fall_back_to_serial(self, parallel_engine):
+        class OffBrand(CheckpointScenario):
+            def __init__(self):
+                super().__init__("rebuild")
+                self.name = "off-brand"
+
+        explorer = CrashExplorer(OffBrand())
+        report = explorer.explore(points=range(3), engine=parallel_engine)
+        assert report.explored == 3
+        assert parallel_engine.cells == 0  # engine never saw a task
+
+    def test_worker_cell_matches_direct_run_point(self):
+        explorer = CrashExplorer(CheckpointScenario("rebuild"))
+        direct = [explorer.run_point(i)[1] for i in (0, 5, 9)]
+        payload = explore_scenario_points("checkpoint-rebuild", [0, 5, 9])
+        # Round trip through JSON exactly as the engine would.
+        decoded = [
+            _result_from_payload(p)
+            for p in json.loads(json.dumps(payload))["results"]
+        ]
+        assert [(r.point, r.recovered_pids) for r in decoded] == [
+            (r.point, r.recovered_pids) for r in direct
+        ]
+
+    def test_payload_roundtrip_preserves_violations(self):
+        point = CrashPoint(3, "clwb", 17, 1)
+        result = PointResult(
+            point=point,
+            recovered_pids=(1, 2),
+            violations=[
+                Violation("scn", "broken", point=point, pid=2),
+                Violation("scn", "no point attached"),
+            ],
+        )
+        back = _result_from_payload(json.loads(json.dumps(_result_payload(result))))
+        assert back.point == point
+        assert back.recovered_pids == (1, 2)
+        assert [str(v) for v in back.violations] == [
+            str(v) for v in result.violations
+        ]
+
+    def test_batching_covers_indices_in_order(self):
+        indices = list(range(17))
+        batches = _index_batches(indices, jobs=4)
+        assert [i for b in batches for i in b] == indices
+        assert all(batches)
+        assert _index_batches([], jobs=4) == []
+
+
+class TestCacheBytesExactness:
+    def test_cache_hit_returns_the_exact_bytes_of_the_original_run(
+        self, tmp_path
+    ):
+        cache_dir = tmp_path / "cache"
+        kwargs = dict(sizes_mb=(16,), scale=0.5)
+        engine = SweepEngine(jobs=1, cache_dir=cache_dir)
+        cold = experiments.run_fig4a(**kwargs, engine=engine)
+        entries = {p.name: p.read_bytes() for p in cache_dir.glob("*.json")}
+        assert entries, "cold run should have populated the cache"
+        warm_engine = SweepEngine(jobs=1, cache_dir=cache_dir)
+        warm = experiments.run_fig4a(**kwargs, engine=warm_engine)
+        assert warm == cold
+        assert {
+            p.name: p.read_bytes() for p in cache_dir.glob("*.json")
+        } == entries
+        assert warm_engine.cache_hits == 1
+
+    def test_corrupt_entry_recomputes_and_heals_identically(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        kwargs = dict(sizes_mb=(16,), scale=0.5)
+        cold = experiments.run_fig4a(
+            **kwargs, engine=SweepEngine(jobs=1, cache_dir=cache_dir)
+        )
+        (entry,) = list(cache_dir.glob("*.json"))
+        original = entry.read_bytes()
+        entry.write_bytes(b"\x00torn half-write")
+        healed_engine = SweepEngine(jobs=1, cache_dir=cache_dir)
+        healed = experiments.run_fig4a(**kwargs, engine=healed_engine)
+        assert healed == cold
+        assert healed_engine.cache_hits == 0 and healed_engine.executed == 1
+        assert entry.read_bytes() == original

@@ -1,0 +1,145 @@
+"""``python -m repro.harness`` argument parsing and dispatch.
+
+Each subcommand must invoke its driver with the options the user gave —
+including the sweep-engine flags (``--jobs``, ``--no-cache``,
+``--cache-dir``, ``--sweep-stats``).  Drivers are monkeypatched so these
+tests exercise only the CLI layer.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.__main__ import main
+
+
+@pytest.fixture()
+def capture(monkeypatch):
+    """Monkeypatch every experiment driver to record its call."""
+    calls = {}
+
+    def recorder(name):
+        def fake(**kwargs):
+            calls[name] = kwargs
+            return {"experiment": name, "rows": [{"col": 1}]}
+
+        return fake
+
+    for name in ("run_table2", "run_fig4a", "run_fig4b", "run_table3",
+                 "run_table4", "run_fig5", "run_fig6"):
+        monkeypatch.setattr(experiments, name, recorder(name))
+    return calls
+
+
+class TestExperimentDispatch:
+    def test_each_experiment_calls_its_driver(self, capture):
+        for experiment, driver in [
+            ("table2", "run_table2"),
+            ("fig4a", "run_fig4a"),
+            ("fig4b", "run_fig4b"),
+            ("table3", "run_table3"),
+            ("table4", "run_table4"),
+            ("fig5", "run_fig5"),
+            ("fig6", "run_fig6"),
+            ("table5", "run_fig6"),
+            ("table6", "run_fig6"),
+        ]:
+            capture.clear()
+            assert main([experiment, "--no-cache"]) == 0
+            assert driver in capture, experiment
+
+    def test_scale_and_ops_flow_through(self, capture):
+        main(["fig4a", "--scale", "0.25", "--no-cache"])
+        assert capture["run_fig4a"]["scale"] == 0.25
+        main(["fig5", "--ops", "7000", "--no-cache"])
+        assert capture["run_fig5"]["total_ops"] == 7000
+
+    def test_jobs_flag_sizes_the_engine(self, capture):
+        main(["fig4a", "-j", "3", "--no-cache"])
+        engine = capture["run_fig4a"]["engine"]
+        assert engine.jobs == 3
+        assert engine.cache is None  # --no-cache
+
+    def test_cache_dir_flag_relocates_the_cache(self, capture, tmp_path):
+        main(["fig4a", "-j", "1", "--cache-dir", str(tmp_path / "c")])
+        engine = capture["run_fig4a"]["engine"]
+        assert engine.cache is not None
+        assert engine.cache.root == tmp_path / "c"
+
+    def test_default_engine_caches_under_artifacts(self, capture):
+        main(["table2", "-j", "1"])
+        engine = capture["run_table2"]["engine"]
+        assert engine.cache is not None
+        assert engine.cache.root.parts[-2:] == ("artifacts", "cache")
+
+    def test_sweep_stats_written(self, capture, tmp_path):
+        stats_path = tmp_path / "nested" / "stats.json"
+        main(["fig4b", "-j", "2", "--no-cache", "--sweep-stats", str(stats_path)])
+        stats = json.loads(stats_path.read_text())
+        assert stats["jobs"] == 2
+        assert set(stats) >= {"cells", "cache_hits", "executed", "elapsed_s"}
+
+
+class TestBenchDispatch:
+    def test_bench_options_flow_through(self, monkeypatch, tmp_path):
+        seen = {}
+
+        def fake_bench_main(out, smoke=False, repeats=3, jobs=None):
+            seen.update(out=out, smoke=smoke, repeats=repeats, jobs=jobs)
+            return 0
+
+        import repro.harness.bench as bench
+
+        monkeypatch.setattr(bench, "bench_main", fake_bench_main)
+        out = tmp_path / "B.json"
+        assert (
+            main(["bench", "--smoke", "--repeats", "5", "--out", str(out),
+                  "-j", "4"])
+            == 0
+        )
+        assert seen == {
+            "out": str(out), "smoke": True, "repeats": 5, "jobs": 4,
+        }
+
+
+class TestCrashtestDispatch:
+    def test_crashtest_options_flow_through(self, monkeypatch):
+        seen = {}
+
+        def fake_crashtest_main(smoke=False, scenario_names=None, engine=None):
+            seen.update(smoke=smoke, scenario_names=scenario_names, engine=engine)
+            return 0
+
+        import repro.harness.crashtest as crashtest
+
+        monkeypatch.setattr(crashtest, "crashtest_main", fake_crashtest_main)
+        assert (
+            main(["crashtest", "--smoke", "--scenario", "ssp-commit",
+                  "--scenario", "multiprocess", "-j", "2", "--no-cache"])
+            == 0
+        )
+        assert seen["smoke"] is True
+        assert seen["scenario_names"] == ["ssp-commit", "multiprocess"]
+        assert seen["engine"].jobs == 2
+        assert seen["engine"].cache is None
+
+    def test_crashtest_propagates_exit_code(self, monkeypatch):
+        import repro.harness.crashtest as crashtest
+
+        monkeypatch.setattr(
+            crashtest,
+            "crashtest_main",
+            lambda smoke=False, scenario_names=None, engine=None: 1,
+        )
+        assert main(["crashtest", "--no-cache"]) == 1
+
+
+class TestParserRejects:
+    def test_unknown_experiment_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_jobs_requires_an_integer(self):
+        with pytest.raises(SystemExit):
+            main(["fig4a", "--jobs", "lots"])
