@@ -1,0 +1,230 @@
+"""Determinism sanitizer.
+
+Everything the simulator computes must be a pure function of code +
+kwargs: that is what makes ``repro.exec`` task fingerprints sound,
+parallel output byte-identical to serial, and the golden-equivalence
+test meaningful.  This checker flags the ambient-nondeterminism escape
+hatches — wall-clock reads, the process-global RNG stream, environment
+reads, per-process-salted ``hash()``, and iteration over unordered sets
+— everywhere outside the two modules that exist to own
+nondeterminism-shaped concerns deterministically:
+``repro.common.rng`` (seed-derived streams) and ``repro.common.timers``
+(simulated time).
+
+Seeded ``random.Random(seed)`` instances are allowed: they are
+deterministic by construction and are exactly what ``derive_rng``
+hands out.  Intentional wall-clock reads (bench measurement, host
+metadata) carry ``# repro: allow-nondet(<reason>)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import AnalysisContext, Finding, SourceFile, dotted_name
+from repro.analysis.registry import Checker, register
+
+#: Modules whose job is to wrap nondeterminism deterministically.
+ALLOWED_MODULES = {"repro.common.rng", "repro.common.timers"}
+
+#: module -> banned attribute names (``None`` = every attribute).
+BANNED_ATTRS = {
+    "random": None,  # exceptions handled below (Random is allowed)
+    "time": {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+        "clock_gettime_ns",
+        "localtime",
+        "gmtime",
+        "ctime",
+        "asctime",
+        "strftime",
+        "sleep",
+    },
+    "uuid": {"uuid1", "uuid4"},
+    "os": {"urandom", "getenv"},
+    "secrets": None,
+}
+
+#: ``random`` attributes that are deterministic by construction.
+RANDOM_ALLOWED = {"Random"}
+
+#: wall-clock constructors on datetime/date objects.
+DATETIME_NOW = {"now", "utcnow", "today"}
+
+_HINT_RNG = "derive a stream with repro.common.rng.derive_rng(seed, label)"
+_HINT_CLOCK = "use simulated time (machine clock / repro.common.timers)"
+_HINT_ENV = "thread configuration through explicit kwargs"
+_HINT_SET = "wrap the set in sorted(...) before iterating"
+_HINT_HASH = "use hashlib over canonical bytes (see repro.exec.task)"
+
+
+def _set_valued(node: ast.AST) -> bool:
+    """Heuristic: does this expression produce an unordered set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in {"set", "frozenset"}:
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in {
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        }:
+            return _set_valued(node.func.value)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Sub, ast.BitAnd, ast.BitOr, ast.BitXor)
+    ):
+        return _set_valued(node.left) or _set_valued(node.right)
+    return False
+
+
+@register
+class DeterminismChecker(Checker):
+    id = "determinism"
+    pragma = "nondet"
+    kinds = ("src", "test")
+    description = (
+        "wall-clock, global RNG, environ, hash() and set-order reads that "
+        "would break task fingerprints and parallel==serial byte-exactness"
+    )
+
+    def check(self, file: SourceFile, ctx: AnalysisContext) -> Iterator[Finding]:
+        if file.module in ALLOWED_MODULES:
+            return
+        for node in ast.walk(file.tree):
+            finding = self._visit(file, node)
+            if finding is not None:
+                yield finding
+
+    def _visit(self, file: SourceFile, node: ast.AST) -> Optional[Finding]:
+        if isinstance(node, ast.Attribute):
+            return self._attribute(file, node)
+        if isinstance(node, ast.ImportFrom):
+            return self._import_from(file, node)
+        if isinstance(node, ast.Call):
+            return self._call(file, node)
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if _set_valued(node.iter):
+                return self.finding(
+                    file,
+                    node.iter,
+                    "set-order",
+                    "iteration over an unordered set (order varies per process)",
+                    _HINT_SET,
+                )
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in node.generators:
+                if _set_valued(gen.iter):
+                    return self.finding(
+                        file,
+                        gen.iter,
+                        "set-order",
+                        "comprehension over an unordered set (order varies per process)",
+                        _HINT_SET,
+                    )
+        return None
+
+    def _attribute(self, file: SourceFile, node: ast.Attribute) -> Optional[Finding]:
+        base = dotted_name(node.value)
+        if base is None:
+            return None
+        if base == "os" and node.attr == "environ":
+            return self.finding(
+                file,
+                node,
+                "environ",
+                "os.environ read makes results depend on ambient environment",
+                _HINT_ENV,
+            )
+        root = base.split(".")[-1]
+        if base in BANNED_ATTRS or root in ("datetime", "date"):
+            if base == "random" and node.attr in RANDOM_ALLOWED:
+                return None
+            if root in ("datetime", "date") and node.attr in DATETIME_NOW:
+                return self.finding(
+                    file,
+                    node,
+                    "wallclock",
+                    f"wall-clock read {base}.{node.attr}()",
+                    _HINT_CLOCK,
+                )
+            banned = BANNED_ATTRS.get(base)
+            if banned is None and base in BANNED_ATTRS:
+                rule, hint = self._rule_for(base)
+                return self.finding(
+                    file,
+                    node,
+                    rule,
+                    f"nondeterministic call target {base}.{node.attr}",
+                    hint,
+                )
+            if banned is not None and node.attr in banned:
+                rule, hint = self._rule_for(base)
+                return self.finding(
+                    file,
+                    node,
+                    rule,
+                    f"nondeterministic call target {base}.{node.attr}",
+                    hint,
+                )
+        return None
+
+    def _import_from(
+        self, file: SourceFile, node: ast.ImportFrom
+    ) -> Optional[Finding]:
+        banned = BANNED_ATTRS.get(node.module or "")
+        if node.module == "random":
+            names = [a.name for a in node.names if a.name not in RANDOM_ALLOWED]
+        elif banned is None and node.module in BANNED_ATTRS:
+            names = [a.name for a in node.names]
+        elif banned:
+            names = [a.name for a in node.names if a.name in banned]
+        else:
+            names = []
+        if node.module == "os":
+            names.extend(
+                a.name for a in node.names if a.name in ("environ", "getenv")
+            )
+        if not names:
+            return None
+        rule, hint = self._rule_for(node.module or "")
+        return self.finding(
+            file,
+            node,
+            rule,
+            f"imports nondeterministic name(s) {', '.join(sorted(set(names)))} "
+            f"from {node.module}",
+            hint,
+        )
+
+    def _call(self, file: SourceFile, node: ast.Call) -> Optional[Finding]:
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            return self.finding(
+                file,
+                node,
+                "salted-hash",
+                "built-in hash() is salted per process for str/bytes",
+                _HINT_HASH,
+            )
+        return None
+
+    @staticmethod
+    def _rule_for(module: str):
+        if module in ("random", "secrets", "uuid"):
+            return "global-rng", _HINT_RNG
+        if module == "time":
+            return "wallclock", _HINT_CLOCK
+        if module == "os":
+            return "environ", _HINT_ENV
+        return "wallclock", _HINT_CLOCK

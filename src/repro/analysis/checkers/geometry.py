@@ -1,0 +1,99 @@
+"""Magic-geometry checker.
+
+Page and cache-line geometry is owned by :mod:`repro.common.units`
+(``PAGE_SIZE``, ``CACHE_LINE``, ``page_of``, ``line_of``, ...).  A
+hardcoded ``4096`` or ``addr >> 12`` next to it is a latent bug of the
+exact class PR 1 fixed in the memory controller: the wear/row-miss
+accounting silently disagreed with the configured page size.  This
+checker flags:
+
+* any integer literal spelled ``4096`` (in this codebase a decimal
+  4096 is always the page size — pool sizes and the like use other
+  values; hex spellings like the ``0x1000`` program-counter values in
+  crash scenarios are addresses, not geometry, and pass);
+* shifts by 12 (``>> 12`` / ``<< 12``: page-number arithmetic);
+* ``// 64`` / ``% 64`` and shifts by 6 (cache-line arithmetic).
+
+Bare ``64``/``512`` literals in other positions are deliberately *not*
+flagged: they are associativities, entry counts and megabyte knobs far
+more often than they are geometry, and a checker people silence on
+sight enforces nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import AnalysisContext, Finding, SourceFile
+from repro.analysis.registry import Checker, register
+
+#: The owning module is the one place the literals may appear.
+ALLOWED_MODULES = {"repro.common.units"}
+
+_HINT_PAGE = "use repro.common.units.PAGE_SIZE / page_of / pages_in"
+_HINT_LINE = "use repro.common.units.CACHE_LINE / line_of / lines_in"
+
+
+def _int_const(node: ast.AST) -> object:
+    if isinstance(node, ast.Constant) and type(node.value) is int:
+        return node.value
+    return None
+
+
+@register
+class GeometryChecker(Checker):
+    id = "geometry"
+    pragma = "geometry"
+    kinds = ("src", "test")
+    description = (
+        "literal page/cache-line arithmetic (4096, >> 12, // 64) where "
+        "repro.common.units constants exist"
+    )
+
+    def check(self, file: SourceFile, ctx: AnalysisContext) -> Iterator[Finding]:
+        if file.module in ALLOWED_MODULES:
+            return
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.BinOp):
+                right = _int_const(node.right)
+                if isinstance(node.op, (ast.RShift, ast.LShift)):
+                    if right == 12:
+                        yield self.finding(
+                            file,
+                            node,
+                            "page-shift",
+                            "hardcoded page-size shift (by 12)",
+                            _HINT_PAGE,
+                        )
+                    elif right == 6:
+                        yield self.finding(
+                            file,
+                            node,
+                            "line-shift",
+                            "hardcoded cache-line shift (by 6)",
+                            _HINT_LINE,
+                        )
+                elif isinstance(node.op, (ast.FloorDiv, ast.Mod)) and right == 64:
+                    yield self.finding(
+                        file,
+                        node,
+                        "line-arith",
+                        f"hardcoded cache-line {'division' if isinstance(node.op, ast.FloorDiv) else 'modulo'} by 64",
+                        _HINT_LINE,
+                    )
+            elif isinstance(node, ast.Constant):
+                if (
+                    type(node.value) is int
+                    and node.value == 4096  # repro: allow-geometry(the checker's own needle)
+                ):
+                    spelled = ast.get_source_segment(file.text, node) or ""
+                    if spelled.lower().startswith(("0x", "0o", "0b")):
+                        continue  # an address that happens to equal 4096
+                    yield self.finding(
+                        file,
+                        node,
+                        "page-size",
+                        "hardcoded page size 4096",
+                        _HINT_PAGE,
+                    )

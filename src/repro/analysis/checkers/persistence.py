@@ -1,0 +1,138 @@
+"""Persist-barrier checker.
+
+Crash-point enumeration (:mod:`repro.faults`) is only exhaustive if
+every durable NVM mutation flows through a hooked path: the
+:class:`~repro.arch.machine.Machine` persist events (``clwb``/``wb``/
+``bulk``/``fence``), the :mod:`repro.persist.primitives` wrappers, or
+the :class:`~repro.mem.nvmstore.NvmObjectStore` mutators (which report
+to the store hook).  New code that pokes the byte image or the object
+store directly produces state the crash matrix never kills at — the
+failure mode is not a test failure but a *hole in the test*.
+
+Flagged escapes (outside the modules that own the hooked paths):
+
+* ``physmem.write(...)`` / ``physmem.copy_page(...)`` — raw byte-image
+  mutation bypassing machine timing and the persist hook;
+* ``controller.write(...)`` — device write bypassing the persist-hook
+  emission in ``Machine._writeback``;
+* ``<store>._objects`` — reaching around ``NvmObjectStore.put`` /
+  ``remove``, so the store hook never fires;
+* assigning ``machine.persist_hook`` / ``store.hook`` — only the crash
+  injector may install or clear the instrumentation.
+
+``physmem.zero_page`` on fault-time frame allocation is deliberately
+not flagged: it is pre-mutation initialization of a frame no durable
+structure references yet, and the existing crash matrix vets it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    AnalysisContext,
+    Finding,
+    SourceFile,
+    receiver_basename,
+)
+from repro.analysis.registry import Checker, register
+
+#: Modules that implement the hooked paths themselves.
+ALLOWED_MODULES = {
+    "repro.arch.machine",
+    "repro.mem.physmem",
+    "repro.mem.nvmstore",
+    "repro.persist.primitives",
+}
+
+#: The fault-injection package manipulates the NVM image and the hooks
+#: by design (that is the instrument, not an escape).
+ALLOWED_PREFIXES = ("repro.faults",)
+
+#: (receiver basename, method) pairs that bypass the hooked write path.
+BANNED_CALLS = {
+    ("physmem", "write"),
+    ("physmem", "copy_page"),
+    ("controller", "write"),
+}
+
+_HINT_WRITE = (
+    "route the write through Machine.store/bulk_lines or a "
+    "repro.persist.primitives wrapper so the persist hook sees it"
+)
+_HINT_STORE = (
+    "mutate the store via NvmObjectStore.put/remove/setdefault so the "
+    "store hook fires"
+)
+_HINT_HOOK = (
+    "only repro.faults.CrashInjector.install/remove may manage persist "
+    "instrumentation"
+)
+
+
+def _allowed(module) -> bool:
+    if module is None:
+        return False
+    if module in ALLOWED_MODULES:
+        return True
+    return any(
+        module == p or module.startswith(p + ".") for p in ALLOWED_PREFIXES
+    )
+
+
+@register
+class PersistBarrierChecker(Checker):
+    id = "persist-barrier"
+    pragma = "persist"
+    kinds = ("src",)
+    description = (
+        "NVM-state mutations that bypass the persist hook and escape "
+        "crash-point enumeration"
+    )
+
+    def check(self, file: SourceFile, ctx: AnalysisContext) -> Iterator[Finding]:
+        if _allowed(file.module):
+            return
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                receiver = receiver_basename(node.func.value)
+                if (receiver, node.func.attr) in BANNED_CALLS:
+                    yield self.finding(
+                        file,
+                        node,
+                        "unhooked-write",
+                        f"direct {receiver}.{node.func.attr}() bypasses the "
+                        "persist-hooked write path",
+                        _HINT_WRITE,
+                    )
+            elif isinstance(node, ast.Attribute) and node.attr == "_objects":
+                yield self.finding(
+                    file,
+                    node,
+                    "store-bypass",
+                    "direct access to NvmObjectStore._objects skips the "
+                    "store persist hook",
+                    _HINT_STORE,
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    if target.attr == "persist_hook" or (
+                        target.attr == "hook"
+                        and (receiver_basename(target.value) or "").endswith(
+                            "store"
+                        )
+                    ):
+                        yield self.finding(
+                            file,
+                            target,
+                            "hook-tamper",
+                            f"assignment to {target.attr} outside the crash "
+                            "injector can silence crash-point enumeration",
+                            _HINT_HOOK,
+                        )

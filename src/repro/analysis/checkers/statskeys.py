@@ -1,0 +1,231 @@
+"""Stats-key drift checker.
+
+The replay hot paths (:class:`~repro.arch.cache.Cache`,
+:class:`~repro.arch.tlb.Tlb`,
+:class:`~repro.mem.controller.MemoryChannel`,
+:class:`~repro.arch.machine.Machine`) skip ``Stats.add`` and bump the
+shared counter dict directly through *precomputed key attributes*
+(``self._hit_key = f"{name}.hit"``).  The attribute shadows a counter
+name that tests, the harness and the golden-equivalence dump all read
+by string — if the two drift ("hit" vs "hits"), the hot path feeds a
+counter nobody reports and the reported counter silently stays zero.
+
+Enforced contract, checkable without executing anything:
+
+* a ``self._<stem>_key`` assignment must carry a *static suffix* whose
+  last dotted component matches the attribute's stem
+  (``self._read_row_hit_key = f"{name}.read_row_hit"``), or copy
+  another ``*_key`` attribute whose stem it extends
+  (``self._l1_hit_key = self.l1._hit_key``);
+* a subscript into a cached counters mapping may only use a
+  precomputed ``*_key`` attribute (assigned in the class), a string
+  constant, or a locally precomputed name — never an inline f-string,
+  which both reformats per access and creates a second spelling to
+  drift.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.core import AnalysisContext, Finding, SourceFile
+from repro.analysis.registry import Checker, register
+
+_HINT_MATCH = (
+    "name the attribute after the counter's last component "
+    "(self._<suffix>_key = f\"{...}.<suffix>\")"
+)
+_HINT_PRECOMPUTE = (
+    "precompute the key once in __init__ as a self._<suffix>_key attribute"
+)
+
+
+def _stem(attr: str) -> Optional[str]:
+    """``_l1_hit_key`` -> ``l1_hit``; None when there is no stem."""
+    if not attr.endswith("_key"):
+        return None
+    stem = attr[: -len("_key")].lstrip("_")
+    return stem or None
+
+
+def _static_suffix(value: ast.AST) -> Optional[str]:
+    """The constant tail of a key expression (``f"{x}.hit"`` -> ``.hit``)."""
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return value.value
+    if isinstance(value, ast.JoinedStr) and value.values:
+        last = value.values[-1]
+        if isinstance(last, ast.Constant) and isinstance(last.value, str):
+            return last.value
+    return None
+
+
+def _is_counters_value(value: ast.AST) -> bool:
+    """Does this RHS expression hand out the live counter mapping?"""
+    return isinstance(value, ast.Attribute) and value.attr in (
+        "counters",
+        "_counters",
+    )
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@register
+class StatsKeyChecker(Checker):
+    id = "stats-key"
+    pragma = "stats-key"
+    kinds = ("src",)
+    description = (
+        "precomputed hot-path stat-key attributes must match the counter "
+        "names they shadow"
+    )
+
+    def check(self, file: SourceFile, ctx: AnalysisContext) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(file, node)
+
+    def _check_class(
+        self, file: SourceFile, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        functions = [
+            n
+            for n in ast.walk(cls)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        assigned: Set[str] = set()
+        counters_attrs: Set[str] = set()
+        key_assigns: List[ast.Assign] = []
+        for fn in functions:
+            for stmt in ast.walk(fn):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    attr = _self_attr(target)
+                    if attr is None:
+                        continue
+                    assigned.add(attr)
+                    if _is_counters_value(stmt.value):
+                        counters_attrs.add(attr)
+                    if attr.endswith("_key"):
+                        key_assigns.append(stmt)
+        for stmt in key_assigns:
+            finding = self._check_key_assign(file, stmt)
+            if finding is not None:
+                yield finding
+        for fn in functions:
+            yield from self._check_subscripts(
+                file, fn, counters_attrs, assigned
+            )
+
+    def _check_key_assign(
+        self, file: SourceFile, stmt: ast.Assign
+    ) -> Optional[Finding]:
+        attr = next(a for a in map(_self_attr, stmt.targets) if a)
+        stem = _stem(attr)
+        if stem is None:
+            return None
+        value = stmt.value
+        copied = None
+        if isinstance(value, ast.Attribute) and value.attr.endswith("_key"):
+            copied = _stem(value.attr)
+        if copied is not None:
+            if stem == copied or stem.endswith("_" + copied):
+                return None
+            return self.finding(
+                file,
+                stmt,
+                "shadow-mismatch",
+                f"self.{attr} copies {value.attr} but their stems disagree "
+                f"({stem!r} vs {copied!r})",
+                _HINT_MATCH,
+            )
+        suffix = _static_suffix(value)
+        if suffix is None:
+            # Dynamic values (None sentinels, locals) are not stat keys.
+            return None
+        component = suffix.rsplit(".", 1)[-1]
+        if not component:
+            return self.finding(
+                file,
+                stmt,
+                "no-suffix",
+                f"self.{attr} is formatted with no static counter suffix",
+                _HINT_MATCH,
+            )
+        if stem == component or stem.endswith("_" + component):
+            return None
+        return self.finding(
+            file,
+            stmt,
+            "key-mismatch",
+            f"self.{attr} shadows counter suffix {component!r} but is named "
+            f"for {stem!r}",
+            _HINT_MATCH,
+        )
+
+    def _check_subscripts(
+        self,
+        file: SourceFile,
+        fn: ast.AST,
+        counters_attrs: Set[str],
+        assigned: Set[str],
+    ) -> Iterator[Finding]:
+        local_aliases: Set[str] = set()
+        for stmt in ast.walk(fn):
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and (
+                        _is_counters_value(stmt.value)
+                        or _self_attr(stmt.value) in counters_attrs
+                    ):
+                        local_aliases.add(target.id)
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Subscript):
+                continue
+            value_attr = _self_attr(node.value)
+            is_counters = value_attr in counters_attrs or (
+                isinstance(node.value, ast.Name)
+                and node.value.id in local_aliases
+            )
+            if not is_counters:
+                continue
+            index = node.slice
+            if isinstance(index, ast.JoinedStr):
+                yield self.finding(
+                    file,
+                    node,
+                    "inline-format",
+                    "counter key formatted inline at the bump site",
+                    _HINT_PRECOMPUTE,
+                )
+                continue
+            index_attr = _self_attr(index)
+            if index_attr is None:
+                continue  # constants, locals, conditional constants
+            if not index_attr.endswith("_key"):
+                yield self.finding(
+                    file,
+                    node,
+                    "non-key-attr",
+                    f"counter indexed by self.{index_attr}, which is not a "
+                    "*_key attribute",
+                    _HINT_PRECOMPUTE,
+                )
+            elif index_attr not in assigned:
+                yield self.finding(
+                    file,
+                    node,
+                    "unassigned-key",
+                    f"counter key attribute self.{index_attr} is never "
+                    "assigned in this class",
+                    _HINT_PRECOMPUTE,
+                )

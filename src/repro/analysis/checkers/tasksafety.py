@@ -1,0 +1,196 @@
+"""Cross-process task-safety checker.
+
+:mod:`repro.exec` dispatches cells to worker processes as
+``"module.path:function"`` strings (nothing heavier than plain data
+crosses the process boundary), so a task target must be a *top-level,
+import-resolvable function*.  A lambda, a closure, a method or a
+misspelled path fails only at dispatch time — and only on the parallel
+path, which is exactly the kind of serial-vs-parallel divergence the
+engine promises cannot happen.  Mutable default arguments are flagged
+too: a worker reuses its process for many cells, so default-state
+mutation leaks between cells and breaks run-to-run determinism.
+
+The checker statically resolves every task target it can see — string
+literals (or module-level string constants) passed to ``Task(...)`` or
+``sweep(...)`` — against the scanned tree, falling back to the
+import-closure walker's source loader for modules outside the scanned
+paths.  Dynamically computed targets cannot be verified and are
+flagged for an explicit pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional
+
+from repro.analysis.core import AnalysisContext, Finding, SourceFile
+from repro.analysis.registry import Checker, register
+
+#: ``module.path:function.attr`` task-target shape.
+CALL_SPEC_RE = re.compile(
+    r"^[A-Za-z_][A-Za-z0-9_.]*:[A-Za-z_][A-Za-z0-9_.]*$"
+)
+
+_HINT_TOP_LEVEL = (
+    "define the cell as a top-level def in an importable module "
+    "(see repro.exec.task.resolve)"
+)
+_HINT_DEFAULT = (
+    "replace the mutable default with None and build the value inside "
+    "the function"
+)
+_HINT_DYNAMIC = "pass a literal 'module:function' string"
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "Counter"}
+
+
+def _module_constants(tree: ast.Module) -> Dict[str, str]:
+    """Top-level ``NAME = "literal"`` bindings (task-target aliases)."""
+    constants: Dict[str, str] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Constant):
+            if isinstance(stmt.value.value, str):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        constants[target.id] = stmt.value.value
+    return constants
+
+
+def _callable_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _call_spec_arg(node: ast.Call) -> Optional[ast.AST]:
+    """The task-target argument of a ``Task``/``sweep`` call, if any."""
+    name = _callable_name(node.func)
+    if name == "Task":
+        for kw in node.keywords:
+            if kw.arg == "call":
+                return kw.value
+        if node.args:
+            return node.args[0]
+    elif name == "sweep":
+        for kw in node.keywords:
+            if kw.arg == "call":
+                return kw.value
+        if len(node.args) >= 2:
+            return node.args[1]
+    return None
+
+
+def _mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _callable_name(node.func)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register
+class TaskSafetyChecker(Checker):
+    id = "task-safety"
+    pragma = "task"
+    kinds = ("src", "test")
+    description = (
+        "repro.exec task targets must be top-level, import-resolvable "
+        "functions without mutable defaults"
+    )
+
+    def check(self, file: SourceFile, ctx: AnalysisContext) -> Iterator[Finding]:
+        constants = _module_constants(file.tree)
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            arg = _call_spec_arg(node)
+            if arg is None:
+                continue
+            spec: Optional[str] = None
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                spec = arg.value
+            elif isinstance(arg, ast.Name):
+                spec = constants.get(arg.id)
+                if spec is None:
+                    continue  # runtime-threaded target, checked at its source
+            elif isinstance(arg, ast.JoinedStr):
+                yield self.finding(
+                    file,
+                    node,
+                    "dynamic-target",
+                    "task target is built with an f-string and cannot be "
+                    "statically verified",
+                    _HINT_DYNAMIC,
+                )
+                continue
+            else:
+                continue
+            finding = self._check_spec(file, node, spec, ctx)
+            if finding is not None:
+                yield finding
+
+    def _check_spec(
+        self, file: SourceFile, node: ast.Call, spec: str, ctx: AnalysisContext
+    ) -> Optional[Finding]:
+        if not CALL_SPEC_RE.match(spec):
+            return self.finding(
+                file,
+                node,
+                "malformed-target",
+                f"task target {spec!r} is not 'module.path:function'",
+                _HINT_TOP_LEVEL,
+            )
+        module_name, _, attr_path = spec.partition(":")
+        tree = ctx.module_tree(module_name)
+        if tree is None:
+            return self.finding(
+                file,
+                node,
+                "unresolvable",
+                f"task target module {module_name!r} is not importable from "
+                "source",
+                _HINT_TOP_LEVEL,
+            )
+        first = attr_path.split(".", 1)[0]
+        definition = self._top_level_def(tree, first)
+        if definition is None:
+            return self.finding(
+                file,
+                node,
+                "not-top-level",
+                f"task target {spec!r} does not name a top-level function of "
+                f"{module_name}",
+                _HINT_TOP_LEVEL,
+            )
+        if isinstance(definition, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defaults = list(definition.args.defaults) + [
+                d for d in definition.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _mutable_default(default):
+                    return self.finding(
+                        file,
+                        node,
+                        "mutable-default",
+                        f"task target {spec!r} has a mutable default "
+                        "argument (state leaks across cells in a reused "
+                        "worker)",
+                        _HINT_DEFAULT,
+                    )
+        return None
+
+    @staticmethod
+    def _top_level_def(tree: ast.Module, name: str) -> Optional[ast.AST]:
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if stmt.name == name:
+                    return stmt
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        return stmt
+        return None

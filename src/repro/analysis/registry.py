@@ -1,0 +1,98 @@
+"""Checker registry.
+
+Checkers self-register at import time via :func:`register`; the CLI
+(and tests) pull them through :func:`all_checkers`, which imports the
+:mod:`repro.analysis.checkers` package to trigger registration.  Each
+checker declares:
+
+``id``
+    stable identifier used in rule ids, CLI ``--checkers`` filters and
+    baseline entries;
+``pragma``
+    the ``# repro: allow-<pragma>(reason)`` name that suppresses it;
+``kinds``
+    which file classes it applies to (``"src"``, ``"test"``);
+``description``
+    one line for ``--list-checkers``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple, Type
+
+from repro.analysis.core import AnalysisContext, Finding, SourceFile
+
+
+class Checker:
+    """Base class: one invariant, applied file by file."""
+
+    id: str = "abstract"
+    pragma: str = "abstract"
+    kinds: Tuple[str, ...] = ("src", "test")
+    description: str = ""
+
+    def check(self, file: SourceFile, ctx: AnalysisContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def run(self, file: SourceFile, ctx: AnalysisContext) -> List[Finding]:
+        """Apply to one file, honoring kind scoping and pragmas."""
+        if file.kind not in self.kinds:
+            return []
+        return [f for f in self.check(file, ctx) if not self._suppressed(file, f)]
+
+    def _suppressed(self, file: SourceFile, finding: Finding) -> bool:
+        """A pragma suppresses a finding when it trails any line the
+        flagged node spans, or stands alone on the line just above."""
+        if not file.pragmas:
+            return False
+        last = max(finding.line, finding.end_line)
+        return any(
+            self.pragma in file.pragmas.get(line, ())
+            for line in range(finding.line - 1, last + 1)
+        )
+
+    def finding(
+        self, file: SourceFile, node: ast.AST, rule: str, message: str, hint: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 0)
+        return Finding(
+            checker=self.id,
+            rule=f"{self.id}.{rule}",
+            path=file.rel,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=f"{hint}; or annotate '# repro: allow-{self.pragma}(<reason>)'",
+            end_line=getattr(node, "end_lineno", line) or line,
+        )
+
+
+_CHECKERS: Dict[str, Checker] = {}
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator: instantiate and index one checker."""
+    instance = cls()
+    if instance.id in _CHECKERS:
+        raise ValueError(f"duplicate checker id {instance.id!r}")
+    _CHECKERS[instance.id] = instance
+    return cls
+
+
+def all_checkers() -> List[Checker]:
+    """Every registered checker, id-sorted (imports the checker package)."""
+    import repro.analysis.checkers  # noqa: F401 - registration side effect
+
+    return [_CHECKERS[name] for name in sorted(_CHECKERS)]
+
+
+def get_checker(checker_id: str) -> Checker:
+    import repro.analysis.checkers  # noqa: F401 - registration side effect
+
+    try:
+        return _CHECKERS[checker_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown checker {checker_id!r}; known: {sorted(_CHECKERS)}"
+        ) from None

@@ -30,7 +30,7 @@ class Cache:
         lower = self.name.lower()
         self._hit_key = f"{lower}.hit"
         self._miss_key = f"{lower}.miss"
-        self._evict_key = f"{lower}.evictions"
+        self._evictions_key = f"{lower}.evictions"
         self._counters = stats.counters
 
     def _set_for(self, line: int) -> Dict[int, bool]:
@@ -64,7 +64,7 @@ class Cache:
         if len(cache_set) >= self.assoc:
             victim_line = next(iter(cache_set))
             victim = (victim_line, cache_set.pop(victim_line))
-            self._counters[self._evict_key] += 1
+            self._counters[self._evictions_key] += 1
         cache_set[line] = dirty
         return victim
 

@@ -26,7 +26,10 @@ from repro.arch.hooks import HardwareExtension
 from repro.arch.machine import Machine
 from repro.arch.tlb import TlbEntry
 from repro.common.errors import ConfigError
-from repro.common.units import CACHE_LINE
+from repro.common.units import CACHE_LINE, PAGE_SIZE
+
+#: Cache lines per page — prefetch state is keyed by page.
+LINES_PER_PAGE = PAGE_SIZE // CACHE_LINE
 
 
 class NextLinePrefetcher(HardwareExtension):
@@ -66,7 +69,7 @@ class StridePrefetcher(HardwareExtension):
         paddr_line: int,
         is_write: bool,
     ) -> None:
-        page = paddr_line >> 6  # 64 lines per 4 KiB page
+        page = paddr_line // LINES_PER_PAGE
         state = self._table.get(page)
         if state is None:
             if len(self._table) >= self.table_entries:

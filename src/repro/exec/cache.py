@@ -34,7 +34,10 @@ DEFAULT_CACHE_DIR = Path("artifacts") / "cache"
 
 
 def default_cache_dir() -> Path:
-    return Path(os.environ.get("KINDLE_CACHE_DIR", str(DEFAULT_CACHE_DIR)))
+    return Path(
+        # repro: allow-nondet(cache location only; contents are content-addressed)
+        os.environ.get("KINDLE_CACHE_DIR", str(DEFAULT_CACHE_DIR))
+    )
 
 
 class ResultCache:

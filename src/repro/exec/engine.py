@@ -93,7 +93,7 @@ class SweepEngine:
     def map(self, tasks: Sequence[Task]) -> List[Any]:
         """Run every task; results in task order."""
         tasks = list(tasks)
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: allow-nondet(progress reporting only)
         results: List[Any] = [None] * len(tasks)
         pending: List[tuple] = []  # (index, task, key-or-None)
         done = 0
@@ -111,18 +111,18 @@ class SweepEngine:
             pending.append((index, task, key))
         if len(pending) <= 1 or self.jobs <= 1:
             for index, task, key in pending:
-                cell_start = time.perf_counter()
+                cell_start = time.perf_counter()  # repro: allow-nondet(progress reporting only)
                 results[index] = self._finish(task, key, task.run())
                 done += 1
                 self._note(
                     done, len(tasks), task,
-                    elapsed=time.perf_counter() - cell_start,
+                    elapsed=time.perf_counter() - cell_start,  # repro: allow-nondet(progress reporting only)
                 )
         else:
             self._map_pool(pending, results, done, len(tasks))
         self.cells += len(tasks)
         self.executed += len(pending)
-        self.elapsed_s += time.perf_counter() - started
+        self.elapsed_s += time.perf_counter() - started  # repro: allow-nondet(progress reporting only)
         return results
 
     def _map_pool(
@@ -139,7 +139,7 @@ class SweepEngine:
             for index, task, key in pending:
                 future = pool.submit(_execute, task.call, dict(task.kwargs))
                 future_meta[future] = (index, task, key)
-                starts[future] = time.perf_counter()
+                starts[future] = time.perf_counter()  # repro: allow-nondet(progress reporting only)
             waiting = set(future_meta)
             while waiting:
                 finished, waiting = wait(waiting, return_when=FIRST_COMPLETED)
@@ -149,7 +149,7 @@ class SweepEngine:
                     done += 1
                     self._note(
                         done, total, task,
-                        elapsed=time.perf_counter() - starts[future],
+                        elapsed=time.perf_counter() - starts[future],  # repro: allow-nondet(progress reporting only)
                     )
 
     def _finish(self, task: Task, key: Optional[str], result: Any) -> Any:

@@ -96,6 +96,17 @@ def _imported_candidates(
     return found
 
 
+def module_source(name: str) -> Optional[Tuple[bytes, bool]]:
+    """Public face of the closure walker's source loader.
+
+    Returns ``(source bytes, is_package)`` for a plain ``.py`` module
+    importable on the current path, without importing it — shared with
+    :mod:`repro.analysis`, which resolves task targets and cross-module
+    contracts against exactly the sources a fingerprint would cover.
+    """
+    return _load_source(name)
+
+
 def clear_caches() -> None:
     """Forget memoized sources/fingerprints (tests, long-lived REPLs)."""
     _SOURCE_CACHE.clear()

@@ -181,7 +181,7 @@ def check_recovery(
     machine = system.machine
     assert kernel is not None
     by_pid = {p.pid: p for p in recovered}
-    for pid in set(ctx.goldens) - set(by_pid):
+    for pid in sorted(set(ctx.goldens) - set(by_pid)):
         violations.append(
             Violation(scenario, "checkpointed process was not recovered", pid=pid)
         )

@@ -25,7 +25,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.arch.machine import Machine
 from repro.common.errors import ConfigError, FaultError, SegmentationFault
-from repro.common.units import PAGE_SIZE
+from repro.common.units import CACHE_LINE, PAGE_SIZE
 from repro.gemos.frames import FrameAllocator
 from repro.gemos.pagetable import PageTable
 from repro.gemos.process import Process, ProcessState
@@ -407,7 +407,7 @@ class Kernel:
         pfn = self.allocator_for(vma.mem_type).alloc()
         if self.config.charge_fault_zeroing:
             self.machine.bulk_lines(
-                PAGE_SIZE // 64, vma.mem_type, is_write=True
+                PAGE_SIZE // CACHE_LINE, vma.mem_type, is_write=True
             )
         # Zero-fill semantics always hold (pre-zeroed frame pool).
         self.machine.physmem.zero_page(pfn)

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.common.errors import KindleError
-from repro.common.units import CACHE_LINE, cycles_from_ms
+from repro.common.units import CACHE_LINE, PAGE_SIZE, cycles_from_ms
 from repro.gemos.kernel import Kernel
 from repro.gemos.process import Process
 
@@ -137,8 +137,8 @@ class OsNoiseSource:
         self.interval_cycles = cycles_from_ms(interval_ms)
         self.lines_per_tick = lines_per_tick
         frames = [kernel.dram_alloc.alloc() for _ in range(buffer_pages)]
-        self._base_paddr = frames[0] * 4096
-        self._span_lines = buffer_pages * (4096 // CACHE_LINE)
+        self._base_paddr = frames[0] * PAGE_SIZE
+        self._span_lines = buffer_pages * (PAGE_SIZE // CACHE_LINE)
         self._cursor = 0
         self._timer = None
         self.ticks = 0

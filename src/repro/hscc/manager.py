@@ -26,11 +26,12 @@ from typing import List, Optional, Tuple
 
 from repro.arch.tlb import TlbEntry
 from repro.common.errors import KindleError
-from repro.common.units import cycles_from_ms
+from repro.common.units import PAGE_SIZE, cycles_from_ms, lines_in
 from repro.gemos.kernel import Kernel
 from repro.gemos.pagetable import Pte
 from repro.gemos.process import Process
 from repro.hscc.extension import HsccExtension
+from repro.hscc.mapping import TABLE_FRAMES as REMAP_TABLE_FRAMES
 from repro.hscc.mapping import RemapTable
 from repro.hscc.pool import DramPool
 from repro.mem.hybrid import MemType
@@ -38,8 +39,6 @@ from repro.mem.hybrid import MemType
 #: Paper value: 1e8 cycles, quoted as 31.25 ms.
 DEFAULT_MIGRATION_INTERVAL_MS = 31.25
 DEFAULT_POOL_PAGES = 512
-#: DRAM frames backing the remap lookup table (4096 16-byte slots).
-REMAP_TABLE_FRAMES = 16
 
 #: Kernel cycles to inspect one PTE during the software walk.
 PTE_INSPECT_CYCLES = 6
@@ -110,7 +109,7 @@ class HsccManager:
         table_base_pfn = kernel.dram_alloc.alloc()
         for _ in range(REMAP_TABLE_FRAMES - 1):
             kernel.dram_alloc.alloc()
-        self.remap_table = RemapTable(base_paddr=table_base_pfn * 4096)
+        self.remap_table = RemapTable(base_paddr=table_base_pfn * PAGE_SIZE)
         self.pool = DramPool(
             [kernel.dram_alloc.alloc() for _ in range(pool_pages)]
         )
@@ -197,7 +196,7 @@ class HsccManager:
         assert table is not None
         # Refresh the pool lists for this interval.
         machine.bulk_lines(
-            (self.pool.capacity * 8 + 63) // 64, MemType.DRAM, is_write=False
+            lines_in(self.pool.capacity * 8), MemType.DRAM, is_write=False
         )
         # Sync outstanding TLB counts so the walk sees current values.
         for entry in machine.tlb.entries():

@@ -12,8 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.common.units import PAGE_SIZE
+
 #: Bytes per mapping entry (pfn pair + vpn backlink).
 ENTRY_BYTES = 16
+#: DRAM frames backing the lookup table.
+TABLE_FRAMES = 16
+#: Slots the table holds; pfn indexing wraps at this count.
+TABLE_SLOTS = TABLE_FRAMES * PAGE_SIZE // ENTRY_BYTES
 
 
 @dataclass(frozen=True)
@@ -58,7 +64,7 @@ class RemapTable:
     def entry_paddr(self, pfn: int) -> int:
         """Physical address of the table slot indexed by ``pfn`` (what
         the hardware lookup touches)."""
-        return self.base_paddr + (pfn % 4096) * ENTRY_BYTES
+        return self.base_paddr + (pfn % TABLE_SLOTS) * ENTRY_BYTES
 
     def __len__(self) -> int:
         return len(self._by_nvm)

@@ -52,10 +52,10 @@ class MemoryChannel:
         self._write_miss = cycles_from_ns(timing.write_row_miss_ns)
         self._row_size = timing.row_size
         self._counters = stats.counters
-        self._read_hit_key = f"{name}.read_row_hit"
-        self._read_miss_key = f"{name}.read_row_miss"
-        self._write_hit_key = f"{name}.write_row_hit"
-        self._write_miss_key = f"{name}.write_row_miss"
+        self._read_row_hit_key = f"{name}.read_row_hit"
+        self._read_row_miss_key = f"{name}.read_row_miss"
+        self._write_row_hit_key = f"{name}.write_row_hit"
+        self._write_row_miss_key = f"{name}.write_row_miss"
 
     def _row_lookup(self, addr: int) -> bool:
         """Open the row containing ``addr``; True if it was already open."""
@@ -69,17 +69,17 @@ class MemoryChannel:
     def read_latency(self, addr: int) -> int:
         """Cycles for a demand line read at ``addr``."""
         if self._row_lookup(addr):
-            self._counters[self._read_hit_key] += 1
+            self._counters[self._read_row_hit_key] += 1
             return self._read_hit
-        self._counters[self._read_miss_key] += 1
+        self._counters[self._read_row_miss_key] += 1
         return self._read_miss
 
     def write_latency(self, addr: int) -> int:
         """Cycles for a line write at ``addr`` hitting the device array."""
         if self._row_lookup(addr):
-            self._counters[self._write_hit_key] += 1
+            self._counters[self._write_row_hit_key] += 1
             return self._write_hit
-        self._counters[self._write_miss_key] += 1
+        self._counters[self._write_row_miss_key] += 1
         return self._write_miss
 
     def reset_rows(self) -> None:

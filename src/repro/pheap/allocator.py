@@ -29,7 +29,7 @@ import struct
 from typing import Iterator, List, Optional, Tuple
 
 from repro.common.errors import KindleError
-from repro.common.units import align_up
+from repro.common.units import PAGE_SIZE, align_up
 from repro.gemos.kernel import Kernel
 from repro.gemos.process import Process
 from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
@@ -74,7 +74,7 @@ class PersistentHeap:
         base = kernel.sys_mmap(
             process, None, size, PROT_READ | PROT_WRITE, MAP_NVM, name=name
         )
-        heap = cls(kernel, process, base, align_up(size, 4096))
+        heap = cls(kernel, process, base, align_up(size, PAGE_SIZE))
         heap._write_u64(0, HEAP_MAGIC)
         heap._write_u64(8, 0)  # no root yet
         whole = heap.size - _DATA_START - _HEADER_BYTES
@@ -277,8 +277,8 @@ class PersistentHeap:
         """
         table = self.process.page_table
         assert table is not None
-        base_vpn = self.base // 4096
-        end_vpn = (self.base + self.size) // 4096
+        base_vpn = self.base // PAGE_SIZE
+        end_vpn = (self.base + self.size) // PAGE_SIZE
         mappings = []
         for vpn in range(base_vpn, end_vpn):
             pte = table.lookup(vpn)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.common.errors import TraceFormatError
-from repro.common.units import MiB, align_up
+from repro.common.units import MiB, PAGE_SIZE, align_up
 from repro.prep.maps import HEAP, STACK, AddressLayout, Region
 from repro.prep.snip import StackTracker
 from repro.prep.trace import READ, WRITE, TraceRecord
@@ -85,7 +85,7 @@ class TracedProcess:
     def _place(self, name: str, nbytes: int, kind: str) -> Region:
         if nbytes <= 0:
             raise TraceFormatError(f"region {name!r}: size must be positive")
-        size = align_up(nbytes, 4096)
+        size = align_up(nbytes, PAGE_SIZE)
         region = Region(self._next_base, self._next_base + size, name, kind)
         self.layout.add(region)
         self._next_base = align_up(region.end + _REGION_GAP, _REGION_GAP)

@@ -1,6 +1,7 @@
 """Replay programs: placement, execution, resumability, C template."""
 
 import pytest
+from repro.common.units import PAGE_SIZE
 
 from repro.common.errors import KindleError
 from repro.mem.hybrid import MemType
@@ -16,7 +17,7 @@ def small_image(ops=10):
     ]
     return DiskImage(
         name="demo",
-        areas=[AreaSpec("heap1", 4096, "heap"), AreaSpec("stack_t0", 4096, "stack")],
+        areas=[AreaSpec("heap1", PAGE_SIZE, "heap"), AreaSpec("stack_t0", PAGE_SIZE, "stack")],
         tuples=tuples,
     )
 
@@ -80,7 +81,7 @@ class TestInstallAndRun:
     def test_compute_gap_charges_cycles(self, plain_system):
         image = DiskImage(
             name="gap",
-            areas=[AreaSpec("h", 4096, "heap")],
+            areas=[AreaSpec("h", PAGE_SIZE, "heap")],
             tuples=[
                 ReplayTuple(0, 0, READ, 8, "h"),
                 ReplayTuple(100, 8, READ, 8, "h"),

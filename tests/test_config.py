@@ -15,6 +15,7 @@ from repro.common.config import (
 )
 from repro.common.errors import ConfigError
 from repro.common.units import GiB, KiB, MiB
+from repro.common.units import PAGE_SIZE
 
 
 class TestTableIDefaults:
@@ -80,7 +81,7 @@ class TestValidation:
 
     def test_layout_requires_page_alignment(self):
         with pytest.raises(ConfigError):
-            HybridLayoutConfig(dram_bytes=100, nvm_bytes=4096)
+            HybridLayoutConfig(dram_bytes=100, nvm_bytes=PAGE_SIZE)
 
     def test_layout_nvm_base_follows_dram(self):
         layout = HybridLayoutConfig(dram_bytes=1 * GiB, nvm_bytes=1 * GiB)

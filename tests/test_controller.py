@@ -5,6 +5,7 @@ import pytest
 from repro.common.config import DDR4_2400, PCM, NvmBufferConfig
 from repro.common.stats import Stats
 from repro.common.units import cycles_from_ns
+from repro.common.units import PAGE_SIZE
 from repro.mem.controller import (
     HybridMemoryController,
     MemoryChannel,
@@ -179,7 +180,7 @@ class TestPageSizeDerivedAccounting:
 
     def test_default_page_size_unchanged(self, stats):
         ctrl = HybridMemoryController(DDR4_2400, PCM, NvmBufferConfig(), stats)
-        ctrl.write(6 * 4096, is_nvm=True, now=0)
+        ctrl.write(6 * PAGE_SIZE, is_nvm=True, now=0)
         assert ctrl.nvm_page_writes == {6: 1}
 
     def test_rejects_non_power_of_two_page_size(self, stats, monkeypatch):

@@ -1,6 +1,7 @@
 """Disk image generation: labeling, offsets, serialization."""
 
 import pytest
+from repro.common.units import PAGE_SIZE
 
 from repro.common.errors import TraceFormatError
 from repro.prep.imagegen import (
@@ -76,7 +77,7 @@ class TestGeneration:
 
     def test_end_to_end_from_tracer(self):
         tp = TracedProcess("app")
-        buf = tp.alloc_heap("h", 4096)
+        buf = tp.alloc_heap("h", PAGE_SIZE)
         buf.store(0)
         buf.load(64)
         image = generate_image("app", tp.trace, tp.layout)
@@ -88,7 +89,7 @@ class TestSerialization:
     def test_roundtrip(self, tmp_path):
         image = DiskImage(
             name="demo",
-            areas=[AreaSpec("h", 4096, "heap")],
+            areas=[AreaSpec("h", PAGE_SIZE, "heap")],
             tuples=[ReplayTuple(0, 64, WRITE, 8, "h")],
         )
         path = tmp_path / "demo.img"

@@ -1,6 +1,7 @@
 """Remaining small-surface coverage across modules."""
 
 import pytest
+from repro.common.units import PAGE_SIZE
 
 from repro.common import errors, units
 
@@ -53,9 +54,9 @@ class TestVmaLimits:
         space = AddressSpace()
         # One VMA occupying nearly the whole region forces the next
         # unhinted map past the limit.
-        space.map(MMAP_BASE, MMAP_LIMIT - MMAP_BASE - 4096, PROT_WRITE)
+        space.map(MMAP_BASE, MMAP_LIMIT - MMAP_BASE - PAGE_SIZE, PROT_WRITE)
         with pytest.raises(FaultError):
-            space.map(None, 2 * 4096, PROT_WRITE)
+            space.map(None, 2 * PAGE_SIZE, PROT_WRITE)
 
 
 class TestPhysmemCopySelf:

@@ -12,7 +12,9 @@ from repro.mem.hybrid import MemType
 
 @pytest.fixture
 def allocator():
-    return FrameAllocator(MemType.DRAM, 0, 4096, Stats())
+    return FrameAllocator(  # repro: allow-geometry(pfn range bound, not a byte size)
+        MemType.DRAM, 0, 4096, Stats()
+    )
 
 
 @pytest.fixture

@@ -1,6 +1,7 @@
 """Persistent heap: allocation, media-resident metadata, crash recovery."""
 
 import pytest
+from repro.common.units import PAGE_SIZE
 
 from repro.common.errors import KindleError
 from repro.pheap import HeapCorruption, PersistentHeap
@@ -96,7 +97,7 @@ class TestRootPointer:
     def test_root_outside_heap_rejected(self, heap):
         _s, _p, h = heap
         with pytest.raises(KindleError):
-            h.set_root(h.base + h.size + 4096)
+            h.set_root(h.base + h.size + PAGE_SIZE)
 
 
 class TestDataPath:

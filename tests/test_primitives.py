@@ -4,6 +4,7 @@ import pytest
 
 from repro.arch.machine import Machine
 from repro.common.config import small_machine_config
+from repro.common.units import CACHE_LINE, PAGE_SIZE
 from repro.mem.hybrid import MemType
 from repro.persist.primitives import (
     NoLogPrimitive,
@@ -15,7 +16,7 @@ from repro.persist.primitives import (
 
 def nvm_paddr(machine, line=0):
     lo, _ = machine.layout.pfn_range(MemType.NVM)
-    return lo * 4096 + line * 64
+    return lo * PAGE_SIZE + line * CACHE_LINE
 
 
 class TestFactory:

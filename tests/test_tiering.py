@@ -4,6 +4,7 @@ import pytest
 
 from repro.common.errors import KindleError
 from repro.common.units import PAGE_SIZE
+from repro.common.units import CACHE_LINE
 from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
 from repro.mem.hybrid import MemType
 from repro.tiering.daemon import TieringDaemon
@@ -190,7 +191,7 @@ class TestEndToEndBenefit:
             cold_cursor = 0
             for round_index in range(200):
                 for hot_page in range(16):
-                    offset = (round_index % 64) * 64
+                    offset = (round_index % (PAGE_SIZE // CACHE_LINE)) * CACHE_LINE
                     system.machine.access(
                         hot_base + hot_page * PAGE_SIZE + offset, 8, False
                     )

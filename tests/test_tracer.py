@@ -1,6 +1,7 @@
 """Tracing runtime and the SniP stack substitute."""
 
 import pytest
+from repro.common.units import PAGE_SIZE
 
 from repro.common.errors import TraceFormatError
 from repro.prep.maps import HEAP, STACK
@@ -18,11 +19,11 @@ class TestHeapTracing:
 
     def test_alloc_rounds_to_pages(self):
         tp = TracedProcess()
-        assert tp.alloc_heap("x", 100).size == 4096
+        assert tp.alloc_heap("x", 100).size == PAGE_SIZE
 
     def test_loads_and_stores_recorded_in_order(self):
         tp = TracedProcess()
-        buf = tp.alloc_heap("x", 4096)
+        buf = tp.alloc_heap("x", PAGE_SIZE)
         buf.load(0)
         buf.store(8, 4)
         assert [(r.op, r.size) for r in tp.trace] == [(READ, 8), (WRITE, 4)]
@@ -31,7 +32,7 @@ class TestHeapTracing:
 
     def test_periods_monotonic(self):
         tp = TracedProcess()
-        buf = tp.alloc_heap("x", 4096)
+        buf = tp.alloc_heap("x", PAGE_SIZE)
         buf.load(0)
         tp.compute(10)
         buf.load(8)
@@ -39,13 +40,13 @@ class TestHeapTracing:
 
     def test_update_is_read_then_write(self):
         tp = TracedProcess()
-        buf = tp.alloc_heap("x", 4096)
+        buf = tp.alloc_heap("x", PAGE_SIZE)
         buf.update(0)
         assert [r.op for r in tp.trace] == [READ, WRITE]
 
     def test_out_of_bounds_access(self):
         tp = TracedProcess()
-        buf = tp.alloc_heap("x", 4096)
+        buf = tp.alloc_heap("x", PAGE_SIZE)
         with pytest.raises(TraceFormatError):
             buf.load(4095, 8)
 
@@ -61,7 +62,7 @@ class TestHeapTracing:
 
     def test_mix_reporting(self):
         tp = TracedProcess()
-        buf = tp.alloc_heap("x", 4096)
+        buf = tp.alloc_heap("x", PAGE_SIZE)
         for _ in range(3):
             buf.load(0)
         buf.store(0)
@@ -109,7 +110,7 @@ class TestStackTracking:
 
     def test_stack_overflow_detected(self):
         tp = TracedProcess()
-        stack = tp.stacks.register_thread(0, stack_bytes=4096)
+        stack = tp.stacks.register_thread(0, stack_bytes=PAGE_SIZE)
         with pytest.raises(TraceFormatError):
             stack.push_frame(slots=1024)
 

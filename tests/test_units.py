@@ -40,11 +40,11 @@ class TestAddressArithmetic:
 
     def test_page_of(self):
         assert units.page_of(4095) == 0
-        assert units.page_of(4096) == 1
+        assert units.page_of(4096) == 1  # repro: allow-geometry(the literal is the expectation under test)
 
     def test_pages_in_rounds_up(self):
         assert units.pages_in(1) == 1
-        assert units.pages_in(4096) == 1
+        assert units.pages_in(4096) == 1  # repro: allow-geometry(the literal is the expectation under test)
         assert units.pages_in(4097) == 2
 
     def test_lines_in_rounds_up(self):
@@ -52,9 +52,9 @@ class TestAddressArithmetic:
         assert units.lines_in(65) == 2
 
     def test_align_down_up(self):
-        assert units.align_down(4100, 4096) == 4096
-        assert units.align_up(4100, 4096) == 8192
-        assert units.align_up(4096, 4096) == 4096
+        assert units.align_down(4100, 4096) == 4096  # repro: allow-geometry(the literal is the expectation under test)
+        assert units.align_up(4100, 4096) == 8192  # repro: allow-geometry(the literal is the expectation under test)
+        assert units.align_up(4096, 4096) == 4096  # repro: allow-geometry(the literal is the expectation under test)
 
     def test_span_lines_single(self):
         assert list(units.span_lines(0, 8)) == [0]

@@ -1,6 +1,7 @@
 """Workload generators: Table II fidelity, determinism, structure."""
 
 import pytest
+from repro.common.units import PAGE_SIZE
 
 from repro.workloads import TABLE2_MIXES, WORKLOAD_GENERATORS
 
@@ -61,7 +62,7 @@ class TestStructure:
         from collections import Counter
 
         hits = Counter(
-            t.offset // 4096
+            t.offset // PAGE_SIZE
             for t in images["ycsb_mem"].tuples
             if t.area == "records"
         )
