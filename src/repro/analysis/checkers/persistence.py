@@ -19,6 +19,12 @@ Flagged escapes (outside the modules that own the hooked paths):
   ``remove``, so the store hook never fires;
 * assigning ``machine.persist_hook`` / ``store.hook`` — only the crash
   injector may install or clear the instrumentation.
+* direct ``allocator.free()`` of frames outside the reclamation API —
+  a frame named by a committed checkpoint must be *parked* until the
+  next checkpoint commit retires the reclamation epoch
+  (:mod:`repro.persist.reclaim`); an immediate free reintroduces the
+  munmap-after-checkpoint recovery corruption.  Unmap paths go through
+  ``kernel.frame_release`` instead.
 
 ``physmem.zero_page`` on fault-time frame allocation is deliberately
 not flagged: it is pre-mutation initialization of a frame no durable
@@ -69,6 +75,24 @@ _HINT_HOOK = (
     "only repro.faults.CrashInjector.install/remove may manage persist "
     "instrumentation"
 )
+_HINT_FREE = (
+    "release frames through kernel.frame_release (release_page/"
+    "release_frame) so repro.persist.reclaim can park checkpoint-"
+    "reachable frames until the epoch retires"
+)
+
+#: Frame-allocator receivers whose ``.free`` is lifecycle-sensitive
+#: (``dram_alloc`` is exempt: DRAM frames are volatile, no checkpoint
+#: can name them).
+_ALLOCATOR_RECEIVERS = {"nvm_alloc", "allocator"}
+
+#: Modules that *are* the frame-reclamation machinery: the reclaim API
+#: itself, and the page table (its ``free`` calls recycle empty table
+#: nodes, which the scheme's consistency mechanism already covers).
+_FREE_ALLOWED_MODULES = {
+    "repro.persist.reclaim",
+    "repro.gemos.pagetable",
+}
 
 
 def _allowed(module) -> bool:
@@ -91,6 +115,17 @@ class PersistBarrierChecker(Checker):
         "crash-point enumeration"
     )
 
+    @staticmethod
+    def _allocator_receiver(value: ast.AST, receiver) -> bool:
+        """True for ``nvm_alloc.free`` / ``allocator.free`` /
+        ``allocator_for(...).free`` shaped receivers."""
+        if receiver in _ALLOCATOR_RECEIVERS:
+            return True
+        return (
+            isinstance(value, ast.Call)
+            and receiver_basename(value.func) == "allocator_for"
+        )
+
     def check(self, file: SourceFile, ctx: AnalysisContext) -> Iterator[Finding]:
         if _allowed(file.module):
             return
@@ -106,7 +141,20 @@ class PersistBarrierChecker(Checker):
                         "persist-hooked write path",
                         _HINT_WRITE,
                     )
-            elif isinstance(node, ast.Attribute) and node.attr == "_objects":
+                elif node.func.attr == "free" and self._allocator_receiver(
+                    node.func.value, receiver
+                ):
+                    if file.module not in _FREE_ALLOWED_MODULES:
+                        yield self.finding(
+                            file,
+                            node,
+                            "unmanaged-free",
+                            "direct allocator free outside the reclamation "
+                            "API can recycle a frame the committed "
+                            "checkpoint still names",
+                            _HINT_FREE,
+                        )
+            if isinstance(node, ast.Attribute) and node.attr == "_objects":
                 yield self.finding(
                     file,
                     node,

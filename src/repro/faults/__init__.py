@@ -18,7 +18,7 @@ explicit protocol labels, object-store registrations) and provides:
     the recovery invariants (:mod:`repro.faults.invariants`).
 
 :mod:`repro.faults.scenarios`
-    the five standard scenarios of the crashtest harness.
+    the nine standard scenarios of the crashtest harness.
 """
 
 from repro.faults.explorer import (

@@ -1,4 +1,4 @@
-"""The five standard crashtest scenarios (plus the property-test one).
+"""The standard crashtest scenarios (plus the property-test one).
 
 Each scenario is a small deterministic workload chosen to put a
 different slice of the persistence stack between crash points:
@@ -17,6 +17,16 @@ different slice of the persistence stack between crash points:
     three persistent processes checkpointed as one interval; recovery
     must keep their frames disjoint and each process at one of *its
     own* goldens (cross-process commit atomicity is not promised).
+``reclaim-unmap-rebuild`` / ``reclaim-unmap-persistent``
+    the ROADMAP repro under crash-point enumeration: munmap of
+    checkpointed pages *after* the commit parks their frames
+    (``reclaim.park``), reuse pressure tries to recycle them, and the
+    next commit retires the epoch (``reclaim.retire``); every kill
+    inside the park/retire ordering must recover committed contents.
+``reclaim-remap-rebuild`` / ``reclaim-remap-persistent``
+    mremap-after-checkpoint: a forced move clears committed PTEs in
+    place (translation-only park records), then a shrink frees moved
+    frames; recovery must resurrect the committed translations.
 
 :class:`RandomOpsScenario` drives the same machinery from a seeded
 random op stream for the hypothesis property tests.
@@ -204,6 +214,90 @@ class MultiprocessScenario(CrashScenario):
         machine.store(bases[2] + 2 * PAGE_SIZE, b"tail")
 
 
+class ReclaimUnmapScenario(CrashScenario):
+    """munmap-after-checkpoint: parked frames across a full epoch.
+
+    Golden 1 commits four durable pages; the tail then unmaps half of
+    them (their frames *park* — ``reclaim.park`` points), maps fresh
+    pressure pages (which must not receive a parked frame), and commits
+    again (the epoch retires inside the commit — ``reclaim.retire``
+    points).  A final post-commit unmap leaves a fresh epoch open at
+    scenario end.  Kills anywhere in this ordering must recover the
+    checkpointed bytes — the exact sequence that used to read zeroes.
+    """
+
+    def __init__(self, scheme: str) -> None:
+        self.scheme = scheme
+        self.name = f"reclaim-unmap-{scheme}"
+
+    def run(self, ctx: ScenarioContext) -> None:
+        system = ctx.system
+        kernel = system.kernel
+        machine = system.machine
+        assert kernel is not None
+        proc = system.spawn("reclaim")
+        base = ctx.mmap_nvm(proc, 4 * PAGE_SIZE, name="committed")
+        for i in range(4):
+            ctx.write_durable(proc, base + i * PAGE_SIZE, f"keep-{i}".encode())
+        proc.registers["pc"] = 0x40
+        system.checkpoint()  # golden 1: all four pages live
+        # Tear down half the committed range: the frames park.
+        kernel.sys_munmap(proc, base + 2 * PAGE_SIZE, 2 * PAGE_SIZE)
+        # Reuse pressure: fresh mappings must not recycle parked
+        # frames.  Mapped away from the hole the munmap left — address
+        # reuse would legitimately change the bytes at the recorded
+        # durable addresses between goldens.
+        scratch = ctx.mmap_nvm(
+            proc, 2 * PAGE_SIZE, name="scratch", addr=base + 16 * PAGE_SIZE
+        )
+        machine.store(scratch, b"overwrite-bait")
+        machine.store(scratch + PAGE_SIZE, b"more-bait")
+        proc.registers["pc"] = 0x41
+        system.checkpoint()  # golden 2: the epoch retires in this commit
+        # A fresh epoch left open at scenario end (recovery retires it).
+        kernel.sys_munmap(proc, base + PAGE_SIZE, PAGE_SIZE)
+        machine.store(scratch, b"tail-write")
+
+
+class ReclaimRemapScenario(CrashScenario):
+    """mremap-after-checkpoint: translation loss without frame loss.
+
+    Golden 1 commits two durable pages; a forced move then transplants
+    their PTEs to a new range (clearing the committed translations in
+    place — translation-only park records), and a shrink back to one
+    page frees a moved frame (an ownership upgrade on its record).
+    Golden 2 commits the moved layout.  Recovery from kills before
+    golden 2 must resurrect the *committed* translations at the old
+    range; after it, the moved layout is the target.
+    """
+
+    def __init__(self, scheme: str) -> None:
+        self.scheme = scheme
+        self.name = f"reclaim-remap-{scheme}"
+
+    def run(self, ctx: ScenarioContext) -> None:
+        system = ctx.system
+        kernel = system.kernel
+        machine = system.machine
+        assert kernel is not None
+        proc = system.spawn("mover")
+        base = ctx.mmap_nvm(proc, 2 * PAGE_SIZE, name="movable")
+        ctx.write_durable(proc, base, b"payload-zero")
+        ctx.write_durable(proc, base + PAGE_SIZE, b"payload-one")
+        # Barrier right after blocks in-place growth, forcing a move.
+        ctx.mmap_nvm(proc, PAGE_SIZE, name="barrier", addr=base + 2 * PAGE_SIZE)
+        proc.registers["pc"] = 0x50
+        system.checkpoint()  # golden 1: payloads at the old range
+        new_addr = kernel.sys_mremap(proc, base, 2 * PAGE_SIZE, 4 * PAGE_SIZE)
+        machine.store(new_addr + 2 * PAGE_SIZE, b"grown-tail")
+        # Shrink back: the second moved frame is released (parked —
+        # its park record upgrades from translation-only to owning).
+        kernel.sys_mremap(proc, new_addr, 4 * PAGE_SIZE, PAGE_SIZE)
+        proc.registers["pc"] = 0x51
+        system.checkpoint()  # golden 2: the moved, shrunk layout
+        machine.store(new_addr, b"after-commit")
+
+
 class RandomOpsScenario(CrashScenario):
     """Seeded random op stream for the hypothesis property tests."""
 
@@ -247,13 +341,17 @@ class RandomOpsScenario(CrashScenario):
 
 
 def standard_scenarios() -> List[CrashScenario]:
-    """The five scenarios of ``python -m repro.harness crashtest``."""
+    """The nine scenarios of ``python -m repro.harness crashtest``."""
     return [
         CheckpointScenario("rebuild"),
         CheckpointScenario("persistent"),
         SspCommitScenario(),
         RedoReplayScenario(),
         MultiprocessScenario(),
+        ReclaimUnmapScenario("rebuild"),
+        ReclaimUnmapScenario("persistent"),
+        ReclaimRemapScenario("rebuild"),
+        ReclaimRemapScenario("persistent"),
     ]
 
 

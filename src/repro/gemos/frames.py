@@ -14,7 +14,7 @@ freed frames, which keeps allocation O(1) and deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import Callable, List, Optional, Set
 
 from repro.arch.machine import Machine
 from repro.common.errors import OutOfMemoryError
@@ -64,6 +64,20 @@ class FrameAllocator:
             self._state = _AllocatorState(next_free=pfn_lo, limit=pfn_hi)
         self._pfn_lo = pfn_lo
         self._pfn_hi = pfn_hi
+        self._reclaim_guard: Optional[Callable[[int], bool]] = None
+
+    def set_reclaim_guard(self, is_parked: Callable[[int], bool]) -> None:
+        """Install the reclamation-epoch guard (persistence hook).
+
+        A *parked* frame is one a committed checkpoint still names; it
+        sits on the free list only logically — :meth:`alloc` must not
+        hand it out, and :meth:`free` of it outside the reclamation API
+        is a lifecycle bug.
+        """
+        self._reclaim_guard = is_parked
+
+    def _is_parked(self, pfn: int) -> bool:
+        return self._reclaim_guard is not None and self._reclaim_guard(pfn)
 
     def _charge_metadata_write(self) -> None:
         """One NVM line write keeping allocation metadata crash-correct."""
@@ -72,28 +86,49 @@ class FrameAllocator:
             self.stats.add("alloc.nvm_metadata_writes")
 
     def alloc(self) -> int:
-        """Allocate one frame; raises :class:`OutOfMemoryError` when full."""
+        """Allocate one frame; raises :class:`OutOfMemoryError` when full.
+
+        Parked frames (deferred reclamation — still named by a committed
+        checkpoint) are refused: the LIFO scan skips them, bumping a
+        refusal counter, and falls back to the bump pointer.
+        """
         state = self._state
-        if state.free_list:
-            pfn = state.free_list.pop()
-        elif state.next_free < state.limit:
-            pfn = state.next_free
-            state.next_free += 1
-        else:
-            raise OutOfMemoryError(
-                f"{self.mem_type.value} allocator exhausted "
-                f"({self._pfn_hi - self._pfn_lo} frames)"
-            )
+        pfn: Optional[int] = None
+        index = len(state.free_list) - 1
+        while index >= 0:
+            candidate = state.free_list[index]
+            if not self._is_parked(candidate):
+                pfn = candidate
+                del state.free_list[index]
+                break
+            self.stats.add(f"alloc.{self.mem_type.value}.parked_refusals")
+            index -= 1
+        if pfn is None:
+            if state.next_free < state.limit:
+                pfn = state.next_free
+                state.next_free += 1
+            else:
+                raise OutOfMemoryError(
+                    f"{self.mem_type.value} allocator exhausted "
+                    f"({self._pfn_hi - self._pfn_lo} frames)"
+                )
         state.allocated.add(pfn)
         self._charge_metadata_write()
         self.stats.add(f"alloc.{self.mem_type.value}.allocs")
         return pfn
 
     def free(self, pfn: int) -> None:
-        """Return a frame; freeing an unallocated frame is an error."""
+        """Return a frame; freeing an unallocated frame is an error, as
+        is freeing a parked frame outside the reclamation API (the
+        reclaimer unparks before it frees)."""
         state = self._state
         if pfn not in state.allocated:
             raise ValueError(f"double free or foreign pfn {pfn:#x}")
+        if self._is_parked(pfn):
+            raise ValueError(
+                f"pfn {pfn:#x} is parked for deferred reclamation; "
+                "frames drain only when the epoch retires"
+            )
         state.allocated.remove(pfn)
         state.free_list.append(pfn)
         self._charge_metadata_write()

@@ -88,6 +88,74 @@ class PageTableSchemeBase:
         self.kernel.machine.phys_line_access(entry_paddr, is_write=True)
 
 
+class FrameReleasePolicy:
+    """Interface the kernel needs from a frame reclamation policy.
+
+    Every path that tears down a live translation (``sys_munmap``,
+    ``sys_mremap`` shrink/move, process exit, tiering migration) goes
+    through this hook instead of calling ``allocator.free`` directly.
+    The default frees immediately, which is what a non-persistent OS
+    does; :class:`repro.persist.reclaim.EpochFrameReclaimer` replaces
+    it to *park* frames reachable from the committed checkpoint until
+    the next checkpoint commit retires the reclamation epoch.
+    """
+
+    name = "direct"
+
+    def bind(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+
+    def release_page(self, process: Process, vpn: int):
+        """Clear ``vpn``'s translation and release its frame.
+
+        Returns the removed PTE (or ``None`` if the page was never
+        faulted in).  TLB shootdown stays with the caller.
+        """
+        assert process.page_table is not None
+        pte = process.page_table.unmap(vpn)
+        if pte is None:
+            return None
+        mem_type = self.kernel.machine.layout.mem_type_of_pfn(pte.pfn)
+        # Direct policy: no committed checkpoint can name this frame.
+        # repro: allow-persist(default policy frees immediately; epoch reclaimer overrides)
+        self.kernel.allocator_for(mem_type).free(pte.pfn)
+        return pte
+
+    def release_frame(self, process: Process, pfn: int, mem_type: MemType) -> None:
+        """Release a frame whose translation was repointed elsewhere
+        (tiering migration: the vpn stays mapped, to a new frame)."""
+        # repro: allow-persist(default policy frees immediately; epoch reclaimer overrides)
+        self.kernel.allocator_for(mem_type).free(pfn)
+
+    def prepare_release(self, process: Process, vpn: int) -> None:
+        """First half of a batched release: write (but do not fence) any
+        reclamation metadata ``release_page(vpn)`` will need.
+
+        Callers tearing down a *range* call this for every page, then
+        ``release_barrier()`` once, then ``release_page`` per page — so
+        a single fence covers the whole range's park records while every
+        record is still durable before its PTE clear.  The default
+        policy keeps no metadata: no-op."""
+
+    def release_barrier(self) -> None:
+        """Second half of a batched release: fence metadata written by
+        ``prepare_release`` since the last barrier.  No-op by default."""
+
+    def note_remap(
+        self,
+        process: Process,
+        old_vpn: int,
+        new_vpn: int,
+        pfn: int,
+        mem_type: MemType,
+    ) -> None:
+        """An mremap move is about to clear ``old_vpn``'s PTE and remap
+        the frame at ``new_vpn``.  No frame is released; the epoch
+        policy records the torn-down *translation* so recovery can
+        resurrect the committed view.  The caller fences the batch with
+        ``release_barrier()`` before clearing the old PTEs."""
+
+
 class Kernel:
     """The booted OS instance."""
 
@@ -110,7 +178,14 @@ class Kernel:
         self._listeners: List[EventListener] = []
         self.dram_alloc, self.nvm_alloc = self._parse_e820()
         self._nvm_reserved_used = 0
+        self.frame_release: FrameReleasePolicy = FrameReleasePolicy()
+        self.frame_release.bind(self)
         machine.power_on()
+
+    def install_frame_release(self, policy: FrameReleasePolicy) -> None:
+        """Replace the frame reclamation policy (persistence hook)."""
+        self.frame_release = policy
+        policy.bind(self)
 
     def reserve_nvm_area(self, name: str, nbytes: int) -> int:
         """Carve a metadata area out of the reserved NVM frames.
@@ -214,20 +289,25 @@ class Kernel:
         )
 
     def exit_process(self, process: Process) -> None:
-        """Tear down a process: free data frames and page tables."""
+        """Tear down a process: free data frames and page tables.
+
+        The ``proc_exit`` event fires *before* teardown so the
+        persistence layer can durably retire the saved context first; a
+        crash mid-teardown then finds no recoverable state naming the
+        freed frames (and the exiting process's parked frames are
+        already drained, so the frees below are immediate).
+        """
+        self._emit("proc_exit", process.pid)
         with self.machine.os_region("exit"):
             assert process.page_table is not None
-            for vpn, pte in list(process.page_table.iter_leaves()):
-                process.page_table.unmap(vpn)
-                mem_type = self.machine.layout.mem_type_of_pfn(pte.pfn)
-                self.allocator_for(mem_type).free(pte.pfn)
+            for vpn, _pte in list(process.page_table.iter_leaves()):
+                self.frame_release.release_page(process, vpn)
                 self.machine.tlb.invalidate(process.asid, vpn)
             process.page_table.destroy()
         process.state = ProcessState.EXITED
         if self.current is process:
             self.current = None
         del self.processes[process.pid]
-        self._emit("proc_exit", process.pid)
 
     # ------------------------------------------------------------------
     # system calls
@@ -265,14 +345,19 @@ class Kernel:
             removed = process.address_space.unmap(addr, length)
             assert process.page_table is not None
             for start, end, vma in removed:
+                if vma.mem_type is MemType.NVM:
+                    # Batch reclamation metadata: every park record for
+                    # the range is written, then fenced once, before
+                    # any PTE below is cleared.
+                    for vpn in range(start // PAGE_SIZE, end // PAGE_SIZE):
+                        self.frame_release.prepare_release(process, vpn)
+                    self.frame_release.release_barrier()
                 for vpn in range(start // PAGE_SIZE, end // PAGE_SIZE):
                     self.machine.advance(UNMAP_PAGE_CYCLES)
-                    pte = process.page_table.unmap(vpn)
+                    pte = self.frame_release.release_page(process, vpn)
                     self.machine.tlb.invalidate(process.asid, vpn)
                     if pte is None:
                         continue
-                    mem_type = self.machine.layout.mem_type_of_pfn(pte.pfn)
-                    self.allocator_for(mem_type).free(pte.pfn)
                     if vma.mem_type is MemType.NVM:
                         process.pending_nvm_ops.append(("unmap", vpn, 0))
         self.stats.add("sys.munmap")
@@ -295,11 +380,13 @@ class Kernel:
                 raise FaultError(f"mremap: no exact VMA at {old_addr:#x}")
             assert process.page_table is not None
             if new_length == old_length:
+                self.stats.add("sys.mremap")
                 return old_addr
         if new_length < old_length:
             self.sys_munmap(
                 process, old_addr + new_length, old_length - new_length
             )
+            self.stats.add("sys.mremap")
             return old_addr
         # Grow: try in place.
         prot = PROT_READ | (PROT_WRITE if vma.writable else 0)
@@ -313,6 +400,7 @@ class Kernel:
             self.sys_mmap(
                 process, grow_at, new_length - old_length, prot, flags, vma.name
             )
+            self.stats.add("sys.mremap")
             return old_addr
         # Move: map a fresh range, transplant live translations.
         new_addr = self.sys_mmap(
@@ -321,12 +409,28 @@ class Kernel:
         with self.machine.os_region("syscall"):
             old_vpn = old_addr // PAGE_SIZE
             new_vpn = new_addr // PAGE_SIZE
+            if vma.mem_type is MemType.NVM:
+                # Park the committed translations (if any) durably —
+                # one fence for the whole range — before any old PTE
+                # disappears.
+                for offset in range(old_length // PAGE_SIZE):
+                    pte = process.page_table.lookup(old_vpn + offset)
+                    if pte is not None:
+                        self.frame_release.note_remap(
+                            process,
+                            old_vpn + offset,
+                            new_vpn + offset,
+                            pte.pfn,
+                            vma.mem_type,
+                        )
+                self.frame_release.release_barrier()
             moved = 0
             for offset in range(old_length // PAGE_SIZE):
-                pte = process.page_table.unmap(old_vpn + offset)
+                pte = process.page_table.lookup(old_vpn + offset)
                 self.machine.tlb.invalidate(process.asid, old_vpn + offset)
                 if pte is None:
                     continue
+                process.page_table.unmap(old_vpn + offset)
                 process.page_table.map(
                     new_vpn + offset, pte.pfn, writable=pte.writable
                 )

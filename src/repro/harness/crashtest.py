@@ -1,6 +1,6 @@
 """``python -m repro.harness crashtest`` — the crash-matrix campaign.
 
-Runs the five standard fault-injection scenarios
+Runs the nine standard fault-injection scenarios
 (:func:`repro.faults.scenarios.standard_scenarios`) through the
 :class:`~repro.faults.explorer.CrashExplorer`: every durable NVM write
 of every scenario becomes a kill point, each kill is followed by a
@@ -9,7 +9,7 @@ golden snapshots and walk-consistency invariants.
 
 ``--smoke`` explores a systematic sample of each scenario's points
 (every stride-th point) instead of all of them — the CI configuration.
-Point *counting* is always exhaustive, so the ≥200-distinct-points
+Point *counting* is always exhaustive, so the ≥400-distinct-points
 acceptance gate holds in both modes.
 """
 
@@ -22,9 +22,9 @@ from repro.faults.explorer import CrashExplorer, ExplorationReport
 from repro.faults.scenarios import standard_scenarios
 from repro.harness.report import format_table
 
-#: The acceptance floor: the five scenarios must expose at least this
+#: The acceptance floor: the nine scenarios must expose at least this
 #: many distinct crash points between them.
-MIN_TOTAL_POINTS = 200
+MIN_TOTAL_POINTS = 400
 
 #: Target number of explored points per scenario in smoke mode.
 SMOKE_POINTS_PER_SCENARIO = 12

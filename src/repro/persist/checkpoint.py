@@ -22,6 +22,7 @@ from repro.gemos.kernel import Kernel
 from repro.gemos.process import Process
 from repro.gemos.vma import MAP_FIXED, MAP_NVM, PROT_READ, PROT_WRITE, AddressSpace
 from repro.mem.hybrid import MemType
+from repro.persist.reclaim import EpochFrameReclaimer
 from repro.persist.savedstate import ContextCopy, SavedState, store_key
 from repro.persist.schemes import PageTableScheme
 
@@ -59,11 +60,18 @@ class PersistenceManager:
         self.interval_cycles = cycles_from_ms(checkpoint_interval_ms)
         self.checkpoint_interval_ms = checkpoint_interval_ms
         kernel.add_listener(self._on_event)
+        #: The reclamation-epoch policy: post-checkpoint unmaps park
+        #: committed-reachable frames instead of freeing; each commit
+        #: retires the previous epoch (see :mod:`repro.persist.reclaim`).
+        self.reclaimer = EpochFrameReclaimer(scheme)
+        kernel.install_frame_release(self.reclaimer)
         #: Callbacks fired immediately after each per-process commit
         #: point (``commit_working``), with the committed
         #: :class:`SavedState`.  The crash explorer uses this to capture
         #: golden snapshots at the exact instant they become the
-        #: recovery target.
+        #: recovery target; the reclaimer retires its epoch *after*
+        #: these run (its retirement emits crash points of its own,
+        #: which must observe the committed context as a valid target).
         self.on_commit: List = []
         self._timer = None
         if auto_arm:
@@ -88,8 +96,16 @@ class PersistenceManager:
                 store_key(pid), SavedState(pid=pid, name=str(payload.get("name", "")))
             )
         if event == "proc_exit":
+            # Retire the saved context durably *first* (the kernel fires
+            # this event before tearing the process down): a crash
+            # mid-teardown then finds nothing recoverable naming the
+            # frames being freed.  With the saved state gone, the exit
+            # path's frame releases are immediate — but frames parked
+            # *earlier* in this epoch still need draining.
             self.kernel.nvm_store.remove(store_key(pid))
             self.kernel.nvm_store.remove(f"pt_root:{pid:08d}")
+            self.reclaimer.retire_pid(pid)
+            self.reclaimer.forget_pid(pid)
             return
         if event not in _LOGGED_EVENTS:
             return
@@ -169,6 +185,11 @@ class PersistenceManager:
             saved.commit_working()
             for listener in self.on_commit:
                 listener(process, saved)
+            # Retire the reclamation epoch: the just-committed context
+            # no longer references frames parked before this commit, so
+            # they drain back to the allocator (crash points inside the
+            # drain recover to the context committed above).
+            self.reclaimer.on_commit(process, saved)
             self.machine.persist_point("redo.truncate")
             saved.redo.mark_applied(applied_upto)
         self.machine.stats.add("checkpoint.taken")

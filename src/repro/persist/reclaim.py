@@ -1,0 +1,527 @@
+"""Reclamation epochs: deferred frame reclamation for persistence.
+
+The crash-consistency hazard this module closes (ROADMAP, found by
+Hypothesis): ``mmap -> store -> checkpoint -> munmap -> crash ->
+recover`` read 0 instead of the checkpointed value.  ``sys_munmap``
+freed the NVM frame and — under the *persistent* scheme — cleared the
+NVM-resident PTE in place, so rollback to the checkpointed VMA layout
+could not resurrect the translation and the access refaulted a zeroed
+frame.  The *rebuild* scheme escaped the translation half by accident
+(its v2p journal is applied lazily, so the committed list still named
+the frame) but shared the frame-*reuse* half: the freed frame could be
+handed out again and scribbled on before the crash.
+
+The fix follows the epoch discipline of NOVA-style log reclamation and
+SSP shadow retirement: a frame named by the *committed* checkpoint must
+not return to the allocator until the **next** checkpoint commits.
+Concretely:
+
+* every unmap path (``sys_munmap``, ``sys_mremap`` shrink/move,
+  process exit, tiering migration) releases frames through a
+  :class:`~repro.gemos.kernel.FrameReleasePolicy`;
+* :class:`EpochFrameReclaimer` — the policy installed by the
+  persistence manager — *parks* ``(pid, vpn, pfn)`` instead of freeing
+  when the frame is reachable from the committed checkpoint.  The park
+  record is made durable (NVM write + fence, crash point
+  ``reclaim.park``) **before** the PTE is cleared, so at no instant
+  does NVM hold a cleared translation without the park record that
+  lets recovery undo it;
+* the allocator refuses to hand out parked frames (and refuses to
+  ``free`` them outside this module — see
+  :meth:`~repro.gemos.frames.FrameAllocator.set_reclaim_guard`);
+* a checkpoint commit retires the epoch (crash point
+  ``reclaim.retire``): the committed context no longer references the
+  parked frames, so they drain to the allocator;
+* recovery replays the surviving park list to resurrect checkpointed
+  translations, then retires the epoch once the recovered page tables
+  are authoritative.
+
+The park list lives in the NVM object store, so a crash mid-epoch
+recovers it like every other persistent structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
+
+from repro.common.units import CACHE_LINE, PAGE_SIZE
+from repro.gemos.kernel import FrameReleasePolicy, Kernel
+from repro.gemos.process import Process
+from repro.mem.hybrid import MemType
+from repro.persist.savedstate import SavedState, store_key
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.persist.schemes import PageTableScheme
+
+#: Bytes per packed park record in the log-structured epoch segment
+#: (pid, vpn, pfn, gen and flags, packed).  Records stream out in
+#: bursts — one log append per batched unmap — so durability is
+#: charged per 64-byte line of *packed* records, not per record.
+PARK_RECORD_BYTES = 24
+
+
+@dataclass
+class ParkedFrame:
+    """One deferred reclamation: a committed translation torn down
+    after its checkpoint.
+
+    ``vpn`` is the *committed* virtual page (which may differ from the
+    page being unmapped when an ``mremap`` moved the translation after
+    the checkpoint).  ``owns_frame`` is False for translation-only
+    records: the frame is still live under another mapping (mremap
+    move), so retiring the epoch drops the record without freeing.
+    ``gen`` is the pid's ``checkpoints_taken`` at park time: recovery
+    resurrects a record only when no later checkpoint committed (a
+    record surviving a crash mid-retire is superseded, not a target).
+    """
+
+    pid: int
+    vpn: int
+    pfn: int
+    owns_frame: bool = True
+    gen: int = 0
+
+
+@dataclass
+class ReclaimState:
+    """NVM-resident reclamation metadata (one per system)."""
+
+    epoch: int = 0
+    parked: List[ParkedFrame] = field(default_factory=list)
+
+
+class EpochFrameReclaimer(FrameReleasePolicy):
+    """Epoch-based deferred frame reclamation (the persistence policy)."""
+
+    name = "epoch"
+    STORE_KEY = "reclaim_epoch"
+
+    def __init__(self, scheme: "PageTableScheme") -> None:
+        self.scheme = scheme
+        #: pid -> {vpn: pfn} NVM translations at the last commit; the
+        #: scheme may override this with its own persistent record
+        #: (rebuild: the v2p list).  Volatile — rebuilt at recovery.
+        self._snapshots: Dict[int, Dict[int, int]] = {}
+        #: pfn -> number of park records naming it (a frame can be
+        #: parked under several committed vpns).  Volatile mirror of
+        #: ``state.parked``, rebuilt at bind.
+        self._parked_pfns: Dict[int, int] = {}
+        #: (pid, vpn, pfn) -> record, for O(1) re-park dedup.
+        self._parked_index: Dict[Tuple[int, int, int], ParkedFrame] = {}
+        #: pid -> (checkpoints_taken, {pfn: (vpns...)}) — the committed
+        #: map inverted once per epoch instead of scanned per release.
+        #: The committed map only changes when a checkpoint commits
+        #: (which bumps ``checkpoints_taken``) or when the snapshot is
+        #: refreshed (which drops the cache entry explicitly).
+        self._reverse: Dict[int, Tuple[int, Dict[int, Tuple[int, ...]]]] = {}
+        #: True when park records were written since the last persist
+        #: barrier; the fence is issued lazily so one barrier can cover
+        #: every record of a batched (multi-page) unmap.
+        self._barrier_owed = False
+        #: Park records appended since the last ``release_barrier`` —
+        #: the pending log tail, charged (packed into lines) and fenced
+        #: as one burst.
+        self._pending_records = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def bind(self, kernel: Kernel) -> None:
+        super().bind(kernel)
+        self.machine = kernel.machine
+        self.state: ReclaimState = kernel.nvm_store.setdefault(
+            self.STORE_KEY, ReclaimState()
+        )
+        self._parked_pfns = {}
+        self._parked_index = {}
+        for entry in self.state.parked:
+            self._index(entry)
+        kernel.nvm_alloc.set_reclaim_guard(self.is_parked)
+
+    def _index(self, entry: ParkedFrame) -> None:
+        self._parked_pfns[entry.pfn] = self._parked_pfns.get(entry.pfn, 0) + 1
+        self._parked_index[(entry.pid, entry.vpn, entry.pfn)] = entry
+
+    def _unindex(self, entry: ParkedFrame) -> None:
+        remaining = self._parked_pfns.get(entry.pfn, 0) - 1
+        if remaining > 0:
+            self._parked_pfns[entry.pfn] = remaining
+        else:
+            self._parked_pfns.pop(entry.pfn, None)
+        self._parked_index.pop((entry.pid, entry.vpn, entry.pfn), None)
+
+    def is_parked(self, pfn: int) -> bool:
+        return pfn in self._parked_pfns
+
+    def parked_count(self) -> int:
+        return len(self.state.parked)
+
+    def snapshot_for(self, pid: int) -> Dict[int, int]:
+        """The reclaimer-maintained committed translation snapshot."""
+        return self._snapshots.get(pid, {})
+
+    # ------------------------------------------------------------------
+    # the release paths (called by the kernel's unmap machinery)
+    # ------------------------------------------------------------------
+
+    def release_page(self, process: Process, vpn: int):
+        table = process.page_table
+        assert table is not None
+        pte = table.lookup(vpn)
+        if pte is None:
+            return None
+        mem_type = self.machine.layout.mem_type_of_pfn(pte.pfn)
+        saved, committed = self._committed_vpns_for(process, pte.pfn, mem_type)
+        if committed:
+            # Park record durable BEFORE the PTE clear: a crash between
+            # the two leaves either the live translation (park record
+            # redundant) or the park record (translation resurrectable)
+            # — never a cleared PTE with no way back.  When the caller
+            # pre-parked the range via ``prepare_release`` these loops
+            # dedup to no-ops and the barrier was already paid once.
+            for committed_vpn in committed:
+                self._park(
+                    process.pid,
+                    committed_vpn,
+                    pte.pfn,
+                    owns_frame=True,
+                    gen=saved.checkpoints_taken,
+                )
+            self.release_barrier()
+            table.unmap(vpn)
+            return pte
+        table.unmap(vpn)
+        self.kernel.allocator_for(mem_type).free(pte.pfn)
+        return pte
+
+    def prepare_release(self, process: Process, vpn: int) -> None:
+        """Write ``vpn``'s park records without fencing them — the
+        caller issues one ``release_barrier()`` for the whole range."""
+        table = process.page_table
+        assert table is not None
+        pte = table.lookup(vpn)
+        if pte is None:
+            return
+        mem_type = self.machine.layout.mem_type_of_pfn(pte.pfn)
+        saved, committed = self._committed_vpns_for(process, pte.pfn, mem_type)
+        for committed_vpn in committed:
+            self._park(
+                process.pid,
+                committed_vpn,
+                pte.pfn,
+                owns_frame=True,
+                gen=saved.checkpoints_taken,
+            )
+
+    def release_barrier(self) -> None:
+        """Charge and fence park records appended since the last
+        barrier (if any): one packed log burst, one fence."""
+        if self._pending_records:
+            self.machine.bulk_lines(
+                _record_lines(self._pending_records), MemType.NVM, is_write=True
+            )
+            self._pending_records = 0
+        if self._barrier_owed:
+            self.machine.persist_barrier()
+            self._barrier_owed = False
+
+    def release_frame(self, process: Process, pfn: int, mem_type: MemType) -> None:
+        saved, committed = self._committed_vpns_for(process, pfn, mem_type)
+        if committed:
+            for committed_vpn in committed:
+                self._park(
+                    process.pid,
+                    committed_vpn,
+                    pfn,
+                    owns_frame=True,
+                    gen=saved.checkpoints_taken,
+                )
+            self.release_barrier()
+            return
+        self.kernel.allocator_for(mem_type).free(pfn)
+
+    def note_remap(
+        self,
+        process: Process,
+        old_vpn: int,
+        new_vpn: int,
+        pfn: int,
+        mem_type: MemType,
+    ) -> None:
+        """An mremap is about to move a live translation.
+
+        The frame stays allocated (it is live at ``new_vpn``), but if
+        the *committed* checkpoint reaches it through ``old_vpn`` the
+        in-place PTE clear would orphan that translation at recovery —
+        park a translation-only record so recovery can resurrect it.
+        The caller fences the batch with ``release_barrier()`` before
+        clearing the old PTEs.
+        """
+        saved, committed = self._committed_vpns_for(process, pfn, mem_type)
+        for committed_vpn in committed:
+            self._park(
+                process.pid,
+                committed_vpn,
+                pfn,
+                owns_frame=False,
+                gen=saved.checkpoints_taken,
+            )
+
+    # ------------------------------------------------------------------
+    # parking
+    # ------------------------------------------------------------------
+
+    def _committed_vpns_for(
+        self, process: Process, pfn: int, mem_type: MemType
+    ) -> Tuple[Optional[SavedState], Tuple[int, ...]]:
+        """Committed virtual pages whose checkpointed translation names
+        ``pfn`` (with the saved state) — empty when the frame is not
+        checkpoint-reachable."""
+        if mem_type is not MemType.NVM or not process.persistent:
+            return None, ()
+        saved = self.kernel.nvm_store.get(store_key(process.pid))
+        if not isinstance(saved, SavedState):
+            return None, ()
+        consistent = saved.consistent
+        if consistent is None or not consistent.valid:
+            return saved, ()
+        return saved, self._reverse_for(process, saved).get(pfn, ())
+
+    def _reverse_for(
+        self, process: Process, saved: SavedState
+    ) -> Dict[int, Tuple[int, ...]]:
+        """``{pfn: (vpns...)}`` inversion of the committed map, cached
+        per pid for the lifetime of the epoch."""
+        cached = self._reverse.get(process.pid)
+        if cached is not None and cached[0] == saved.checkpoints_taken:
+            return cached[1]
+        committed = self.scheme.committed_nvm_map(self, process, saved)
+        inverted: Dict[int, List[int]] = {}
+        for vpn in sorted(committed):
+            inverted.setdefault(committed[vpn], []).append(vpn)
+        frozen = {pfn: tuple(vpns) for pfn, vpns in inverted.items()}
+        self._reverse[process.pid] = (saved.checkpoints_taken, frozen)
+        return frozen
+
+    def _park(
+        self, pid: int, vpn: int, pfn: int, owns_frame: bool, gen: int
+    ) -> None:
+        entry = self._parked_index.get((pid, vpn, pfn))
+        if entry is not None:
+            if (owns_frame and not entry.owns_frame) or gen > entry.gen:
+                # Re-park of an existing record (ownership upgrade
+                # after an mremap move, or a later epoch touching
+                # the same translation): one metadata line, no new
+                # record.  Fenced with the batch, before the PTE clear.
+                self.machine.bulk_lines(1, MemType.NVM, is_write=True)
+                self._barrier_owed = True
+                entry.owns_frame = entry.owns_frame or owns_frame
+                entry.gen = max(entry.gen, gen)
+            return
+        # Expose the boundary to the crash matrix before mutating the
+        # list: a kill at this point models the record never reaching
+        # NVM, with the translation still intact.  The line charge and
+        # fence are deferred to ``release_barrier`` so one packed log
+        # burst and one barrier cover every record of a batched unmap;
+        # both always land before the first PTE clear.
+        self._pending_records += 1
+        self._barrier_owed = True
+        self.machine.persist_point("reclaim.park")
+        entry = ParkedFrame(
+            pid=pid, vpn=vpn, pfn=pfn, owns_frame=owns_frame, gen=gen
+        )
+        self.state.parked.append(entry)
+        self._index(entry)
+        self.machine.stats.add("reclaim.parked")
+        if not owns_frame:
+            self.machine.stats.add("reclaim.parked_translation_only")
+
+    # ------------------------------------------------------------------
+    # epoch retirement
+    # ------------------------------------------------------------------
+
+    def on_commit(self, process: Process, saved: SavedState) -> None:
+        """Persistence-manager commit listener: the just-committed
+        context no longer references this pid's parked frames — retire
+        them, then snapshot the newly committed translations."""
+        self.retire_pid(process.pid)
+        self.refresh_snapshot(process)
+
+    def retire_pid(self, pid: int) -> None:
+        """Drain one process's parked frames back to the allocator."""
+        indices = [
+            i for i, entry in enumerate(self.state.parked) if entry.pid == pid
+        ]
+        if not indices:
+            return
+        self.machine.persist_point("reclaim.retire")
+        # Invalidate the pid's records as one packed stream — dropped
+        # records become durable before any frame is freed: a crash
+        # mid-drain leaves allocated, unreferenced, unparked frames
+        # that allocator reconciliation reclaims.
+        self.machine.bulk_lines(
+            _record_lines(len(indices)), MemType.NVM, is_write=True
+        )
+        freed = 0
+        # Highest index first: each pop is O(trailing entries), O(1)
+        # when the pid's records are the tail (the common case).
+        for i in reversed(indices):
+            entry = self.state.parked.pop(i)
+            self._unindex(entry)
+            if entry.owns_frame and self.kernel.nvm_alloc.is_allocated(entry.pfn):
+                self.kernel.nvm_alloc.free(entry.pfn)
+                freed += 1
+        self._advance_epoch()
+        self.machine.stats.add("reclaim.retired_frames", freed)
+
+    def refresh_snapshot(self, process: Process) -> None:
+        """Record the NVM translations the committed checkpoint can
+        reach (taken at the commit instant / after recovery)."""
+        table = process.page_table
+        assert table is not None
+        lo, hi = self.machine.layout.pfn_range(MemType.NVM)
+        self._snapshots[process.pid] = {
+            vpn: pte.pfn
+            for vpn, pte in table.iter_leaves()
+            if lo <= pte.pfn < hi
+        }
+        self._reverse.pop(process.pid, None)
+
+    def forget_pid(self, pid: int) -> None:
+        self._snapshots.pop(pid, None)
+        self._reverse.pop(pid, None)
+
+    def _advance_epoch(self) -> None:
+        self.state.epoch += 1
+        self.machine.bulk_lines(1, MemType.NVM, is_write=True)
+        self.machine.stats.add("reclaim.epochs_retired")
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def resurrect(self, process: Process, saved: SavedState) -> None:
+        """Replay parked records: reinstall committed translations the
+        post-checkpoint unmaps tore down (recovery path)."""
+        entries = [e for e in self.state.parked if e.pid == process.pid]
+        if not entries:
+            return
+        consistent = saved.consistent
+        assert consistent is not None
+        table = process.page_table
+        assert table is not None
+        # Stream the (packed) park list from NVM once.
+        self.machine.bulk_lines(
+            _record_lines(len(entries)), MemType.NVM, is_write=False
+        )
+        restored = 0
+        for entry in entries:
+            if entry.gen != saved.checkpoints_taken:
+                # Parked before a checkpoint that has since committed
+                # (the crash interrupted that commit's retire drain):
+                # the newer committed context superseded this record —
+                # resurrecting it would roll a translation back past
+                # the recovery target.  Epoch retirement below drains
+                # the frame instead.
+                continue
+            row = _row_covering(consistent.vmas, entry.vpn)
+            if row is None:
+                continue  # outside the committed layout: not resurrectable
+            existing = table.lookup(entry.vpn)
+            if existing is not None and existing.pfn == entry.pfn:
+                continue  # crash landed between park record and PTE clear
+            if existing is not None:
+                # A post-checkpoint remap won the race into the live
+                # table; the committed translation is authoritative.
+                table.unmap(entry.vpn)
+            table.map(entry.vpn, entry.pfn, writable=bool(row[2]))
+            restored += 1
+        self.machine.stats.add("recovery.resurrected_mappings", restored)
+
+    def retire_after_recovery(self, referenced: Set[int]) -> None:
+        """Recovery completion retires the epoch: recovered page tables
+        are now authoritative, so any parked frame they do not reference
+        is unreachable and drains to the allocator."""
+        if not self.state.parked:
+            return
+        freed = 0
+        while self.state.parked:
+            entry = self.state.parked.pop()
+            self._unindex(entry)
+            if entry.pfn in referenced:
+                continue  # resurrected (or never cleared): live again
+            if self.kernel.nvm_alloc.is_allocated(entry.pfn):
+                self.kernel.nvm_alloc.free(entry.pfn)
+                freed += 1
+        self._advance_epoch()
+        self.machine.stats.add("recovery.retired_parked_frames", freed)
+
+
+def _record_lines(n_records: int) -> int:
+    """Cache lines holding ``n_records`` packed park records."""
+    return max(1, (n_records * PARK_RECORD_BYTES + CACHE_LINE - 1) // CACHE_LINE)
+
+
+def _row_covering(rows: Sequence, vpn: int) -> Optional[Tuple]:
+    addr = vpn * PAGE_SIZE
+    for row in rows:
+        if row[0] <= addr < row[1]:
+            return tuple(row)
+    return None
+
+
+def reconcile_nvm_allocator(
+    kernel: Kernel,
+    referenced: Set[int],
+    reclaimer: Optional[EpochFrameReclaimer] = None,
+) -> None:
+    """Release NVM user frames not referenced by any recovered context.
+
+    The allocator's metadata is persistent, so frames mapped after the
+    final checkpoint survive the crash as allocated-but-unreachable;
+    this pass reclaims them.  Parked frames are the reclaimer's to
+    retire (they are allocated-but-unreferenced *by design* until the
+    epoch ends) and are skipped here.  Page-table frames of
+    persistent-scheme tables are accounted by re-walking the recovered
+    tables.
+    """
+    allocator = kernel.nvm_alloc
+    table_frames: Set[int] = set()
+    for process in kernel.processes.values():
+        table = process.page_table
+        if table is None or table.allocator is not allocator:
+            continue
+        stack = [table.root]
+        while stack:
+            node = stack.pop()
+            table_frames.add(node.frame)
+            stack.extend(
+                child
+                for child in node.entries.values()
+                if hasattr(child, "entries")
+            )
+    keep = referenced | table_frames
+    state = allocator._state  # noqa: SLF001
+    parked = (
+        {entry.pfn for entry in reclaimer.state.parked}
+        if reclaimer is not None
+        else set()
+    )
+    # Frames allocated after the final checkpoint are unreachable: free
+    # them.
+    leaked = [
+        pfn for pfn in list(state.allocated) if pfn not in keep and pfn not in parked
+    ]
+    for pfn in leaked:
+        allocator.free(pfn)
+    # Frames freed after the final checkpoint but still referenced by a
+    # consistent context must be re-pinned, or the allocator would hand
+    # them out again (the mirror-image inconsistency).
+    repinned = keep - state.allocated
+    if repinned:
+        state.free_list = [pfn for pfn in state.free_list if pfn not in repinned]
+        state.allocated |= repinned
+    kernel.machine.stats.add("recovery.reclaimed_frames", len(leaked))
+    kernel.machine.stats.add("recovery.repinned_frames", len(repinned))

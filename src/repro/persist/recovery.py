@@ -7,21 +7,25 @@ the virtual memory layout as part of the recovery procedure.  Finally,
 the recovery process sets up the page table mapping for the virtual
 address space and marks the process state as ready for execution."
 
-Recovery also reconciles the persistent NVM frame-allocator metadata
-against the frames actually referenced by recovered contexts, releasing
-frames whose mappings never became consistent (allocated after the last
-checkpoint of a crashed process).
+Recovery also replays the reclamation-epoch park list — resurrecting
+checkpointed translations that post-checkpoint unmaps tore down — and
+reconciles the persistent NVM frame-allocator metadata against the
+frames actually referenced by recovered contexts, releasing frames
+whose mappings never became consistent (allocated after the last
+checkpoint of a crashed process).  Recovery completion retires the
+reclamation epoch (see :mod:`repro.persist.reclaim`).
 """
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import List, Optional, Set
 
 from repro.common.errors import RecoveryError
 from repro.gemos.kernel import Kernel
 from repro.gemos.process import Process, ProcessState
 from repro.gemos.vma import AddressSpace
 from repro.mem.hybrid import MemType
+from repro.persist.reclaim import EpochFrameReclaimer, reconcile_nvm_allocator
 from repro.persist.savedstate import SavedState
 from repro.persist.schemes import PageTableScheme
 
@@ -39,6 +43,11 @@ def recover(kernel: Kernel, scheme: PageTableScheme) -> List[Process]:
     machine = kernel.machine
     recovered: List[Process] = []
     referenced_nvm_frames: Set[int] = set()
+    reclaimer: Optional[EpochFrameReclaimer] = (
+        kernel.frame_release
+        if isinstance(kernel.frame_release, EpochFrameReclaimer)
+        else None
+    )
     with machine.os_region("recovery"):
         for key, obj in list(kernel.nvm_store.keys_with_prefix("saved_state:")):
             machine.advance(SCAN_SAVED_STATE_CYCLES)
@@ -55,9 +64,15 @@ def recover(kernel: Kernel, scheme: PageTableScheme) -> List[Process]:
             consistent = saved.consistent
             if consistent is None or not consistent.valid:
                 # Never checkpointed: the process cannot be recovered.
+                # Drop the page-table root too (by its conventional key:
+                # ``pt_root_key`` is unset when the table was created
+                # before the saved state existed) — a stale table object
+                # left behind would be reattached if the pid is reused,
+                # naming frames the reconcile below reclaims.
                 kernel.nvm_store.remove(key)
-                if saved.pt_root_key:
-                    kernel.nvm_store.remove(saved.pt_root_key)
+                kernel.nvm_store.remove(
+                    saved.pt_root_key or f"pt_root:{saved.pid:08d}"
+                )
                 machine.stats.add("recovery.unrecoverable")
                 continue
             address_space = AddressSpace.from_snapshot(consistent.vmas)
@@ -69,53 +84,22 @@ def recover(kernel: Kernel, scheme: PageTableScheme) -> List[Process]:
             )
             process.registers = dict(consistent.registers)
             scheme.recover_page_table(process, saved)
+            if reclaimer is not None:
+                # Resurrect committed translations whose PTEs were
+                # cleared by post-checkpoint unmaps/remaps.
+                reclaimer.resurrect(process, saved)
             assert process.page_table is not None
             for _vpn, pte in process.page_table.iter_leaves():
                 if machine.layout.mem_type_of_pfn(pte.pfn) is MemType.NVM:
                     referenced_nvm_frames.add(pte.pfn)
+            if reclaimer is not None:
+                reclaimer.refresh_snapshot(process)
             process.state = ProcessState.READY
             recovered.append(process)
-        _reconcile_nvm_allocator(kernel, referenced_nvm_frames)
+        reconcile_nvm_allocator(kernel, referenced_nvm_frames, reclaimer)
+        if reclaimer is not None:
+            # The recovered page tables are authoritative now: retire
+            # the epoch, draining parked frames nobody references.
+            reclaimer.retire_after_recovery(referenced_nvm_frames)
     machine.stats.add("recovery.processes", len(recovered))
     return recovered
-
-
-def _reconcile_nvm_allocator(kernel: Kernel, referenced: Set[int]) -> None:
-    """Release NVM user frames not referenced by any recovered context.
-
-    The allocator's metadata is persistent, so frames mapped after the
-    final checkpoint survive the crash as allocated-but-unreachable;
-    this pass reclaims them.  Page-table frames of persistent-scheme
-    tables are accounted by re-walking the recovered tables.
-    """
-    allocator = kernel.nvm_alloc
-    table_frames: Set[int] = set()
-    for process in kernel.processes.values():
-        table = process.page_table
-        if table is None or table.allocator is not allocator:
-            continue
-        stack = [table.root]
-        while stack:
-            node = stack.pop()
-            table_frames.add(node.frame)
-            stack.extend(
-                child
-                for child in node.entries.values()
-                if hasattr(child, "entries")
-            )
-    keep = referenced | table_frames
-    state = allocator._state  # noqa: SLF001
-    # Frames allocated after the final checkpoint are unreachable: free
-    # them.
-    leaked = [pfn for pfn in list(state.allocated) if pfn not in keep]
-    for pfn in leaked:
-        allocator.free(pfn)
-    # Frames freed after the final checkpoint but still referenced by a
-    # consistent context must be re-pinned, or the allocator would hand
-    # them out again (the mirror-image inconsistency).
-    repinned = keep - state.allocated
-    if repinned:
-        state.free_list = [pfn for pfn in state.free_list if pfn not in repinned]
-        state.allocated |= repinned
-    kernel.machine.stats.add("recovery.reclaimed_frames", len(leaked))
-    kernel.machine.stats.add("recovery.repinned_frames", len(repinned))

@@ -35,6 +35,7 @@ from repro.gemos.process import Process
 from repro.mem.hybrid import MemType
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.persist.reclaim import EpochFrameReclaimer
     from repro.persist.savedstate import SavedState
 
 #: Cycles to verify one live page-table entry against the v2p list at
@@ -73,6 +74,21 @@ class PageTableScheme(PageTableSchemeBase):
     def recover_page_table(self, process: Process, saved: "SavedState") -> None:
         """Reconstruct (or reattach) the page table after a reboot."""
         raise NotImplementedError
+
+    def committed_nvm_map(
+        self,
+        reclaimer: "EpochFrameReclaimer",
+        process: Process,
+        saved: "SavedState",
+    ) -> Dict[int, int]:
+        """``{vpn: pfn}`` of NVM translations the *committed* checkpoint
+        can reach — the set the reclamation epoch must protect.
+
+        Default: the reclaimer's commit-instant snapshot (refreshed on
+        every commit and after recovery).  Schemes with their own
+        persistent translation record override this.
+        """
+        return reclaimer.snapshot_for(process.pid)
 
 
 class RebuildScheme(PageTableScheme):
@@ -161,6 +177,23 @@ class RebuildScheme(PageTableScheme):
             if start <= addr < end:
                 return writable
         return True
+
+    def committed_nvm_map(
+        self,
+        reclaimer: "EpochFrameReclaimer",
+        process: Process,
+        saved: "SavedState",
+    ) -> Dict[int, int]:
+        """The committed v2p list *is* the committed translation map.
+
+        This is the explicit fix for the rebuild scheme's frame-reuse
+        hazard: the scheme used to escape translation loss only because
+        its v2p journal is applied lazily, while freed frames could
+        still be reallocated and scribbled on before a crash.  Deriving
+        the parking set from the committed list (not from journal
+        timing) makes the protection intentional.
+        """
+        return saved.v2p
 
 
 class PersistentScheme(PageTableScheme):

@@ -189,7 +189,10 @@ class TieringDaemon:
         dst = self.kernel.allocator_for(to_type).alloc()
         machine.copy_page(pte.pfn, dst, flush_src=True)
         src_type = machine.layout.mem_type_of_pfn(pte.pfn)
-        self.kernel.allocator_for(src_type).free(pte.pfn)
+        # Release through the kernel's reclamation policy: a committed
+        # checkpoint may still name the source frame, in which case it
+        # is parked until the next checkpoint commit instead of freed.
+        self.kernel.frame_release.release_frame(self.process, pte.pfn, src_type)
         table = self.process.page_table
         assert table is not None
         table.update_pfn(vpn, dst)

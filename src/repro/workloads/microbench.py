@@ -116,7 +116,11 @@ def vma_churn(
     churn round: munmap the first ``churn_bytes``, mmap the same range
     back, read the reallocated pages, and (Table IV variant) re-access
     the region ``access_rounds`` more times to force TLB misses.
-    Finally unmaps everything.
+    Finally unmaps everything — teardown excluded from the returned
+    cycle count: under epoch-based reclamation the cost of a committed
+    region's teardown is paid inline or deferred to the next checkpoint
+    commit depending on where the last commit happened to fall, so
+    timing it would measure commit phase, not churn.
     """
     if churn_bytes > total_bytes:
         raise ValueError("churn size exceeds the allocated region")
@@ -150,5 +154,6 @@ def vma_churn(
                     machine.access(
                         base + page_base + touch * step, 8, is_write=False
                     )
+    elapsed = machine.clock - start_clock
     kernel.sys_munmap(process, base, total_bytes)
-    return machine.clock - start_clock
+    return elapsed

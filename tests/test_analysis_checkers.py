@@ -276,6 +276,77 @@ class TestPersistBarrier:
         file.module = "repro.faults.scratch"  # simulate the injector package
         assert get_checker("persist-barrier").run(file, ctx) == []
 
+    def test_direct_nvm_allocator_free_flagged(self, tmp_path):
+        found = run_checker(
+            "persist-barrier",
+            """
+            def release(kernel, pfn):
+                kernel.nvm_alloc.free(pfn)
+            """,
+            tmp_path,
+        )
+        assert rules(found) == ["persist-barrier.unmanaged-free"]
+
+    def test_generic_allocator_free_flagged(self, tmp_path):
+        found = run_checker(
+            "persist-barrier",
+            """
+            def release(allocator, kernel, mem_type, pfn):
+                allocator.free(pfn)
+                kernel.allocator_for(mem_type).free(pfn)
+            """,
+            tmp_path,
+        )
+        assert rules(found) == [
+            "persist-barrier.unmanaged-free",
+            "persist-barrier.unmanaged-free",
+        ]
+
+    def test_dram_allocator_free_is_exempt(self, tmp_path):
+        # DRAM frames are volatile: no checkpoint can name them.
+        found = run_checker(
+            "persist-barrier",
+            """
+            def release(kernel, pfn):
+                kernel.dram_alloc.free(pfn)
+            """,
+            tmp_path,
+        )
+        assert found == []
+
+    def test_reclaim_module_may_free(self, tmp_path):
+        path = tmp_path / "scratch_mod.py"
+        path.write_text(
+            "def retire(allocator, pfn):\n    allocator.free(pfn)\n",
+            encoding="utf-8",
+        )
+        ctx = build_context([path], tmp_path)
+        (file,) = ctx.files
+        file.module = "repro.persist.reclaim"  # the reclamation API itself
+        assert get_checker("persist-barrier").run(file, ctx) == []
+
+    def test_pragma_suppresses_unmanaged_free(self, tmp_path):
+        found = run_checker(
+            "persist-barrier",
+            """
+            def release(kernel, pfn):
+                kernel.nvm_alloc.free(pfn)  # repro: allow-persist(default policy)
+            """,
+            tmp_path,
+        )
+        assert found == []
+
+    def test_frame_release_api_passes(self, tmp_path):
+        found = run_checker(
+            "persist-barrier",
+            """
+            def release(kernel, process, vpn):
+                kernel.frame_release.release_page(process, vpn)
+            """,
+            tmp_path,
+        )
+        assert found == []
+
 
 class TestStatsKey:
     def test_key_mismatch_flagged(self, tmp_path):

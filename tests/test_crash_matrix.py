@@ -10,7 +10,11 @@ violations are tolerated.
 import pytest
 
 from repro.faults import CrashExplorer
-from repro.faults.scenarios import CheckpointScenario, standard_scenarios
+from repro.faults.scenarios import (
+    CheckpointScenario,
+    ReclaimUnmapScenario,
+    standard_scenarios,
+)
 
 
 @pytest.mark.parametrize("scheme", ["rebuild", "persistent"])
@@ -47,11 +51,34 @@ class TestCheckpointCrashMatrix:
             last_checkpoint = saved.checkpoints_taken
 
 
+@pytest.mark.parametrize("scheme", ["rebuild", "persistent"])
+class TestReclaimCrashMatrix:
+    """Every park and retire persist point is a kill target.
+
+    The reclamation epoch's own NVM writes (park records before the
+    PTE clears, retire records before the frees) must recover cleanly
+    from any instant — this is the munmap-after-checkpoint fix's
+    exhaustive acceptance check.
+    """
+
+    def test_every_crash_point_recovers_consistently(self, scheme):
+        explorer = CrashExplorer(ReclaimUnmapScenario(scheme))
+        report = explorer.explore()
+        assert report.explored == report.total_points
+        messages = [str(v) for v in report.violations]
+        assert not messages, "\n".join(messages)
+        # Park points (post-checkpoint munmap) and the retire point
+        # (next commit's epoch drain) must both have been enumerated.
+        assert report.label_points.get("reclaim.park", 0) >= 2
+        assert report.label_points.get("reclaim.retire", 0) >= 1
+        assert report.label_points.get("checkpoint.commit") == 2
+
+
 def test_standard_scenarios_expose_enough_points():
-    """The five crashtest scenarios must clear the acceptance floor."""
+    """The nine crashtest scenarios must clear the acceptance floor."""
     total = 0
     for scenario in standard_scenarios():
         points, _labels = CrashExplorer(scenario).count_points()
         assert points > 0, scenario.name
         total += points
-    assert total >= 200, f"only {total} crash points across the five scenarios"
+    assert total >= 400, f"only {total} crash points across the nine scenarios"

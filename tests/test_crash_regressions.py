@@ -17,6 +17,14 @@ fault-injection harness:
 3. The persistent scheme recovered page-table leaves for NVM pages
    faulted *after* the last commit (orphans outside the consistent VMA
    layout).  Recovery now prunes them.
+4. (Found by the reclamation stateful test.)  Recovery removed an
+   unrecoverable pid's saved state but left its ``pt_root`` object in
+   the store whenever ``pt_root_key`` was unset (the table is created
+   before the saved state exists).  Respawning with the same pid then
+   reattached the stale table — whose node frames the allocator
+   reconcile had already reclaimed — and the *next* recovery
+   double-freed through its dead leaves.  Recovery now drops the root
+   by its conventional key.
 
 Each test kills at the protocol label bracketing the fixed window and
 asserts the exact recovery outcome.
@@ -133,3 +141,31 @@ class TestRedoLogUnit:
         # Fresh appends resume exactly at the watermark.
         record = log.append("op", {"i": 99})
         assert record.seq == 2
+
+
+class TestUnrecoverablePidCleanup:
+    """Bug 4: an unrecoverable pid's page-table root must not survive
+    recovery and be reattached on pid reuse."""
+
+    def test_stale_pt_root_dropped(self, persistent_system):
+        from repro.common.units import PAGE_SIZE
+        from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+
+        system = persistent_system
+        proc = system.spawn("ephemeral")
+        addr = system.kernel.sys_mmap(
+            proc, None, PAGE_SIZE, PROT_READ | PROT_WRITE, MAP_NVM
+        )
+        system.machine.store(addr, b"\x01")
+        # Crash before any checkpoint: the process is unrecoverable.
+        system.crash()
+        assert system.boot() == []
+        assert system.kernel.nvm_store.get(f"pt_root:{proc.pid:08d}") is None
+        # Reuse the pid, checkpoint, and survive a second crash: the
+        # fresh table must not alias the reclaimed one.
+        proc2 = system.spawn("reborn")
+        assert proc2.pid == proc.pid
+        system.checkpoint()
+        system.crash()
+        (rec,) = system.boot()
+        assert rec.name == "reborn"

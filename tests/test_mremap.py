@@ -98,6 +98,82 @@ class TestMove:
         assert system.machine.load(new_addr, 1) == b"\x01"
 
 
+class TestAccounting:
+    """``sys.mremap`` must tick on every path (regression: only the
+    move path used to count)."""
+
+    def test_counted_on_same_size(self, mapped):
+        system, proc, addr = mapped
+        before = system.stats["sys.mremap"]
+        system.kernel.sys_mremap(proc, addr, 4 * PAGE_SIZE, 4 * PAGE_SIZE)
+        assert system.stats["sys.mremap"] == before + 1
+
+    def test_counted_on_shrink(self, mapped):
+        system, proc, addr = mapped
+        before = system.stats["sys.mremap"]
+        system.kernel.sys_mremap(proc, addr, 4 * PAGE_SIZE, 2 * PAGE_SIZE)
+        assert system.stats["sys.mremap"] == before + 1
+
+    def test_counted_on_grow_in_place(self, mapped):
+        system, proc, addr = mapped
+        before = system.stats["sys.mremap"]
+        system.kernel.sys_mremap(proc, addr, 4 * PAGE_SIZE, 6 * PAGE_SIZE)
+        assert system.stats["sys.mremap"] == before + 1
+
+    def test_counted_on_move(self, mapped):
+        system, proc, addr = mapped
+        before = system.stats["sys.mremap"]
+        system.kernel.sys_mmap(
+            proc, addr + 4 * PAGE_SIZE, PAGE_SIZE, RW, 0, name="barrier"
+        )
+        system.kernel.sys_mremap(proc, addr, 4 * PAGE_SIZE, 8 * PAGE_SIZE)
+        assert system.stats["sys.mremap"] == before + 1
+
+
+class TestShrinkSideEffects:
+    """The trimmed tail must behave exactly like a munmap of it."""
+
+    def test_tail_tlb_invalidated(self, mapped):
+        system, proc, addr = mapped
+        tail_vpn = addr // PAGE_SIZE + 3
+        assert system.machine.tlb.lookup(proc.asid, tail_vpn) is not None
+        system.kernel.sys_mremap(proc, addr, 4 * PAGE_SIZE, 2 * PAGE_SIZE)
+        assert system.machine.tlb.lookup(proc.asid, tail_vpn) is None
+
+    def test_journal_records_trimmed_tail(self, mapped):
+        system, proc, addr = mapped
+        proc.pending_nvm_ops.clear()
+        system.kernel.sys_mremap(proc, addr, 4 * PAGE_SIZE, 2 * PAGE_SIZE)
+        ops = [(op, vpn) for op, vpn, _ in proc.pending_nvm_ops]
+        vpn = addr // PAGE_SIZE
+        assert ("unmap", vpn + 2) in ops
+        assert ("unmap", vpn + 3) in ops
+        assert ("unmap", vpn) not in ops
+
+
+class TestReclaimInterplay:
+    def test_shrink_after_checkpoint_parks_tail(self, mapped):
+        system, proc, addr = mapped
+        system.checkpoint()
+        tail_pfns = {
+            proc.page_table.lookup(addr // PAGE_SIZE + i).pfn for i in (2, 3)
+        }
+        system.kernel.sys_mremap(proc, addr, 4 * PAGE_SIZE, 2 * PAGE_SIZE)
+        reclaimer = system.kernel.frame_release
+        assert all(reclaimer.is_parked(pfn) for pfn in tail_pfns)
+
+    def test_shrunk_tail_recovers_checkpointed_bytes(self, mapped):
+        system, proc, addr = mapped
+        system.checkpoint()
+        system.kernel.sys_mremap(proc, addr, 4 * PAGE_SIZE, 2 * PAGE_SIZE)
+        system.crash()
+        recovered = system.boot()
+        proc2 = next(p for p in recovered if p.name == "app")
+        system.kernel.switch_to(proc2)
+        assert system.machine.load(addr + 2 * PAGE_SIZE, 1) == b"\x03"
+        assert system.machine.load(addr + 3 * PAGE_SIZE, 1) == b"\x04"
+
+
 class TestValidation:
     def test_requires_exact_vma(self, mapped):
         system, proc, addr = mapped

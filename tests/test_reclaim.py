@@ -1,0 +1,265 @@
+"""Reclamation epochs: deferred frame reclamation (repro.persist.reclaim).
+
+Covers the ROADMAP repro sequence under both schemes, the park/retire
+lifecycle, allocator refusal of parked frames, translation resurrection
+at recovery, and the rebuild scheme's frame-reuse regression.
+"""
+
+import pytest
+
+from repro.common.units import PAGE_SIZE
+from repro.gemos.frames import FrameAllocator
+from repro.gemos.vma import MAP_NVM, PROT_READ, PROT_WRITE
+from repro.mem.hybrid import MemType
+from repro.persist.reclaim import EpochFrameReclaimer
+
+RW = PROT_READ | PROT_WRITE
+
+
+def _mmap_store(system, proc, nbytes, value, addr=None):
+    got = system.kernel.sys_mmap(proc, addr, nbytes, RW, MAP_NVM)
+    system.kernel.switch_to(proc)
+    for off in range(0, nbytes, PAGE_SIZE):
+        system.machine.store(got + off, bytes([value]))
+    return got
+
+
+def _reclaimer(system) -> EpochFrameReclaimer:
+    policy = system.kernel.frame_release
+    assert isinstance(policy, EpochFrameReclaimer)
+    return policy
+
+
+class TestRoadmapRepro:
+    """mmap -> store -> checkpoint -> munmap -> crash -> recover."""
+
+    def test_reads_checkpointed_value(self, any_system):
+        system = any_system
+        proc = system.spawn("w")
+        addr = _mmap_store(system, proc, PAGE_SIZE, 0x5A)
+        system.checkpoint()
+        system.kernel.sys_munmap(proc, addr, PAGE_SIZE)
+        system.crash()
+        system.boot()
+        proc2 = system.kernel.processes[proc.pid]
+        system.kernel.switch_to(proc2)
+        assert system.machine.load(addr, 1) == b"\x5a"
+
+    def test_resurrection_counted(self, persistent_system):
+        # Scheme-specific: under rebuild the committed v2p list already
+        # restores the translation, so the explicit resurrection count
+        # stays 0; the NVM-resident table needs the parked record.
+        system = persistent_system
+        proc = system.spawn("w")
+        addr = _mmap_store(system, proc, PAGE_SIZE, 0x5A)
+        system.checkpoint()
+        system.kernel.sys_munmap(proc, addr, PAGE_SIZE)
+        system.crash()
+        system.boot()
+        assert system.stats["recovery.resurrected_mappings"] >= 1
+
+
+class TestParkLifecycle:
+    def test_post_checkpoint_unmap_parks_instead_of_freeing(self, any_system):
+        system = any_system
+        proc = system.spawn("w")
+        addr = _mmap_store(system, proc, PAGE_SIZE, 1)
+        vpn = addr // PAGE_SIZE
+        pfn = proc.page_table.lookup(vpn).pfn
+        system.checkpoint()
+        system.kernel.sys_munmap(proc, addr, PAGE_SIZE)
+        reclaimer = _reclaimer(system)
+        assert reclaimer.is_parked(pfn)
+        assert reclaimer.parked_count() == 1
+        # Parked means deferred: the frame is still owned, not freed
+        # (page-table *node* frames may drop; the data frame must not).
+        assert system.kernel.nvm_alloc.is_allocated(pfn)
+        assert system.stats["reclaim.parked"] == 1
+
+    def test_pre_checkpoint_unmap_frees_immediately(self, any_system):
+        system = any_system
+        proc = system.spawn("w")
+        addr = _mmap_store(system, proc, PAGE_SIZE, 1)
+        pfn = proc.page_table.lookup(addr // PAGE_SIZE).pfn
+        system.kernel.sys_munmap(proc, addr, PAGE_SIZE)
+        assert _reclaimer(system).parked_count() == 0
+        assert not system.kernel.nvm_alloc.is_allocated(pfn)
+
+    def test_next_commit_retires_the_epoch(self, any_system):
+        system = any_system
+        proc = system.spawn("w")
+        addr = _mmap_store(system, proc, PAGE_SIZE, 1)
+        vpn = addr // PAGE_SIZE
+        pfn = proc.page_table.lookup(vpn).pfn
+        system.checkpoint()
+        system.kernel.sys_munmap(proc, addr, PAGE_SIZE)
+        reclaimer = _reclaimer(system)
+        assert reclaimer.is_parked(pfn)
+        epoch_before = reclaimer.state.epoch
+        system.checkpoint()
+        assert not reclaimer.is_parked(pfn)
+        assert reclaimer.parked_count() == 0
+        assert not system.kernel.nvm_alloc.is_allocated(pfn)
+        assert reclaimer.state.epoch == epoch_before + 1
+        assert system.stats["reclaim.retired_frames"] == 1
+
+    def test_exit_drains_parked_frames(self, any_system):
+        system = any_system
+        proc = system.spawn("w")
+        addr = _mmap_store(system, proc, 2 * PAGE_SIZE, 1)
+        system.checkpoint()
+        system.kernel.sys_munmap(proc, addr, PAGE_SIZE)
+        assert _reclaimer(system).parked_count() == 1
+        dram_used = system.kernel.dram_alloc.allocated_count
+        nvm_user = system.kernel.nvm_alloc.allocated_count
+        system.kernel.exit_process(proc)
+        # Exit retires the pid's epoch and frees everything it owned.
+        assert _reclaimer(system).parked_count() == 0
+        assert system.kernel.dram_alloc.allocated_count <= dram_used
+        assert system.kernel.nvm_alloc.allocated_count < nvm_user
+        assert proc.pid not in system.kernel.processes
+
+    def test_park_list_persists_across_crash(self, any_system):
+        system = any_system
+        proc = system.spawn("w")
+        addr = _mmap_store(system, proc, PAGE_SIZE, 1)
+        system.checkpoint()
+        system.kernel.sys_munmap(proc, addr, PAGE_SIZE)
+        assert _reclaimer(system).parked_count() == 1
+        system.crash()
+        system.boot()
+        # Recovery resurrected the translation and retired the epoch:
+        # the park list drained, the frame is live again.
+        reclaimer = _reclaimer(system)
+        assert reclaimer.parked_count() == 0
+        proc2 = system.kernel.processes[proc.pid]
+        system.kernel.switch_to(proc2)
+        assert system.machine.load(addr, 1) == b"\x01"
+
+
+class TestAllocatorGuard:
+    def test_alloc_refuses_parked_free_list_entries(self):
+        from repro.common.stats import Stats
+
+        stats = Stats()
+        allocator = FrameAllocator(MemType.DRAM, 0x100, 0x200, stats)
+        first = allocator.alloc()
+        second = allocator.alloc()
+        allocator.free(first)
+        allocator.free(second)
+        allocator.set_reclaim_guard(lambda pfn: pfn == second)
+        # LIFO would hand back `second`; the guard skips it.
+        assert allocator.alloc() == first
+        assert stats["alloc.dram.parked_refusals"] == 1
+        # `second` stays on the free list for after the epoch retires.
+        allocator.set_reclaim_guard(lambda pfn: False)
+        assert allocator.alloc() == second
+
+    def test_free_of_parked_frame_raises(self):
+        from repro.common.stats import Stats
+
+        allocator = FrameAllocator(MemType.DRAM, 0x100, 0x200, Stats())
+        pfn = allocator.alloc()
+        allocator.set_reclaim_guard(lambda p: p == pfn)
+        with pytest.raises(ValueError, match="parked"):
+            allocator.free(pfn)
+
+    def test_guard_survives_reboot(self, any_system):
+        system = any_system
+        system.crash()
+        system.boot()
+        assert system.kernel.nvm_alloc._reclaim_guard is not None  # noqa: SLF001
+
+
+class TestReuseRegression:
+    """Allocate immediately after a post-checkpoint munmap to force
+    reuse — the rebuild scheme's latent hazard (frames recycled while
+    the committed v2p list still named them)."""
+
+    @pytest.mark.parametrize("scheme_fixture", ["rebuild_system", "persistent_system"])
+    def test_parked_frame_not_recycled(self, scheme_fixture, request):
+        system = request.getfixturevalue(scheme_fixture)
+        proc = system.spawn("w")
+        addr = _mmap_store(system, proc, PAGE_SIZE, 0x77)
+        vpn = addr // PAGE_SIZE
+        committed_pfn = proc.page_table.lookup(vpn).pfn
+        system.checkpoint()
+        system.kernel.sys_munmap(proc, addr, PAGE_SIZE)
+        # Allocation pressure right after the unmap: the fresh page
+        # must not receive the parked frame.
+        addr2 = _mmap_store(system, proc, PAGE_SIZE, 0x99, addr=addr + 16 * PAGE_SIZE)
+        assert proc.page_table.lookup(addr2 // PAGE_SIZE).pfn != committed_pfn
+        system.crash()
+        system.boot()
+        proc2 = system.kernel.processes[proc.pid]
+        system.kernel.switch_to(proc2)
+        assert system.machine.load(addr, 1) == b"\x77"
+
+
+class TestRemapInterplay:
+    def test_move_after_checkpoint_recovers_committed_translation(
+        self, any_system
+    ):
+        system = any_system
+        proc = system.spawn("w")
+        addr = _mmap_store(system, proc, 2 * PAGE_SIZE, 0x33)
+        # Barrier blocks in-place growth, forcing a move.
+        system.kernel.sys_mmap(proc, addr + 2 * PAGE_SIZE, PAGE_SIZE, RW, 0)
+        system.checkpoint()
+        new_addr = system.kernel.sys_mremap(
+            proc, addr, 2 * PAGE_SIZE, 4 * PAGE_SIZE
+        )
+        assert new_addr != addr
+        reclaimer = _reclaimer(system)
+        # Translation-only park records: frames stay live at new_addr.
+        assert reclaimer.parked_count() == 2
+        assert system.stats["reclaim.parked_translation_only"] == 2
+        system.crash()
+        system.boot()
+        proc2 = system.kernel.processes[proc.pid]
+        system.kernel.switch_to(proc2)
+        # The committed layout knows only the old range.
+        assert system.machine.load(addr, 1) == b"\x33"
+        assert system.machine.load(addr + PAGE_SIZE, 1) == b"\x33"
+
+    def test_move_then_unmap_upgrades_ownership(self, any_system):
+        system = any_system
+        proc = system.spawn("w")
+        addr = _mmap_store(system, proc, PAGE_SIZE, 0x44)
+        pfn = proc.page_table.lookup(addr // PAGE_SIZE).pfn
+        system.kernel.sys_mmap(proc, addr + PAGE_SIZE, PAGE_SIZE, RW, 0)
+        system.checkpoint()
+        new_addr = system.kernel.sys_mremap(proc, addr, PAGE_SIZE, 2 * PAGE_SIZE)
+        reclaimer = _reclaimer(system)
+        (entry,) = [e for e in reclaimer.state.parked if e.pfn == pfn]
+        assert not entry.owns_frame
+        system.kernel.sys_munmap(proc, new_addr, PAGE_SIZE)
+        (entry,) = [e for e in reclaimer.state.parked if e.pfn == pfn]
+        assert entry.owns_frame
+        # Retire now frees the frame exactly once.
+        used = system.kernel.nvm_alloc.allocated_count
+        system.checkpoint()
+        assert system.kernel.nvm_alloc.allocated_count == used - 1
+
+
+class TestExitOrdering:
+    def test_exit_after_checkpoint_leaves_no_recoverable_ghost(
+        self, any_system
+    ):
+        system = any_system
+        proc = system.spawn("short-lived")
+        _mmap_store(system, proc, PAGE_SIZE, 1)
+        system.checkpoint()
+        system.kernel.exit_process(proc)
+        system.crash()
+        recovered = system.boot()
+        assert all(p.name != "short-lived" for p in recovered)
+
+    def test_exit_frees_all_nvm_frames(self, any_system):
+        system = any_system
+        baseline = system.kernel.nvm_alloc.allocated_count
+        proc = system.spawn("w")
+        _mmap_store(system, proc, 4 * PAGE_SIZE, 2)
+        system.checkpoint()
+        system.kernel.exit_process(proc)
+        assert system.kernel.nvm_alloc.allocated_count == baseline
