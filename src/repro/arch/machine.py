@@ -186,6 +186,26 @@ class Machine:
         # general path.
         self._fast_ok = False
 
+    def detach_extension(self, extension: HardwareExtension) -> None:
+        """Detach a previously attached extension.
+
+        The inverse of :meth:`attach_extension`: when the last extension
+        leaves, the inline fast path is restored (honoring any explicit
+        :meth:`set_fast_path` choice, in either call order).  Mutating
+        ``machine.extensions`` directly skips this bookkeeping and
+        strands the machine on the slow path permanently.
+
+        Raises :class:`ValueError` if the extension is not attached.
+        """
+        try:
+            self.extensions.remove(extension)
+        except ValueError:
+            raise ValueError(
+                f"{type(extension).__name__} is not attached to this machine"
+            ) from None
+        if not self.extensions:
+            self._fast_ok = self._fast_path
+
     def set_fast_path(self, enabled: bool) -> None:
         """Toggle the inline replay fast path (the golden-equivalence
         test runs the same trace both ways; results must be identical)."""

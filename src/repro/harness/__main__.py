@@ -91,6 +91,12 @@ def main(argv=None) -> int:
         help="bench: timing repeats per scenario (best is kept)",
     )
     parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="bench: also replay every scenario through the vectorized "
+        "batch engine and record a batch section in the report",
+    )
+    parser.add_argument(
         "--out",
         default="BENCH_machine.json",
         help="bench: output path for the throughput trajectory JSON",
@@ -135,7 +141,11 @@ def main(argv=None) -> int:
         from repro.harness.bench import bench_main
 
         return bench_main(
-            args.out, smoke=args.smoke, repeats=args.repeats, jobs=args.jobs
+            args.out,
+            smoke=args.smoke,
+            repeats=args.repeats,
+            jobs=args.jobs,
+            batch=args.batch,
         )
     if args.experiment == "crashtest":
         from repro.harness.crashtest import crashtest_main

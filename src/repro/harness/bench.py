@@ -29,7 +29,8 @@ Output schema (``BENCH_machine.json``)
 --------------------------------------
 
 ``schema``
-    ``"bench_machine/v2"`` (v2 added ``host`` and ``sweep``).
+    ``"bench_machine/v3"`` (v2 added ``host`` and ``sweep``; v3 added
+    the optional ``batch`` section).
 ``unit``
     always ``"simulated memory operations per wall-clock second"``.
 ``host``
@@ -44,6 +45,14 @@ Output schema (``BENCH_machine.json``)
     anchor: optimisations must not change it).
 ``speedup_vs_baseline``
     ``current/baseline`` per scenario present in both.
+``batch``
+    present when the run was invoked with ``--batch``: every scenario
+    replayed a second time through :class:`repro.replay.BatchReplayer`
+    (trace packing happens outside the timed window).  Carries the
+    batch-mode ``ops_per_sec``/``elapsed_s``, the batched/scalar op
+    split, ``speedup_vs_scalar``, and ``final_clock`` — which the
+    harness asserts equal to the scalar run's clock before writing the
+    report (cheap first line of the golden-equivalence defence).
 ``sweep``
     the sweep-engine measurement (:func:`measure_sweep`): wall-clock of
     a representative experiment sweep run serially, in parallel at
@@ -67,12 +76,15 @@ from repro.common.config import MachineConfig, small_machine_config
 from repro.common.rng import derive_rng
 from repro.common.units import CACHE_LINE, PAGE_SIZE
 from repro.exec import SweepEngine, sweep
+from repro.harness.compare import compute_speedups
 from repro.mem.hybrid import MemType
+from repro.prep.trace import PackedTrace
+from repro.replay import BatchReplayer
 
 #: One trace record: (vaddr, size, is_write).
 Op = Tuple[int, int, bool]
 
-SCHEMA = "bench_machine/v2"
+SCHEMA = "bench_machine/v3"
 
 #: Seed-tree throughput measured before the PR 1 hot-path overhaul
 #: (same scenarios, same op counts, best of 3 on the reference runner).
@@ -205,32 +217,76 @@ def _replay(machine: Machine, trace: List[Op]) -> float:
     return time.perf_counter() - start  # repro: allow-nondet(bench measures wall-clock by design)
 
 
-def run_scenario(name: str, ops: int, repeats: int = 3) -> Dict[str, float]:
+def _replay_batched(
+    machine: Machine, packed: PackedTrace
+) -> Tuple[float, BatchReplayer]:
+    """Replay a pre-packed trace in batch mode; returns (elapsed, replayer).
+
+    The caller packs the trace outside the timed window: packing is a
+    one-time preparation cost (and on-disk traces load already packed),
+    not part of replay throughput.
+    """
+    replayer = BatchReplayer(machine)
+    start = time.perf_counter()  # repro: allow-nondet(bench measures wall-clock by design)
+    replayer.replay(packed)
+    elapsed = time.perf_counter() - start  # repro: allow-nondet(bench measures wall-clock by design)
+    return elapsed, replayer
+
+
+def run_scenario(
+    name: str, ops: int, repeats: int = 3, batch: bool = False
+) -> Dict[str, float]:
     """Run one scenario ``repeats`` times on fresh machines; keep the best.
 
     A fresh machine per repeat keeps cache/TLB warm-up identical across
-    repeats, so the best run measures interpreter speed, not state.
+    repeats, so the best run measures interpreter speed, not state —
+    and it also means every repeat must end on the *same* simulated
+    clock.  A divergent clock is a nondeterminism canary (scenario
+    builder leaking state, or replay touching wall-clock), so it fails
+    loudly here rather than poisoning the trajectory file.  All
+    reported numbers (``elapsed_s`` and ``ops_per_sec``) come from the
+    single best repeat.
     """
     builder = SCENARIOS[name]
     best = float("inf")
-    final_clock = 0
-    for _ in range(max(1, repeats)):
+    final_clock: Optional[int] = None
+    batched_ops = scalar_ops = 0
+    for repeat in range(max(1, repeats)):
         machine, trace = builder(ops)
-        elapsed = _replay(machine, trace)
+        if batch:
+            packed = PackedTrace.from_ops(trace)
+            elapsed, replayer = _replay_batched(machine, packed)
+            batched_ops = replayer.batched_ops
+            scalar_ops = replayer.scalar_ops
+        else:
+            elapsed = _replay(machine, trace)
+        if final_clock is None:
+            final_clock = machine.clock
+        elif machine.clock != final_clock:
+            raise RuntimeError(
+                f"bench[{name}]: repeat {repeat} ended at clock "
+                f"{machine.clock}, previous repeats at {final_clock} — "
+                "scenario replay is nondeterministic"
+            )
         best = min(best, elapsed)
-        final_clock = machine.clock
-    return {
+    result = {
         "ops": ops,
         "elapsed_s": best,
         "ops_per_sec": ops / best if best > 0 else float("inf"),
         "final_clock": final_clock,
     }
+    if batch:
+        result["batched_ops"] = batched_ops
+        result["scalar_ops"] = scalar_ops
+    return result
 
 
-def bench_cell(name: str, ops: int, repeats: int = 3) -> Dict[str, float]:
+def bench_cell(
+    name: str, ops: int, repeats: int = 3, batch: bool = False
+) -> Dict[str, float]:
     """Sweep-engine cell: one timed scenario (never cached — timings
     depend on the machine's wall-clock, not just code + kwargs)."""
-    return run_scenario(name, ops, repeats=repeats)
+    return run_scenario(name, ops, repeats=repeats, batch=batch)
 
 
 def host_metadata() -> Dict[str, object]:
@@ -249,6 +305,7 @@ def run_bench(
     repeats: int = 3,
     scenarios: Optional[List[str]] = None,
     engine: Optional[SweepEngine] = None,
+    batch: bool = False,
 ) -> Dict[str, object]:
     """Run all (or the selected) scenarios and assemble the report.
 
@@ -256,21 +313,31 @@ def run_bench(
     Note that timing cells contend for cores when run concurrently —
     parallel bench runs finish sooner but report lower ops/sec; leave
     the engine serial (the default) for trajectory-quality numbers.
+
+    With ``batch``, every scenario additionally replays through the
+    vectorized batch engine and the report gains a ``batch`` section;
+    the scalar numbers are measured exactly as before, so batch runs
+    remain comparable with the existing trajectory.
     """
     budgets = SMOKE_OPS if smoke else DEFAULT_OPS
     names = scenarios or list(SCENARIOS)
+    cells = [
+        {
+            "name": name,
+            "ops": budgets[name],
+            "repeats": 1 if smoke else repeats,
+        }
+        for name in names
+    ]
+    labels = [f"bench[{name}]" for name in names]
+    if batch:
+        cells += [dict(cell, batch=True) for cell in cells]
+        labels += [f"bench-batch[{name}]" for name in names]
     results = sweep(
         engine,
         "repro.harness.bench:bench_cell",
-        [
-            {
-                "name": name,
-                "ops": budgets[name],
-                "repeats": 1 if smoke else repeats,
-            }
-            for name in names
-        ],
-        labels=[f"bench[{name}]" for name in names],
+        cells,
+        labels=labels,
         cacheable=False,
     )
     current_ops_per_sec: Dict[str, float] = {}
@@ -282,10 +349,16 @@ def run_bench(
         elapsed[name] = round(result["elapsed_s"], 4)
         ops[name] = result["ops"]
         clocks[name] = result["final_clock"]
+    speedups, speedup_warnings = compute_speedups(
+        current_ops_per_sec, SEED_BASELINE["ops_per_sec"]
+    )
+    for warning in speedup_warnings:
+        print(f"bench: speedup_vs_baseline: {warning}")
     report: Dict[str, object] = {
         "schema": SCHEMA,
         "generated_by": "python -m repro.harness bench"
-        + (" --smoke" if smoke else ""),
+        + (" --smoke" if smoke else "")
+        + (" --batch" if batch else ""),
         "unit": "simulated memory operations per wall-clock second",
         "smoke": smoke,
         "host": host_metadata(),
@@ -296,12 +369,39 @@ def run_bench(
             "ops": ops,
             "final_clock": clocks,
         },
-        "speedup_vs_baseline": {
-            name: round(current_ops_per_sec[name] / base, 2)
-            for name, base in SEED_BASELINE["ops_per_sec"].items()
-            if name in current_ops_per_sec and base > 0
-        },
+        "speedup_vs_baseline": speedups,
     }
+    if batch:
+        batch_rates: Dict[str, float] = {}
+        batch_elapsed: Dict[str, float] = {}
+        batch_split: Dict[str, Dict[str, int]] = {}
+        batch_clocks: Dict[str, int] = {}
+        for name, result in zip(names, results[len(names):]):
+            if result["final_clock"] != clocks[name]:
+                raise RuntimeError(
+                    f"bench[{name}]: batch replay ended at clock "
+                    f"{result['final_clock']}, scalar at {clocks[name]} — "
+                    "batch/scalar equivalence violated"
+                )
+            batch_rates[name] = round(result["ops_per_sec"], 1)
+            batch_elapsed[name] = round(result["elapsed_s"], 4)
+            batch_split[name] = {
+                "batched": result["batched_ops"],
+                "scalar": result["scalar_ops"],
+            }
+            batch_clocks[name] = result["final_clock"]
+        batch_speedups, batch_warnings = compute_speedups(
+            batch_rates, current_ops_per_sec
+        )
+        for warning in batch_warnings:
+            print(f"bench: speedup_vs_scalar: {warning}")
+        report["batch"] = {
+            "ops_per_sec": batch_rates,
+            "elapsed_s": batch_elapsed,
+            "op_split": batch_split,
+            "final_clock": batch_clocks,
+            "speedup_vs_scalar": batch_speedups,
+        }
     return report
 
 
@@ -368,6 +468,7 @@ def bench_main(
     smoke: bool = False,
     repeats: int = 3,
     jobs: Optional[int] = None,
+    batch: bool = False,
 ) -> int:
     """CLI entry: run, print a table, write the JSON trajectory file.
 
@@ -375,7 +476,7 @@ def bench_main(
     ``os.cpu_count()``); the throughput scenarios themselves always run
     serially so the trajectory stays contention-free.
     """
-    report = run_bench(smoke=smoke, repeats=repeats)
+    report = run_bench(smoke=smoke, repeats=repeats, batch=batch)
     current = report["current"]
     print(f"== replay throughput ({report['unit']}) ==")
     for name, rate in current["ops_per_sec"].items():
@@ -386,6 +487,18 @@ def bench_main(
             f"[{current['ops'][name]} ops in {current['elapsed_s'][name]:.3f}s]"
             f"{speedup}"
         )
+    if batch:
+        batch_section = report["batch"]
+        print("== batch replay (same scenarios, vectorized engine) ==")
+        for name, rate in batch_section["ops_per_sec"].items():
+            split = batch_section["op_split"][name]
+            ratio = batch_section["speedup_vs_scalar"].get(name)
+            vs = f"  ({ratio:.2f}x scalar)" if ratio is not None else ""
+            print(
+                f"  {name:<16} {rate:>12,.0f} ops/s  "
+                f"[{split['batched']} batched / {split['scalar']} scalar]"
+                f"{vs}"
+            )
     sweep_report = measure_sweep(jobs=jobs, smoke=smoke)
     report["sweep"] = sweep_report
     print(

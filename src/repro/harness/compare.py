@@ -10,6 +10,12 @@ both sides and checks that
 * label columns match exactly,
 * numeric columns agree within a tolerance factor (timings wobble with
   calibration constants; shapes should not).
+
+It also owns :func:`compute_speedups`, the throughput-ratio helper the
+bench harness uses for its ``speedup_vs_baseline`` and batch-vs-scalar
+sections: comparing two ``{scenario: ops_per_sec}`` mappings is the
+same "regenerated vs blessed" problem, and centralising it here keeps
+the division-by-zero / missing-scenario handling in one place.
 """
 
 from __future__ import annotations
@@ -47,6 +53,36 @@ def _numeric(value: str) -> Optional[float]:
         return float(value)
     except ValueError:
         return None
+
+
+def compute_speedups(
+    current: Dict[str, float],
+    baseline: Dict[str, float],
+    digits: int = 2,
+) -> Tuple[Dict[str, float], List[str]]:
+    """Per-scenario ``current / baseline`` throughput ratios.
+
+    Scenarios missing from ``baseline`` and scenarios whose baseline
+    rate is zero (or negative — a corrupt record) are skipped with a
+    warning instead of raising ``KeyError`` / ``ZeroDivisionError``, so
+    a renamed scenario or a damaged trajectory file degrades the report
+    rather than killing the whole bench run.  Returns the ratio mapping
+    (insertion order follows ``current``) and the warning list.
+    """
+    speedups: Dict[str, float] = {}
+    warnings: List[str] = []
+    for name, rate in current.items():
+        if name not in baseline:
+            warnings.append(f"{name}: no baseline measurement, skipped")
+            continue
+        base = baseline[name]
+        if base <= 0:
+            warnings.append(
+                f"{name}: unusable baseline ops/sec ({base}), skipped"
+            )
+            continue
+        speedups[name] = round(rate / base, digits)
+    return speedups, warnings
 
 
 def compare_results(

@@ -10,9 +10,13 @@ within the address range of that area."
 
 from __future__ import annotations
 
+import json
+import struct
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Sequence, Union
+
+import numpy as np
 
 from repro.common.errors import TraceFormatError
 from repro.prep.maps import AddressLayout
@@ -147,4 +151,120 @@ def load_image(path: Union[str, Path]) -> DiskImage:
                         area=parts[4],
                     )
                 )
+    return DiskImage(name=name, areas=areas, tuples=tuples)
+
+
+# ----------------------------------------------------------------------
+# packed binary image container (compact replay artifacts)
+# ----------------------------------------------------------------------
+
+#: Magic + version for the binary image container.  The body is a JSON
+#: metadata block (name, area table, tuple count) followed by one packed
+#: numpy record per replay tuple — 24 bytes instead of ~20 characters,
+#: which is what makes multi-million-op image artifacts practical.
+IMG_MAGIC = b"KNDLIMGB"
+IMG_VERSION = 1
+
+#: Header: magic(8) + version(u2) + reserved(u2) + json_len(u4), LE.
+_IMG_HEADER = struct.Struct("<8sHHI")
+
+#: One packed replay tuple; ``area`` indexes the JSON area table and
+#: ``flags`` bit 0 is the write bit.
+IMG_DTYPE = np.dtype(
+    [
+        ("period", "<u8"),
+        ("offset", "<u8"),
+        ("size", "<u4"),
+        ("area", "<u2"),
+        ("flags", "<u2"),
+    ]
+)
+
+_IMG_FLAG_WRITE = 1
+
+
+def save_image_binary(image: DiskImage, path: Union[str, Path]) -> int:
+    """Serialize an image to the packed binary container.
+
+    Returns the number of replay tuples written.
+    """
+    area_index = {spec.name: i for i, spec in enumerate(image.areas)}
+    if len(area_index) > 0xFFFF:
+        raise TraceFormatError("binary image supports at most 65535 areas")
+    meta = {
+        "name": image.name,
+        "areas": [[a.name, a.size, a.kind] for a in image.areas],
+        "tuples": len(image.tuples),
+    }
+    meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
+    body = np.zeros(len(image.tuples), dtype=IMG_DTYPE)
+    for i, t in enumerate(image.tuples):
+        try:
+            area = area_index[t.area]
+        except KeyError:
+            raise TraceFormatError(
+                f"tuple {i} references unknown area {t.area!r}"
+            ) from None
+        body[i] = (
+            t.period,
+            t.offset,
+            t.size,
+            area,
+            _IMG_FLAG_WRITE if t.is_write else 0,
+        )
+    with open(path, "wb") as fh:
+        fh.write(_IMG_HEADER.pack(IMG_MAGIC, IMG_VERSION, 0, len(meta_bytes)))
+        fh.write(meta_bytes)
+        fh.write(body.tobytes())
+    return len(body)
+
+
+def load_image_binary(path: Union[str, Path]) -> DiskImage:
+    """Parse an image written by :func:`save_image_binary`.
+
+    Corrupt headers, truncated payloads and dangling area references
+    all raise :class:`TraceFormatError` — a damaged artifact must never
+    silently replay a prefix.
+    """
+    with open(path, "rb") as fh:
+        header = fh.read(_IMG_HEADER.size)
+        if len(header) < _IMG_HEADER.size:
+            raise TraceFormatError("binary image truncated inside header")
+        magic, version, _reserved, meta_len = _IMG_HEADER.unpack(header)
+        if magic != IMG_MAGIC:
+            raise TraceFormatError(f"unrecognized binary image magic {magic!r}")
+        if version != IMG_VERSION:
+            raise TraceFormatError(f"unsupported binary image version {version}")
+        meta_bytes = fh.read(meta_len)
+        if len(meta_bytes) < meta_len:
+            raise TraceFormatError("binary image truncated inside metadata")
+        body = fh.read()
+    try:
+        meta = json.loads(meta_bytes.decode("utf-8"))
+        name = meta["name"]
+        areas = [AreaSpec(n, int(size), kind) for n, size, kind in meta["areas"]]
+        count = int(meta["tuples"])
+    except (ValueError, KeyError, TypeError) as exc:
+        raise TraceFormatError(f"bad binary image metadata: {exc}") from exc
+    expected = count * IMG_DTYPE.itemsize
+    if len(body) != expected:
+        raise TraceFormatError(
+            f"binary image payload is {len(body)} bytes, expected {expected}"
+        )
+    packed = np.frombuffer(body, dtype=IMG_DTYPE)
+    tuples: List[ReplayTuple] = []
+    for i in range(count):
+        record = packed[i]
+        area = int(record["area"])
+        if area >= len(areas):
+            raise TraceFormatError(f"tuple {i} references missing area {area}")
+        tuples.append(
+            ReplayTuple(
+                period=int(record["period"]),
+                offset=int(record["offset"]),
+                op=WRITE if record["flags"] & _IMG_FLAG_WRITE else READ,
+                size=int(record["size"]),
+                area=areas[area].name,
+            )
+        )
     return DiskImage(name=name, areas=areas, tuples=tuples)

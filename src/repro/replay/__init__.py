@@ -1,0 +1,17 @@
+"""Vectorized batch replay of memory-access traces.
+
+The scalar replay loop (``for op in trace: machine.access(*op)``) pays
+Python dispatch per operation; :class:`BatchReplayer` replays the same
+trace by committing *runs* of pure-bookkeeping operations — single-line
+accesses whose translation is TLB-resident and whose line is L1-resident
+— as one vectorized batch, and falling back to the scalar
+:meth:`~repro.arch.machine.Machine.access` path at every fault, TLB or
+cache miss, multi-line access, extension hook, persist boundary and
+os-mode transition.  Observable behavior (stats dump, clock, physical
+memory) is byte-identical to the scalar loop by construction, and the
+golden-equivalence suite holds both paths against each other.
+"""
+
+from repro.replay.batch import DEFAULT_CHUNK, BatchReplayer, replay_batch
+
+__all__ = ["BatchReplayer", "replay_batch", "DEFAULT_CHUNK"]

@@ -1,0 +1,362 @@
+"""The batch replay engine: vectorized run detection and commit.
+
+Equivalence argument
+--------------------
+
+A *committable run* is a maximal stretch of operations that each
+
+* fit in one cache line (``vaddr % CACHE_LINE + size <= CACHE_LINE``),
+* translate through a TLB-resident entry (writable when the op writes),
+* hit the L1 (the line is resident at run start), and
+* execute in user mode with the fast path enabled and no extensions.
+
+During such a run the scalar path performs only commutative
+bookkeeping: per-op ``tlb.hit``/``l1.hit``/``ops.*`` counter bumps, a
+fixed clock advance of ``op_base + l1_hit_latency`` cycles, an LRU
+refresh of the touched TLB entry and L1 line, and a dirty-bit merge on
+writes.  None of it changes *membership* of any structure, so residency
+checked at run start holds for the whole run, and the final LRU state
+depends only on each key's **last** access position (untouched keys
+keep their relative order ahead of touched ones).  The batch kernel
+therefore commits the run as: counter increments of the run totals, one
+batched clock advance, and one ordered :meth:`Tlb.touch_run` /
+:meth:`Cache.touch_run` per structure.
+
+Timers are the one coupling to the clock: the scalar loop fires due
+timers after every op, so a run is truncated at the op whose batched
+clock advance first reaches the earliest armed deadline, the timers
+fire there exactly as they would scalar, and — since callbacks may
+mutate arbitrary machine state — every cached eligibility mask is
+treated as stale afterwards and re-verified before the next commit.
+
+Everything else — faults, TLB/L1 misses, protection upgrades,
+multi-line and page-crossing ops, os-mode execution, attached
+extensions, persist boundaries — falls back to the scalar
+:meth:`Machine.access` path op by op, which is definitionally
+equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.arch.machine import LINES_PER_PAGE, Machine
+from repro.common.units import CACHE_LINE, PAGE_SIZE
+from repro.prep.trace import PackedTrace
+
+#: Operations analyzed per vectorized precheck pass.
+DEFAULT_CHUNK = 8192
+
+#: Scalar run-ahead while the next op is ineligible: starts small so a
+#: cold-start warmup flips to batch mode quickly, doubles while
+#: re-probes stay ineligible so miss-heavy traces pay a bounded number
+#: of prechecks per chunk.
+_MIN_SCALAR_SPAN = 32
+_MAX_SCALAR_SPAN = 4096  # repro: allow-geometry(op-count span cap, not a byte size)
+
+_LINE_MASK = np.uint64(CACHE_LINE - 1)
+_PAGE_MASK = np.uint64(PAGE_SIZE - 1)
+_PAGE_SHIFT = np.uint64(PAGE_SIZE.bit_length() - 1)
+_LINE_SHIFT = np.uint64(CACHE_LINE.bit_length() - 1)
+_LINES_PER_PAGE = np.uint64(LINES_PER_PAGE)
+
+#: A scalar trace operation, as built by the bench scenarios.
+Op = Tuple[int, int, bool]
+
+
+class BatchReplayer:
+    """Replays a trace against one machine in vectorized batches.
+
+    The replayer owns no simulated state — it is a pure execution
+    strategy over the machine's own TLB/cache/counter structures — so
+    interleaving :meth:`replay` calls with direct ``machine.access``
+    calls is safe.
+
+    ``batched_ops`` / ``scalar_ops`` count how the trace actually
+    executed (they are engine-local diagnostics, deliberately *not*
+    machine stats: the stats dump must stay byte-identical to a scalar
+    replay).
+    """
+
+    def __init__(self, machine: Machine, chunk: int = DEFAULT_CHUNK) -> None:
+        if chunk < 1:
+            raise ValueError(f"chunk must be positive: {chunk}")
+        self.machine = machine
+        self.chunk = chunk
+        self.batched_ops = 0
+        self.scalar_ops = 0
+        # Scalar run-ahead length, persisted across chunks so an
+        # entirely-scalar trace converges to one precheck per span
+        # instead of restarting the doubling ladder every chunk.
+        self._span = _MIN_SCALAR_SPAN
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def replay(self, trace: Union[PackedTrace, Sequence[Op]]) -> int:
+        """Replay every operation of ``trace``; returns ops replayed."""
+        packed = (
+            trace
+            if isinstance(trace, PackedTrace)
+            else PackedTrace.from_ops(trace)
+        )
+        addr = np.ascontiguousarray(packed.addr, dtype=np.uint64)
+        size = np.ascontiguousarray(packed.size, dtype=np.uint64)
+        is_write = np.ascontiguousarray(packed.is_write, dtype=bool)
+        total = len(addr)
+        chunk = self.chunk
+        for start in range(0, total, chunk):
+            stop = min(total, start + chunk)
+            self._replay_chunk(
+                addr[start:stop], size[start:stop], is_write[start:stop]
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    # chunk machinery
+    # ------------------------------------------------------------------
+
+    def _replay_chunk(
+        self, addr: np.ndarray, size: np.ndarray, is_write: np.ndarray
+    ) -> None:
+        machine = self.machine
+        count = len(addr)
+        if not machine._fast_ok or machine._mode_stack:  # noqa: SLF001
+            # Extensions attached / fast path off / os mode: the whole
+            # chunk is scalar by definition; skip the precheck entirely.
+            self._scalar_span(addr, size, is_write, 0, count)
+            return
+        base = 0
+        while base < count:
+            # Cheap scalar probe of the next op first: if it is not
+            # committable (the common case in miss-heavy stretches) the
+            # whole vectorized precheck would be wasted work, since runs
+            # are only consumed from the front of the remainder.
+            if not self._probe_one(
+                int(addr[base]), int(size[base]), bool(is_write[base])
+            ):
+                stop = min(count, base + self._span)
+                self._scalar_span(addr, size, is_write, base, stop)
+                base = stop
+                self._span = min(self._span * 2, _MAX_SCALAR_SPAN)
+                continue
+            mask, key, line = self._eligibility(
+                addr[base:], size[base:], is_write[base:]
+            )
+            remaining = count - base
+            cursor = 0
+            fired = False
+            # Consume verified True runs.  Commits refresh LRU order and
+            # merge dirty bits but never change TLB/L1 *membership*, so
+            # the mask stays valid across commits — it goes stale only
+            # when a scalar op executes or a timer callback runs.
+            while cursor < remaining and mask[cursor]:
+                run_end = cursor + 1
+                while run_end < remaining and mask[run_end]:
+                    run_end += 1
+                while cursor < run_end:
+                    consumed, fired = self._commit(
+                        key[cursor:run_end],
+                        line[cursor:run_end],
+                        is_write[base + cursor : base + run_end],
+                    )
+                    cursor += consumed
+                    if fired:
+                        break
+                if fired:
+                    break
+            if fired:
+                base += cursor
+                self._span = _MIN_SCALAR_SPAN
+                continue
+            if cursor >= remaining:
+                break
+            # The op at the cursor is not committable right now.  Replay
+            # a scalar span and re-probe: misses *fill* state, so
+            # eligibility can improve mid-chunk (cold-start warmup), but
+            # each fill can also evict, so nothing is committed without
+            # a fresh mask.  The span doubles while re-probes keep
+            # coming back immediately ineligible (miss-heavy stretches
+            # pay a bounded number of prechecks) and resets once a run
+            # commits again.
+            stop = min(remaining, cursor + self._span)
+            self._scalar_span(addr, size, is_write, base + cursor, base + stop)
+            base += stop
+            if cursor == 0:
+                self._span = min(self._span * 2, _MAX_SCALAR_SPAN)
+            else:
+                self._span = _MIN_SCALAR_SPAN
+
+    def _scalar_span(
+        self,
+        addr: np.ndarray,
+        size: np.ndarray,
+        is_write: np.ndarray,
+        start: int,
+        stop: int,
+    ) -> None:
+        """Replay ``[start, stop)`` through the scalar access path."""
+        access = self.machine.access
+        for vaddr, nbytes, write in zip(
+            addr[start:stop].tolist(),
+            size[start:stop].tolist(),
+            is_write[start:stop].tolist(),
+        ):
+            access(vaddr, nbytes, write)
+        self.scalar_ops += stop - start
+
+    def _probe_one(self, vaddr: int, nbytes: int, is_write: bool) -> bool:
+        """Scalar committability check of a single op (precheck gate).
+
+        Mirrors :meth:`_eligibility` exactly for one op, at dict-probe
+        cost; used to skip the vectorized pass when the op at the front
+        of the remainder is not committable anyway.
+        """
+        machine = self.machine
+        if not machine._fast_ok or machine._mode_stack:  # noqa: SLF001
+            return False
+        if nbytes <= 0 or vaddr % CACHE_LINE + nbytes > CACHE_LINE:
+            return False
+        key = vaddr // PAGE_SIZE | machine._asid_base  # noqa: SLF001
+        entry = machine.tlb._entries.get(key)  # noqa: SLF001 - hot path
+        if entry is None or (is_write and not entry.writable):
+            return False
+        line = entry.pfn * LINES_PER_PAGE + vaddr % PAGE_SIZE // CACHE_LINE
+        l1_sets = machine._l1_sets  # noqa: SLF001 - hot path
+        return line in l1_sets[line % machine._l1_nsets]  # noqa: SLF001
+
+    def _eligibility(
+        self, addr: np.ndarray, size: np.ndarray, is_write: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized precheck: which ops are committable *right now*.
+
+        Returns ``(mask, key, line)``; ``key``/``line`` values are only
+        meaningful where ``mask`` is set.
+        """
+        machine = self.machine
+        count = len(addr)
+        if not machine._fast_ok or machine._mode_stack:  # noqa: SLF001
+            zeros = np.zeros(count, dtype=np.uint64)
+            return np.zeros(count, dtype=bool), zeros, zeros
+        entries = machine.tlb._entries  # noqa: SLF001 - hot path
+        if not entries:
+            zeros = np.zeros(count, dtype=np.uint64)
+            return np.zeros(count, dtype=bool), zeros, zeros
+        # Set-index / tag extraction, in bulk.
+        line_offset = addr & _LINE_MASK
+        single = (line_offset + size <= CACHE_LINE) & (size > 0)
+        key = (addr >> _PAGE_SHIFT) | np.uint64(machine._asid_base)  # noqa: SLF001
+        # Translation residency: snapshot the TLB (at most ``entries``
+        # config slots, typically 64) into sorted arrays once, then
+        # binary-search every op against it — no per-op dict probes.
+        tlb_keys = np.fromiter(entries.keys(), dtype=np.uint64, count=len(entries))
+        tlb_pfns = np.fromiter(
+            (entry.pfn for entry in entries.values()),
+            dtype=np.uint64,
+            count=len(entries),
+        )
+        tlb_writable = np.fromiter(
+            (entry.writable for entry in entries.values()),
+            dtype=bool,
+            count=len(entries),
+        )
+        tlb_order = np.argsort(tlb_keys)
+        tlb_keys = tlb_keys[tlb_order]
+        slot = np.minimum(
+            np.searchsorted(tlb_keys, key), len(tlb_keys) - 1
+        )
+        resident = tlb_keys[slot] == key
+        mask = single & resident & (tlb_writable[tlb_order][slot] | ~is_write)
+        line = tlb_pfns[tlb_order][slot] * _LINES_PER_PAGE + (
+            (addr & _PAGE_MASK) >> _LINE_SHIFT
+        )
+        # L1 residency, probed once per unique candidate line.
+        candidates = np.flatnonzero(mask)
+        if len(candidates):
+            unique_lines, line_inverse = np.unique(
+                line[candidates], return_inverse=True
+            )
+            l1_sets = machine._l1_sets  # noqa: SLF001 - hot path
+            l1_nsets = machine._l1_nsets  # noqa: SLF001 - hot path
+            l1_resident = np.fromiter(
+                (
+                    cached in l1_sets[cached % l1_nsets]
+                    for cached in unique_lines.tolist()
+                ),
+                dtype=bool,
+                count=len(unique_lines),
+            )
+            mask[candidates] &= l1_resident[line_inverse]
+        return mask, key, line
+
+    def _commit(
+        self, key: np.ndarray, line: np.ndarray, is_write: np.ndarray
+    ) -> Tuple[int, bool]:
+        """Commit a verified run; returns ``(ops committed, timers fired)``.
+
+        The run is truncated at the op whose batched clock advance first
+        reaches the earliest armed timer deadline, mirroring the scalar
+        loop's post-op timer check exactly.
+        """
+        machine = self.machine
+        per_op_cycles = machine._fast_cycles  # noqa: SLF001 - hot path
+        heap = machine._timer_heap  # noqa: SLF001 - hot path
+        length = len(key)
+        if heap:
+            gap = heap[0][0] - machine.clock
+            # Ops until the batched clock first reaches the deadline;
+            # at least one op always commits (the scalar loop, too,
+            # replays the op before checking timers).
+            length = min(length, max(1, -(-gap // per_op_cycles)))
+            key = key[:length]
+            line = line[:length]
+            is_write = is_write[:length]
+        counters = machine._counters  # noqa: SLF001 - hot path
+        writes = int(np.count_nonzero(is_write))
+        counters["tlb.hit"] += length
+        counters[machine._l1_hit_key] += length  # noqa: SLF001 - hot path
+        counters["ops.writes"] += writes
+        counters["ops.reads"] += length - writes
+        cycles = length * per_op_cycles
+        machine.clock += cycles
+        counters["cycles.user"] += cycles
+        # L1 LRU refresh + dirty merge: unique lines in last-access
+        # order, each merged with "was any access in the run a write".
+        # One unique pass over the reversed run yields both the sorted
+        # unique lines and each line's last-access position (the first
+        # occurrence in the reversed view).
+        unique_lines, rev_first, rev_inverse = np.unique(
+            line[::-1], return_index=True, return_inverse=True
+        )
+        inverse = rev_inverse[::-1]
+        wrote = (
+            np.bincount(inverse[is_write], minlength=len(unique_lines)) > 0
+        )
+        order = np.argsort(length - 1 - rev_first)
+        machine.l1.touch_run(
+            unique_lines[order].tolist(), wrote[order].tolist()
+        )
+        # TLB LRU refresh: unique translation keys in last-access order.
+        unique_keys, key_last = np.unique(key[::-1], return_index=True)
+        key_order = np.argsort(length - 1 - key_last)
+        machine.tlb.touch_run(unique_keys[key_order].tolist())
+        self.batched_ops += length
+        fired = 0
+        if heap and heap[0][0] <= machine.clock:
+            fired = machine.timers.fire_due(machine._read_clock)  # noqa: SLF001
+        return length, bool(fired)
+
+
+def replay_batch(
+    machine: Machine,
+    trace: Union[PackedTrace, Sequence[Op]],
+    chunk: int = DEFAULT_CHUNK,
+) -> BatchReplayer:
+    """Replay ``trace`` on ``machine`` in batch mode; returns the
+    replayer (whose ``batched_ops``/``scalar_ops`` describe the split)."""
+    replayer = BatchReplayer(machine, chunk=chunk)
+    replayer.replay(trace)
+    return replayer

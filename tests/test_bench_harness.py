@@ -2,6 +2,9 @@
 
 import json
 
+import pytest
+
+from repro.harness import bench
 from repro.harness.bench import (
     DEFAULT_OPS,
     SCENARIOS,
@@ -49,11 +52,51 @@ class TestScenarios:
         assert result["ops_per_sec"] > 0
         assert result["final_clock"] > 0
 
+    def test_best_repeat_rate_and_elapsed_agree(self, monkeypatch):
+        """``elapsed_s`` and ``ops_per_sec`` must describe the *same*
+        (best) repeat — stubbing the timer makes the pairing exact."""
+        elapsed_values = iter([0.5, 0.2, 0.4])
+
+        def scripted_replay(machine, trace):
+            for vaddr, size, is_write in trace:
+                machine.access(vaddr, size, is_write)
+            return next(elapsed_values)
+
+        monkeypatch.setattr(bench, "_replay", scripted_replay)
+        result = run_scenario("l1_resident", 100, repeats=3)
+        assert result["elapsed_s"] == 0.2
+        assert result["ops_per_sec"] == pytest.approx(100 / 0.2)
+
+    def test_divergent_repeat_clock_raises(self, monkeypatch):
+        """A repeat ending on a different simulated clock is a
+        nondeterminism canary, not a number to average away."""
+        real_builder = SCENARIOS["l1_resident"]
+        calls = {"n": 0}
+
+        def flaky_builder(ops):
+            machine, trace = real_builder(ops)
+            calls["n"] += 1
+            if calls["n"] == 2:
+                trace = trace + [trace[0]]
+            return machine, trace
+
+        monkeypatch.setitem(bench.SCENARIOS, "flaky", flaky_builder)
+        with pytest.raises(RuntimeError, match="nondeterministic"):
+            run_scenario("flaky", 50, repeats=2)
+
+    def test_run_scenario_batch_matches_scalar_clock(self):
+        scalar = run_scenario("l1_resident", 2000, repeats=1)
+        batched = run_scenario("l1_resident", 2000, repeats=1, batch=True)
+        assert batched["final_clock"] == scalar["final_clock"]
+        assert batched["batched_ops"] + batched["scalar_ops"] == 2000
+        assert batched["batched_ops"] > 0  # the kernel actually engaged
+
 
 class TestReportSchema:
     def test_smoke_report_schema(self):
         report = run_bench(smoke=True)
-        assert report["schema"] == "bench_machine/v2"
+        assert report["schema"] == "bench_machine/v3"
+        assert "batch" not in report  # only recorded when requested
         current = report["current"]
         assert set(current["ops_per_sec"]) == set(SCENARIOS)
         assert all(rate > 0 for rate in current["ops_per_sec"].values())
@@ -72,15 +115,34 @@ class TestReportSchema:
         second = run_scenario("llc_resident", 400, repeats=1)
         assert first["final_clock"] == second["final_clock"]
 
+    def test_batch_report_section(self):
+        report = run_bench(
+            smoke=True, batch=True, scenarios=["l1_resident", "fault_heavy"]
+        )
+        batch_section = report["batch"]
+        assert set(batch_section["ops_per_sec"]) == {
+            "l1_resident",
+            "fault_heavy",
+        }
+        for name, clock in batch_section["final_clock"].items():
+            assert clock == report["current"]["final_clock"][name]
+        split = batch_section["op_split"]["l1_resident"]
+        assert split["batched"] > 0
+        assert split["batched"] + split["scalar"] == SMOKE_OPS["l1_resident"]
+        assert set(batch_section["speedup_vs_scalar"]) == set(
+            batch_section["ops_per_sec"]
+        )
+
 
 class TestCli:
     def test_bench_cli_writes_json(self, tmp_path, capsys):
         from repro.harness.__main__ import main
 
         out = tmp_path / "deep" / "results" / "BENCH_machine.json"
-        assert main(["bench", "--smoke", "--out", str(out)]) == 0
+        assert main(["bench", "--smoke", "--batch", "--out", str(out)]) == 0
         report = json.loads(out.read_text())
-        assert report["schema"] == "bench_machine/v2"
+        assert report["schema"] == "bench_machine/v3"
+        assert report["batch"]["op_split"]["l1_resident"]["batched"] > 0
         assert report["smoke"] is True
         sweep_section = report["sweep"]
         assert sweep_section["cells"] >= 2
@@ -89,6 +151,7 @@ class TestCli:
         assert 0.0 <= sweep_section["warm_cache_hit_rate"] <= 1.0
         captured = capsys.readouterr()
         assert "replay throughput" in captured.out
+        assert "batch replay" in captured.out
         assert "sweep engine" in captured.out
 
     def test_committed_baseline_is_recorded(self):

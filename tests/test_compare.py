@@ -2,7 +2,45 @@
 
 from pathlib import Path
 
-from repro.harness.compare import compare_results
+import pytest
+
+from repro.harness.compare import compare_results, compute_speedups
+
+
+class TestComputeSpeedups:
+    def test_ratios_follow_current_order(self):
+        speedups, warnings = compute_speedups(
+            {"a": 200.0, "b": 50.0}, {"a": 100.0, "b": 100.0}
+        )
+        assert speedups == {"a": 2.0, "b": 0.5}
+        assert list(speedups) == ["a", "b"]
+        assert warnings == []
+
+    def test_missing_baseline_scenario_skipped_with_warning(self):
+        speedups, warnings = compute_speedups(
+            {"a": 200.0, "renamed": 300.0}, {"a": 100.0}
+        )
+        assert speedups == {"a": 2.0}
+        assert len(warnings) == 1 and "renamed" in warnings[0]
+
+    def test_zero_baseline_skipped_with_warning(self):
+        speedups, warnings = compute_speedups(
+            {"a": 200.0, "b": 50.0}, {"a": 0.0, "b": 100.0}
+        )
+        assert speedups == {"b": 0.5}
+        assert len(warnings) == 1 and "a" in warnings[0]
+
+    def test_negative_baseline_skipped_with_warning(self):
+        speedups, warnings = compute_speedups({"a": 200.0}, {"a": -5.0})
+        assert speedups == {}
+        assert len(warnings) == 1
+
+    def test_rounding_digits(self):
+        speedups, _ = compute_speedups({"a": 1.0}, {"a": 3.0}, digits=4)
+        assert speedups == {"a": pytest.approx(0.3333)}
+
+    def test_empty_inputs(self):
+        assert compute_speedups({}, {}) == ({}, [])
 
 
 def _write(path: Path, title: str, headers, rows):

@@ -164,6 +164,57 @@ class TestGoldenEquivalence:
         assert hooked_clock == plain_clock
         assert hooked_frames == plain_frames
 
+    def test_batch_replay_identical_across_bench_scenarios(self):
+        """Batch replay must be byte-identical to the scalar loop on
+        every bench scenario — including the fault-heavy trace (every
+        op takes the scalar fallback) and the extension-attached one
+        (the whole chunk short-circuits to scalar)."""
+        from repro.harness.bench import SCENARIOS
+        from repro.replay import replay_batch
+
+        for name, builder in SCENARIOS.items():
+            scalar_machine, trace = builder(3000)
+            for vaddr, size, is_write in trace:
+                scalar_machine.access(vaddr, size, is_write)
+            batch_machine, trace = builder(3000)
+            replayer = replay_batch(batch_machine, trace)
+            assert replayer.batched_ops + replayer.scalar_ops == 3000, name
+            assert _fingerprint(batch_machine) == _fingerprint(
+                scalar_machine
+            ), name
+            if name == "l1_resident":
+                assert replayer.batched_ops > 0
+            if name == "l1_extensions":
+                assert replayer.batched_ops == 0
+
+    def test_batch_replay_identical_with_timers(self):
+        """Armed timers must fire at the same op boundary either way:
+        runs are truncated at the earliest deadline, and callbacks (os
+        region + clock advance) invalidate the batch eligibility."""
+        from repro.harness.bench import SCENARIOS
+        from repro.replay import replay_batch
+
+        def build(ops):
+            machine, trace = SCENARIOS["l1_resident"](ops)
+
+            def tick():
+                machine.stats.add("test.ticks")
+                with machine.os_region("tick"):
+                    machine.advance(123)
+                machine.timers.arm(machine.clock + 977, tick)
+
+            machine.timers.arm(machine.clock + 977, tick)
+            return machine, trace
+
+        scalar_machine, trace = build(8000)
+        for vaddr, size, is_write in trace:
+            scalar_machine.access(vaddr, size, is_write)
+        batch_machine, trace = build(8000)
+        replayer = replay_batch(batch_machine, trace)
+        assert replayer.batched_ops > 0
+        assert scalar_machine.stats["test.ticks"] > 0
+        assert _fingerprint(batch_machine) == _fingerprint(scalar_machine)
+
     def test_fast_path_actually_taken(self):
         """The fast machine must serve ops without entering Tlb.lookup."""
         counts = {}

@@ -85,8 +85,10 @@ class TestBenchDispatch:
     def test_bench_options_flow_through(self, monkeypatch, tmp_path):
         seen = {}
 
-        def fake_bench_main(out, smoke=False, repeats=3, jobs=None):
-            seen.update(out=out, smoke=smoke, repeats=repeats, jobs=jobs)
+        def fake_bench_main(out, smoke=False, repeats=3, jobs=None, batch=False):
+            seen.update(
+                out=out, smoke=smoke, repeats=repeats, jobs=jobs, batch=batch
+            )
             return 0
 
         import repro.harness.bench as bench
@@ -94,12 +96,13 @@ class TestBenchDispatch:
         monkeypatch.setattr(bench, "bench_main", fake_bench_main)
         out = tmp_path / "B.json"
         assert (
-            main(["bench", "--smoke", "--repeats", "5", "--out", str(out),
-                  "-j", "4"])
+            main(["bench", "--smoke", "--batch", "--repeats", "5",
+                  "--out", str(out), "-j", "4"])
             == 0
         )
         assert seen == {
             "out": str(out), "smoke": True, "repeats": 5, "jobs": 4,
+            "batch": True,
         }
 
 

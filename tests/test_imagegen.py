@@ -10,7 +10,9 @@ from repro.prep.imagegen import (
     ReplayTuple,
     generate_image,
     load_image,
+    load_image_binary,
     save_image,
+    save_image_binary,
 )
 from repro.prep.maps import AddressLayout, Region
 from repro.prep.trace import READ, WRITE, TraceRecord
@@ -110,3 +112,82 @@ class TestSerialization:
         path.write_text("# kindle-image v1\nname x\n0 0 Z 8 h\n")
         with pytest.raises(TraceFormatError):
             load_image(path)
+
+
+class TestBinarySerialization:
+    def _image(self, ops=50):
+        areas = [
+            AreaSpec("h", 4 * PAGE_SIZE, "heap"),
+            AreaSpec("s", PAGE_SIZE, "stack"),
+        ]
+        # Timestamp-scale periods, as the tracer records them.
+        tuples = [
+            ReplayTuple(
+                period=10**12 + i,
+                offset=(i * 72) % (4 * PAGE_SIZE - 256),
+                op=WRITE if i % 3 == 0 else READ,
+                size=8 + i % 59,
+                area="h" if i % 4 else "s",
+            )
+            for i in range(ops)
+        ]
+        return DiskImage(name="bin-demo", areas=areas, tuples=tuples)
+
+    def test_roundtrip(self, tmp_path):
+        image = self._image()
+        path = tmp_path / "demo.imgb"
+        assert save_image_binary(image, path) == len(image.tuples)
+        loaded = load_image_binary(path)
+        assert loaded.name == image.name
+        assert loaded.areas == image.areas
+        assert loaded.tuples == image.tuples
+
+    def test_empty_image_roundtrip(self, tmp_path):
+        image = DiskImage(name="empty", areas=[], tuples=[])
+        path = tmp_path / "empty.imgb"
+        save_image_binary(image, path)
+        loaded = load_image_binary(path)
+        assert loaded.tuples == [] and loaded.areas == []
+
+    def test_binary_is_smaller_than_text(self, tmp_path):
+        image = self._image(ops=2000)
+        text_path = tmp_path / "demo.img"
+        bin_path = tmp_path / "demo.imgb"
+        save_image(image, text_path)
+        save_image_binary(image, bin_path)
+        assert bin_path.stat().st_size < text_path.stat().st_size
+
+    def test_unknown_area_rejected_on_save(self, tmp_path):
+        image = DiskImage(
+            name="broken",
+            areas=[AreaSpec("h", PAGE_SIZE, "heap")],
+            tuples=[ReplayTuple(0, 0, READ, 8, "nope")],
+        )
+        with pytest.raises(TraceFormatError, match="unknown area"):
+            save_image_binary(image, tmp_path / "x.imgb")
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "x.imgb"
+        save_image_binary(self._image(), path)
+        blob = bytearray(path.read_bytes())
+        blob[:8] = b"NOTIMAGE"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError, match="magic"):
+            load_image_binary(path)
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        path = tmp_path / "x.imgb"
+        save_image_binary(self._image(), path)
+        path.write_bytes(path.read_bytes()[:-3])
+        with pytest.raises(TraceFormatError, match="payload"):
+            load_image_binary(path)
+
+    def test_corrupt_metadata_rejected(self, tmp_path):
+        path = tmp_path / "x.imgb"
+        save_image_binary(self._image(ops=1), path)
+        blob = bytearray(path.read_bytes())
+        # Clobber the JSON metadata block right after the header.
+        blob[16] = ord("!")
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError, match="metadata"):
+            load_image_binary(path)

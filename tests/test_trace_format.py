@@ -1,9 +1,47 @@
 """Trace record validation and file round trips."""
 
+import struct
+
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import TraceFormatError
-from repro.prep.trace import READ, WRITE, TraceRecord, load_trace, save_trace
+from repro.common.units import CACHE_LINE, PAGE_SIZE
+from repro.prep.trace import (
+    BIN_DTYPE,
+    BIN_MAGIC,
+    READ,
+    WRITE,
+    PackedTrace,
+    TraceRecord,
+    load_trace,
+    load_trace_binary,
+    load_trace_packed,
+    save_trace,
+    save_trace_binary,
+)
+
+_U64_MAX = 2**64 - 1
+_U32_MAX = 2**32 - 1
+
+# Records biased toward the layouts that break naive packers: sizes
+# that cross line and page boundaries, and addresses at the top of the
+# 64-bit range (where a signed i64 column would wrap negative).
+record_strategy = st.builds(
+    TraceRecord,
+    period=st.integers(0, _U64_MAX),
+    addr=st.one_of(
+        st.integers(0, _U64_MAX),
+        st.integers(_U64_MAX - 4 * PAGE_SIZE, _U64_MAX),
+    ),
+    op=st.sampled_from([READ, WRITE]),
+    size=st.one_of(
+        st.integers(1, 8),
+        st.integers(CACHE_LINE - 8, CACHE_LINE + 8),
+        st.integers(PAGE_SIZE - 8, PAGE_SIZE + 8),
+        st.integers(1, _U32_MAX),
+    ),
+)
 
 
 class TestTraceRecord:
@@ -58,3 +96,115 @@ class TestFileRoundtrip:
         path = tmp_path / "t.trace"
         path.write_text("# kindle-trace v1\n\n# comment\n5 0x10 R 8\n")
         assert load_trace(path) == [TraceRecord(5, 0x10, READ, 8)]
+
+
+class TestBinaryRoundtrip:
+    @given(records=st.lists(record_strategy, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_binary_roundtrip_property(self, records, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bintrace") / "t.bin"
+        assert save_trace_binary(records, path) == len(records)
+        assert load_trace_binary(path) == records
+
+    @given(ops=st.lists(
+        st.tuples(
+            st.integers(0, _U64_MAX),
+            st.integers(1, _U32_MAX),
+            st.booleans(),
+        ),
+        max_size=40,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_ops_roundtrip_property(self, ops):
+        packed = PackedTrace.from_ops(ops)
+        assert packed.to_ops() == ops
+        # period is synthesized as the op index.
+        assert packed.period.tolist() == list(range(len(ops)))
+
+    def test_binary_is_smaller_than_text(self, tmp_path):
+        # Realistic 48-bit userspace addresses and timestamp-scale
+        # periods, where the text format pays ~25 digits per record and
+        # the packed one stays at 24 bytes flat.
+        base = 0x7F00_0000_0000
+        records = [
+            TraceRecord(
+                10**12 + i, base + i * PAGE_SIZE, WRITE if i % 2 else READ, 8
+            )
+            for i in range(1000)
+        ]
+        text_path = tmp_path / "t.trace"
+        bin_path = tmp_path / "t.bin"
+        save_trace(records, text_path)
+        save_trace_binary(records, bin_path)
+        assert bin_path.stat().st_size < text_path.stat().st_size
+
+    def test_max_address_record_survives(self, tmp_path):
+        records = [TraceRecord(_U64_MAX, _U64_MAX, WRITE, _U32_MAX)]
+        path = tmp_path / "t.bin"
+        save_trace_binary(records, path)
+        assert load_trace_binary(path) == records
+
+    def test_from_ops_rejects_out_of_range(self):
+        with pytest.raises(TraceFormatError):
+            PackedTrace.from_ops([(-1, 8, False)])
+        with pytest.raises(TraceFormatError):
+            PackedTrace.from_ops([(0, 0, False)])
+        with pytest.raises(TraceFormatError):
+            PackedTrace.from_ops([(0, _U32_MAX + 1, False)])
+
+
+class TestBinaryCorruption:
+    def _valid_bytes(self, records=2):
+        body = PackedTrace.from_records(
+            [TraceRecord(i, i * 64, READ, 8) for i in range(records)]
+        ).to_structured()
+        header = struct.pack(
+            "<8sHHQ", BIN_MAGIC, 1, BIN_DTYPE.itemsize, records
+        )
+        return header + body.tobytes()
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "t.bin"
+        path.write_bytes(b"NOTTRACE" + self._valid_bytes()[8:])
+        with pytest.raises(TraceFormatError, match="magic"):
+            load_trace_packed(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        blob = bytearray(self._valid_bytes())
+        blob[8:10] = struct.pack("<H", 99)
+        path = tmp_path / "t.bin"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError, match="version"):
+            load_trace_packed(path)
+
+    def test_record_size_drift_rejected(self, tmp_path):
+        blob = bytearray(self._valid_bytes())
+        blob[10:12] = struct.pack("<H", BIN_DTYPE.itemsize + 8)
+        path = tmp_path / "t.bin"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError, match="record size"):
+            load_trace_packed(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "t.bin"
+        path.write_bytes(self._valid_bytes()[:10])
+        with pytest.raises(TraceFormatError, match="header"):
+            load_trace_packed(path)
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        path = tmp_path / "t.bin"
+        path.write_bytes(self._valid_bytes()[:-5])
+        with pytest.raises(TraceFormatError, match="payload"):
+            load_trace_packed(path)
+
+    def test_trailing_garbage_rejected(self, tmp_path):
+        path = tmp_path / "t.bin"
+        path.write_bytes(self._valid_bytes() + b"\x00" * 7)
+        with pytest.raises(TraceFormatError, match="payload"):
+            load_trace_packed(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "t.bin"
+        path.write_bytes(b"")
+        with pytest.raises(TraceFormatError, match="header"):
+            load_trace_packed(path)
