@@ -97,6 +97,14 @@ class Machine:
         #: :class:`repro.faults.CrashInjector`; ``None`` (the default)
         #: costs one attribute test per event and nothing else.
         self.persist_hook = None
+        #: Cross-process interference monitor (``None`` = disabled): a
+        #: pure observer notified on LLC victim fills, device accesses
+        #: and TLB capacity evictions.  It never charges cycles or
+        #: mutates hardware state, and unlike a HardwareExtension it
+        #: does NOT disable the replay fast path — its hooks sit only
+        #: on miss paths, which the fast path never takes, so golden
+        #: equivalence is untouched.  See repro.arch.interference.
+        self._imon = None
         self.clock = 0
         self.powered = True
         self.asid = 0
@@ -213,8 +221,19 @@ class Machine:
         self._fast_ok = enabled and not self.extensions
 
     def _tlb_evict_hook(self, entry: TlbEntry) -> None:
+        if self._imon is not None:
+            self._imon.note_tlb_evict(entry)
         for ext in self.extensions:
             ext.on_tlb_evict(self, entry)
+
+    def install_interference_monitor(self, monitor) -> None:
+        """Attach a cross-process interference monitor (pure observer;
+        one at a time — installing replaces any previous monitor)."""
+        monitor.bind(self)
+        self._imon = monitor
+
+    def clear_interference_monitor(self) -> None:
+        self._imon = None
 
     # ------------------------------------------------------------------
     # physical path
@@ -252,6 +271,8 @@ class Machine:
                 ext.on_llc_miss(self, entry, line, is_write)
         is_nvm = self.layout.mem_type_of_addr(paddr) is MemType.NVM
         latency = self.controller.read(paddr, is_nvm, self.clock)
+        if self._imon is not None:
+            self._imon.note_device(paddr, is_nvm)
         self.advance(self._llc_hit_latency + latency)
         self._fill_llc(line)
         self._fill_l2(line)
@@ -264,6 +285,8 @@ class Machine:
         if is_nvm and self.persist_hook is not None:
             self.persist_hook(_kind, line)
         latency = self.controller.write(addr, is_nvm, self.clock)
+        if self._imon is not None:
+            self._imon.note_device(addr, is_nvm)
         self.advance(latency)
         self._counters["cache.writebacks"] += 1
 
@@ -293,6 +316,10 @@ class Machine:
             victim_dirty = self.l2.invalidate(victim_line) or victim_dirty
             if victim_dirty:
                 self._writeback(victim_line)
+            if self._imon is not None:
+                self._imon.note_llc_fill(line, victim_line)
+        elif self._imon is not None:
+            self._imon.note_llc_fill(line, None)
 
     def prefetch_line(self, paddr: int) -> bool:
         """Install a line in the LLC off the critical path.
@@ -674,6 +701,8 @@ class Machine:
         self.controller.power_cycle()
         self.physmem.power_fail()
         self.timers.clear()
+        if self._imon is not None:
+            self._imon.power_cycle()
         for ext in self.extensions:
             ext.on_power_cycle(self)
         self.walker = None

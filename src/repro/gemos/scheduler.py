@@ -78,6 +78,38 @@ class RoundRobinScheduler:
         self.machine.stats.add("sched.context_switches")
 
 
+class TimestampScheduler:
+    """Arrival-driven dispatch for traffic populations.
+
+    The :class:`RoundRobinScheduler` rotates on quantum expiry; traffic
+    schedules instead know *when* each process's ops arrive, so the
+    driver hands the CPU over whenever the interleaved timestamp order
+    crosses a process boundary.  Each handover charges the same
+    :data:`CONTEXT_SWITCH_CYCLES` in OS mode and ticks the same
+    ``sched.context_switches`` counter as a quantum switch — the cost
+    model does not care *why* the kernel switched.
+    """
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.switches = 0
+
+    def dispatch(self, process: Process) -> bool:
+        """Make ``process`` current; no-op (and free) if it already is.
+
+        Returns True when an actual context switch happened.
+        """
+        if self.kernel.current is process:
+            return False
+        with self.machine.os_region("context_switch"):
+            self.machine.advance(CONTEXT_SWITCH_CYCLES)
+            self.kernel.switch_to(process)
+        self.switches += 1
+        self.machine.stats.add("sched.context_switches")
+        return True
+
+
 def run_multiprogrammed(
     kernel: Kernel,
     scheduler: RoundRobinScheduler,

@@ -4,7 +4,8 @@ Runs one paper experiment and prints its table.  ``--scale`` shrinks
 region sizes and ``--ops`` shrinks workload lengths for quick runs;
 defaults regenerate the paper-scale configuration.
 
-Sweeps (the experiment drivers and ``crashtest``) execute through the
+Sweeps (the experiment drivers, ``crashtest`` and ``traffic``
+population generation) execute through the
 :mod:`repro.exec` engine: ``--jobs/-j`` sizes the worker pool (default
 ``os.cpu_count()``; ``-j 1`` forces the serial loop), finished cells
 persist in a content-addressed cache under ``artifacts/cache/`` (skip
@@ -55,6 +56,7 @@ def main(argv=None) -> int:
             "compare",
             "bench",
             "crashtest",
+            "traffic",
         ],
     )
     parser.add_argument(
@@ -102,6 +104,53 @@ def main(argv=None) -> int:
         help="bench: output path for the throughput trajectory JSON",
     )
     parser.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="traffic: client population size (default 256, smoke 24)",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="traffic: gemOS process count (default 8, smoke 4)",
+    )
+    parser.add_argument(
+        "--traffic-ops",
+        type=int,
+        default=None,
+        help="traffic: total op budget, rounded up to a per-client "
+        "multiple (default 10M, smoke 48k)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=2024,
+        help="traffic: population master seed",
+    )
+    parser.add_argument(
+        "--arrival",
+        choices=["poisson", "diurnal"],
+        default="poisson",
+        help="traffic: arrival-time distribution",
+    )
+    parser.add_argument(
+        "--scalar",
+        action="store_true",
+        help="traffic: replay through the scalar loop instead of the "
+        "batch engine",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="traffic: also save per-process packed trace containers here",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="traffic: skip the second determinism-verification replay",
+    )
+    parser.add_argument(
         "-j",
         "--jobs",
         type=int,
@@ -147,6 +196,24 @@ def main(argv=None) -> int:
             jobs=args.jobs,
             batch=args.batch,
         )
+    if args.experiment == "traffic":
+        from repro.harness.traffic import traffic_main
+
+        code = traffic_main(
+            args.out,
+            smoke=args.smoke,
+            engine=engine,
+            clients=args.clients,
+            processes=args.processes,
+            total_ops=args.traffic_ops,
+            seed=args.seed,
+            arrival=args.arrival,
+            scalar=args.scalar,
+            trace_dir=args.trace_dir,
+            verify=not args.no_verify,
+        )
+        _write_sweep_stats()
+        return code
     if args.experiment == "crashtest":
         from repro.harness.crashtest import crashtest_main
 

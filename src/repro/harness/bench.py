@@ -24,13 +24,22 @@ Scenarios
 ``l1_extensions``
     the L1-resident trace with a no-op hardware extension attached, so
     the hook-dispatch overhead is tracked separately.
+``traffic``
+    a seeded multi-client traffic population (8 clients' interleaved
+    streams, :mod:`repro.workloads.traffic`) replayed against one booted
+    gemOS process with the interference monitor installed — prices the
+    fault path, the monitor hooks and the mixed DRAM/NVM client mix
+    together.
 
 Output schema (``BENCH_machine.json``)
 --------------------------------------
 
 ``schema``
-    ``"bench_machine/v3"`` (v2 added ``host`` and ``sweep``; v3 added
-    the optional ``batch`` section).
+    ``"bench_machine/v4"`` (v2 added ``host`` and ``sweep``; v3 added
+    the optional ``batch`` section; v4 added the ``traffic`` scenario
+    and the ``traffic`` section written by ``python -m repro.harness
+    traffic`` — population config, interference attribution, op split,
+    ``stats_sha256`` and determinism verdict for a fleet run).
 ``unit``
     always ``"simulated memory operations per wall-clock second"``.
 ``host``
@@ -84,7 +93,7 @@ from repro.replay import BatchReplayer
 #: One trace record: (vaddr, size, is_write).
 Op = Tuple[int, int, bool]
 
-SCHEMA = "bench_machine/v3"
+SCHEMA = "bench_machine/v4"
 
 #: Seed-tree throughput measured before the PR 1 hot-path overhaul
 #: (same scenarios, same op counts, best of 3 on the reference runner).
@@ -98,6 +107,7 @@ SEED_BASELINE = {
         "nvm_miss_heavy": 67_869.4,
         "fault_heavy": 63_616.2,
         "l1_extensions": 360_124.0,
+        "traffic": 42_289.7,
     },
 }
 
@@ -108,6 +118,7 @@ DEFAULT_OPS = {
     "nvm_miss_heavy": 60_000,
     "fault_heavy": 30_000,
     "l1_extensions": 120_000,
+    "traffic": 60_000,
 }
 SMOKE_OPS = {name: 2_000 for name in DEFAULT_OPS}
 
@@ -177,6 +188,47 @@ def _build_nvm_miss_heavy(ops: int):
     return machine, _mixed_rw_trace("nvm", ops, nbytes, stride=4099, write_every=3)
 
 
+def _build_traffic(ops: int):
+    """A small traffic population against one booted gemOS process.
+
+    Unlike the premapped scenarios this boots the full platform: real
+    page faults, the hybrid DRAM/NVM client mix and the interference
+    monitor's hooks are all on the timed path.  Single-process so the
+    replay loop (not the context-switch machinery) dominates.
+    """
+    from repro.arch.interference import InterferenceMonitor
+    from repro.platform import HybridSystem
+    from repro.workloads.traffic import (
+        ClientPopulation,
+        PopulationConfig,
+        TrafficScheduler,
+    )
+
+    clients = 8
+    config = PopulationConfig(
+        seed=41,
+        clients=clients,
+        processes=1,
+        ops_per_client=-(-ops // clients),
+        arrival="poisson",
+        period=1 << 20,
+    )
+    schedule = ClientPopulation(config).generate()
+    system = HybridSystem(config=small_machine_config(), persistence=False)
+    system.boot()
+    system.machine.install_interference_monitor(InterferenceMonitor())
+    scheduler = TrafficScheduler(system, schedule)
+    scheduler.provision()
+    system.kernel.switch_to(scheduler.processes[0])
+    trace: List[Op] = [
+        (int(vaddr), int(size), bool(write))
+        for vaddr, size, write in zip(
+            schedule.addr[:ops], schedule.size[:ops], schedule.write[:ops]
+        )
+    ]
+    return system.machine, trace
+
+
 def _build_fault_heavy(ops: int):
     machine = Machine(small_machine_config())
     npages = machine.layout.config.dram_bytes // PAGE_SIZE
@@ -205,6 +257,7 @@ SCENARIOS: Dict[str, Callable] = {
     "nvm_miss_heavy": _build_nvm_miss_heavy,
     "fault_heavy": _build_fault_heavy,
     "l1_extensions": lambda ops: _build_l1_resident(ops, extensions=True),
+    "traffic": _build_traffic,
 }
 
 

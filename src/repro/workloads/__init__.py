@@ -20,6 +20,14 @@ from repro.workloads.microbench import (
     stride_alloc_access,
     vma_churn,
 )
+from repro.workloads.traffic import (
+    PROFILES,
+    ClientPopulation,
+    ClientProfile,
+    PopulationConfig,
+    TrafficSchedule,
+    TrafficScheduler,
+)
 from repro.workloads.ycsb import generate_ycsb
 
 WORKLOAD_GENERATORS = {
@@ -44,4 +52,10 @@ __all__ = [
     "vma_churn",
     "WORKLOAD_GENERATORS",
     "TABLE2_MIXES",
+    "PROFILES",
+    "ClientPopulation",
+    "ClientProfile",
+    "PopulationConfig",
+    "TrafficSchedule",
+    "TrafficScheduler",
 ]

@@ -449,6 +449,58 @@ class TestStatsKey:
         )
         assert found == []
 
+    def test_monitor_style_cached_pair_key_passes(self, tmp_path):
+        """The interference-monitor idiom: static ``*_key`` attributes
+        whose stem echoes the counter leaf, plus dynamic per-pair keys
+        formatted once into a cache and indexed via a plain local —
+        all three access styles are checker-legal."""
+        found = run_checker(
+            "stats-key",
+            """
+            class Monitor:
+                def __init__(self, stats):
+                    self._counters = stats.counters
+                    self._llc_self_key = "interference.llc.self"
+                    self._llc_cross_key = "interference.llc.cross"
+                    self._pair_keys = {}
+
+                def _pair_key(self, evictor, victim):
+                    key = self._pair_keys.get((evictor, victim))
+                    if key is None:
+                        key = f"interference.llc.p{evictor}_evicted_p{victim}"
+                        self._pair_keys[(evictor, victim)] = key
+                    return key
+
+                def note(self, pid, previous):
+                    if previous == pid:
+                        self._counters[self._llc_self_key] += 1
+                    else:
+                        self._counters[self._llc_cross_key] += 1
+                        pair_key = self._pair_key(pid, previous)
+                        self._counters[pair_key] += 1
+            """,
+            tmp_path,
+        )
+        assert found == []
+
+    def test_monitor_inline_pair_key_flagged(self, tmp_path):
+        """The tempting shortcut — formatting the pair key inline at
+        every cross eviction — re-allocates the string on the hot path
+        and is exactly what the inline-format rule exists to catch."""
+        found = run_checker(
+            "stats-key",
+            """
+            class Monitor:
+                def __init__(self, stats):
+                    self._counters = stats.counters
+
+                def note(self, pid, previous):
+                    self._counters[f"interference.llc.p{pid}_evicted_p{previous}"] += 1
+            """,
+            tmp_path,
+        )
+        assert rules(found) == ["stats-key.inline-format"]
+
 
 class TestTaskSafety:
     @staticmethod

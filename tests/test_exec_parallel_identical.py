@@ -8,8 +8,11 @@ entry bytes on disk.
 """
 
 import json
+import tempfile
+from pathlib import Path
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.exec import SweepEngine
 from repro.faults import CrashExplorer
@@ -23,6 +26,7 @@ from repro.faults.invariants import PointResult, Violation
 from repro.faults.injector import CrashPoint
 from repro.faults.scenarios import CheckpointScenario
 from repro.harness import experiments
+from repro.workloads.traffic import PopulationConfig
 
 
 @pytest.fixture()
@@ -150,6 +154,108 @@ class TestExplorerIdentical:
         assert [i for b in batches for i in b] == indices
         assert all(batches)
         assert _index_batches([], jobs=4) == []
+
+
+def _schedule_bytes(schedule):
+    """Full byte-level fingerprint: merged columns + per-process packed
+    trace containers (exactly what ``save_containers`` would write)."""
+    merged = (
+        schedule.ts.tobytes(),
+        schedule.addr.tobytes(),
+        schedule.size.tobytes(),
+        schedule.write.tobytes(),
+        schedule.client.tobytes(),
+    )
+    containers = tuple(
+        (
+            index,
+            packed.period.tobytes(),
+            packed.addr.tobytes(),
+            packed.size.tobytes(),
+            packed.is_write.tobytes(),
+        )
+        for index, packed in sorted(schedule.packed_traces().items())
+    )
+    return merged, containers
+
+
+_population_configs = st.builds(
+    PopulationConfig,
+    seed=st.integers(0, 2**32 - 1),
+    clients=st.integers(1, 6),
+    processes=st.integers(1, 3),
+    ops_per_client=st.integers(1, 60),
+    unique_fraction=st.floats(0.0, 1.0, allow_nan=False),
+    arrival=st.sampled_from(["poisson", "diurnal"]),
+    period=st.just(1 << 16),
+    sched_slices=st.integers(1, 8),
+)
+
+
+class TestTrafficPopulationIdentical:
+    """Satellite of the fleet-traffic tentpole: same (seed, config) ->
+    byte-identical packed containers and identical machine stats, no
+    matter how generation was executed (repeats, serial, ``-j 1``,
+    ``-j 4``, warm cache)."""
+
+    @given(config=_population_configs)
+    @settings(max_examples=15, deadline=None)
+    def test_containers_byte_identical_across_repeats_and_sharding(
+        self, config
+    ):
+        from repro.workloads.traffic import ClientPopulation
+
+        serial = _schedule_bytes(ClientPopulation(config).generate())
+        repeat = _schedule_bytes(ClientPopulation(config).generate())
+        assert repeat == serial
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = Path(tmp) / "cache"
+            j1 = ClientPopulation(config).generate(
+                engine=SweepEngine(jobs=1, cache_dir=cache)
+            )
+            j4 = ClientPopulation(config).generate(
+                engine=SweepEngine(jobs=4, cache_dir=cache / "j4")
+            )
+            warm_engine = SweepEngine(jobs=4, cache_dir=cache / "j4")
+            warm = ClientPopulation(config).generate(engine=warm_engine)
+        assert _schedule_bytes(j1) == serial
+        assert _schedule_bytes(j4) == serial
+        assert _schedule_bytes(warm) == serial
+        assert warm_engine.executed == 0  # pure cache replay
+
+    @given(config=_population_configs)
+    @settings(max_examples=6, deadline=None)
+    def test_replayed_machine_stats_identical_across_sharding(self, config):
+        """End to end: schedules generated serially and through ``-j 4``
+        sharding drive two fresh systems to byte-identical stats dumps
+        and final clocks."""
+        from repro.arch.interference import InterferenceMonitor
+        from repro.common.config import small_machine_config
+        from repro.platform import HybridSystem
+        from repro.workloads.traffic import (
+            ClientPopulation,
+            TrafficScheduler,
+        )
+
+        def replay(schedule):
+            system = HybridSystem(
+                config=small_machine_config(), persistence=False
+            )
+            system.boot()
+            system.machine.install_interference_monitor(
+                InterferenceMonitor()
+            )
+            scheduler = TrafficScheduler(system, schedule)
+            scheduler.provision()
+            scheduler.run(batch=True)
+            return system.stats.dump(), system.machine.clock
+
+        serial_schedule = ClientPopulation(config).generate()
+        with tempfile.TemporaryDirectory() as tmp:
+            sharded_schedule = ClientPopulation(config).generate(
+                engine=SweepEngine(jobs=4, cache_dir=Path(tmp) / "cache")
+            )
+        assert replay(serial_schedule) == replay(sharded_schedule)
 
 
 class TestCacheBytesExactness:
