@@ -110,6 +110,34 @@ class Cache:
             cache_set = sets[line % nsets]
             cache_set[line] = cache_set.pop(line) or is_write
 
+    def run_view(self):
+        """Live set structure + geometry for the batched miss-run
+        kernel (repro.replay.batch): ``(sets, num_sets, assoc)``.
+
+        The list and its per-set dicts are the real objects —
+        :meth:`drop_all` clears them in place, so a cached view stays
+        valid across power cycles; the kernel performs the same
+        pop/reinsert, fill and victim-eviction mutations the scalar
+        path would, deferring only the counter bumps to
+        :meth:`commit_run`.
+        """
+        return self._sets, self.num_sets, self.assoc
+
+    def commit_run(self, hits: int, misses: int, evictions: int) -> None:
+        """Bulk counter adds for a committed batched miss run.
+
+        Each add is guarded: a zero add would create counter keys that
+        a scalar replay of the same ops never creates, breaking the
+        byte-identical stats dump the batch engine is gated on.
+        """
+        counters = self._counters
+        if hits:
+            counters[self._hit_key] += hits
+        if misses:
+            counters[self._miss_key] += misses
+        if evictions:
+            counters[self._evictions_key] += evictions
+
     def drop_all(self) -> None:
         """Power cycle: all contents (including dirty lines) are lost."""
         for cache_set in self._sets:

@@ -26,9 +26,13 @@ touches cache/TLB/device state, and is *not* a
 :class:`~repro.arch.hooks.HardwareExtension` (attaching one disables
 the replay fast path; the monitor must not).  Its hooks sit only on
 miss paths — LLC victim fills, device accesses, TLB capacity evictions
-— which the batch-replay engine never executes batched (batched runs
-are TLB-resident L1 hits by construction), so batch and scalar replays
-produce identical interference counters.
+— which the batch engine's vectorized fast runs never execute (those
+are TLB-resident L1 hits by construction).  The miss-run kernel *does*
+execute them batched: with a monitor installed it invokes the same
+hooks at the same points in the same order as the scalar path, with
+the channel's ``last_row_hit`` already set when ``note_device`` reads
+it, so batch and scalar replays produce identical interference
+counters (the golden-equivalence suite compares them per pair key).
 
 Known approximation: LLC line ownership is recorded at fill time and
 dropped at eviction; lines invalidated behind the monitor's back (page

@@ -110,6 +110,16 @@ class Machine:
         self.asid = 0
         self.walker: Optional[Walker] = None
         self.fault_handler: Optional[FaultHandler] = None
+        #: Declared by install_context: the walker is a pure lookup —
+        #: side-effect-free and charging no cycles — so the batch
+        #: engine's miss-run kernel may invoke it inline on TLB misses.
+        #: gemOS walkers simulate charged page-table memory accesses and
+        #: therefore stay False (TLB misses fall back to scalar there).
+        self._pure_walker = False
+        #: Optional pure companion to an impure walker (see
+        #: install_context); lets the miss-run kernel check a
+        #: translation for free before committing to the charged walk.
+        self._walker_peek: Optional[Callable[[int], Optional[Tuple[int, bool]]]] = None
         #: (category, charge, counter key) stack; empty means user mode.
         self._mode_stack: List[Tuple[str, bool, str]] = []
         self._lines_per_row = self.config.dram.row_size // CACHE_LINE
@@ -321,6 +331,60 @@ class Machine:
         elif self._imon is not None:
             self._imon.note_llc_fill(line, None)
 
+    def miss_run_view(self) -> dict:
+        """Stable structure references for the batch miss-run kernel.
+
+        The kernel (repro.replay.batch) executes LLC/row-buffer/
+        controller behaviour inline, so it needs direct handles on the
+        live hardware structures.  Every container returned here is
+        mutated *in place* by its owner — power cycles clear, never
+        replace — so the replayer may cache this view for the machine's
+        lifetime.  Per-run scalars (clock, asid, walker, the write
+        buffer's drain horizon, the TLB micro-cache) are re-read at
+        each run start through the object references included.
+        """
+        l1_sets, l1_nsets, l1_assoc = self.l1.run_view()
+        l2_sets, l2_nsets, l2_assoc = self.l2.run_view()
+        llc_sets, llc_nsets, llc_assoc = self.llc.run_view()
+        controller = self.controller
+        page_writes, page_row_misses, page_shift = controller.run_view()
+        return {
+            "tlb": self.tlb,
+            "tlb_entries": self.tlb._entries,  # noqa: SLF001 - hot path
+            "tlb_capacity": self.tlb.config.entries,
+            "l1": self.l1,
+            "l2": self.l2,
+            "llc": self.llc,
+            "l1_sets": l1_sets,
+            "l1_nsets": l1_nsets,
+            "l1_assoc": l1_assoc,
+            "l2_sets": l2_sets,
+            "l2_nsets": l2_nsets,
+            "l2_assoc": l2_assoc,
+            "llc_sets": llc_sets,
+            "llc_nsets": llc_nsets,
+            "llc_assoc": llc_assoc,
+            "op_base_cycles": self._op_base_cycles,
+            "l1_hit_latency": self._l1_hit_latency,
+            "l2_hit_latency": self._l2_hit_latency,
+            "llc_hit_latency": self._llc_hit_latency,
+            "controller": controller,
+            "dram_channel": controller.dram,
+            "nvm_channel": controller.nvm,
+            "dram_view": controller.dram.run_view(),
+            "nvm_view": controller.nvm.run_view(),
+            "write_buffer": controller.nvm_write_buffer,
+            "buffer_view": controller.nvm_write_buffer.run_view(),
+            "page_writes": page_writes,
+            "page_row_misses": page_row_misses,
+            "page_shift": page_shift,
+            "dram_base": self.layout.dram_base,
+            "nvm_base": self.layout.nvm_base,
+            "mem_end": self.layout.end,
+            "counters": self._counters,
+            "timer_heap": self._timer_heap,
+        }
+
     def prefetch_line(self, paddr: int) -> bool:
         """Install a line in the LLC off the critical path.
 
@@ -435,13 +499,40 @@ class Machine:
     # ------------------------------------------------------------------
 
     def install_context(
-        self, asid: int, walker: Walker, fault_handler: Optional[FaultHandler]
+        self,
+        asid: int,
+        walker: Walker,
+        fault_handler: Optional[FaultHandler],
+        pure_walker: bool = False,
+        walker_peek: Optional[Callable[[int], Optional[Tuple[int, bool]]]] = None,
     ) -> None:
-        """Point the hardware at a new address space (context switch)."""
+        """Point the hardware at a new address space (context switch).
+
+        ``pure_walker=True`` declares that ``walker`` is a *pure
+        translation lookup*: it has no side effects, charges no cycles
+        and performs no simulated physical accesses (e.g. a premapped
+        ``dict.get``).  Only then may the batch-replay miss-run kernel
+        walk inline on TLB misses; walkers that simulate page-table
+        memory traffic (gemOS) must leave this False so TLB misses take
+        the scalar path that charges their walk costs.
+
+        ``walker_peek`` is the impure-walker counterpart: a *pure*
+        function of ``vpn`` that returns exactly what ``walker`` would
+        return, without any of its side effects (gemOS:
+        ``PageTable.peek`` next to ``PageTable.hw_walk``).  With a peek
+        installed, the miss-run kernel checks the translation for free
+        and — only when it is clean — executes the real charged walk
+        inline mid-run, so TLB misses no longer break batched runs;
+        faults and protection upgrades still fall back to scalar before
+        any walk side effect happens.  The contract is strict: if peek
+        and walker ever disagree, replay diverges from scalar.
+        """
         self.asid = asid
         self._asid_base = asid << 40
         self.walker = walker
         self.fault_handler = fault_handler
+        self._pure_walker = bool(pure_walker)
+        self._walker_peek = None if pure_walker else walker_peek
 
     def _walk_and_fill(self, vaddr: int, is_write: bool) -> TlbEntry:
         if self.walker is None:
@@ -707,6 +798,8 @@ class Machine:
             ext.on_power_cycle(self)
         self.walker = None
         self.fault_handler = None
+        self._pure_walker = False
+        self._walker_peek = None
         self.asid = 0
         self._asid_base = 0
         self.powered = False

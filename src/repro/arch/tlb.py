@@ -116,6 +116,19 @@ class Tlb:
         self._mru_key = last
         self._mru_entry = entries[last]
 
+    def sync_mru(self, key: int) -> None:
+        """Re-point the micro-cache after a batched miss run.
+
+        The batch kernel maintains the LRU dict directly (per-op
+        refresh/insert/evict, exactly as the scalar sequence would) but
+        leaves the micro-cache alone until commit; the run's final
+        translation is by construction the MRU (last) entry, which is
+        the same state the scalar path's last lookup/insert would have
+        left behind.  ``key`` must be resident.
+        """
+        self._mru_key = key
+        self._mru_entry = self._entries[key]
+
     def invalidate(self, asid: int, vpn: int) -> Optional[TlbEntry]:
         """Drop one translation (e.g. after munmap or HSCC migration).
 

@@ -234,6 +234,28 @@ class PageTable:
     # hardware walk
     # ------------------------------------------------------------------
 
+    def peek(self, vpn: int) -> Optional[Tuple[int, bool]]:
+        """Pure translation lookup: exactly :meth:`hw_walk`'s result
+        with none of its simulated page-table traffic or stats.
+
+        This is the ``walker_peek`` contract of
+        :meth:`repro.arch.machine.Machine.install_context`: the batch
+        miss-run kernel peeks first (free), and only when the
+        translation is clean does it run the real charged ``hw_walk``
+        inline — a fault never executes a half-op.  The walk itself
+        never mutates the table, so peek-then-walk always agrees.
+        """
+        node = self.root
+        for level in range(LEVELS - 1, 0, -1):
+            child = node.entries.get(_index_at(vpn, level))
+            if not isinstance(child, _Node):
+                return None
+            node = child
+        pte = node.entries.get(_index_at(vpn, 0))
+        if not isinstance(pte, Pte):
+            return None
+        return pte.pfn, pte.writable
+
     def hw_walk(self, machine: Machine, vpn: int) -> Optional[Tuple[int, bool]]:
         """The page-table walker: four dependent entry reads through the
         cache hierarchy.  Returns ``(pfn, writable)`` or ``None``."""

@@ -35,11 +35,15 @@ Output schema (``BENCH_machine.json``)
 --------------------------------------
 
 ``schema``
-    ``"bench_machine/v4"`` (v2 added ``host`` and ``sweep``; v3 added
+    ``"bench_machine/v5"`` (v2 added ``host`` and ``sweep``; v3 added
     the optional ``batch`` section; v4 added the ``traffic`` scenario
     and the ``traffic`` section written by ``python -m repro.harness
     traffic`` — population config, interference attribution, op split,
-    ``stats_sha256`` and determinism verdict for a fleet run).
+    ``stats_sha256`` and determinism verdict for a fleet run; v5: the
+    batch engine gained the vectorized miss-run kernel, so ``batch``
+    rates on miss-heavy scenarios measure the inlined LLC/row-buffer/
+    controller path and the batched op fraction covers TLB-thrashing
+    traces premapped with a pure walker).
 ``unit``
     always ``"simulated memory operations per wall-clock second"``.
 ``host``
@@ -93,7 +97,7 @@ from repro.replay import BatchReplayer
 #: One trace record: (vaddr, size, is_write).
 Op = Tuple[int, int, bool]
 
-SCHEMA = "bench_machine/v4"
+SCHEMA = "bench_machine/v5"
 
 #: Seed-tree throughput measured before the PR 1 hot-path overhaul
 #: (same scenarios, same op counts, best of 3 on the reference runner).
@@ -145,7 +149,10 @@ def _premapped_machine(
     def walker(_machine: Machine, vpn: int) -> Optional[Tuple[int, bool]]:
         return mapping.get(vpn)
 
-    machine.install_context(1, walker, None)
+    # The premapped walker is a dict lookup: side-effect-free, zero
+    # cycles — declare it pure so the batch miss-run kernel may walk
+    # inline on the TLB-thrashing scenarios.
+    machine.install_context(1, walker, None, pure_walker=True)
     return machine, mapping
 
 

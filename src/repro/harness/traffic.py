@@ -11,7 +11,11 @@ Determinism is part of the contract: by default every invocation
 replays the schedule **twice** on fresh systems and fails loudly unless
 the two runs produce byte-identical stats dumps and final clocks.  The
 report carries ``stats_sha256`` so two separate invocations (e.g. the
-CI cold and warm runs) can also be compared byte-for-byte.
+CI cold and warm runs) can also be compared byte-for-byte — and when
+the out file already records a run of the same population config, the
+new run must match its sha256/final clock or the harness raises (the
+fidelity gate that keeps the batch engine's vectorized miss path honest
+against the recorded scalar-equivalent history).
 
 Generation itself runs through the sweep engine when ``-j``/caching is
 requested: client ranges shard into content-addressed cells, so a
@@ -153,6 +157,37 @@ def run_traffic(
     return section
 
 
+def _check_recorded_traffic(
+    recorded: Optional[Dict[str, object]], section: Dict[str, object]
+) -> None:
+    """Fidelity gate against the trajectory file's recorded run.
+
+    When the out file already carries a ``traffic`` section for the
+    *same* population config, the new run must reproduce its stats
+    sha256 and final clock byte-for-byte — regardless of which engine
+    (batch or ``--scalar``) produced either run.  This is what makes
+    the vectorized miss path safe to wire in by default: a kernel that
+    drifts from the scalar semantics trips this gate on the first
+    re-run, not after the trajectory file has been silently poisoned.
+    A config change is a legitimate re-record and skips the check.
+    """
+    if not isinstance(recorded, dict):
+        return
+    if recorded.get("population") != section["population"]:
+        return
+    mismatches = [
+        f"{field}: recorded {recorded.get(field)!r} != new {section[field]!r}"
+        for field in ("stats_sha256", "final_clock")
+        if recorded.get(field) != section[field]
+    ]
+    if mismatches:
+        raise RuntimeError(
+            "traffic run diverged from the recorded section for the same "
+            "population config (replay fidelity regression): "
+            + "; ".join(mismatches)
+        )
+
+
 def traffic_main(
     out_path: str,
     smoke: bool = False,
@@ -226,6 +261,7 @@ def traffic_main(
             report = {}
         if not isinstance(report, dict):
             report = {}
+    _check_recorded_traffic(report.get("traffic"), section)
     report.setdefault(
         "unit", "simulated memory operations per wall-clock second"
     )

@@ -1,9 +1,9 @@
 """The batch replay engine: vectorized run detection and commit.
 
-Equivalence argument
---------------------
+Equivalence argument — L1-resident fast runs
+--------------------------------------------
 
-A *committable run* is a maximal stretch of operations that each
+A *fast-committable run* is a maximal stretch of operations that each
 
 * fit in one cache line (``vaddr % CACHE_LINE + size <= CACHE_LINE``),
 * translate through a TLB-resident entry (writable when the op writes),
@@ -22,27 +22,80 @@ therefore commits the run as: counter increments of the run totals, one
 batched clock advance, and one ordered :meth:`Tlb.touch_run` /
 :meth:`Cache.touch_run` per structure.
 
-Timers are the one coupling to the clock: the scalar loop fires due
-timers after every op, so a run is truncated at the op whose batched
-clock advance first reaches the earliest armed deadline, the timers
-fire there exactly as they would scalar, and — since callbacks may
-mutate arbitrary machine state — every cached eligibility mask is
-treated as stale afterwards and re-verified before the next commit.
+Equivalence argument — miss runs
+--------------------------------
 
-Everything else — faults, TLB/L1 misses, protection upgrades,
-multi-line and page-crossing ops, os-mode execution, attached
-extensions, persist boundaries — falls back to the scalar
+Ops that miss the L1 change structure membership (fills, victim
+evictions, open-row switches, write-buffer drains), so a precomputed
+mask cannot stay valid across them.  The miss-run kernel
+(:meth:`BatchReplayer._miss_run`) instead *interprets* the scalar
+sequence op by op against the live hardware structures — the same set
+dicts, open-row dicts and drain deque the scalar path mutates, obtained
+once through :meth:`Machine.miss_run_view` — while deferring everything
+that is only *observable at run end* to a single commit:
+
+* stat counters accumulate in locals and land as guarded bulk adds
+  (``Cache.commit_run``, ``MemoryChannel.read_run``/``write_run``,
+  ``HybridMemoryController.read_run``/``write_run``,
+  ``NvmWriteBuffer.commit_run``); guarded, because a zero-valued add
+  would create counter keys the scalar replay never creates;
+* the clock advances once (``machine.clock = base + cycles``); every
+  point where the scalar path *reads* the clock mid-op (the write
+  buffer's ``enqueue(now)``) receives ``base + cycles`` at exactly the
+  scalar read point;
+* TLB insertions from inline page walks are staged in a ``pending``
+  dict that participates in LRU/eviction decisions (combined order =
+  untouched entries, then pending, exactly the scalar dict order) and
+  are materialized into real :class:`TlbEntry` objects at commit — so a
+  thrashing run only constructs the entries that survive it;
+* the TLB micro-cache and each channel's ``last_row_hit`` are restored
+  at commit to what the scalar sequence would have left behind.
+
+Inline page walks come in two flavors.  A walker declared pure
+(``install_context(..., pure_walker=True)``) is side-effect-free and
+charges no cycles, so the kernel simply calls it.  An *impure* walker
+(gemOS: four charged page-table reads through the cache hierarchy) can
+still run inline when the context also installed a ``walker_peek`` — a
+pure preview returning exactly what the walker would.  The kernel peeks
+first, free of charge; a faulting or write-protected translation breaks
+to scalar *before* any side effect, so the scalar retry never sees a
+half-executed op.  On a clean peek the kernel synchronizes
+``machine.clock`` and the write-buffer drain horizon to the exact
+scalar call point, runs the real walker (whose cache fills, wear and
+``advance()`` charges all act on live structures and therefore commute
+with the deferred sums), absorbs the walked cycles into the run, and
+subtracts them from the deferred ``cycles.user`` add since
+``advance()`` already charged them.  Walks invalidate the kernel's
+row-hit trackers (the walk may have switched open rows), making the
+live channel state authoritative again.  TLB misses under an impure
+walker *without* a peek fall back to scalar.
+
+Timers are the coupling to the clock: the scalar loop fires due timers
+after every op, so both kinds of run are truncated at the op whose
+batched clock advance first reaches the earliest armed deadline.  All
+deferred state is committed *before* the callbacks fire — so a callback
+that resets row buffers, drains the write buffer (persist barrier),
+power-cycles the controller or switches contexts acts on fully
+synchronized structures, all of which are cleared in place — and the
+kernel returns afterwards, forcing a fresh probe before anything else
+commits (mid-run invalidation hazards cannot leak into a stale run).
+
+Everything else — faults, protection upgrades, TLB misses under an
+impure walker with no peek, multi-line and page-crossing ops, os-mode
+execution,
+attached extensions, installed persist hooks — falls back to the scalar
 :meth:`Machine.access` path op by op, which is definitionally
 equivalent.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.arch.machine import LINES_PER_PAGE, Machine
+from repro.arch.tlb import TlbEntry
 from repro.common.units import CACHE_LINE, PAGE_SIZE
 from repro.prep.trace import PackedTrace
 
@@ -55,6 +108,24 @@ DEFAULT_CHUNK = 8192
 #: of prechecks per chunk.
 _MIN_SCALAR_SPAN = 32
 _MAX_SCALAR_SPAN = 4096  # repro: allow-geometry(op-count span cap, not a byte size)
+
+#: Ops handed to the miss-run kernel per call: starts small (short runs
+#: — e.g. traffic traces where most stretches are L1-resident — should
+#: not pay full-chunk slicing), doubles while the kernel consumes whole
+#: blocks, resets when a run breaks early.
+_MIN_KERNEL_BLOCK = 64
+_MAX_KERNEL_BLOCK = DEFAULT_CHUNK
+
+#: A kernel run shorter than this is treated like an ineligible probe
+#: for span pacing: interleaved workloads with only occasional miss ops
+#: should stay on the scalar ladder instead of ping-ponging into the
+#: kernel for a handful of ops at a time.
+_MIN_KERNEL_RUN = 8
+
+#: _probe_one outcomes.
+_PROBE_SCALAR = 0  #: not committable: scalar Machine.access fallback
+_PROBE_KERNEL = 1  #: committable by the miss-run kernel
+_PROBE_FAST = 2  #: TLB- and L1-resident: vectorized fast-run path
 
 _LINE_MASK = np.uint64(CACHE_LINE - 1)
 _PAGE_MASK = np.uint64(PAGE_SIZE - 1)
@@ -70,8 +141,8 @@ class BatchReplayer:
     """Replays a trace against one machine in vectorized batches.
 
     The replayer owns no simulated state — it is a pure execution
-    strategy over the machine's own TLB/cache/counter structures — so
-    interleaving :meth:`replay` calls with direct ``machine.access``
+    strategy over the machine's own TLB/cache/controller structures —
+    so interleaving :meth:`replay` calls with direct ``machine.access``
     calls is safe.
 
     ``batched_ops`` / ``scalar_ops`` count how the trace actually
@@ -91,6 +162,11 @@ class BatchReplayer:
         # entirely-scalar trace converges to one precheck per span
         # instead of restarting the doubling ladder every chunk.
         self._span = _MIN_SCALAR_SPAN
+        # Miss-run kernel block size, adapted the same way.
+        self._kernel_block = _MIN_KERNEL_BLOCK
+        # Cached miss_run_view tuple (stable for the machine lifetime;
+        # see Machine.miss_run_view for why caching is sound).
+        self._view: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # public API
@@ -129,30 +205,78 @@ class BatchReplayer:
             # chunk is scalar by definition; skip the precheck entirely.
             self._scalar_span(addr, size, is_write, 0, count)
             return
+        # Plain-python columns for the miss-run kernel, converted once
+        # per chunk on first use (the values are immutable, so they stay
+        # valid however state evolves).
+        addr_list: Optional[List[int]] = None
+        write_list: Optional[List[bool]] = None
+        single_list: Optional[List[bool]] = None
         base = 0
         while base < count:
-            # Cheap scalar probe of the next op first: if it is not
-            # committable (the common case in miss-heavy stretches) the
-            # whole vectorized precheck would be wasted work, since runs
-            # are only consumed from the front of the remainder.
-            if not self._probe_one(
+            # Cheap scalar probe of the next op first: it decides which
+            # engine (scalar span / miss-run kernel / vectorized fast
+            # path) consumes the front of the remainder.
+            probe = self._probe_one(
                 int(addr[base]), int(size[base]), bool(is_write[base])
-            ):
+            )
+            if probe == _PROBE_SCALAR:
                 stop = min(count, base + self._span)
                 self._scalar_span(addr, size, is_write, base, stop)
                 base = stop
                 self._span = min(self._span * 2, _MAX_SCALAR_SPAN)
                 continue
+            if probe == _PROBE_KERNEL:
+                if addr_list is None:
+                    addr_list = addr.tolist()
+                    write_list = is_write.tolist()
+                    single_list = (
+                        ((addr & _LINE_MASK) + size <= CACHE_LINE)
+                        & (size > 0)
+                    ).tolist()
+                stop = min(count, base + self._kernel_block)
+                consumed, fired = self._miss_run(
+                    addr_list[base:stop],
+                    write_list[base:stop],
+                    single_list[base:stop],
+                )
+                requested = stop - base
+                base += consumed
+                if consumed == requested:
+                    # Whole block consumed: the run is still going.
+                    self._kernel_block = min(
+                        self._kernel_block * 2, _MAX_KERNEL_BLOCK
+                    )
+                    self._span = _MIN_SCALAR_SPAN
+                    continue
+                self._kernel_block = _MIN_KERNEL_BLOCK
+                if fired:
+                    # Timer callbacks may have mutated anything; the
+                    # next iteration re-probes from scratch.
+                    self._span = _MIN_SCALAR_SPAN
+                    continue
+                # The kernel broke on a hazard (fault, protection
+                # upgrade, multi-line op, impure-walker TLB miss): the
+                # op at the break point needs the scalar path.
+                stop = min(count, base + self._span)
+                self._scalar_span(addr, size, is_write, base, stop)
+                base = stop
+                if consumed < _MIN_KERNEL_RUN:
+                    self._span = min(self._span * 2, _MAX_SCALAR_SPAN)
+                else:
+                    self._span = _MIN_SCALAR_SPAN
+                continue
+            # _PROBE_FAST: vectorized eligibility + fast-run commits.
             mask, key, line = self._eligibility(
                 addr[base:], size[base:], is_write[base:]
             )
             remaining = count - base
             cursor = 0
             fired = False
-            # Consume verified True runs.  Commits refresh LRU order and
-            # merge dirty bits but never change TLB/L1 *membership*, so
-            # the mask stays valid across commits — it goes stale only
-            # when a scalar op executes or a timer callback runs.
+            # Consume verified True runs.  Fast commits refresh LRU
+            # order and merge dirty bits but never change TLB/L1
+            # *membership*, so the mask stays valid across commits — it
+            # goes stale only when a scalar op, a kernel run, or a timer
+            # callback executes.
             while cursor < remaining and mask[cursor]:
                 run_end = cursor + 1
                 while run_end < remaining and mask[run_end]:
@@ -168,27 +292,23 @@ class BatchReplayer:
                         break
                 if fired:
                     break
+            base += cursor
             if fired:
-                base += cursor
                 self._span = _MIN_SCALAR_SPAN
                 continue
             if cursor >= remaining:
                 break
-            # The op at the cursor is not committable right now.  Replay
-            # a scalar span and re-probe: misses *fill* state, so
-            # eligibility can improve mid-chunk (cold-start warmup), but
-            # each fill can also evict, so nothing is committed without
-            # a fresh mask.  The span doubles while re-probes keep
-            # coming back immediately ineligible (miss-heavy stretches
-            # pay a bounded number of prechecks) and resets once a run
-            # commits again.
-            stop = min(remaining, cursor + self._span)
-            self._scalar_span(addr, size, is_write, base + cursor, base + stop)
-            base += stop
             if cursor == 0:
+                # Defensive: the probe said fast but the mask disagreed
+                # (unreachable today — both test the same structures).
+                stop = min(count, base + self._span)
+                self._scalar_span(addr, size, is_write, base, stop)
+                base = stop
                 self._span = min(self._span * 2, _MAX_SCALAR_SPAN)
-            else:
-                self._span = _MIN_SCALAR_SPAN
+                continue
+            # A fast run just ended at an op that is no longer
+            # L1-resident; re-probe to pick the next engine.
+            self._span = _MIN_SCALAR_SPAN
 
     def _scalar_span(
         self,
@@ -208,30 +328,509 @@ class BatchReplayer:
             access(vaddr, nbytes, write)
         self.scalar_ops += stop - start
 
-    def _probe_one(self, vaddr: int, nbytes: int, is_write: bool) -> bool:
-        """Scalar committability check of a single op (precheck gate).
+    def _probe_one(self, vaddr: int, nbytes: int, is_write: bool) -> int:
+        """Classify the next op: scalar fallback, miss-run kernel, or
+        the vectorized fast path.
 
-        Mirrors :meth:`_eligibility` exactly for one op, at dict-probe
-        cost; used to skip the vectorized pass when the op at the front
-        of the remainder is not committable anyway.
+        Mirrors the per-op eligibility tests of both batch engines at
+        dict-probe cost, so the expensive vectorized precheck only runs
+        when the front op would actually take the fast path.
         """
         machine = self.machine
         if not machine._fast_ok or machine._mode_stack:  # noqa: SLF001
-            return False
+            return _PROBE_SCALAR
         if nbytes <= 0 or vaddr % CACHE_LINE + nbytes > CACHE_LINE:
-            return False
+            return _PROBE_SCALAR
         key = vaddr // PAGE_SIZE | machine._asid_base  # noqa: SLF001
         entry = machine.tlb._entries.get(key)  # noqa: SLF001 - hot path
-        if entry is None or (is_write and not entry.writable):
-            return False
+        if entry is None:
+            # TLB miss: only the kernel can proceed, and only by
+            # walking inline — which requires either a declared-pure
+            # walker or an impure walker with a pure peek, plus the
+            # stock eviction hook and no persist hook (crash injection
+            # must see every scalar persist event).
+            if (
+                machine.persist_hook is not None
+                or machine.walker is None
+                or machine.tlb.on_evict != machine._tlb_evict_hook  # noqa: SLF001
+            ):
+                return _PROBE_SCALAR
+            if machine._pure_walker:  # noqa: SLF001
+                translation = machine.walker(machine, vaddr // PAGE_SIZE)
+            elif machine._walker_peek is not None:  # noqa: SLF001
+                translation = machine._walker_peek(vaddr // PAGE_SIZE)  # noqa: SLF001
+            else:
+                return _PROBE_SCALAR
+            if translation is None or (is_write and not translation[1]):
+                return _PROBE_SCALAR
+            return _PROBE_KERNEL
+        if is_write and not entry.writable:
+            return _PROBE_SCALAR
         line = entry.pfn * LINES_PER_PAGE + vaddr % PAGE_SIZE // CACHE_LINE
         l1_sets = machine._l1_sets  # noqa: SLF001 - hot path
-        return line in l1_sets[line % machine._l1_nsets]  # noqa: SLF001
+        if line in l1_sets[line % machine._l1_nsets]:  # noqa: SLF001
+            return _PROBE_FAST
+        if machine.persist_hook is not None:
+            # L1 misses can write back to NVM; those must emit scalar
+            # persist events when an injector is attached.
+            return _PROBE_SCALAR
+        return _PROBE_KERNEL
+
+    # ------------------------------------------------------------------
+    # miss-run kernel
+    # ------------------------------------------------------------------
+
+    def _bind_view(self) -> tuple:
+        """Flatten :meth:`Machine.miss_run_view` into the positional
+        tuple the kernel unpacks (cached; every container is mutated in
+        place by its owner, never replaced)."""
+        view = self.machine.miss_run_view()
+        (
+            dram_rows, dram_row_size, dram_banks,
+            dram_read_hit, dram_read_miss, dram_write_hit, dram_write_miss,
+        ) = view["dram_view"]
+        (
+            nvm_rows, nvm_row_size, nvm_banks,
+            nvm_read_hit, nvm_read_miss, nvm_write_hit, nvm_write_miss,
+        ) = view["nvm_view"]
+        drains, wb_capacity, insert_cycles = view["buffer_view"]
+        op_base = view["op_base_cycles"]
+        self._view = (
+            view["tlb"], view["tlb_entries"], view["tlb_capacity"],
+            view["l1"], view["l2"], view["llc"],
+            view["l1_sets"], view["l1_nsets"], view["l1_assoc"],
+            view["l2_sets"], view["l2_nsets"], view["l2_assoc"],
+            view["llc_sets"], view["llc_nsets"], view["llc_assoc"],
+            op_base + view["l1_hit_latency"],
+            op_base + view["l2_hit_latency"],
+            op_base + view["llc_hit_latency"],
+            view["controller"], view["dram_channel"], view["nvm_channel"],
+            dram_rows, dram_row_size, dram_banks,
+            dram_read_hit, dram_read_miss, dram_write_hit, dram_write_miss,
+            nvm_rows, nvm_row_size, nvm_banks,
+            nvm_read_hit, nvm_read_miss, nvm_write_hit, nvm_write_miss,
+            view["write_buffer"], drains, wb_capacity, insert_cycles,
+            view["page_writes"], view["page_row_misses"], view["page_shift"],
+            view["dram_base"], view["nvm_base"], view["mem_end"],
+            view["counters"], view["timer_heap"], op_base,
+        )
+        return self._view
+
+    def _miss_run(
+        self,
+        addrs: List[int],
+        writes: List[bool],
+        singles: List[bool],
+    ) -> Tuple[int, bool]:
+        """Execute a run of ops through the inlined miss path.
+
+        Consumes ops until a hazard (see the module docstring's
+        fallback taxonomy) or the earliest timer deadline; commits all
+        deferred state, then fires any due timers.  Returns
+        ``(ops consumed, timers fired)``.
+        """
+        machine = self.machine
+        view = self._view
+        if view is None:
+            view = self._bind_view()
+        (
+            tlb, entries, tlb_capacity,
+            l1, l2, llc,
+            l1_sets, l1_nsets, l1_assoc,
+            l2_sets, l2_nsets, l2_assoc,
+            llc_sets, llc_nsets, llc_assoc,
+            op_l1_cycles, op_l2_cycles, op_llc_cycles,
+            controller, dram_channel, nvm_channel,
+            dram_rows, dram_row_size, dram_banks,
+            dram_read_hit, dram_read_miss, dram_write_hit, dram_write_miss,
+            nvm_rows, nvm_row_size, nvm_banks,
+            nvm_read_hit, nvm_read_miss, nvm_write_hit, nvm_write_miss,
+            write_buffer, drains, wb_capacity, insert_cycles,
+            page_writes, page_row_misses, page_shift,
+            dram_base, nvm_base, mem_end,
+            counters, heap, op_base,
+        ) = view
+        asid = machine.asid
+        asid_base = machine._asid_base  # noqa: SLF001 - hot path
+        imon = machine._imon  # noqa: SLF001 - hot path
+        walker = machine.walker if machine._pure_walker else None  # noqa: SLF001
+        # Impure walker with a pure peek: the kernel peeks for free and
+        # runs the real charged walk inline on clean translations.
+        peek = None if walker is not None else machine._walker_peek  # noqa: SLF001
+        raw_walker = machine.walker
+        if tlb.on_evict != machine._tlb_evict_hook:  # noqa: SLF001
+            walker = peek = None
+        # Without a monitor watching evictions, staged TLB entries can
+        # be deferred tuples — only survivors get materialized.  With a
+        # monitor, victims must be real entries at note_tlb_evict time.
+        defer_entries = imon is None
+        clock_base = machine.clock
+        last_drain_end = write_buffer._last_drain_end  # noqa: SLF001
+        deadline = heap[0][0] - clock_base if heap else None
+
+        cycles = 0
+        #: Cycles the machine charged itself during inline impure walks
+        #: (advance() already added them to clock and cycles.user);
+        #: subtracted from the commit's bulk cycles.user add.
+        external = 0
+        consumed = 0
+        last_key = 0
+        #: Staged TLB activity: every op's key ends up here (moved real
+        #: entries, or walk fills as (pfn, writable, vpn) tuples).  The
+        #: combined LRU order is ``entries`` then ``pending``, matching
+        #: the scalar dict exactly; evictions pop the combined head.
+        pending: dict = {}
+        n_tlb_hit = n_tlb_miss = n_tlb_evict = 0
+        n_l1_hit = n_l1_miss = n_l1_evict = 0
+        n_l2_hit = n_l2_miss = n_l2_evict = 0
+        n_llc_hit = n_llc_miss = n_llc_evict = 0
+        n_dram_reads = n_nvm_reads = 0
+        n_dram_writes = n_nvm_writes = 0
+        dram_r_hit = dram_r_miss = dram_w_hit = dram_w_miss = 0
+        nvm_r_hit = nvm_r_miss = nvm_w_hit = nvm_w_miss = 0
+        n_writebacks = n_buffered = n_full_stalls = 0
+        n_write_ops = 0
+        #: Final row-buffer outcome per channel (None = untouched).
+        dram_last_hit: Optional[bool] = None
+        nvm_last_hit: Optional[bool] = None
+
+        def _writeback(victim_line: int) -> None:
+            """Dirty victim to memory — inline Machine._writeback."""
+            nonlocal cycles, n_writebacks, n_dram_writes, n_nvm_writes
+            nonlocal dram_w_hit, dram_w_miss, nvm_w_hit, nvm_w_miss
+            nonlocal dram_last_hit, nvm_last_hit
+            nonlocal last_drain_end, n_buffered, n_full_stalls
+            addr = victim_line * CACHE_LINE
+            if addr >= nvm_base:
+                n_nvm_writes += 1
+                page = addr >> page_shift
+                page_writes[page] = page_writes.get(page, 0) + 1
+                row = addr // nvm_row_size
+                bank = row % nvm_banks
+                hit = nvm_rows.get(bank) == row
+                nvm_rows[bank] = row
+                if hit:
+                    nvm_w_hit += 1
+                    latency = nvm_write_hit
+                else:
+                    nvm_w_miss += 1
+                    latency = nvm_write_miss
+                nvm_last_hit = hit
+                # Write-buffer enqueue at the scalar clock read point.
+                now = clock_base + cycles
+                while drains and drains[0] <= now:
+                    drains.popleft()
+                stall = 0
+                if len(drains) >= wb_capacity:
+                    stall = drains.popleft() - now
+                    n_full_stalls += 1
+                drain_start = now + stall
+                if last_drain_end > drain_start:
+                    drain_start = last_drain_end
+                last_drain_end = drain_start + latency
+                drains.append(last_drain_end)
+                n_buffered += 1
+                if imon is not None:
+                    nvm_channel.last_row_hit = hit
+                    imon.note_device(addr, True)
+                cycles += stall + insert_cycles
+            else:
+                n_dram_writes += 1
+                row = addr // dram_row_size
+                bank = row % dram_banks
+                hit = dram_rows.get(bank) == row
+                dram_rows[bank] = row
+                if hit:
+                    dram_w_hit += 1
+                    latency = dram_write_hit
+                else:
+                    dram_w_miss += 1
+                    latency = dram_write_miss
+                dram_last_hit = hit
+                if imon is not None:
+                    dram_channel.last_row_hit = hit
+                    imon.note_device(addr, False)
+                cycles += latency
+            n_writebacks += 1
+
+        for vaddr, w, ok in zip(addrs, writes, singles):
+            if not ok:
+                break  # multi-line / page-crossing / zero-size op
+            vpn = vaddr // PAGE_SIZE
+            key = asid_base | vpn
+            entry = entries.get(key)
+            if entry is not None:
+                if w and not entry.writable:
+                    break  # protection upgrade: scalar fault path
+                pfn = entry.pfn
+                n_tlb_hit += 1
+                # LRU refresh: a touched real entry moves behind the
+                # staged ones (the combined MRU end).
+                del entries[key]
+                pending[key] = entry
+            else:
+                staged = pending.get(key)
+                if staged is not None:
+                    if type(staged) is tuple:
+                        pfn = staged[0]
+                        if w and not staged[1]:
+                            break
+                    else:
+                        pfn = staged.pfn
+                        if w and not staged.writable:
+                            break
+                    n_tlb_hit += 1
+                    pending[key] = pending.pop(key)
+                else:
+                    if walker is not None:
+                        translation = walker(machine, vpn)
+                        if translation is None:
+                            break  # demand fault: scalar path
+                    elif peek is not None:
+                        translation = peek(vpn)
+                        if translation is None or (
+                            w and not translation[1]
+                        ):
+                            # Fault / protection upgrade: bail BEFORE
+                            # the charged walk — the scalar path then
+                            # executes the op (and its walk) whole.
+                            break
+                        # Clean translation: run the real charged walk
+                        # at the exact scalar clock point (op_base is
+                        # charged before the walk; the hit-stage add
+                        # below re-adds it, so it cancels here).  The
+                        # walk's own advance()/enqueue calls need the
+                        # live clock and drain horizon, and its cycles
+                        # land in cycles.user immediately — tracked in
+                        # ``external`` so the commit does not double-
+                        # charge them.
+                        walk_at = cycles + op_base
+                        machine.clock = clock_base + walk_at
+                        write_buffer._last_drain_end = last_drain_end  # noqa: SLF001
+                        translation = raw_walker(machine, vpn)
+                        walked = machine.clock - clock_base - walk_at
+                        external += walked
+                        cycles += walked
+                        last_drain_end = write_buffer._last_drain_end  # noqa: SLF001
+                        # The walk may have touched the channels; their
+                        # live last_row_hit is now authoritative, so
+                        # the deferred end-of-run restore resets.
+                        dram_last_hit = nvm_last_hit = None
+                    else:
+                        break  # impure-walker TLB miss: scalar path
+                    pfn = translation[0]
+                    writable = translation[1]
+                    if w and not writable:
+                        break
+                    n_tlb_miss += 1
+                    if len(entries) + len(pending) >= tlb_capacity:
+                        if entries:
+                            victim = entries.pop(next(iter(entries)))
+                        else:
+                            victim = pending.pop(next(iter(pending)))
+                        n_tlb_evict += 1
+                        if imon is not None:
+                            imon.note_tlb_evict(victim)
+                    if defer_entries:
+                        pending[key] = (pfn, writable, vpn)
+                    else:
+                        pending[key] = TlbEntry(
+                            vpn, pfn, writable, asid=asid
+                        )
+            line = pfn * LINES_PER_PAGE + vaddr % PAGE_SIZE // CACHE_LINE
+            set1 = l1_sets[line % l1_nsets]
+            if line in set1:
+                set1[line] = set1.pop(line) or w
+                n_l1_hit += 1
+                cycles += op_l1_cycles
+            else:
+                n_l1_miss += 1
+                set2 = l2_sets[line % l2_nsets]
+                if line in set2:
+                    set2[line] = set2.pop(line)
+                    n_l2_hit += 1
+                    cycles += op_l2_cycles
+                else:
+                    n_l2_miss += 1
+                    set3 = llc_sets[line % llc_nsets]
+                    if line in set3:
+                        set3[line] = set3.pop(line)
+                        n_llc_hit += 1
+                        cycles += op_llc_cycles
+                    else:
+                        n_llc_miss += 1
+                        addr = line * CACHE_LINE
+                        if addr >= nvm_base:
+                            if addr >= mem_end:
+                                break  # out of range: scalar raises
+                            n_nvm_reads += 1
+                            row = addr // nvm_row_size
+                            bank = row % nvm_banks
+                            hit = nvm_rows.get(bank) == row
+                            nvm_rows[bank] = row
+                            if hit:
+                                nvm_r_hit += 1
+                                latency = nvm_read_hit
+                            else:
+                                nvm_r_miss += 1
+                                latency = nvm_read_miss
+                                page = addr >> page_shift
+                                page_row_misses[page] = (
+                                    page_row_misses.get(page, 0) + 1
+                                )
+                            nvm_last_hit = hit
+                            if imon is not None:
+                                nvm_channel.last_row_hit = hit
+                                imon.note_device(addr, True)
+                        else:
+                            if addr < dram_base:
+                                break  # out of range: scalar raises
+                            n_dram_reads += 1
+                            row = addr // dram_row_size
+                            bank = row % dram_banks
+                            hit = dram_rows.get(bank) == row
+                            dram_rows[bank] = row
+                            if hit:
+                                dram_r_hit += 1
+                                latency = dram_read_hit
+                            else:
+                                dram_r_miss += 1
+                                latency = dram_read_miss
+                            dram_last_hit = hit
+                            if imon is not None:
+                                dram_channel.last_row_hit = hit
+                                imon.note_device(addr, False)
+                        cycles += op_llc_cycles + latency
+                        # Fill LLC (inline Machine._fill_llc).
+                        if len(set3) >= llc_assoc:
+                            victim_line = next(iter(set3))
+                            victim_dirty = set3.pop(victim_line)
+                            n_llc_evict += 1
+                            set3[line] = False
+                            victim_dirty = (
+                                l1_sets[victim_line % l1_nsets].pop(
+                                    victim_line, False
+                                )
+                                or victim_dirty
+                            )
+                            victim_dirty = (
+                                l2_sets[victim_line % l2_nsets].pop(
+                                    victim_line, False
+                                )
+                                or victim_dirty
+                            )
+                            if victim_dirty:
+                                _writeback(victim_line)
+                            if imon is not None:
+                                imon.note_llc_fill(line, victim_line)
+                        else:
+                            set3[line] = False
+                            if imon is not None:
+                                imon.note_llc_fill(line, None)
+                    # Fill L2 (inline Machine._fill_l2).
+                    if len(set2) >= l2_assoc:
+                        victim_line = next(iter(set2))
+                        victim_dirty = set2.pop(victim_line)
+                        n_l2_evict += 1
+                        set2[line] = False
+                        victim_dirty = (
+                            l1_sets[victim_line % l1_nsets].pop(
+                                victim_line, False
+                            )
+                            or victim_dirty
+                        )
+                        if victim_dirty:
+                            vset = llc_sets[victim_line % llc_nsets]
+                            if victim_line in vset:
+                                vset[victim_line] = True
+                            else:
+                                _writeback(victim_line)
+                    else:
+                        set2[line] = False
+                # Fill L1 (inline Machine._fill_l1).
+                if len(set1) >= l1_assoc:
+                    victim_line = next(iter(set1))
+                    victim_dirty = set1.pop(victim_line)
+                    n_l1_evict += 1
+                    set1[line] = w
+                    if victim_dirty:
+                        vset = l2_sets[victim_line % l2_nsets]
+                        if victim_line in vset:
+                            vset[victim_line] = True
+                        else:
+                            vset = llc_sets[victim_line % llc_nsets]
+                            if victim_line in vset:
+                                vset[victim_line] = True
+                            else:
+                                _writeback(victim_line)
+                else:
+                    set1[line] = w
+            if w:
+                n_write_ops += 1
+            last_key = key
+            consumed += 1
+            if deadline is not None and cycles >= deadline:
+                break  # timer due: commit, then fire at the boundary
+
+        if not consumed:
+            return 0, False
+
+        # ---- commit: all deferred state lands before any callback ----
+        if defer_entries:
+            for staged_key, staged in pending.items():
+                entries[staged_key] = (
+                    TlbEntry(staged[2], staged[0], staged[1], asid=asid)
+                    if type(staged) is tuple
+                    else staged
+                )
+        else:
+            entries.update(pending)
+        tlb.sync_mru(last_key)
+        if n_tlb_hit:
+            counters["tlb.hit"] += n_tlb_hit
+        if n_tlb_miss:
+            counters["tlb.miss"] += n_tlb_miss
+        if n_tlb_evict:
+            counters["tlb.evictions"] += n_tlb_evict
+        l1.commit_run(n_l1_hit, n_l1_miss, n_l1_evict)
+        l2.commit_run(n_l2_hit, n_l2_miss, n_l2_evict)
+        llc.commit_run(n_llc_hit, n_llc_miss, n_llc_evict)
+        if n_write_ops:
+            counters["ops.writes"] += n_write_ops
+        if consumed - n_write_ops:
+            counters["ops.reads"] += consumed - n_write_ops
+        if n_writebacks:
+            counters["cache.writebacks"] += n_writebacks
+        machine.clock = clock_base + cycles
+        # Inline impure walks already charged their share via advance().
+        counters["cycles.user"] += cycles - external
+        controller.read_run(n_nvm_reads, n_dram_reads)
+        controller.write_run(n_nvm_writes, n_dram_writes)
+        dram_channel.read_run(dram_r_hit, dram_r_miss)
+        dram_channel.write_run(dram_w_hit, dram_w_miss)
+        nvm_channel.read_run(nvm_r_hit, nvm_r_miss)
+        nvm_channel.write_run(nvm_w_hit, nvm_w_miss)
+        if dram_last_hit is not None:
+            dram_channel.end_run(dram_last_hit)
+        if nvm_last_hit is not None:
+            nvm_channel.end_run(nvm_last_hit)
+        if n_nvm_writes:
+            write_buffer.commit_run(last_drain_end, n_buffered, n_full_stalls)
+        self.batched_ops += consumed
+        fired = 0
+        if heap and heap[0][0] <= machine.clock:
+            fired = machine.timers.fire_due(machine._read_clock)  # noqa: SLF001
+        return consumed, bool(fired)
+
+    # ------------------------------------------------------------------
+    # vectorized fast-run path
+    # ------------------------------------------------------------------
 
     def _eligibility(
         self, addr: np.ndarray, size: np.ndarray, is_write: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Vectorized precheck: which ops are committable *right now*.
+        """Vectorized precheck: which ops are fast-committable *right
+        now*.
 
         Returns ``(mask, key, line)``; ``key``/``line`` values are only
         meaningful where ``mask`` is set.
@@ -295,7 +894,7 @@ class BatchReplayer:
     def _commit(
         self, key: np.ndarray, line: np.ndarray, is_write: np.ndarray
     ) -> Tuple[int, bool]:
-        """Commit a verified run; returns ``(ops committed, timers fired)``.
+        """Commit a verified fast run; returns ``(ops, timers fired)``.
 
         The run is truncated at the op whose batched clock advance first
         reaches the earliest armed timer deadline, mirroring the scalar
@@ -318,8 +917,12 @@ class BatchReplayer:
         writes = int(np.count_nonzero(is_write))
         counters["tlb.hit"] += length
         counters[machine._l1_hit_key] += length  # noqa: SLF001 - hot path
-        counters["ops.writes"] += writes
-        counters["ops.reads"] += length - writes
+        # Guarded: an all-read (or all-write) run must not create the
+        # other key at zero — scalar replay never would.
+        if writes:
+            counters["ops.writes"] += writes
+        if length - writes:
+            counters["ops.reads"] += length - writes
         cycles = length * per_op_cycles
         machine.clock += cycles
         counters["cycles.user"] += cycles

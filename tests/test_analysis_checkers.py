@@ -501,6 +501,58 @@ class TestStatsKey:
         )
         assert rules(found) == ["stats-key.inline-format"]
 
+    def test_guarded_run_commit_bulk_add_passes(self, tmp_path):
+        """The batch-engine run-commit idiom: per-run totals accumulate
+        in locals, then guarded bulk adds (``if n: counters[key] += n``)
+        commit them — through cached ``*_key`` attributes and string
+        constants alike.  The guards matter for golden equivalence
+        (a zero-valued add would create a key the scalar path never
+        creates) and must not trip the checker."""
+        found = run_checker(
+            "stats-key",
+            """
+            class Cache:
+                def __init__(self, name, stats):
+                    lower = name.lower()
+                    self._counters = stats.counters
+                    self._hit_key = f"{lower}.hit"
+                    self._miss_key = f"{lower}.miss"
+
+                def commit_run(self, hits, misses, writes, length):
+                    counters = self._counters
+                    if hits:
+                        counters[self._hit_key] += hits
+                    if misses:
+                        counters[self._miss_key] += misses
+                    if writes:
+                        counters["ops.writes"] += writes
+                    if length - writes:
+                        counters["ops.reads"] += length - writes
+            """,
+            tmp_path,
+        )
+        assert found == []
+
+    def test_run_commit_inline_key_flagged(self, tmp_path):
+        """A run commit that re-formats its counter key per call is
+        still an inline-format violation — bulk adds don't exempt the
+        key-construction rule."""
+        found = run_checker(
+            "stats-key",
+            """
+            class Cache:
+                def __init__(self, name, stats):
+                    self.name = name
+                    self._counters = stats.counters
+
+                def commit_run(self, hits):
+                    if hits:
+                        self._counters[f"{self.name}.hit"] += hits
+            """,
+            tmp_path,
+        )
+        assert rules(found) == ["stats-key.inline-format"]
+
 
 class TestTaskSafety:
     @staticmethod

@@ -1,0 +1,500 @@
+"""Miss-run kernel regression suite (batch replay beyond the L1).
+
+The vectorized miss path executes TLB walks, cache fills, victim
+evictions, row-buffer switches and NVM write-buffer traffic inside a
+batched run.  These tests pin the two contracts that make that safe:
+
+* **byte identity** — a miss-heavy trace replayed through the batch
+  engine produces the same stats dump, final clock and physical memory
+  as the scalar loop, including when timer callbacks invalidate
+  machine state *mid run* (row resets, controller power cycles,
+  persist barriers, full power failures);
+* **fallback discipline** — every hazard the kernel cannot model
+  (impure walkers, persist hooks, protection upgrades) must break the
+  run *before* mutating anything, leaving the op to the scalar path.
+"""
+
+from repro.arch.machine import LINES_PER_PAGE, Machine
+from repro.common.config import (
+    CacheConfig,
+    HybridLayoutConfig,
+    MachineConfig,
+    TlbConfig,
+)
+from repro.common.units import CACHE_LINE, KiB, MiB, PAGE_SIZE
+from repro.mem.hybrid import MemType
+from repro.replay import replay_batch
+
+#: Cycles between hazard-timer fires: a handful of fires across the
+#: ~3M-cycle hazard traces (each fire lands mid-run and must force the
+#: kernel to commit, re-probe and rebuild its run state).
+HAZARD_PERIOD = 300_001
+
+
+def _tiny_config() -> MachineConfig:
+    """Shrunken hierarchy (64/256/1024-line caches, 16-entry TLB) so a
+    few thousand strided ops exercise capacity evictions, dirty
+    writebacks and TLB replacement at every level."""
+    return MachineConfig(
+        l1=CacheConfig("L1", 4 * KiB, 4, hit_latency=4),
+        l2=CacheConfig("L2", 16 * KiB, 4, hit_latency=14),
+        llc=CacheConfig("LLC", 64 * KiB, 8, hit_latency=40),
+        tlb=TlbConfig(entries=16),
+        layout=HybridLayoutConfig(8 * MiB, 8 * MiB),
+    )
+
+
+def _premapped(npages: int, nvm: bool = False, read_only_every: int = 0):
+    """Machine with ``npages`` identity-premapped pages, a pure walker,
+    and a protection-upgrade fault handler.
+
+    ``read_only_every`` > 0 maps every n-th page read-only; the handler
+    upgrades it on the first write fault (the scalar path the kernel
+    must break to).  Returns ``(machine, reinstall)`` — ``reinstall``
+    re-points the hardware at the space after a power failure.
+    """
+    machine = Machine(_tiny_config())
+    kind = MemType.NVM if nvm else MemType.DRAM
+    base_pfn, end_pfn = machine.layout.pfn_range(kind)
+    assert npages <= end_pfn - base_pfn
+    mapping = {
+        vpn: [
+            base_pfn + vpn,
+            not (read_only_every and vpn % read_only_every == 0),
+        ]
+        for vpn in range(npages)
+    }
+
+    def walker(_machine, vpn):
+        entry = mapping.get(vpn)
+        return (entry[0], entry[1]) if entry else None
+
+    def fault(vaddr, is_write):
+        entry = mapping.get(vaddr // PAGE_SIZE)
+        if entry is not None and is_write:
+            entry[1] = True
+
+    def reinstall():
+        machine.install_context(1, walker, fault, pure_walker=True)
+
+    reinstall()
+    return machine, reinstall
+
+
+def _thrash_trace(ops: int, npages: int, stride_lines: int = 6467,
+                  write_every: int = 3):
+    """Strided single-line ops that miss the TLB and caches constantly.
+
+    The default stride advances ~101 pages (plus a 3-line drift) per
+    op, so with a few hundred mapped pages the page reuse distance
+    stays far above the 64-entry TLB: nearly every op takes the
+    kernel's inline-walk path.
+    """
+    lines_total = npages * LINES_PER_PAGE
+    trace = []
+    line = 0
+    for i in range(ops):
+        line = (line + stride_lines) % lines_total
+        trace.append((line * CACHE_LINE, 8, i % write_every == 0))
+    return trace
+
+
+def _fingerprint(machine: Machine):
+    frames = {
+        pfn: bytes(frame)
+        for pfn, frame in machine.physmem._frames.items()  # noqa: SLF001
+    }
+    return machine.stats.dump(), machine.clock, frames
+
+
+def _run_pair(build, trace):
+    """Replay ``trace`` scalar and batched on fresh ``build()`` machines;
+    returns ``(scalar_machine, batch_machine, replayer)``."""
+    scalar_machine = build()
+    for vaddr, size, is_write in trace:
+        scalar_machine.access(vaddr, size, is_write)
+    batch_machine = build()
+    replayer = replay_batch(batch_machine, trace)
+    return scalar_machine, batch_machine, replayer
+
+
+class TestMissKernelEngages:
+    def test_miss_heavy_trace_batches_fully(self):
+        """With a pure walker, a TLB/cache-thrashing trace runs almost
+        entirely through the kernel (this is the perf win the PR is
+        gated on — a silent fallback regression shows up here)."""
+        trace = _thrash_trace(4000, npages=512)
+        scalar, batch, replayer = _run_pair(
+            lambda: _premapped(512, nvm=True)[0], trace
+        )
+        assert _fingerprint(batch) == _fingerprint(scalar)
+        assert replayer.batched_ops > 3600  # >90% through the kernel
+        assert batch.stats["tlb.miss"] > 3600  # genuinely TLB-thrashing
+        assert batch.stats["nvm.reads"] > 0
+        assert batch.stats["cache.writebacks"] > 0
+
+    def test_write_buffer_pressure(self):
+        """All-write NVM thrash fills the 48-entry write buffer; the
+        kernel's inline enqueue must reproduce stalls and the drain
+        horizon exactly."""
+        trace = _thrash_trace(4000, npages=512, write_every=1)
+        scalar, batch, replayer = _run_pair(
+            lambda: _premapped(512, nvm=True)[0], trace
+        )
+        assert _fingerprint(batch) == _fingerprint(scalar)
+        assert replayer.batched_ops > 0
+        assert scalar.stats["nvm.buffered_writes"] > 0
+
+    def test_dram_and_nvm_interleaved(self):
+        """Ops alternating between DRAM- and NVM-backed pages exercise
+        both channels' row state in one run."""
+        machine_pages = 256
+
+        def build():
+            machine = Machine(_tiny_config())
+            dram_base, _ = machine.layout.pfn_range(MemType.DRAM)
+            nvm_base, _ = machine.layout.pfn_range(MemType.NVM)
+            mapping = {
+                vpn: (
+                    (nvm_base + vpn, True)
+                    if vpn % 2
+                    else (dram_base + vpn, True)
+                )
+                for vpn in range(machine_pages)
+            }
+            machine.install_context(
+                1, lambda _m, vpn: mapping.get(vpn), None, pure_walker=True
+            )
+            return machine
+
+        trace = _thrash_trace(4000, npages=machine_pages)
+        scalar, batch, replayer = _run_pair(build, trace)
+        assert _fingerprint(batch) == _fingerprint(scalar)
+        assert replayer.batched_ops > 0
+        assert batch.stats["dram.reads"] > 0
+        assert batch.stats["nvm.reads"] > 0
+
+
+class TestMidRunInvalidation:
+    """Timer callbacks that clobber structures the kernel is holding.
+
+    All deferred kernel state must be committed before the callback
+    runs, and the kernel must re-probe afterwards — a stale cached run
+    would diverge from scalar immediately (open rows, drain horizon and
+    TLB contents all change under it)."""
+
+    def _hazard_pair(self, make_hazard, trace, npages=512, nvm=True):
+        fires = []
+
+        def run(batch):
+            machine, reinstall = _premapped(npages, nvm=nvm)
+            hazard = make_hazard(machine, reinstall)
+
+            def on_fire():
+                machine.stats.add("test.hazard_fires")
+                hazard()
+
+            machine.timers.arm(
+                machine.clock + HAZARD_PERIOD,
+                on_fire,
+                period=HAZARD_PERIOD,
+                name="hazard",
+            )
+            if batch:
+                replayer = replay_batch(machine, trace)
+                fires.append(machine.stats["test.hazard_fires"])
+                return machine, replayer
+            for vaddr, size, is_write in trace:
+                machine.access(vaddr, size, is_write)
+            fires.append(machine.stats["test.hazard_fires"])
+            return machine, None
+
+        scalar_machine, _ = run(batch=False)
+        batch_machine, replayer = run(batch=True)
+        assert fires[0] == fires[1] > 0  # hazard really fired, mid-run
+        assert replayer.batched_ops > 0  # and the kernel really engaged
+        assert _fingerprint(batch_machine) == _fingerprint(scalar_machine)
+        return batch_machine, replayer
+
+    def test_row_reset_mid_run(self):
+        """MemoryChannel.reset_rows from a timer closes rows the kernel
+        had open: subsequent accesses must pay row misses again."""
+        trace = _thrash_trace(6000, npages=512)
+        self._hazard_pair(
+            lambda machine, _reinstall: (
+                lambda: (
+                    machine.controller.dram.reset_rows(),
+                    machine.controller.nvm.reset_rows(),
+                )
+            ),
+            trace,
+        )
+
+    def test_controller_power_cycle_mid_run(self):
+        """controller.power_cycle drops open rows *and* the buffered
+        (volatile) NVM writes, resetting the drain horizon the kernel
+        tracks as a local."""
+        trace = _thrash_trace(6000, npages=512, write_every=1)
+        batch_machine, _ = self._hazard_pair(
+            lambda machine, _reinstall: machine.controller.power_cycle,
+            trace,
+        )
+        assert batch_machine.stats["nvm.buffered_writes"] > 0
+
+    def test_persist_barrier_mid_run(self):
+        """machine.persist_barrier stalls on the write buffer: the
+        drain horizon committed by the kernel feeds the stall length."""
+        trace = _thrash_trace(6000, npages=512, write_every=1)
+        batch_machine, _ = self._hazard_pair(
+            lambda machine, _reinstall: machine.persist_barrier,
+            trace,
+        )
+        assert batch_machine.stats["persist_barriers"] > 0
+
+    def test_power_fail_mid_run(self):
+        """Full power failure from a timer: caches, TLB, rows, buffered
+        writes and the armed context all vanish; the callback reboots
+        and reinstalls the space, and replay must continue identically
+        (the periodic hazard timer survives its own power_fail because
+        it was already popped when the callback ran)."""
+
+        def make_hazard(machine, reinstall):
+            def hazard():
+                machine.power_fail()
+                machine.power_on()
+                reinstall()
+
+            return hazard
+
+        trace = _thrash_trace(6000, npages=512)
+        batch_machine, _ = self._hazard_pair(make_hazard, trace)
+        assert batch_machine.stats["power.failures"] > 0
+
+
+class TestFallbackDiscipline:
+    def test_impure_walker_never_walks_inline(self):
+        """Without pure_walker, the kernel must not invoke the walker:
+        walker call counts match the scalar replay exactly (a probe or
+        inline walk would inflate them)."""
+        npages = 512
+        trace = _thrash_trace(3000, npages=npages)
+        calls = []
+
+        def run(batch):
+            machine = Machine(_tiny_config())
+            base_pfn, _ = machine.layout.pfn_range(MemType.NVM)
+            mapping = {
+                vpn: (base_pfn + vpn, True) for vpn in range(npages)
+            }
+            count = 0
+
+            def walker(_machine, vpn):
+                nonlocal count
+                count += 1
+                return mapping.get(vpn)
+
+            machine.install_context(1, walker, None)  # impure (default)
+            if batch:
+                replay_batch(machine, trace)
+            else:
+                for vaddr, size, is_write in trace:
+                    machine.access(vaddr, size, is_write)
+            calls.append(count)
+            return machine
+
+        scalar_machine = run(batch=False)
+        batch_machine = run(batch=True)
+        assert calls[0] == calls[1]
+        assert _fingerprint(batch_machine) == _fingerprint(scalar_machine)
+
+    def test_persist_hook_forces_scalar(self):
+        """An installed persist hook must see every durable-write event
+        in scalar order; the kernel refuses to run while one is set."""
+        trace = _thrash_trace(2000, npages=256, write_every=1)
+        events = []
+
+        def build():
+            machine, _ = _premapped(256, nvm=True)
+            machine.persist_hook = lambda kind, detail: events.append(
+                (kind, detail)
+            )
+            return machine
+
+        scalar, batch, replayer = _run_pair(build, trace)
+        assert _fingerprint(batch) == _fingerprint(scalar)
+        assert replayer.batched_ops == 0
+        half = len(events) // 2
+        assert half > 0 and events[:half] == events[half:]  # same stream
+
+    def test_protection_upgrade_breaks_run(self):
+        """A write through a read-only translation takes the scalar
+        fault/upgrade path; the kernel must not have counted anything
+        for that op (tlb.hit totals would drift otherwise)."""
+        trace = _thrash_trace(3000, npages=512, write_every=2)
+        scalar, batch, replayer = _run_pair(
+            lambda: _premapped(512, nvm=True, read_only_every=5)[0],
+            trace,
+        )
+        assert _fingerprint(batch) == _fingerprint(scalar)
+        assert replayer.batched_ops > 0
+        assert replayer.scalar_ops > 0
+
+    def test_multiline_op_breaks_run(self):
+        """Page-crossing ops split per page in the scalar path; the
+        kernel consumes single-line ops around them."""
+        trace = _thrash_trace(2000, npages=512)
+        # Replace every 50th op with a page-crossing write (kept well
+        # inside the mapped range so the crossed-into page exists).
+        trace = [
+            ((i % 100) * PAGE_SIZE + PAGE_SIZE - 64, PAGE_SIZE + 96, True)
+            if i % 50 == 25
+            else op
+            for i, op in enumerate(trace)
+        ]
+        scalar, batch, replayer = _run_pair(
+            lambda: _premapped(512, nvm=True)[0], trace
+        )
+        assert _fingerprint(batch) == _fingerprint(scalar)
+        assert replayer.batched_ops > 0
+        assert replayer.scalar_ops >= 2000 // 50
+
+
+class TestInlineImpureWalks:
+    """Impure walker + ``walker_peek``: charged walks run inline.
+
+    A gemOS-style walker performs simulated page-table reads through
+    the cache hierarchy (charging cycles, filling lines, potentially
+    evicting dirty victims into the NVM write buffer).  With a pure
+    ``walker_peek`` installed the kernel previews the translation for
+    free, bails to scalar *before* any side effect on a fault or
+    write-protection denial, and otherwise executes the real walk
+    mid-run against synchronized clock and drain state.  Byte identity
+    and walker-call-count equality pin all of that down."""
+
+    def _charged_space(self, npages, read_only_every=0, holes_every=0):
+        """Machine with an impure four-read walker plus its pure peek.
+
+        ``holes_every`` leaves every n-th page unmapped; the fault
+        handler demand-maps it (the peek returns None first, so the
+        kernel must break before the charged walk — a double-executed
+        walk would show up in the call count).  Returns
+        ``(machine, calls)`` where ``calls[0]`` counts real walks.
+        """
+        machine = Machine(_tiny_config())
+        nvm_base, nvm_end = machine.layout.pfn_range(MemType.NVM)
+        _dram_base, dram_end = machine.layout.pfn_range(MemType.DRAM)
+        assert npages <= nvm_end - nvm_base
+        # Four "table frames" at the top of DRAM, one per walk level.
+        table_frames = [dram_end - 1 - level for level in range(4)]
+        mapping = {}
+        for vpn in range(npages):
+            if holes_every and vpn % holes_every == 0:
+                continue
+            writable = not (read_only_every and vpn % read_only_every == 0)
+            mapping[vpn] = [nvm_base + vpn, writable]
+        calls = [0]
+
+        def walker(m, vpn):
+            calls[0] += 1
+            for frame in table_frames:
+                m.phys_line_access(
+                    frame * PAGE_SIZE + (vpn % 512) * 8, is_write=False
+                )
+            entry = mapping.get(vpn)
+            return (entry[0], entry[1]) if entry else None
+
+        def peek(vpn):
+            entry = mapping.get(vpn)
+            return (entry[0], entry[1]) if entry else None
+
+        def fault(vaddr, is_write):
+            vpn = vaddr // PAGE_SIZE
+            entry = mapping.get(vpn)
+            if entry is None:
+                mapping[vpn] = [nvm_base + vpn, True]
+            elif is_write:
+                entry[1] = True
+
+        machine.install_context(1, walker, fault, walker_peek=peek)
+        return machine, calls
+
+    def _charged_pair(self, trace, **space_kwargs):
+        counts = []
+
+        def run(batch):
+            machine, calls = self._charged_space(512, **space_kwargs)
+            if batch:
+                replayer = replay_batch(machine, trace)
+            else:
+                replayer = None
+                for vaddr, size, is_write in trace:
+                    machine.access(vaddr, size, is_write)
+            counts.append(calls[0])
+            return machine, replayer
+
+        scalar_machine, _ = run(batch=False)
+        batch_machine, replayer = run(batch=True)
+        assert counts[0] == counts[1] > 0  # every walk ran exactly once
+        assert _fingerprint(batch_machine) == _fingerprint(scalar_machine)
+        return replayer
+
+    def test_charged_walker_runs_inline(self):
+        """TLB-thrashing trace: nearly every op needs a charged walk,
+        and the kernel keeps the run going through all of them."""
+        trace = _thrash_trace(3000, npages=512)
+        replayer = self._charged_pair(trace)
+        assert replayer.batched_ops > replayer.scalar_ops
+
+    def test_peek_fault_bails_before_walk(self):
+        """Unmapped pages: the peek sees None and the op breaks to
+        scalar *before* the charged walk, so demand faulting runs the
+        walker the same number of times as pure scalar replay."""
+        trace = _thrash_trace(3000, npages=512)
+        replayer = self._charged_pair(trace, holes_every=7)
+        assert replayer.batched_ops > 0
+        assert replayer.scalar_ops > 0
+
+    def test_peek_protection_denial_bails_before_walk(self):
+        """Writes through read-only translations break pre-walk; the
+        scalar retry pays the walk + upgrade fault exactly once."""
+        trace = _thrash_trace(3000, npages=512, write_every=2)
+        replayer = self._charged_pair(trace, read_only_every=5)
+        assert replayer.batched_ops > 0
+        assert replayer.scalar_ops > 0
+
+    def test_charged_walks_cross_timer_deadlines(self):
+        """Inline walks advance the run clock, so a walk can be what
+        pushes the run across an armed deadline: the kernel must still
+        commit everything before the callback fires."""
+        trace = _thrash_trace(6000, npages=512)
+        fires = []
+
+        def run(batch):
+            machine, calls = self._charged_space(512)
+
+            def on_fire():
+                machine.stats.add("test.hazard_fires")
+                machine.controller.dram.reset_rows()
+                machine.controller.nvm.reset_rows()
+
+            machine.timers.arm(
+                machine.clock + HAZARD_PERIOD,
+                on_fire,
+                period=HAZARD_PERIOD,
+                name="hazard",
+            )
+            if batch:
+                replayer = replay_batch(machine, trace)
+            else:
+                replayer = None
+                for vaddr, size, is_write in trace:
+                    machine.access(vaddr, size, is_write)
+            fires.append(machine.stats["test.hazard_fires"])
+            return machine, calls[0], replayer
+
+        scalar_machine, scalar_calls, _ = run(batch=False)
+        batch_machine, batch_calls, replayer = run(batch=True)
+        assert fires[0] == fires[1] > 0
+        assert scalar_calls == batch_calls
+        assert replayer.batched_ops > 0
+        assert _fingerprint(batch_machine) == _fingerprint(scalar_machine)
