@@ -9,7 +9,8 @@ three PRs later.  This package walks the source with :mod:`ast` (no
 code is imported or executed) and enforces those conventions at review
 time.
 
-Five checkers ship with the repo (see :mod:`repro.analysis.checkers`):
+Five per-file checkers ship with the repo (see
+:mod:`repro.analysis.checkers`):
 
 ``determinism``
     wall-clock reads, global RNG draws, environment reads, salted
@@ -28,9 +29,31 @@ Five checkers ship with the repo (see :mod:`repro.analysis.checkers`):
     ``repro.exec`` task targets that are not top-level,
     import-resolvable, mutable-default-free functions.
 
-Run ``python -m repro.analysis`` (text or ``--format json``, optional
-``--baseline`` suppression file, ``--changed`` fast path); intentional
-violations carry an inline pragma::
+Four *whole-program* checkers reason over a cross-module call graph
+with fixed-point effect propagation (:mod:`repro.analysis.graph`,
+built from :mod:`repro.analysis.effects` summaries) instead of one
+file at a time:
+
+``counter-parity``
+    every stat key the scalar replay path bumps is aggregated by a
+    batch run-commit kernel, and the kernels invent no batch-only
+    keys;
+``fallback-coverage``
+    every dynamic scalar boundary (walkers, fault/persist hooks,
+    extensions, timers, os-mode) has a kernel eligibility guard and a
+    row in the EXPERIMENTS.md scalar-fallback taxonomy;
+``clock-parity``
+    no ``advance()``/clock write reachable from the batch commit path
+    outside the kernel module;
+``observer-purity``
+    interference-monitor hooks stay pure: own state and
+    ``interference.*`` counters only.
+
+Run ``python -m repro.analysis`` (text, ``--format json`` or
+``--format sarif``, optional ``--baseline`` suppression file,
+``--changed`` fast path, ``--cache-dir`` incremental effect-summary
+cache keyed on import-closure fingerprints); intentional violations
+carry an inline pragma::
 
     t0 = time.perf_counter()  # repro: allow-nondet(wall-clock bench measurement)
 """

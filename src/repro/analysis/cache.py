@@ -1,0 +1,115 @@
+"""Incremental cache for per-module effect summaries.
+
+Extraction (:func:`repro.analysis.effects.summarize`) is the analysis
+cost that scales with tree size, and its output depends only on the
+module's own source — so summaries are cached on disk and re-extracted
+only for modules whose key changed.
+
+The key reuses :func:`repro.exec.fingerprint.code_fingerprint`: when
+the scanned file *is* the importable module (its on-disk source matches
+what the import path serves), the key is the module's transitive
+in-package import-closure hash — the same identity the execution cache
+uses for sweep results.  That is deliberately conservative: editing any
+dependency re-keys the module, so cross-module resolution facts can
+never go stale inside a cached summary.  Files that are not importable
+modules (test scripts, loose files) key on their own content hash.
+
+A cache entry is one JSON document per module; format drift is handled
+by a version tag — unknown versions read as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.analysis.core import SourceFile
+from repro.analysis.effects import ModuleSummary, summarize
+from repro.exec.fingerprint import code_fingerprint, module_source
+
+FORMAT = "repro-analysis-summary/v1"
+
+#: Default location, inside the gitignored artifacts tree.
+DEFAULT_CACHE_DIR = Path("artifacts") / "cache" / "analysis"
+
+
+class SummaryCache:
+    """Disk-backed :class:`ModuleSummary` store keyed on code identity."""
+
+    def __init__(self, cache_dir: Path) -> None:
+        self.cache_dir = cache_dir
+        self.hits = 0
+        self.misses = 0
+
+    # -- keying --------------------------------------------------------
+
+    def key_for(self, file: SourceFile) -> str:
+        """Import-closure fingerprint when the file is the importable
+        module, else a hash of the file's own text."""
+        if file.module:
+            loaded = module_source(file.module)
+            if loaded is not None and loaded[0] == file.text.encode("utf-8"):
+                return code_fingerprint(file.module)
+        return hashlib.sha256(file.text.encode("utf-8")).hexdigest()
+
+    def _entry_path(self, file: SourceFile) -> Path:
+        slug = (file.module or file.rel).replace("/", ".").replace(".py", "")
+        return self.cache_dir / f"{slug}.json"
+
+    # -- read/write ----------------------------------------------------
+
+    def summary_for(self, file: SourceFile) -> ModuleSummary:
+        """Cached summary when the key matches, else a fresh extraction
+        (stored back before returning)."""
+        key = self.key_for(file)
+        path = self._entry_path(file)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            document = None
+        if (
+            isinstance(document, dict)
+            and document.get("format") == FORMAT
+            and document.get("key") == key
+        ):
+            try:
+                summary = ModuleSummary.from_json(document["summary"])
+            except (KeyError, TypeError):
+                summary = None
+            if summary is not None:
+                self.hits += 1
+                return summary
+        self.misses += 1
+        summary = summarize(file)
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(
+                    {"format": FORMAT, "key": key, "summary": summary.to_json()},
+                    sort_keys=True,
+                ),
+                encoding="utf-8",
+            )
+        except OSError:
+            pass  # a read-only cache dir degrades to cold extraction
+        return summary
+
+    def stats(self) -> Dict[str, object]:
+        total = self.hits + self.misses
+        return {
+            "modules": total,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": (self.hits / total) if total else 0.0,
+        }
+
+
+def attach_cache(ctx, cache_dir: Optional[Path]) -> Optional[SummaryCache]:
+    """Hang a cache on an analysis context for the graph layer to use."""
+    if cache_dir is None:
+        return None
+    cache = SummaryCache(cache_dir)
+    ctx._summary_cache = cache  # type: ignore[attr-defined]
+    return cache

@@ -1,0 +1,78 @@
+"""clock-parity: batch commits charge cycles only via bulk adds.
+
+The kernel's accounting contract: during a miss-run or fast-run
+commit, the machine clock moves exactly once — `clock_base + cycles`
+— and user-time lands in one bulk `counters["cycles.user"] += ...`.
+A stray `advance()` (or direct clock write) anywhere in code the
+commit path can reach would double-charge cycles or interleave timer
+fires mid-commit, which is precisely the drift the golden-equivalence
+tests exist to catch at runtime.  This checker catches it statically:
+walk everything reachable from the batch kernels through resolved
+call edges and flag any `advance()` call site or clock assignment
+outside the batch module itself.
+
+The batch module's own bulk writes are the sanctioned mechanism and
+are exempt; the scalar path (`Machine.access`, `advance`) is not
+reachable from the kernels by construction — if an edge ever makes it
+reachable, every advance site inside it lights up, which is the point.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.core import AnalysisContext, Finding
+from repro.analysis.graph import project_graph
+from repro.analysis.registry import register
+from repro.analysis.wholeprogram import (
+    BATCH_MODULE,
+    BATCH_ROOTS,
+    WholeProgramChecker,
+    resolve_roots,
+)
+
+
+@register
+class ClockParityChecker(WholeProgramChecker):
+    id = "clock-parity"
+    pragma = "clock-parity"
+    description = (
+        "code reachable from batch run commits charges cycles only via "
+        "run-commit bulk adds, never advance() or stray clock writes"
+    )
+
+    def analyze(self, ctx: AnalysisContext) -> List[Finding]:
+        graph = project_graph(ctx)
+        findings: List[Finding] = []
+        for fid in sorted(graph.reachable(resolve_roots(graph, BATCH_ROOTS))):
+            module, _, qualname = fid.partition(":")
+            if module == BATCH_MODULE:
+                continue  # the kernel's own bulk add is the contract
+            fn = graph.function(fid)
+            rel = graph.module_rel(module)
+            for _receiver, line in fn.advances:
+                findings.append(
+                    self.site_finding(
+                        rel,
+                        line,
+                        "advance-in-commit-path",
+                        f"{qualname} calls advance() but is reachable "
+                        f"from a batch run commit; cycles must flow "
+                        f"through the kernel's bulk add",
+                        "hoist the charge into the kernel commit or cut "
+                        "the call edge from the commit path",
+                    )
+                )
+            for _receiver, line in fn.clock_writes:
+                findings.append(
+                    self.site_finding(
+                        rel,
+                        line,
+                        "clock-write-in-commit-path",
+                        f"{qualname} writes the machine clock but is "
+                        f"reachable from a batch run commit",
+                        "only the kernel commit may move the clock "
+                        "(clock_base + bulk cycles)",
+                    )
+                )
+        return findings

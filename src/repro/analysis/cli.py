@@ -11,9 +11,14 @@ read the text.
 
 Options:
 
-``--format text|json``
+``--format text|json|sarif``
     text renders one ``path:line:col: [rule] message (fix: hint)``
-    line per finding; json emits findings plus a summary document.
+    line per finding; json emits findings plus a summary document;
+    sarif emits a SARIF 2.1.0 log for CI code-review annotation.
+``--cache-dir DIR`` / ``--cache-stats FILE``
+    incremental effect-summary cache keyed on import-closure
+    fingerprints — warm runs re-extract only changed modules — plus
+    an optional hit/miss statistics dump for CI assertions.
 ``--baseline FILE``
     suppress findings recorded in a baseline file (stale entries are
     reported so the file shrinks over time).
@@ -38,6 +43,8 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis import baseline as baseline_mod
+from repro.analysis import cache as cache_mod
+from repro.analysis import sarif as sarif_mod
 from repro.analysis.core import (
     AnalysisContext,
     Finding,
@@ -56,17 +63,25 @@ def _repo_root(start: Path) -> Path:
 
 
 def _changed_files(root: Path) -> List[Path]:
-    """Files modified/added vs HEAD plus untracked files, via git."""
+    """Files modified/added vs HEAD plus untracked files, via git.
+
+    NUL-separated output (``-z``) so paths with spaces or characters
+    git would quote survive; paths deleted vs HEAD (``git rm``, plain
+    deletions) and non-``.py`` entries are skipped instead of being
+    handed to the parser.
+    """
     changed: List[Path] = []
     for args in (
-        ["git", "diff", "--name-only", "HEAD", "--"],
-        ["git", "ls-files", "--others", "--exclude-standard"],
+        ["git", "diff", "--name-only", "-z", "HEAD", "--"],
+        ["git", "ls-files", "--others", "--exclude-standard", "-z"],
     ):
         proc = subprocess.run(
             args, cwd=root, capture_output=True, text=True, check=True
         )
-        for line in proc.stdout.splitlines():
-            path = root / line.strip()
+        for entry in proc.stdout.split("\0"):
+            if not entry:
+                continue
+            path = root / entry
             if path.suffix == ".py" and path.is_file():
                 changed.append(path)
     return changed
@@ -85,10 +100,25 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         dest="fmt",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=(
+            "incremental summary cache directory (keyed on import-closure "
+            "fingerprints; warm runs re-analyze only changed modules)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-stats",
+        type=Path,
+        default=None,
+        help="write cache hit/miss statistics as JSON to this file",
     )
     parser.add_argument(
         "--baseline",
@@ -184,6 +214,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    cache = cache_mod.attach_cache(ctx, args.cache_dir)
+
     checker_ids = (
         [c.strip() for c in args.checkers.split(",") if c.strip()]
         if args.checkers
@@ -209,7 +241,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         findings, suppressed, stale = baseline_mod.apply(findings, entries)
 
-    if args.fmt == "json":
+    if cache is not None and args.cache_stats is not None:
+        args.cache_stats.parent.mkdir(parents=True, exist_ok=True)
+        args.cache_stats.write_text(
+            json.dumps(cache.stats(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    if args.fmt == "sarif":
+        document = sarif_mod.render(findings, all_checkers())
+        print(json.dumps(document, indent=2, sort_keys=True))
+    elif args.fmt == "json":
         document = {
             "files": len(ctx.files),
             "findings": [f.as_dict() for f in findings],

@@ -1,0 +1,666 @@
+"""Per-module effect extraction for the whole-program analysis layer.
+
+This module turns one parsed :class:`~repro.analysis.core.SourceFile`
+into a :class:`ModuleSummary`: a purely *local* digest of every class
+and function in the file — which stat counters each function bumps,
+where it charges cycles, which structures it mutates, which calls it
+makes and on what receiver chains, plus the class-level facts needed to
+resolve those calls across modules (attribute types assigned in
+``__init__``, precomputed ``*_key`` stat-key attributes, callback
+bindings like ``self.tlb.on_evict = self._tlb_evict_hook``).
+
+Locality is the load-bearing property: a summary depends only on the
+module's own source text, never on any other module, so summaries are
+cacheable per module (:mod:`repro.analysis.cache`) and the cross-module
+work — receiver typing, call-graph edges, fixed-point propagation —
+happens later in :mod:`repro.analysis.graph` from summaries alone.
+Everything here is plain JSON data (lists, dicts, strings, ints) for
+the same reason.
+
+Receiver descriptors
+--------------------
+
+A call/mutation receiver is described as a chain ``[root, a, b, ...]``:
+
+* ``["self", "machine", "timers"]`` — ``self.machine.timers``;
+* ``["@view", "tlb"]`` — attribute ``tlb`` of local/parameter ``view``;
+* ``["?"]`` — an expression the extractor does not model (a subscript,
+  a call result, a literal); the graph treats calls on it as dynamic.
+
+Counter-key specs
+-----------------
+
+A counter bump site records *how* the key was written, not a resolved
+key: ``["const", "tlb.hit"]``, ``["attr", <receiver>, "_hit_key"]``
+(a precomputed key attribute, resolved through class facts by the
+graph), ``["local", "pair_key"]`` (a local whose source the graph
+chases) or ``["dynamic"]``.  The graph normalizes specs into tokens so
+the scalar and batched replay paths can be compared key by key.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.core import SourceFile
+
+#: Methods of builtin containers (dict/list/set/deque) that mutate the
+#: receiver in place.  Calls to these are recorded as mutations, and
+#: the graph never name-resolves them to scanned classes (a class
+#: method named ``pop`` would otherwise match every ``somedict.pop``).
+CONTAINER_MUTATORS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "rotate",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+#: Non-mutating builtin-container methods the graph must also never
+#: name-resolve (``Stats.get`` exists; ``somedict.get`` is not a call
+#: to it).
+CONTAINER_READERS = frozenset(
+    {"copy", "count", "get", "index", "items", "keys", "values"}
+)
+
+#: Fresh-container constructors: an attribute only ever assigned one of
+#: these is *owned* state of its class (observer-purity relies on the
+#: own/foreign split).
+_FRESH_CALLS = frozenset({"dict", "list", "set", "deque", "defaultdict", "Counter"})
+
+
+def _is_counters_expr(node: ast.AST) -> bool:
+    """Does this expression denote the live stat-counter mapping?"""
+    if isinstance(node, ast.Name):
+        return node.id == "counters" or node.id.endswith("_counters")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("counters", "_counters")
+    return False
+
+
+def receiver_chain(node: ast.AST) -> List[str]:
+    """Descriptor chain for a receiver expression (see module doc)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        root = "self" if node.id == "self" else f"@{node.id}"
+        return [root, *reversed(parts)]
+    return ["?"]
+
+
+def _annotation_name(node: Optional[ast.AST]) -> Optional[str]:
+    """Innermost class name of an annotation: ``Optional[Stats]`` ->
+    ``Stats``, ``List[X]`` -> ``list:X``, ``"Machine"`` -> ``Machine``."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        outer = _annotation_name(node.value)
+        inner = _annotation_name(node.slice)
+        if outer in ("Optional", "Final", "ClassVar"):
+            return inner
+        if outer in ("List", "list", "Sequence", "Iterable", "Tuple", "tuple"):
+            return f"list:{inner}" if inner else None
+    return None
+
+
+def _constructor_name(node: ast.AST) -> Optional[str]:
+    """``Cache(...)`` -> ``Cache``; ``mod.Cls(...)`` -> ``mod.Cls``."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        parts: List[str] = []
+        while isinstance(func, ast.Attribute):
+            parts.append(func.attr)
+            func = func.value
+        if isinstance(func, ast.Name):
+            parts.append(func.id)
+            return ".".join(reversed(parts))
+    return None
+
+
+def _value_candidates(node: ast.AST) -> List[ast.AST]:
+    """The expressions a value may come from (IfExp/BoolOp branches)."""
+    if isinstance(node, ast.IfExp):
+        return [*_value_candidates(node.body), *_value_candidates(node.orelse)]
+    if isinstance(node, ast.BoolOp):
+        out: List[ast.AST] = []
+        for value in node.values:
+            out.extend(_value_candidates(value))
+        return out
+    return [node]
+
+
+def _static_key_suffix(node: ast.AST) -> Optional[str]:
+    """Trailing constant of an f-string (``f"{x}.hit"`` -> ``.hit``)."""
+    if isinstance(node, ast.JoinedStr) and node.values:
+        last = node.values[-1]
+        if isinstance(last, ast.Constant) and isinstance(last.value, str):
+            return last.value
+    return None
+
+
+def _static_prefix(node: ast.AST) -> Optional[str]:
+    """Leading constant of an f-string or a constant string."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values:
+        first = node.values[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+    return None
+
+
+@dataclass
+class ClassFacts:
+    """Resolution-relevant facts about one class definition."""
+
+    name: str
+    line: int
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, int] = field(default_factory=dict)  #: name -> line
+    #: attr -> constructor name as written (``self.l1 = Cache(...)``).
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    #: attr -> annotation of the parameter it copies (``self.stats = stats``).
+    attr_params: Dict[str, str] = field(default_factory=dict)
+    #: attr -> annotated type (``self.extensions: List[HardwareExtension]``).
+    attr_annotations: Dict[str, str] = field(default_factory=dict)
+    #: attrs only ever assigned fresh containers/literals (owned state).
+    fresh_attrs: List[str] = field(default_factory=list)
+    #: attrs assigned at least once from a non-fresh expression.
+    foreign_attrs: List[str] = field(default_factory=list)
+    #: ``*_key`` attr -> ["const", key] | ["suffix", sfx] | ["copy", chain+attr].
+    key_attrs: Dict[str, List] = field(default_factory=dict)
+    #: method -> static leading constant of the strings it returns.
+    return_prefixes: Dict[str, str] = field(default_factory=dict)
+
+    def to_json(self) -> Dict:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "bases": self.bases,
+            "methods": self.methods,
+            "attr_types": self.attr_types,
+            "attr_params": self.attr_params,
+            "attr_annotations": self.attr_annotations,
+            "fresh_attrs": self.fresh_attrs,
+            "foreign_attrs": self.foreign_attrs,
+            "key_attrs": self.key_attrs,
+            "return_prefixes": self.return_prefixes,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "ClassFacts":
+        return cls(**data)
+
+
+@dataclass
+class FunctionEffects:
+    """Local (non-transitive) effects of one function or method."""
+
+    qualname: str  #: ``Class.method`` or ``func`` (module-relative)
+    line: int
+    cls: Optional[str] = None
+    #: [key_spec, line] — stat-counter bump sites (subscript writes on
+    #: a counters mapping, plus ``stats.add(...)`` call sites).
+    counters: List[List] = field(default_factory=list)
+    #: [receiver, line] — ``<recv>.advance(...)`` call sites.
+    advances: List[List] = field(default_factory=list)
+    #: [receiver, line] — assignments to ``<recv>.clock``.
+    clock_writes: List[List] = field(default_factory=list)
+    #: [receiver, method, line] — every call on a receiver chain.
+    calls: List[List] = field(default_factory=list)
+    #: [receiver, op, line] — structure mutations: ``setattr`` (dotted
+    #: attribute assignment), ``setitem`` (non-counter subscript write),
+    #: or a container-mutator method name.
+    mutations: List[List] = field(default_factory=list)
+    #: local name -> constructor name as written (``m = Machine()``).
+    local_types: Dict[str, str] = field(default_factory=dict)
+    #: local name -> receiver chain it aliases (``walker = m.walker``),
+    #: or ["!call", method] for ``x = self.m(...)``, or ["!iter", *chain]
+    #: for ``for x in <chain>``.
+    local_sources: Dict[str, List[str]] = field(default_factory=dict)
+    #: parameter name -> annotation name.
+    params: Dict[str, str] = field(default_factory=dict)
+
+    def to_json(self) -> Dict:
+        return {
+            "qualname": self.qualname,
+            "line": self.line,
+            "cls": self.cls,
+            "counters": self.counters,
+            "advances": self.advances,
+            "clock_writes": self.clock_writes,
+            "calls": self.calls,
+            "mutations": self.mutations,
+            "local_types": self.local_types,
+            "local_sources": self.local_sources,
+            "params": self.params,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "FunctionEffects":
+        return cls(**data)
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the graph layer needs to know about one module."""
+
+    module: str
+    rel: str
+    kind: str
+    classes: Dict[str, ClassFacts] = field(default_factory=dict)
+    functions: Dict[str, FunctionEffects] = field(default_factory=dict)
+    #: local name -> dotted origin (``Cache`` -> ``repro.arch.cache.Cache``).
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: callback attr -> [Class.method, ...]: ``x.on_evict = self._hook``.
+    bindings: Dict[str, List[str]] = field(default_factory=dict)
+
+    def to_json(self) -> Dict:
+        return {
+            "module": self.module,
+            "rel": self.rel,
+            "kind": self.kind,
+            "classes": {k: v.to_json() for k, v in self.classes.items()},
+            "functions": {k: v.to_json() for k, v in self.functions.items()},
+            "imports": self.imports,
+            "bindings": self.bindings,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "ModuleSummary":
+        return cls(
+            module=data["module"],
+            rel=data["rel"],
+            kind=data["kind"],
+            classes={
+                k: ClassFacts.from_json(v) for k, v in data["classes"].items()
+            },
+            functions={
+                k: FunctionEffects.from_json(v)
+                for k, v in data["functions"].items()
+            },
+            imports=data["imports"],
+            bindings=data["bindings"],
+        )
+
+
+# ----------------------------------------------------------------------
+# extraction
+# ----------------------------------------------------------------------
+
+
+def _collect_imports(tree: ast.Module, module: str) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    package = module.rsplit(".", 1)[0] if "." in module else module
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                parts = module.split(".")
+                base_parts = parts[: len(parts) - node.level] or [package]
+                base = ".".join(base_parts)
+                target = f"{base}.{node.module}" if node.module else base
+            else:
+                target = node.module or ""
+            for alias in node.names:
+                imports[alias.asname or alias.name] = f"{target}.{alias.name}"
+    return imports
+
+
+def _key_spec(node: ast.AST) -> Optional[List]:
+    """Class-level key-attribute spec from an assignment RHS."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return ["const", node.value]
+    suffix = _static_key_suffix(node)
+    if suffix is not None:
+        return ["suffix", suffix]
+    if isinstance(node, ast.Attribute) and node.attr.endswith("_key"):
+        return ["copy", receiver_chain(node.value) + [node.attr]]
+    return None
+
+
+class _ClassScanner:
+    """Collects :class:`ClassFacts` from one class definition."""
+
+    def __init__(self, cls: ast.ClassDef) -> None:
+        self.facts = ClassFacts(name=cls.name, line=cls.lineno)
+        for base in cls.bases:
+            name = _annotation_name(base)
+            if name:
+                self.facts.bases.append(name)
+        fresh: Dict[str, bool] = {}
+        for item in cls.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.facts.methods[item.name] = item.lineno
+                self._scan_method(item, fresh)
+        for attr, only_fresh in fresh.items():
+            (self.facts.fresh_attrs if only_fresh else self.facts.foreign_attrs).append(attr)
+        self.facts.fresh_attrs.sort()
+        self.facts.foreign_attrs.sort()
+
+    def _scan_method(self, fn: ast.AST, fresh: Dict[str, bool]) -> None:
+        params = {
+            a.arg: _annotation_name(a.annotation)
+            for a in [*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs]
+        }
+        returned_names: List[str] = []
+        local_strings: Dict[str, str] = {}
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                value = node.value
+                annotation = (
+                    node.annotation if isinstance(node, ast.AnnAssign) else None
+                )
+                for target in targets:
+                    self._scan_attr_assign(
+                        target, value, annotation, params, fresh
+                    )
+                    if (
+                        isinstance(target, ast.Name)
+                        and value is not None
+                    ):
+                        prefix = _static_prefix(value)
+                        if prefix is not None:
+                            local_strings[target.id] = prefix
+            elif isinstance(node, ast.Return) and node.value is not None:
+                prefix = _static_prefix(node.value)
+                if prefix is not None:
+                    returned_names.append(prefix and f"\x00const:{prefix}")
+                elif isinstance(node.value, ast.Name):
+                    returned_names.append(node.value.id)
+        # A method returning only strings with one common static prefix
+        # (directly, or via locals) advertises that prefix.
+        prefixes = []
+        for item in returned_names:
+            if item.startswith("\x00const:"):
+                prefixes.append(item[len("\x00const:"):])
+            elif item in local_strings:
+                prefixes.append(local_strings[item])
+        if prefixes and len(prefixes) == len(returned_names):
+            common = prefixes[0]
+            for p in prefixes[1:]:
+                while not p.startswith(common) and common:
+                    common = common[:-1]
+            if common:
+                self.facts.return_prefixes[fn.name] = common
+
+    def _scan_attr_assign(
+        self,
+        target: ast.AST,
+        value: Optional[ast.AST],
+        annotation: Optional[ast.AST],
+        params: Dict[str, Optional[str]],
+        fresh: Dict[str, bool],
+    ) -> None:
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return
+        attr = target.attr
+        if annotation is not None:
+            name = _annotation_name(annotation)
+            if name:
+                self.facts.attr_annotations.setdefault(attr, name)
+        if value is None:
+            return
+        if attr.endswith("_key"):
+            spec = _key_spec(value)
+            if spec is not None:
+                self.facts.key_attrs.setdefault(attr, spec)
+        is_fresh = True
+        for candidate in _value_candidates(value):
+            ctor = _constructor_name(candidate)
+            if ctor is not None:
+                short = ctor.split(".")[-1]
+                if short not in _FRESH_CALLS:
+                    self.facts.attr_types.setdefault(attr, ctor)
+                    is_fresh = False
+            elif isinstance(candidate, ast.Name):
+                ann = params.get(candidate.id)
+                if ann:
+                    self.facts.attr_params.setdefault(attr, ann)
+                is_fresh = False
+            elif isinstance(candidate, (ast.Dict, ast.List, ast.Set, ast.Constant)):
+                pass  # fresh/literal
+            else:
+                is_fresh = False
+        fresh[attr] = fresh.get(attr, True) and is_fresh
+
+
+class _FunctionScanner:
+    """Collects :class:`FunctionEffects` from one def (nested defs are
+    folded into the enclosing function: the kernel's inline helpers are
+    part of its effect surface)."""
+
+    def __init__(self, fn: ast.AST, qualname: str, cls: Optional[str]) -> None:
+        self.effects = FunctionEffects(
+            qualname=qualname, line=fn.lineno, cls=cls
+        )
+        self.effects.params = {
+            a.arg: _annotation_name(a.annotation) or ""
+            for a in [*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs]
+            if _annotation_name(a.annotation)
+        }
+        for stmt in fn.body:
+            self._scan(stmt)
+
+    def _scan(self, node: ast.AST) -> None:
+        handler = getattr(self, f"_scan_{type(node).__name__}", None)
+        if handler is not None:
+            handler(node)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._scan(child)
+
+    # -- statements ----------------------------------------------------
+
+    def _scan_Assign(self, node: ast.Assign) -> None:
+        self._scan(node.value)
+        for target in node.targets:
+            self._record_target(target, node)
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            self._record_local(node.targets[0].id, node.value)
+
+    def _scan_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._scan(node.value)
+            self._record_target(node.target, node)
+            if isinstance(node.target, ast.Name):
+                self._record_local(node.target.id, node.value)
+                ann = _annotation_name(node.annotation)
+                if ann:
+                    self.effects.local_types.setdefault(node.target.id, ann)
+
+    def _scan_AugAssign(self, node: ast.AugAssign) -> None:
+        self._scan(node.value)
+        self._record_target(node.target, node, aug=True)
+
+    def _scan_For(self, node: ast.For) -> None:
+        if isinstance(node.target, ast.Name):
+            chain = receiver_chain(node.iter)
+            if chain != ["?"]:
+                self.effects.local_sources.setdefault(
+                    node.target.id, ["!iter", *chain]
+                )
+        for child in ast.iter_child_nodes(node):
+            self._scan(child)
+
+    def _scan_Call(self, node: ast.Call) -> None:
+        for child in ast.iter_child_nodes(node):
+            self._scan(child)
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver = receiver_chain(func.value)
+            method = func.attr
+        elif isinstance(func, ast.Name) and func.id != "self":
+            receiver = [f"@{func.id}"]
+            method = "__call__"
+        else:
+            return
+        line = node.lineno
+        if method == "advance":
+            self.effects.advances.append([receiver, line])
+        if method in CONTAINER_MUTATORS and method != "add":
+            self.effects.mutations.append([receiver, method, line])
+        if method == "add" and self._is_stats_receiver(func.value):
+            self._record_stats_add(node)
+        self.effects.calls.append([receiver, method, line])
+
+    # -- helpers -------------------------------------------------------
+
+    @staticmethod
+    def _is_stats_receiver(node: ast.AST) -> bool:
+        if isinstance(node, ast.Attribute):
+            return node.attr in ("stats", "_stats")
+        if isinstance(node, ast.Name):
+            return node.id in ("stats", "_stats")
+        return False
+
+    def _record_stats_add(self, call: ast.Call) -> None:
+        spec: List = ["dynamic"]
+        if call.args:
+            specs = self._key_specs_from(call.args[0])
+            for s in specs:
+                self.effects.counters.append([s, call.lineno])
+            return
+        self.effects.counters.append([spec, call.lineno])
+
+    def _key_specs_from(self, node: ast.AST) -> List[List]:
+        specs: List[List] = []
+        for candidate in _value_candidates(node):
+            if isinstance(candidate, ast.Constant) and isinstance(
+                candidate.value, str
+            ):
+                specs.append(["const", candidate.value])
+            elif isinstance(candidate, ast.Attribute):
+                specs.append(
+                    ["attr", receiver_chain(candidate.value), candidate.attr]
+                )
+            elif isinstance(candidate, ast.Name):
+                specs.append(["local", candidate.id])
+            else:
+                specs.append(["dynamic"])
+        return specs
+
+    def _record_target(
+        self, target: ast.AST, stmt: ast.AST, aug: bool = False
+    ) -> None:
+        line = stmt.lineno
+        if isinstance(target, ast.Subscript):
+            if _is_counters_expr(target.value):
+                for spec in self._key_specs_from(target.slice):
+                    self.effects.counters.append([spec, line])
+            else:
+                self.effects.mutations.append(
+                    [receiver_chain(target.value), "setitem", line]
+                )
+        elif isinstance(target, ast.Attribute):
+            if target.attr == "clock":
+                self.effects.clock_writes.append(
+                    [receiver_chain(target.value), line]
+                )
+            chain = receiver_chain(target.value)
+            self.effects.mutations.append([chain + [target.attr], "setattr", line])
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_target(element, stmt, aug=aug)
+
+    def _record_local(self, name: str, value: ast.AST) -> None:
+        for candidate in _value_candidates(value):
+            ctor = _constructor_name(candidate)
+            if ctor is not None and ctor.split(".")[-1] not in _FRESH_CALLS:
+                if (
+                    isinstance(candidate, ast.Call)
+                    and isinstance(candidate.func, ast.Attribute)
+                    and isinstance(candidate.func.value, ast.Name)
+                    and candidate.func.value.id == "self"
+                ):
+                    # x = self.method(...): remember for return-prefix
+                    # resolution (interference pair keys).
+                    self.effects.local_sources.setdefault(
+                        name, ["!call", candidate.func.attr]
+                    )
+                else:
+                    self.effects.local_types.setdefault(name, ctor)
+                return
+            if isinstance(candidate, (ast.Attribute, ast.Name)):
+                chain = receiver_chain(candidate)
+                if chain != ["?"] and chain != [f"@{name}"]:
+                    self.effects.local_sources.setdefault(name, chain)
+                    return
+
+
+def _scan_binding(node: ast.Assign, bindings: Dict[str, List[str]], cls: Optional[str]) -> None:
+    """``<expr>.attr = self.method`` registers a callback binding."""
+    value = node.value
+    if not (
+        isinstance(value, ast.Attribute)
+        and isinstance(value.value, ast.Name)
+        and value.value.id == "self"
+        and cls is not None
+    ):
+        return
+    method = value.attr
+    for target in node.targets:
+        if isinstance(target, ast.Attribute) and not (
+            isinstance(target.value, ast.Name) and target.value.id == "self"
+        ):
+            bindings.setdefault(target.attr, [])
+            ref = f"{cls}.{method}"
+            if ref not in bindings[target.attr]:
+                bindings[target.attr].append(ref)
+
+
+def summarize(file: SourceFile) -> ModuleSummary:
+    """Extract the :class:`ModuleSummary` of one source file."""
+    module = file.module or file.rel
+    summary = ModuleSummary(module=module, rel=file.rel, kind=file.kind)
+    summary.imports = _collect_imports(file.tree, module)
+
+    def scan_function(fn: ast.AST, cls: Optional[str]) -> None:
+        qual = f"{cls}.{fn.name}" if cls else fn.name
+        summary.functions[qual] = _FunctionScanner(fn, qual, cls).effects
+        if file.kind == "src":
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign):
+                    _scan_binding(node, summary.bindings, cls)
+
+    for node in file.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scan_function(node, None)
+        elif isinstance(node, ast.ClassDef):
+            summary.classes[node.name] = _ClassScanner(node).facts
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    scan_function(item, node.name)
+    return summary

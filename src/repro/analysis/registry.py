@@ -75,7 +75,11 @@ def register(cls: Type[Checker]) -> Type[Checker]:
     """Class decorator: instantiate and index one checker."""
     instance = cls()
     if instance.id in _CHECKERS:
-        raise ValueError(f"duplicate checker id {instance.id!r}")
+        existing = type(_CHECKERS[instance.id]).__name__
+        raise ValueError(
+            f"duplicate checker id {instance.id!r}: {cls.__name__} "
+            f"collides with already-registered {existing}"
+        )
     _CHECKERS[instance.id] = instance
     return cls
 

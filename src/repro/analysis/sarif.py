@@ -1,0 +1,82 @@
+"""SARIF 2.1.0 emission for analysis findings.
+
+Only the slice of the standard that code-review UIs actually render:
+one run, one rule per distinct rule id, one result per finding with a
+physical location.  Deterministic output (sorted rules, insertion-order
+results) so cold and warm analysis runs can be compared byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.core import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "repro-analysis"
+
+
+def render(findings: List[Finding], checkers) -> Dict[str, object]:
+    """SARIF document for one analysis run.
+
+    ``checkers`` supplies the rule metadata (id + description) for the
+    driver's rule table; rules that produced no finding are included so
+    consumers can tell "checked and clean" from "not checked".
+    """
+    rules = [
+        {
+            "id": checker.id,
+            "shortDescription": {"text": checker.description or checker.id},
+            "help": {
+                "text": (
+                    f"suppress with '# repro: allow-{checker.pragma}(<reason>)'"
+                )
+            },
+        }
+        for checker in sorted(checkers, key=lambda c: c.id)
+    ]
+    results = [
+        {
+            "ruleId": finding.checker,
+            "level": "error",
+            "message": {"text": f"[{finding.rule}] {finding.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+            "fixes": [],
+            "properties": {"hint": finding.hint},
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }

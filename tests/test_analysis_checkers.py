@@ -27,19 +27,39 @@ def rules(findings):
 
 
 class TestRegistry:
-    def test_all_five_checkers_registered(self):
+    def test_all_nine_checkers_registered(self):
         ids = {c.id for c in all_checkers()}
         assert ids == {
+            "clock-parity",
+            "counter-parity",
             "determinism",
+            "fallback-coverage",
             "geometry",
+            "observer-purity",
             "persist-barrier",
             "stats-key",
             "task-safety",
         }
 
     def test_unknown_checker_raises(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(KeyError, match="no-such-checker"):
             get_checker("no-such-checker")
+
+    def test_unknown_checker_message_lists_known_ids(self):
+        with pytest.raises(KeyError, match="determinism"):
+            get_checker("no-such-checker")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.analysis.registry import Checker, register
+
+        class Clone(Checker):
+            id = "determinism"
+            pragma = "determinism"
+
+        with pytest.raises(ValueError, match="duplicate checker id"):
+            register(Clone)
+        # The original registration survives the failed attempt.
+        assert type(get_checker("determinism")).__name__ != "Clone"
 
 
 class TestDeterminism:
@@ -671,3 +691,107 @@ class TestFindingPlumbing:
         (b,) = run_checker("geometry", "\n\nsize = 4096\n", tmp_path)
         assert a.line != b.line
         assert a.identity() == b.identity()
+
+
+class TestPragmaSpans:
+    """Pin suppression semantics on multi-line statements and decorated
+    defs before the whole-program checkers lean on them."""
+
+    def test_trailing_pragma_on_finding_line(self, tmp_path):
+        found = run_checker(
+            "geometry",
+            "A = 4096  # repro: allow-geometry(page knob, intentional)\n",
+            tmp_path,
+        )
+        assert found == []
+
+    def test_pragma_without_reason_does_not_count(self, tmp_path):
+        found = run_checker(
+            "geometry", "A = 4096  # repro: allow-geometry()\n", tmp_path
+        )
+        assert rules(found) == ["geometry.page-size"]
+
+    def test_multiline_statement_pragma_on_literal_line(self, tmp_path):
+        found = run_checker(
+            "geometry",
+            """
+            SIZES = [
+                512,
+                4096,  # repro: allow-geometry(sweep point, not geometry)
+            ]
+            """,
+            tmp_path,
+        )
+        assert found == []
+
+    def test_multiline_statement_pragma_on_line_above_literal(self, tmp_path):
+        found = run_checker(
+            "geometry",
+            """
+            SIZES = [
+                512,
+                # repro: allow-geometry(sweep point, not geometry)
+                4096,
+            ]
+            """,
+            tmp_path,
+        )
+        assert found == []
+
+    def test_multiline_statement_first_line_pragma_is_too_far(self, tmp_path):
+        # Current semantics: suppression reaches the finding's line and
+        # the line just above, not the whole enclosing statement.  A
+        # pragma on the statement's first line does NOT cover a literal
+        # two lines further down.
+        found = run_checker(
+            "geometry",
+            """
+            SIZES = [  # repro: allow-geometry(whole table)
+                512,
+                4096,
+            ]
+            """,
+            tmp_path,
+        )
+        assert rules(found) == ["geometry.page-size"]
+
+    def test_decorated_def_pragma_on_decorator_line(self, tmp_path):
+        # The finding sits in the decorator's argument list (line below
+        # the decorator call opener): the construct's first line is the
+        # line just above, so the pragma reaches it.
+        found = run_checker(
+            "geometry",
+            """
+            def parametrize(name, values):
+                def wrap(fn):
+                    return fn
+                return wrap
+
+            @parametrize(  # repro: allow-geometry(fixture sweep values)
+                "size", [4096]
+            )
+            def job(size):
+                return size
+            """,
+            tmp_path,
+        )
+        assert found == []
+
+    def test_decorated_def_pragma_on_def_line_does_not_reach_up(self, tmp_path):
+        found = run_checker(
+            "geometry",
+            """
+            def parametrize(name, values):
+                def wrap(fn):
+                    return fn
+                return wrap
+
+            @parametrize(
+                "size", [4096]
+            )
+            def job(size):  # repro: allow-geometry(wrong line)
+                return size
+            """,
+            tmp_path,
+        )
+        assert rules(found) == ["geometry.page-size"]

@@ -168,8 +168,12 @@ class TestCliSurface:
         assert main(["--list-checkers"]) == 0
         out = capsys.readouterr().out
         for checker_id in (
+            "clock-parity",
+            "counter-parity",
             "determinism",
+            "fallback-coverage",
             "geometry",
+            "observer-purity",
             "persist-barrier",
             "stats-key",
             "task-safety",
@@ -188,3 +192,60 @@ class TestCliSurface:
     def test_missing_path_is_a_usage_error(self, tmp_path, capsys):
         assert main([str(tmp_path / "nope")]) == 2
         capsys.readouterr()
+
+
+class TestChangedFiles:
+    """``--changed`` discovery must survive deletions, renames-by-rm,
+    and paths git would otherwise quote."""
+
+    @staticmethod
+    def _git(root, *args):
+        import subprocess
+
+        subprocess.run(
+            [
+                "git",
+                "-c",
+                "user.email=ci@example.invalid",
+                "-c",
+                "user.name=ci",
+                *args,
+            ],
+            cwd=root,
+            check=True,
+            capture_output=True,
+        )
+
+    def _repo(self, tmp_path):
+        self._git(tmp_path, "init", "-q")
+        (tmp_path / "kept.py").write_text("KEPT = 1\n", encoding="utf-8")
+        (tmp_path / "doomed.py").write_text("DOOMED = 1\n", encoding="utf-8")
+        (tmp_path / "notes.txt").write_text("prose\n", encoding="utf-8")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        return tmp_path
+
+    def test_deleted_and_nonpython_entries_are_skipped(self, tmp_path):
+        from repro.analysis.cli import _changed_files
+
+        root = self._repo(tmp_path)
+        self._git(root, "rm", "-q", "doomed.py")
+        (root / "kept.py").write_text("KEPT = 2\n", encoding="utf-8")
+        (root / "notes.txt").write_text("edited prose\n", encoding="utf-8")
+        (root / "weird name.py").write_text("NEW = 1\n", encoding="utf-8")
+
+        names = sorted(p.name for p in _changed_files(root))
+        assert names == ["kept.py", "weird name.py"]
+
+    def test_changed_run_ignores_deleted_file(self, tmp_path, monkeypatch, capsys):
+        root = self._repo(tmp_path)
+        self._git(root, "rm", "-q", "doomed.py")
+        (root / "kept.py").write_text(
+            "import time\nT = time.time()\n", encoding="utf-8"
+        )
+        monkeypatch.chdir(root)
+        rc = main([".", "--changed", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        flagged = {f["path"] for f in payload["findings"]}
+        assert flagged == {"kept.py"}
