@@ -16,13 +16,14 @@ observably identical to the serial loop it replaced.
 """
 
 from repro.exec.cache import ResultCache
-from repro.exec.engine import SweepEngine, sweep
+from repro.exec.engine import SweepEngine, SweepError, sweep
 from repro.exec.fingerprint import code_fingerprint
 from repro.exec.task import Task, canonical_bytes, payload_bytes, resolve
 
 __all__ = [
     "ResultCache",
     "SweepEngine",
+    "SweepError",
     "Task",
     "canonical_bytes",
     "code_fingerprint",

@@ -28,9 +28,26 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.common.errors import KindleError
 from repro.exec.cache import MISS, ResultCache
 from repro.exec.fingerprint import code_fingerprint
 from repro.exec.task import Task, payload_bytes
+
+
+class SweepError(KindleError):
+    """A sweep cell raised.
+
+    Carries the failing cell's :meth:`~repro.exec.task.Task.display`
+    label and chains the original exception as ``__cause__``, so a
+    10,000-cell sweep that dies names the one cell that killed it.
+    """
+
+    def __init__(self, task: Task, cause: BaseException) -> None:
+        self.task = task
+        super().__init__(
+            f"sweep cell {task.display()!r} failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
 
 
 def default_jobs() -> int:
@@ -59,6 +76,11 @@ def probe_cell(a: int = 0, b: int = 0) -> Dict[str, int]:
     return {"a": a, "b": b, "sum": a + b}
 
 
+def failing_cell(message: str = "boom", a: int = 0) -> Dict[str, int]:
+    """Deliberately-raising cell for the engine's failure-path tests."""
+    raise RuntimeError(message)
+
+
 class SweepEngine:
     """Execute task grids across a process pool with result caching."""
 
@@ -71,7 +93,17 @@ class SweepEngine:
         progress: bool = False,
         stream=None,
     ) -> None:
-        self.jobs = default_jobs() if not jobs else max(1, int(jobs))
+        if jobs is None:
+            self.jobs = default_jobs()
+        else:
+            # An explicit worker count must be positive: silently
+            # expanding 0 (or -2) to cpu_count hides caller bugs.
+            self.jobs = int(jobs)
+            if self.jobs < 1:
+                raise KindleError(
+                    f"jobs must be >= 1, got {jobs!r} "
+                    "(pass None for the cpu-count default)"
+                )
         if cache is not None:
             self.cache: Optional[ResultCache] = cache
         elif use_cache:
@@ -91,38 +123,52 @@ class SweepEngine:
     # ------------------------------------------------------------------
 
     def map(self, tasks: Sequence[Task]) -> List[Any]:
-        """Run every task; results in task order."""
+        """Run every task; results in task order.
+
+        A raising cell aborts the sweep with :class:`SweepError` naming
+        the failing cell (original exception chained as ``__cause__``);
+        in-flight pool work is cancelled/drained first, and the
+        ``cells``/``executed``/``elapsed_s`` accounting stays
+        consistent whether the sweep finished or died.
+        """
         tasks = list(tasks)
         started = time.perf_counter()  # repro: allow-nondet(progress reporting only)
         results: List[Any] = [None] * len(tasks)
         pending: List[tuple] = []  # (index, task, key-or-None)
         done = 0
-        for index, task in enumerate(tasks):
-            key = None
-            if self.cache is not None and task.cacheable:
-                key = task.key(code_fingerprint(task.module))
-                hit = self.cache.get(key)
-                if hit is not MISS:
-                    results[index] = hit
-                    self.cache_hits += 1
+        try:
+            for index, task in enumerate(tasks):
+                key = None
+                if self.cache is not None and task.cacheable:
+                    key = task.key(code_fingerprint(task.module))
+                    hit = self.cache.get(key)
+                    if hit is not MISS:
+                        results[index] = hit
+                        self.cache_hits += 1
+                        done += 1
+                        self._note(done, len(tasks), task, cached=True)
+                        continue
+                pending.append((index, task, key))
+            if len(pending) <= 1 or self.jobs <= 1:
+                for index, task, key in pending:
+                    cell_start = time.perf_counter()  # repro: allow-nondet(progress reporting only)
+                    try:
+                        result = task.run()
+                    except Exception as exc:
+                        self.executed += 1
+                        raise SweepError(task, exc) from exc
+                    self.executed += 1
+                    results[index] = self._finish(task, key, result)
                     done += 1
-                    self._note(done, len(tasks), task, cached=True)
-                    continue
-            pending.append((index, task, key))
-        if len(pending) <= 1 or self.jobs <= 1:
-            for index, task, key in pending:
-                cell_start = time.perf_counter()  # repro: allow-nondet(progress reporting only)
-                results[index] = self._finish(task, key, task.run())
-                done += 1
-                self._note(
-                    done, len(tasks), task,
-                    elapsed=time.perf_counter() - cell_start,  # repro: allow-nondet(progress reporting only)
-                )
-        else:
-            self._map_pool(pending, results, done, len(tasks))
-        self.cells += len(tasks)
-        self.executed += len(pending)
-        self.elapsed_s += time.perf_counter() - started  # repro: allow-nondet(progress reporting only)
+                    self._note(
+                        done, len(tasks), task,
+                        elapsed=time.perf_counter() - cell_start,  # repro: allow-nondet(progress reporting only)
+                    )
+            else:
+                self._map_pool(pending, results, done, len(tasks))
+        finally:
+            self.cells += len(tasks)
+            self.elapsed_s += time.perf_counter() - started  # repro: allow-nondet(progress reporting only)
         return results
 
     def _map_pool(
@@ -145,7 +191,21 @@ class SweepEngine:
                 finished, waiting = wait(waiting, return_when=FIRST_COMPLETED)
                 for future in finished:
                     index, task, key = future_meta[future]
-                    results[index] = self._finish(task, key, future.result())
+                    try:
+                        result = future.result()
+                    except Exception as exc:
+                        # The failing cell ran; abandon the rest of the
+                        # sweep without leaking workers: queued futures
+                        # are cancelled, in-flight ones drain (their
+                        # results are discarded — a partial sweep is
+                        # not handed out).
+                        self.executed += 1
+                        for other in waiting:
+                            other.cancel()
+                        wait(waiting)
+                        raise SweepError(task, exc) from exc
+                    self.executed += 1
+                    results[index] = self._finish(task, key, result)
                     done += 1
                     self._note(
                         done, total, task,

@@ -57,6 +57,7 @@ def main(argv=None) -> int:
             "bench",
             "crashtest",
             "traffic",
+            "plan",
         ],
     )
     parser.add_argument(
@@ -143,7 +144,36 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--trace-dir",
         default=None,
-        help="traffic: also save per-process packed trace containers here",
+        help="traffic: also save per-process packed trace containers here; "
+        "plan: score blueprints against the containers found here",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=["traffic", "ycsb"],
+        default="traffic",
+        help="plan: workload to optimize for (traffic fits a forecast to "
+        "an observed population; --trace-dir overrides)",
+    )
+    parser.add_argument(
+        "--objective",
+        default=None,
+        metavar="SPEC",
+        help="plan: ranking weights, e.g. 'cycles=1,wear=0.3,recovery=0.2' "
+        "(omitted axes keep defaults)",
+    )
+    parser.add_argument(
+        "--grid",
+        choices=["star", "grid"],
+        default="star",
+        help="plan: candidate enumeration shape (star = one axis at a "
+        "time; grid = full cartesian product)",
+    )
+    parser.add_argument(
+        "--max-candidates",
+        type=int,
+        default=None,
+        help="plan: cap the candidate count (drops are reported, never "
+        "silent; the paper default is always kept)",
     )
     parser.add_argument(
         "--no-verify",
@@ -211,6 +241,22 @@ def main(argv=None) -> int:
             scalar=args.scalar,
             trace_dir=args.trace_dir,
             verify=not args.no_verify,
+        )
+        _write_sweep_stats()
+        return code
+    if args.experiment == "plan":
+        from repro.harness.plan import plan_main
+
+        code = plan_main(
+            args.out,
+            workload=args.workload,
+            smoke=args.smoke,
+            engine=engine,
+            objective_spec=args.objective,
+            trace_dir=args.trace_dir,
+            seed=args.seed,
+            grid_mode=args.grid,
+            max_candidates=args.max_candidates,
         )
         _write_sweep_stats()
         return code

@@ -97,7 +97,9 @@ from repro.replay import BatchReplayer
 #: One trace record: (vaddr, size, is_write).
 Op = Tuple[int, int, bool]
 
-SCHEMA = "bench_machine/v5"
+#: v6 adds the ``plan`` section (``python -m repro.harness plan``:
+#: blueprint ranking over a forecast/trace workload).
+SCHEMA = "bench_machine/v6"
 
 #: Seed-tree throughput measured before the PR 1 hot-path overhaul
 #: (same scenarios, same op counts, best of 3 on the reference runner).

@@ -1,0 +1,190 @@
+"""Planner harness: ``python -m repro.harness plan``.
+
+Enumerates candidate :class:`~repro.planner.blueprint.Blueprint`
+configurations, scores each against the requested workload through the
+sweep engine (one cacheable cell per candidate), ranks them under the
+objective weights, prints the ranking table and merges a ``plan``
+section into the trajectory JSON.
+
+Workloads:
+
+* ``--workload traffic`` (default) — generate a small *observed*
+  population, fit a forecast to it
+  (:func:`repro.workloads.traffic.fit_forecast`), and plan against the
+  forecast: the brad-style loop of tuning for the next load period.
+* ``--workload ycsb`` — plan against the fixed YCSB image workload.
+* ``--trace-dir DIR`` — plan against recorded packed-trace containers
+  (e.g. ``traffic --trace-dir`` output), overriding ``--workload``.
+
+The plan section is a pure function of (workload, objective, scores):
+a warm re-plan over an unchanged cache writes a byte-identical section,
+which CI asserts on the pick.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.common.errors import KindleError
+from repro.exec import SweepEngine, sweep
+from repro.harness.bench import SCHEMA, host_metadata
+from repro.harness.report import format_table
+from repro.planner import (
+    Objective,
+    enumerate_blueprints,
+    forecast_workload,
+    image_workload,
+    plan_section,
+    plan_table,
+    rank_blueprints,
+    trace_workload,
+)
+from repro.workloads.traffic import ClientPopulation, PopulationConfig
+
+#: Observed population the traffic forecast is fit to.  Small by
+#: design: the point of forecasting is that planning does not need the
+#: full recorded load, only its fitted shape.
+OBSERVED_CLIENTS = 48
+OBSERVED_PROCESSES = 4
+OBSERVED_OPS_PER_CLIENT = 2_000
+
+SMOKE_CLIENTS = 12
+SMOKE_PROCESSES = 2
+SMOKE_OPS_PER_CLIENT = 500
+
+
+def resolve_workload(
+    workload: str,
+    smoke: bool,
+    seed: int,
+    trace_dir: Optional[str],
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, object]:
+    """Turn CLI knobs into the workload spec the scoring cells consume."""
+    if trace_dir is not None:
+        paths = sorted(Path(trace_dir).glob("*.bin"))
+        if not paths:
+            raise KindleError(f"no *.bin trace containers in {trace_dir}")
+        return trace_workload(paths)
+    if workload == "traffic":
+        observed = PopulationConfig(
+            seed=seed,
+            clients=SMOKE_CLIENTS if smoke else OBSERVED_CLIENTS,
+            processes=SMOKE_PROCESSES if smoke else OBSERVED_PROCESSES,
+            ops_per_client=(
+                SMOKE_OPS_PER_CLIENT if smoke else OBSERVED_OPS_PER_CLIENT
+            ),
+        )
+        schedule = ClientPopulation(observed).generate(engine=engine)
+        return forecast_workload(schedule)
+    if workload == "ycsb":
+        if smoke:
+            return image_workload(ops=6_000, repeats=2)
+        return image_workload()
+    raise KindleError(f"unknown plan workload {workload!r}")
+
+
+def run_plan(
+    workload_spec: Dict[str, object],
+    objective: Objective,
+    smoke: bool = False,
+    engine: Optional[SweepEngine] = None,
+    grid_mode: str = "star",
+    max_candidates: Optional[int] = None,
+) -> Dict[str, object]:
+    """Enumerate, score (through the engine) and rank; returns the
+    ``plan`` section."""
+    grid = enumerate_blueprints(
+        mode=grid_mode, smoke=smoke, max_candidates=max_candidates
+    )
+    scored = sweep(
+        engine,
+        "repro.planner.score:score_blueprint_cell",
+        [
+            {"blueprint": blueprint.to_dict(), "workload": workload_spec}
+            for blueprint in grid.blueprints
+        ],
+        labels=[f"plan[{blueprint.label()}]" for blueprint in grid.blueprints],
+    )
+    ranking = rank_blueprints(scored, objective)
+    generated_by = "python -m repro.harness plan" + (" --smoke" if smoke else "")
+    return plan_section(workload_spec, objective, grid, ranking, generated_by)
+
+
+def plan_main(
+    out_path: str,
+    workload: str = "traffic",
+    smoke: bool = False,
+    engine: Optional[SweepEngine] = None,
+    objective_spec: Optional[str] = None,
+    trace_dir: Optional[str] = None,
+    seed: int = 2024,
+    grid_mode: str = "star",
+    max_candidates: Optional[int] = None,
+) -> int:
+    """CLI entry: plan, print the ranking, merge into the trajectory file."""
+    objective = (
+        Objective.from_spec(objective_spec) if objective_spec else Objective()
+    )
+    spec = resolve_workload(workload, smoke, seed, trace_dir, engine=engine)
+    section = run_plan(
+        spec,
+        objective,
+        smoke=smoke,
+        engine=engine,
+        grid_mode=grid_mode,
+        max_candidates=max_candidates,
+    )
+    ranking = section["ranking"]
+    headers, rows = plan_table(ranking)
+    print(
+        f"== plan: {section['candidates']} candidates over "
+        f"{spec['kind']} workload, objective "
+        + ",".join(
+            f"{axis}={weight:g}"
+            for axis, weight in section["objective"].items()
+        )
+        + " =="
+    )
+    print(format_table(headers, rows))
+    pick = section["pick"]
+    print(f"pick: {pick['label']} (score {pick['score']})")
+    if section.get("pick_vs_default") is not None:
+        versus = section["pick_vs_default"]
+        if versus["beats_default"]:
+            print(
+                f"  beats the paper default by "
+                f"{-versus['score_delta']:.6f} objective score"
+            )
+        else:
+            print("  the paper default is already the best candidate")
+    for label, rule, _reason in section["pruned"]:
+        print(f"  pruned {label} [{rule}]")
+    if section["dropped_by_cap"]:
+        print(
+            f"  dropped {section['dropped_by_cap']} candidates past "
+            f"--max-candidates"
+        )
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    report: Dict[str, object] = {}
+    if out.exists():
+        try:
+            report = json.loads(out.read_text(encoding="utf-8"))
+        except ValueError:
+            report = {}
+        if not isinstance(report, dict):
+            report = {}
+    report.setdefault(
+        "unit", "simulated memory operations per wall-clock second"
+    )
+    report.setdefault("host", host_metadata())
+    report["schema"] = SCHEMA
+    report["plan"] = section
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+    return 0

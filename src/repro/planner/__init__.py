@@ -1,0 +1,59 @@
+"""``repro.planner`` — blueprint planning for hybrid-memory tuning.
+
+The paper's Section V explores the OS/architecture tuning space by
+hand: one configuration per experiment, interpreted by the reader.
+This package closes the loop (ROADMAP item 3): enumerate candidate
+:class:`~repro.planner.blueprint.Blueprint` configurations, score each
+against a recorded trace or a *forecast* workload (fit to an observed
+population via :func:`repro.workloads.traffic.fit_forecast`) through
+the sweep engine as cacheable cells, and rank the results under a
+user-weighted :class:`~repro.planner.rank.Objective` over predicted
+cycles, NVM wear and recovery time.  ``python -m repro.harness plan``
+is the CLI entry.
+
+Because scoring runs through :mod:`repro.exec`, a re-plan over an
+unchanged workload is pure cache reads — the planner's forecasting
+loop costs one sweep the first time and nothing after.
+"""
+
+from repro.planner.blueprint import PAPER_DEFAULT, SCHEMES, TIERINGS, Blueprint
+from repro.planner.forecast import (
+    forecast_workload,
+    image_workload,
+    trace_workload,
+    traffic_workload,
+    validate_workload,
+)
+from repro.planner.grid import (
+    AXES,
+    PRUNE_RULES,
+    SMOKE_AXES,
+    CandidateGrid,
+    enumerate_blueprints,
+)
+from repro.planner.rank import Objective, rank_blueprints
+from repro.planner.report import default_row, plan_section, plan_table
+from repro.planner.score import score_blueprint_cell
+
+__all__ = [
+    "AXES",
+    "Blueprint",
+    "CandidateGrid",
+    "Objective",
+    "PAPER_DEFAULT",
+    "PRUNE_RULES",
+    "SCHEMES",
+    "SMOKE_AXES",
+    "TIERINGS",
+    "default_row",
+    "enumerate_blueprints",
+    "forecast_workload",
+    "image_workload",
+    "plan_section",
+    "plan_table",
+    "rank_blueprints",
+    "score_blueprint_cell",
+    "trace_workload",
+    "traffic_workload",
+    "validate_workload",
+]

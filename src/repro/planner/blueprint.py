@@ -1,0 +1,168 @@
+"""Candidate configurations the planner explores.
+
+A :class:`Blueprint` names one point in the tuning space the paper's
+Section V studies by hand: the DRAM:NVM capacity split, the page-table
+persistence scheme, the checkpoint cadence, the tiering policy and the
+cache/TLB geometry.  Like
+:class:`~repro.workloads.traffic.PopulationConfig` it is frozen,
+validated on construction, and round-trips through JSON — a blueprint
+is exactly what a sweep-engine cell can carry across the process
+boundary, nothing more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+from repro.common.config import (
+    CacheConfig,
+    HybridLayoutConfig,
+    MachineConfig,
+    TlbConfig,
+)
+from repro.common.errors import KindleError
+from repro.common.units import KiB, MiB
+
+#: Page-table schemes understood by :func:`repro.persist.schemes.make_scheme`.
+SCHEMES = ("rebuild", "persistent")
+
+#: ``"none"`` plus :attr:`repro.tiering.daemon.TieringDaemon.POLICIES`.
+TIERINGS = ("none", "count", "rbla")
+
+#: The paper's LLC: 2 MiB at 40 cycles.  Other sizes scale the hit
+#: latency by ±this many cycles per doubling/halving — a bigger array
+#: is slower to index, so "largest LLC" is not a free win.
+_LLC_BASE_KIB = 2048
+_LLC_BASE_LATENCY = 40
+_LLC_LATENCY_PER_DOUBLING = 8
+_LLC_MIN_LATENCY = 10
+
+
+def llc_hit_latency(llc_kib: int) -> int:
+    """Hit latency for an ``llc_kib``-KiB LLC (paper point: 2 MiB @ 40)."""
+    doublings = 0
+    size = llc_kib
+    while size > _LLC_BASE_KIB:
+        size //= 2
+        doublings += 1
+    while size < _LLC_BASE_KIB:
+        size *= 2
+        doublings -= 1
+    if size != _LLC_BASE_KIB:
+        raise KindleError(f"LLC size must be a power-of-two KiB: {llc_kib}")
+    latency = _LLC_BASE_LATENCY + _LLC_LATENCY_PER_DOUBLING * doublings
+    return max(_LLC_MIN_LATENCY, latency)
+
+
+@dataclass(frozen=True)
+class Blueprint:
+    """One candidate platform + OS-policy configuration.
+
+    Defaults are the paper's configuration (Table I plus the 10 ms
+    checkpoint cadence), so ``Blueprint()`` *is* the paper default and
+    every ranking the planner prints is implicitly "versus the paper".
+    """
+
+    dram_mib: int = 3072
+    nvm_mib: int = 2048
+    scheme: str = "rebuild"
+    checkpoint_interval_ms: float = 10.0
+    tiering: str = "none"
+    llc_kib: int = 2048
+    tlb_entries: int = 64
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.dram_mib < 1 or self.nvm_mib < 1:
+            raise KindleError(
+                f"blueprint needs DRAM and NVM capacity: "
+                f"{self.dram_mib} MiB / {self.nvm_mib} MiB"
+            )
+        if self.scheme not in SCHEMES:
+            raise KindleError(
+                f"unknown page-table scheme {self.scheme!r}; "
+                f"choose from {SCHEMES}"
+            )
+        if self.tiering not in TIERINGS:
+            raise KindleError(
+                f"unknown tiering policy {self.tiering!r}; "
+                f"choose from {TIERINGS}"
+            )
+        if (
+            not self.checkpoint_interval_ms > 0
+        ):  # also rejects NaN, unlike `<= 0`
+            raise KindleError(
+                f"checkpoint interval must be positive: "
+                f"{self.checkpoint_interval_ms!r}"
+            )
+        if self.llc_kib < 512:
+            raise KindleError(
+                f"LLC smaller than the 512 KiB L2 breaks hierarchy "
+                f"monotonicity: {self.llc_kib} KiB"
+            )
+        llc_hit_latency(self.llc_kib)  # power-of-two check
+        if self.tlb_entries < 1:
+            raise KindleError(f"TLB needs >=1 entry: {self.tlb_entries}")
+
+    # ------------------------------------------------------------------
+    # projections
+    # ------------------------------------------------------------------
+
+    def machine_config(self) -> MachineConfig:
+        """The :class:`MachineConfig` this blueprint describes.
+
+        Axes the blueprint does not name (L1/L2, memory timings, NVM
+        buffers) keep the paper defaults.
+        """
+        return MachineConfig(
+            llc=CacheConfig(
+                "LLC",
+                self.llc_kib * KiB,
+                16,
+                hit_latency=llc_hit_latency(self.llc_kib),
+            ),
+            tlb=TlbConfig(entries=self.tlb_entries),
+            layout=HybridLayoutConfig(
+                dram_bytes=self.dram_mib * MiB,
+                nvm_bytes=self.nvm_mib * MiB,
+            ),
+        )
+
+    def label(self) -> str:
+        """Compact human/CI-stable identity, e.g. the sweep cell label."""
+        ck = f"{self.checkpoint_interval_ms:g}"
+        return (
+            f"d{self.dram_mib}+n{self.nvm_mib}"
+            f".{self.scheme}.ck{ck}.{self.tiering}"
+            f".llc{self.llc_kib}.tlb{self.tlb_entries}"
+        )
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "dram_mib": self.dram_mib,
+            "nvm_mib": self.nvm_mib,
+            "scheme": self.scheme,
+            "checkpoint_interval_ms": self.checkpoint_interval_ms,
+            "tiering": self.tiering,
+            "llc_kib": self.llc_kib,
+            "tlb_entries": self.tlb_entries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Blueprint":
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise KindleError(f"unknown blueprint fields: {unknown}")
+        return cls(**data)
+
+
+#: The configuration the paper actually ran (all defaults).
+PAPER_DEFAULT = Blueprint()

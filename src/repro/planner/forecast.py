@@ -1,0 +1,133 @@
+"""Workload specifications the planner scores blueprints against.
+
+A workload spec is a plain JSON dict (it crosses the sweep-engine
+process boundary inside the scoring cell's kwargs, so its bytes are
+part of the cache key).  Three kinds:
+
+``traffic``
+    A :class:`~repro.workloads.traffic.PopulationConfig` — usually the
+    *forecast* fit to an observed population via
+    :func:`repro.workloads.traffic.fit_forecast`, so the planner tunes
+    for the next load period rather than the last one.
+
+``image``
+    A named workload generator replayed ``repeats`` times (fixed pass
+    count, so every blueprint executes identical work).
+
+``trace``
+    Recorded packed-trace containers, content-addressed by sha256 at
+    spec-build time — editing a container on disk changes the spec and
+    therefore invalidates every cached score built on it.
+"""
+
+from __future__ import annotations
+
+from hashlib import sha256
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from repro.common.errors import KindleError
+from repro.workloads.traffic import PopulationConfig, fit_forecast
+
+#: Image-workload generators the scorer can resolve by name.
+IMAGE_GENERATORS = ("ycsb",)
+
+WORKLOAD_KINDS = ("traffic", "image", "trace")
+
+
+def traffic_workload(config: PopulationConfig) -> Dict[str, object]:
+    return {"kind": "traffic", "population": config.to_dict()}
+
+
+def forecast_workload(
+    schedule,
+    seed: Optional[int] = None,
+    bins: int = 24,
+    diurnal_ratio: float = 2.0,
+) -> Dict[str, object]:
+    """Fit a forecast to an observed schedule and wrap it as a spec."""
+    forecast = fit_forecast(
+        schedule, seed=seed, bins=bins, diurnal_ratio=diurnal_ratio
+    )
+    return traffic_workload(forecast)
+
+
+def image_workload(
+    name: str = "ycsb",
+    ops: int = 12_000,
+    records: int = 65_536,
+    seed: int = 13,
+    repeats: int = 4,
+) -> Dict[str, object]:
+    """YCSB replayed ``repeats`` times (fixed pass count across
+    candidates).  The default 64 Ki records (~6.5 MiB footprint)
+    overflow every candidate LLC, so cache geometry and tiering see
+    real memory traffic rather than an L2-resident hot set."""
+    return {
+        "kind": "image",
+        "name": name,
+        "ops": ops,
+        "records": records,
+        "seed": seed,
+        "repeats": repeats,
+    }
+
+
+def trace_workload(paths: Iterable) -> Dict[str, object]:
+    """Spec over recorded containers (e.g. ``traffic --trace-dir`` output).
+
+    Containers are listed in sorted-path order and fingerprinted now,
+    so the spec (and every cache key derived from it) pins the exact
+    bytes that will be replayed.
+    """
+    containers = []
+    for path in sorted(Path(p) for p in paths):
+        try:
+            digest = sha256(path.read_bytes()).hexdigest()
+        except OSError as exc:
+            raise KindleError(f"unreadable trace container {path}: {exc}")
+        containers.append({"path": str(path), "sha256": digest})
+    if not containers:
+        raise KindleError("trace workload needs at least one container")
+    return {"kind": "trace", "containers": containers}
+
+
+def validate_workload(spec: Dict[str, object]) -> None:
+    """Reject malformed specs before they reach (or poison) the cache."""
+    if not isinstance(spec, dict):
+        raise KindleError(f"workload spec must be a dict: {spec!r}")
+    kind = spec.get("kind")
+    if kind not in WORKLOAD_KINDS:
+        raise KindleError(
+            f"unknown workload kind {kind!r}; choose from {WORKLOAD_KINDS}"
+        )
+    if kind == "traffic":
+        population = spec.get("population")
+        if not isinstance(population, dict):
+            raise KindleError("traffic workload needs a population dict")
+        PopulationConfig.from_dict(population)  # full field validation
+    elif kind == "image":
+        if spec.get("name") not in IMAGE_GENERATORS:
+            raise KindleError(
+                f"unknown image workload {spec.get('name')!r}; "
+                f"choose from {IMAGE_GENERATORS}"
+            )
+        for key in ("ops", "records", "seed", "repeats"):
+            value = spec.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise KindleError(f"image workload {key} must be an int")
+        if spec["ops"] < 1 or spec["records"] < 1 or spec["repeats"] < 1:
+            raise KindleError("image workload ops/records/repeats must be >=1")
+    else:
+        containers = spec.get("containers")
+        if not isinstance(containers, list) or not containers:
+            raise KindleError("trace workload needs a non-empty container list")
+        for entry in containers:
+            if (
+                not isinstance(entry, dict)
+                or not isinstance(entry.get("path"), str)
+                or not isinstance(entry.get("sha256"), str)
+            ):
+                raise KindleError(
+                    f"trace container entries need path+sha256: {entry!r}"
+                )

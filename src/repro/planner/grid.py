@@ -1,0 +1,146 @@
+"""Candidate enumeration: the blueprint grids the planner scores.
+
+Two shapes:
+
+``star`` (the default)
+    The paper default plus every one-axis-at-a-time variation — the
+    cheapest grid that still attributes a win to a single knob, and
+    small enough to score on every plan.
+
+``grid``
+    The full cartesian product of the axes, for exhaustive (cached)
+    sweeps.
+
+Both run through named pruning rules before scoring.  The only default
+rule encodes a real restriction of the current stack: the exclusive
+:class:`~repro.tiering.daemon.TieringDaemon` migrates pages behind the
+persistence journal's back (its docstring calls the combination future
+work), so ``tiering != none`` with ``scheme == "persistent"`` is
+rejected rather than scored as if it were sound.  Nothing is dropped
+silently: the returned :class:`CandidateGrid` records every pruned
+candidate with its rule and how many were cut by ``max_candidates``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import KindleError
+from repro.planner.blueprint import PAPER_DEFAULT, Blueprint
+
+#: One-axis variant values.  ``memory_split`` keeps the paper's 5 GiB
+#: total, so "more DRAM" always costs NVM capacity and vice versa.
+AXES: Dict[str, Tuple[object, ...]] = {
+    "memory_split": ((3072, 2048), (2048, 3072), (4096, 1024), (1024, 4096)),  # repro: allow-geometry(MiB capacities, not page sizes)
+    "scheme": ("rebuild", "persistent"),
+    "checkpoint_interval_ms": (5.0, 10.0, 20.0),
+    "tiering": ("none", "count", "rbla"),
+    "llc_kib": (1024, 2048, 4096),  # repro: allow-geometry(KiB capacities, not page sizes)
+    "tlb_entries": (64, 128),
+}
+
+#: Reduced axes for CI smoke plans (star mode: 6 candidates).
+SMOKE_AXES: Dict[str, Tuple[object, ...]] = {
+    "memory_split": ((3072, 2048), (4096, 1024)),  # repro: allow-geometry(MiB capacities, not page sizes)
+    "scheme": ("rebuild", "persistent"),
+    "checkpoint_interval_ms": (10.0, 20.0),
+    "tiering": ("none", "count"),
+    "llc_kib": (1024, 2048),
+    "tlb_entries": (64,),
+}
+
+
+def _with_axis(base: Blueprint, axis: str, value: object) -> Blueprint:
+    data = base.to_dict()
+    if axis == "memory_split":
+        data["dram_mib"], data["nvm_mib"] = value
+    else:
+        data[axis] = value
+    return Blueprint.from_dict(data)
+
+
+def _prune_tiering_vs_persistent(blueprint: Blueprint) -> Optional[str]:
+    if blueprint.tiering != "none" and blueprint.scheme == "persistent":
+        return (
+            "exclusive tiering migrates pages the persistence journal "
+            "does not track (TieringDaemon: future work)"
+        )
+    return None
+
+
+#: Named rules: ``rule(blueprint) -> reason`` (``None`` keeps it).
+PRUNE_RULES: Dict[str, Callable[[Blueprint], Optional[str]]] = {
+    "tiering-vs-persistent": _prune_tiering_vs_persistent,
+}
+
+
+@dataclass
+class CandidateGrid:
+    """An enumerated candidate set plus everything that was *not* kept."""
+
+    blueprints: List[Blueprint] = field(default_factory=list)
+    #: ``(label, rule, reason)`` per pruned candidate.
+    pruned: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: Candidates cut by ``max_candidates`` (never the paper default).
+    dropped: int = 0
+
+    def labels(self) -> List[str]:
+        return [blueprint.label() for blueprint in self.blueprints]
+
+
+def enumerate_blueprints(
+    mode: str = "star",
+    smoke: bool = False,
+    max_candidates: Optional[int] = None,
+    prune: bool = True,
+) -> CandidateGrid:
+    """Enumerate the candidate grid (paper default always first).
+
+    Deterministic: axis order and value order fix the candidate order,
+    so two plans over the same arguments score the same cells in the
+    same order (and therefore hit the same cache entries).
+    """
+    if mode not in ("star", "grid"):
+        raise KindleError(f"unknown enumeration mode {mode!r}")
+    if max_candidates is not None and max_candidates < 1:
+        raise KindleError(f"max_candidates must be >=1: {max_candidates}")
+    axes = SMOKE_AXES if smoke else AXES
+    candidates: List[Blueprint] = [PAPER_DEFAULT]
+    seen = {PAPER_DEFAULT.label()}
+
+    def _add(blueprint: Blueprint) -> None:
+        if blueprint.label() not in seen:
+            seen.add(blueprint.label())
+            candidates.append(blueprint)
+
+    if mode == "star":
+        for axis, values in axes.items():
+            for value in values:
+                _add(_with_axis(PAPER_DEFAULT, axis, value))
+    else:
+        names = list(axes)
+        for combo in product(*(axes[name] for name in names)):
+            blueprint = PAPER_DEFAULT
+            for axis, value in zip(names, combo):
+                blueprint = _with_axis(blueprint, axis, value)
+            _add(blueprint)
+
+    grid = CandidateGrid()
+    for blueprint in candidates:
+        reason = None
+        rule_name = ""
+        if prune:
+            for rule_name, rule in PRUNE_RULES.items():
+                reason = rule(blueprint)
+                if reason is not None:
+                    break
+        if reason is not None:
+            grid.pruned.append((blueprint.label(), rule_name, reason))
+        else:
+            grid.blueprints.append(blueprint)
+    if max_candidates is not None and len(grid.blueprints) > max_candidates:
+        grid.dropped = len(grid.blueprints) - max_candidates
+        grid.blueprints = grid.blueprints[:max_candidates]
+    return grid

@@ -1,0 +1,139 @@
+"""Ranking: turn per-blueprint scores into an ordered recommendation.
+
+The objective is a weighted sum over three normalized axes:
+
+* ``cycles`` — predicted execution cost, ``serve_cycles +
+  persist_cycles`` (how fast the configuration runs the forecast load
+  *including* its durability overhead);
+* ``wear`` — total NVM line writes (endurance budget consumed);
+* ``recovery`` — post-crash reboot cost in cycles.
+
+Each axis is normalized by the candidate set's own minimum (clamped to
+1 so an all-zero axis divides cleanly), so a score of 1.0 on an axis
+means "as good as the best candidate" and weights compare like with
+like across axes measured in different units.  Lower is better; ties
+break on the blueprint's canonical JSON so the ranking is a pure
+function of the scores.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.common.errors import KindleError
+
+#: Metric each objective axis reads from a score row.
+AXIS_METRICS = {
+    "cycles": "predicted_cycles",
+    "wear": "nvm_line_writes",
+    "recovery": "recovery_cycles",
+}
+
+
+@dataclass(frozen=True)
+class Objective:
+    """User-tunable weights over the three ranking axes."""
+
+    cycles: float = 1.0
+    wear: float = 0.3
+    recovery: float = 0.2
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for axis in AXIS_METRICS:
+            weight = getattr(self, axis)
+            if not weight >= 0:  # also rejects NaN
+                raise KindleError(
+                    f"objective weight {axis} must be >= 0: {weight!r}"
+                )
+            total += weight
+        if not total > 0:
+            raise KindleError("objective weights sum to zero")
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "Objective":
+        """Parse ``"cycles=1,wear=0.3,recovery=0.2"`` (order-free;
+        omitted axes keep their defaults)."""
+        weights: Dict[str, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise KindleError(
+                    f"objective term {part!r} is not axis=weight"
+                )
+            axis, _, raw = part.partition("=")
+            axis = axis.strip()
+            if axis not in AXIS_METRICS:
+                raise KindleError(
+                    f"unknown objective axis {axis!r}; "
+                    f"choose from {tuple(AXIS_METRICS)}"
+                )
+            if axis in weights:
+                raise KindleError(f"objective axis {axis!r} given twice")
+            try:
+                weights[axis] = float(raw)
+            except ValueError:
+                raise KindleError(f"bad weight for {axis!r}: {raw!r}")
+        return cls(**weights)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {axis: getattr(self, axis) for axis in AXIS_METRICS}
+
+
+def rank_blueprints(
+    scored: Sequence[Dict[str, object]], objective: Objective
+) -> List[Dict[str, object]]:
+    """Order score rows best-first under ``objective``.
+
+    Returns one row per candidate with ``rank`` (1-based), ``score``
+    (lower is better, 1.0 = best-on-every-axis), the raw metrics the
+    score was built from, and the blueprint itself.
+    """
+    if not scored:
+        raise KindleError("nothing to rank: no scored blueprints")
+    enriched = []
+    for row in scored:
+        metrics = dict(row)
+        metrics["predicted_cycles"] = int(row["serve_cycles"]) + int(
+            row["persist_cycles"]
+        )
+        enriched.append(metrics)
+    floors = {
+        axis: max(1, min(int(row[metric]) for row in enriched))
+        for axis, metric in AXIS_METRICS.items()
+    }
+    weight_sum = sum(objective.to_dict().values())
+    ranked = []
+    for row in enriched:
+        score = (
+            sum(
+                getattr(objective, axis) * (int(row[metric]) / floors[axis])
+                for axis, metric in AXIS_METRICS.items()
+            )
+            / weight_sum
+        )
+        ranked.append(
+            {
+                "label": row["label"],
+                "score": round(score, 6),
+                "predicted_cycles": row["predicted_cycles"],
+                "serve_cycles": row["serve_cycles"],
+                "persist_cycles": row["persist_cycles"],
+                "recovery_cycles": row["recovery_cycles"],
+                "nvm_line_writes": row["nvm_line_writes"],
+                "checkpoints": row["checkpoints"],
+                "promotions": row["promotions"],
+                "demotions": row["demotions"],
+                "blueprint": row["blueprint"],
+            }
+        )
+    ranked.sort(
+        key=lambda row: (row["score"], json.dumps(row["blueprint"], sort_keys=True))
+    )
+    for index, row in enumerate(ranked):
+        row["rank"] = index + 1
+    return ranked

@@ -1,0 +1,79 @@
+"""Plan reporting: the ``plan`` section and its printed table."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.planner.blueprint import PAPER_DEFAULT
+from repro.planner.grid import CandidateGrid
+from repro.planner.rank import Objective
+
+#: Columns of the printed ranking table, in order.
+TABLE_COLUMNS = (
+    "rank",
+    "label",
+    "score",
+    "predicted_cycles",
+    "recovery_cycles",
+    "nvm_line_writes",
+    "checkpoints",
+    "promotions",
+)
+
+
+def plan_table(
+    ranking: List[Dict[str, object]]
+) -> Tuple[List[str], List[List[object]]]:
+    """(headers, rows) for :func:`repro.harness.report.format_table`."""
+    headers = list(TABLE_COLUMNS)
+    rows = [[row[column] for column in headers] for row in ranking]
+    return headers, rows
+
+
+def default_row(
+    ranking: List[Dict[str, object]]
+) -> Optional[Dict[str, object]]:
+    """The paper-default's row in a ranking (None if it was not scored)."""
+    for row in ranking:
+        if row["label"] == PAPER_DEFAULT.label():
+            return row
+    return None
+
+
+def plan_section(
+    workload: Dict[str, object],
+    objective: Objective,
+    grid: CandidateGrid,
+    ranking: List[Dict[str, object]],
+    generated_by: str,
+) -> Dict[str, object]:
+    """The ``plan`` section merged into the trajectory JSON.
+
+    Everything here is a pure function of (workload spec, objective,
+    candidate grid, scores): no wall-clock, no host state — so a warm
+    re-plan writes a byte-identical section and CI can diff picks
+    directly.
+    """
+    baseline = default_row(ranking)
+    section: Dict[str, object] = {
+        "workload": workload,
+        "objective": objective.to_dict(),
+        "candidates": len(grid.blueprints),
+        "pruned": [
+            {"label": label, "rule": rule, "reason": reason}
+            for label, rule, reason in grid.pruned
+        ],
+        "dropped_by_cap": grid.dropped,
+        "ranking": ranking,
+        "pick": ranking[0],
+        "paper_default": baseline,
+        "generated_by": generated_by,
+    }
+    if baseline is not None:
+        section["pick_vs_default"] = {
+            "score_delta": round(
+                float(ranking[0]["score"]) - float(baseline["score"]), 6
+            ),
+            "beats_default": ranking[0]["score"] < baseline["score"],
+        }
+    return section

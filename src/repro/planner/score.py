@@ -1,0 +1,234 @@
+"""Blueprint scoring: one sweep-engine cell per candidate.
+
+:func:`score_blueprint_cell` is the planner's unit of work — a
+top-level, state-free, deterministic function whose kwargs are plain
+JSON (a blueprint dict plus a workload spec), so the sweep engine can
+fan candidates across a process pool and cache finished scores
+content-addressed.  Re-planning over an unchanged workload therefore
+costs one cache read per candidate.
+
+Each cell runs two phases on fresh systems built from the blueprint's
+:class:`~repro.common.config.MachineConfig`:
+
+*Serve phase* — replays the workload (forecast traffic population,
+generated image, or recorded trace containers) with persistence off,
+optionally under a :class:`~repro.tiering.daemon.TieringDaemon` per
+process.  Yields ``serve_cycles`` plus NVM wear and migration counts.
+
+*Persist probe* — replays a small fixed YCSB image under the
+blueprint's page-table scheme and checkpoint cadence, then crashes and
+reboots.  Yields ``persist_cycles``, ``recovery_cycles`` and the
+checkpoint count.  The probe compresses the checkpoint cadence by
+:data:`PROBE_INTERVAL_SCALE` so a millisecond-scale probe still spans
+several intervals — the same scaled-down-but-proportional trick the
+fig5/fig6 cells use with ``target_ms``.  Tiering is never enabled here:
+the exclusive daemon migrates pages the persistence journal does not
+track (the enumerator prunes that combination outright).
+"""
+
+from __future__ import annotations
+
+from hashlib import sha256
+from pathlib import Path
+from typing import Dict, List
+
+from repro.common.errors import KindleError
+from repro.common.units import PAGE_SIZE
+from repro.planner.blueprint import Blueprint
+from repro.planner.forecast import validate_workload
+from repro.platform import MAP_NVM, PROT_READ, PROT_WRITE, HybridSystem
+from repro.prep.codegen import PlacementPolicy, ReplayProgram
+from repro.prep.trace import PackedTrace, load_trace_binary
+from repro.tiering.daemon import TieringDaemon
+from repro.workloads.traffic import (
+    ClientPopulation,
+    PopulationConfig,
+    TrafficScheduler,
+)
+from repro.workloads.ycsb import generate_ycsb
+
+#: Tiering parameters for the serve phase.  The production defaults
+#: (4 ms epochs, 8 misses/epoch) assume hours of simulated load;
+#: planner serve phases are scaled down to a few simulated
+#: milliseconds, so the epoch and hot threshold shrink with them —
+#: several epochs still fire and hot pages still promote.
+TIERING_EPOCH_MS = 0.25
+TIERING_HOT_THRESHOLD = 4
+
+#: Persist-probe workload: small and fixed so every blueprint pays for
+#: the *same* durable work and only scheme/cadence/geometry vary.
+PROBE_OPS = 10_000
+PROBE_RECORDS = 512
+PROBE_SEED = 17
+
+#: The probe divides the blueprint's checkpoint interval by this factor
+#: (10 ms of configured cadence probes as 0.1 ms), preserving the
+#: *relative* cadence between candidates at probe scale.
+PROBE_INTERVAL_SCALE = 100.0
+
+
+def _attach_tiering(system: HybridSystem, processes, policy: str) -> List:
+    daemons = [
+        TieringDaemon(
+            system.kernel,
+            process,
+            epoch_ms=TIERING_EPOCH_MS,
+            hot_threshold=TIERING_HOT_THRESHOLD,
+            policy=policy,
+        )
+        for process in processes
+    ]
+    return daemons
+
+
+def _serve_traffic(
+    system: HybridSystem, spec: Dict[str, object], tiering: str
+) -> int:
+    config = PopulationConfig.from_dict(spec["population"])
+    schedule = ClientPopulation(config).generate()
+    scheduler = TrafficScheduler(system, schedule)
+    scheduler.provision()
+    daemons = (
+        _attach_tiering(system, scheduler.processes, tiering)
+        if tiering != "none"
+        else []
+    )
+    result = scheduler.run(batch=True)
+    for daemon in daemons:
+        daemon.disarm()
+    return result.ops
+
+
+def _serve_image(
+    system: HybridSystem, spec: Dict[str, object], tiering: str
+) -> int:
+    image = generate_ycsb(
+        total_ops=spec["ops"], records=spec["records"], seed=spec["seed"]
+    )
+    process = system.spawn(image.name)
+    program = ReplayProgram(image, PlacementPolicy.ALL_NVM)
+    program.install(system.kernel, process)
+    daemons = (
+        _attach_tiering(system, [process], tiering)
+        if tiering != "none"
+        else []
+    )
+    ops = 0
+    for _ in range(spec["repeats"]):
+        process.registers["pc"] = 0
+        ops += program.run(system.kernel, process)
+    for daemon in daemons:
+        daemon.disarm()
+    return ops
+
+
+def _serve_trace(
+    system: HybridSystem, spec: Dict[str, object], tiering: str
+) -> int:
+    from repro.replay import BatchReplayer
+
+    kernel = system.kernel
+    ops = 0
+    daemons: List = []
+    replayer = BatchReplayer(system.machine)
+    for index, entry in enumerate(spec["containers"]):
+        path = Path(entry["path"])
+        raw = path.read_bytes()
+        digest = sha256(raw).hexdigest()
+        if digest != entry["sha256"]:
+            raise KindleError(
+                f"trace container {path} changed since the plan was "
+                f"specified: {digest[:12]} != {entry['sha256'][:12]}"
+            )
+        packed = PackedTrace.from_records(load_trace_binary(path))
+        if not len(packed):
+            continue
+        process = kernel.create_process(f"trace{index}", persistent=False)
+        lo = (int(packed.addr.min()) // PAGE_SIZE) * PAGE_SIZE
+        hi = int((packed.addr + packed.size).max())
+        length = -(-(hi - lo) // PAGE_SIZE) * PAGE_SIZE
+        kernel.sys_mmap(
+            process, lo, length, PROT_READ | PROT_WRITE, 0, name=f"trace{index}"
+        )
+        if tiering != "none":
+            daemons.extend(_attach_tiering(system, [process], tiering))
+        kernel.switch_to(process)
+        ops += replayer.replay(packed)
+    for daemon in daemons:
+        daemon.disarm()
+    return ops
+
+
+def _persist_probe(blueprint: Blueprint) -> Dict[str, int]:
+    system = HybridSystem(
+        config=blueprint.machine_config(),
+        scheme=blueprint.scheme,
+        checkpoint_interval_ms=(
+            blueprint.checkpoint_interval_ms / PROBE_INTERVAL_SCALE
+        ),
+        persistence=True,
+    )
+    system.boot()
+    process = system.spawn("probe")
+    image = generate_ycsb(
+        total_ops=PROBE_OPS, records=PROBE_RECORDS, seed=PROBE_SEED
+    )
+    program = ReplayProgram(image, PlacementPolicy.ALL_NVM)
+    program.install(system.kernel, process)
+    start = system.machine.clock
+    program.run(system.kernel, process)
+    system.checkpoint()
+    persist_cycles = system.machine.clock - start
+    checkpoints = system.stats.get("checkpoint.taken")
+    wear = system.machine.controller.wear_report(top=0)
+    system.crash()
+    before_boot = system.machine.clock
+    system.boot()
+    recovery_cycles = system.machine.clock - before_boot
+    system.shutdown()
+    return {
+        "persist_cycles": int(persist_cycles),
+        "recovery_cycles": int(recovery_cycles),
+        "checkpoints": int(checkpoints),
+        "nvm_line_writes": int(wear["total_line_writes"]),
+    }
+
+
+def score_blueprint_cell(
+    blueprint: Dict[str, object], workload: Dict[str, object]
+) -> Dict[str, object]:
+    """Score one blueprint against one workload spec (cacheable cell)."""
+    bp = Blueprint.from_dict(blueprint)
+    validate_workload(workload)
+
+    system = HybridSystem(config=bp.machine_config(), persistence=False)
+    system.boot()
+    kind = workload["kind"]
+    if kind == "traffic":
+        ops = _serve_traffic(system, workload, bp.tiering)
+    elif kind == "image":
+        ops = _serve_image(system, workload, bp.tiering)
+    else:
+        ops = _serve_trace(system, workload, bp.tiering)
+    serve_cycles = system.machine.clock
+    serve_wear = system.machine.controller.wear_report(top=0)
+    promotions = system.stats.get("tiering.promotions")
+    demotions = system.stats.get("tiering.demotions")
+    system.shutdown()
+
+    probe = _persist_probe(bp)
+    return {
+        "blueprint": bp.to_dict(),
+        "label": bp.label(),
+        "ops": int(ops),
+        "serve_cycles": int(serve_cycles),
+        "persist_cycles": probe["persist_cycles"],
+        "recovery_cycles": probe["recovery_cycles"],
+        "checkpoints": probe["checkpoints"],
+        "nvm_line_writes": (
+            int(serve_wear["total_line_writes"]) + probe["nvm_line_writes"]
+        ),
+        "wear_skew": float(serve_wear["skew"]),
+        "promotions": int(promotions),
+        "demotions": int(demotions),
+    }

@@ -35,6 +35,7 @@ are JSON/base64, lossless for the column bytes).
 from __future__ import annotations
 
 import base64
+import math
 from dataclasses import dataclass
 from hashlib import sha256
 from pathlib import Path
@@ -145,7 +146,13 @@ class PopulationConfig:
     processes: int = 4
     ops_per_client: int = 2_000
     #: Fraction of each client's ops drawn fresh from its unique pool;
-    #: the rest are Zipf-weighted repetitions of pool entries.
+    #: the rest are Zipf-weighted repetitions of pool entries.  The
+    #: pool size follows an explicit floor rule (see
+    #: :func:`unique_pool_size`): ``floor(ops_per_client *
+    #: unique_fraction)`` clamped to ``[1, ops_per_client]`` — *not*
+    #: ``round()``, whose banker's rounding made products landing
+    #: exactly on .5 shift the pool size with the magnitude of the op
+    #: count (``round(2.5) == 2`` but ``round(3.5) == 4``).
     unique_fraction: float = 0.25
     arrival: str = "poisson"
     #: Logical timestamp span of one load period (arbitrary units;
@@ -249,6 +256,26 @@ class PopulationConfig:
 # ----------------------------------------------------------------------
 
 
+def unique_pool_size(ops: int, unique_fraction: float) -> int:
+    """Unique-op pool size: ``floor(ops * unique_fraction)``, clamped
+    to ``[1, ops]``.
+
+    The rule is an explicit floor, not ``round()``: banker's rounding
+    sends .5-exact products to the nearest *even* integer, so the same
+    ``unique_fraction`` produced different repetition structures
+    depending on the magnitude of ``ops`` (``round(2.5) == 2`` while
+    ``round(3.5) == 4``).  ``floor`` is monotone in ``ops`` and
+    magnitude-independent at every boundary.
+    """
+    if ops < 1:
+        raise KindleError(f"pool needs >=1 op: {ops}")
+    if not 0.0 <= unique_fraction <= 1.0:
+        raise KindleError(
+            f"unique_fraction outside [0, 1]: {unique_fraction}"
+        )
+    return max(1, min(ops, math.floor(ops * unique_fraction)))
+
+
 def _derive_seed(master_seed: int, label: str) -> int:
     """Independent numpy substream seed (sha256 split, like
     :func:`repro.common.rng.derive_rng` but for ``default_rng``)."""
@@ -317,7 +344,7 @@ def _client_columns(
         _derive_seed(config.seed, f"traffic.client.{client}")
     )
     ops = config.ops_per_client
-    n_unique = max(1, min(ops, round(ops * config.unique_fraction)))
+    n_unique = unique_pool_size(ops, config.unique_fraction)
     slots = max(1, profile.working_set_bytes // profile.op_size)
     offsets = rng.integers(0, slots, size=n_unique, dtype=np.int64)
     offsets *= profile.op_size
@@ -585,7 +612,7 @@ class ClientPopulation:
         for name in self.profiles:
             counts[name] = counts.get(name, 0) + 1
         ops = config.ops_per_client
-        n_unique = max(1, min(ops, round(ops * config.unique_fraction)))
+        n_unique = unique_pool_size(ops, config.unique_fraction)
         out: Dict[str, object] = {
             "clients": config.clients,
             "processes": config.processes,
@@ -603,6 +630,90 @@ class ClientPopulation:
                 float(config.total_ops * s / width) for s in share
             ]
         return out
+
+
+# ----------------------------------------------------------------------
+# forecast fitting (the planner hand-off)
+# ----------------------------------------------------------------------
+
+
+def fit_forecast(
+    schedule: TrafficSchedule,
+    seed: Optional[int] = None,
+    bins: int = 24,
+    diurnal_ratio: float = 2.0,
+) -> PopulationConfig:
+    """Fit a forecastable population model to an observed schedule.
+
+    This is the arrival/mix fit the configuration planner consumes: it
+    reads only the *observable* columns (timestamps, client ids,
+    addresses) plus the deployment constants the operator knows anyway
+    (period, process count, profile mix), and returns a fresh
+    :class:`PopulationConfig` whose generated schedule forecasts the
+    next load period:
+
+    * client/process/op counts come straight from the observed stream;
+    * ``unique_fraction`` is estimated as the mean per-client fraction
+      of distinct addresses (a lower bound on the pool fraction — the
+      Zipf repetitions revisit pool entries);
+    * the arrival model is chosen from the observed timestamp
+      histogram over ``bins`` bins: a peak-to-trough ratio at most
+      ``diurnal_ratio`` reads as a homogeneous Poisson process, a more
+      skewed curve is fit as a ``diurnal`` arrival whose curve *is*
+      the normalized histogram (phase folded into the curve).
+
+    ``seed`` defaults to a sha256-derived forecast substream of the
+    observed config's seed, so forecasted populations never replay the
+    exact observed streams but stay deterministic per observation.
+    """
+    if len(schedule) == 0:
+        raise KindleError("cannot fit a forecast to an empty schedule")
+    if bins < 1:
+        raise KindleError(f"need >=1 histogram bin: {bins}")
+    if diurnal_ratio < 1.0:
+        raise KindleError(
+            f"diurnal ratio threshold must be >= 1: {diurnal_ratio}"
+        )
+    observed = schedule.config
+    client_ids = np.unique(schedule.client)
+    clients = int(client_ids.size)
+    ops_per_client = max(1, len(schedule) // clients)
+    fractions = []
+    for client in client_ids:
+        mask = schedule.client == client
+        ops = int(np.count_nonzero(mask))
+        distinct = int(np.unique(schedule.addr[mask]).size)
+        fractions.append(distinct / ops)
+    unique_fraction = min(1.0, max(0.0, float(np.mean(fractions))))
+    counts, _edges = np.histogram(
+        schedule.ts.astype(np.float64), bins=bins, range=(0.0, observed.period)
+    )
+    trough = max(1, int(counts.min()))
+    peak = max(1, int(counts.max()))
+    if peak / trough <= diurnal_ratio:
+        arrival = "poisson"
+        curve = observed.diurnal_curve
+        phase = observed.diurnal_phase
+    else:
+        arrival = "diurnal"
+        total = int(counts.sum())
+        curve = tuple(float(c) / total for c in counts.tolist())
+        phase = 0.0
+    if seed is None:
+        seed = _derive_seed(observed.seed, "traffic.forecast")
+    return PopulationConfig(
+        seed=seed,
+        clients=clients,
+        processes=observed.processes,
+        ops_per_client=ops_per_client,
+        unique_fraction=unique_fraction,
+        arrival=arrival,
+        period=observed.period,
+        diurnal_curve=curve,
+        diurnal_phase=phase,
+        profile_mix=observed.profile_mix,
+        sched_slices=observed.sched_slices,
+    )
 
 
 # ----------------------------------------------------------------------

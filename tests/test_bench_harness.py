@@ -95,7 +95,7 @@ class TestScenarios:
 class TestReportSchema:
     def test_smoke_report_schema(self):
         report = run_bench(smoke=True)
-        assert report["schema"] == "bench_machine/v5"
+        assert report["schema"] == "bench_machine/v6"
         assert "batch" not in report  # only recorded when requested
         current = report["current"]
         assert set(current["ops_per_sec"]) == set(SCENARIOS)
@@ -141,7 +141,7 @@ class TestCli:
         out = tmp_path / "deep" / "results" / "BENCH_machine.json"
         assert main(["bench", "--smoke", "--batch", "--out", str(out)]) == 0
         report = json.loads(out.read_text())
-        assert report["schema"] == "bench_machine/v5"
+        assert report["schema"] == "bench_machine/v6"
         assert report["batch"]["op_split"]["l1_resident"]["batched"] > 0
         assert report["smoke"] is True
         sweep_section = report["sweep"]

@@ -1,0 +1,133 @@
+"""``ResultCache`` under concurrent writers and leftover temp files.
+
+The planner re-scores blueprint grids through the sweep cache, so two
+engines (or a cold CI run racing a warm one) routinely ``put()`` the
+same key at the same moment.  The cache's contract: concurrent
+identical writes converge on one byte-canonical entry, a reader never
+observes a torn (partially-written) entry, and a ``.tmp`` file left by
+a killed writer is invisible to ``get()``/``clear()``.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.exec import ResultCache, Task
+from repro.exec.cache import MISS
+
+PROBE = "repro.exec.engine:probe_cell"
+
+#: The result both racing writers store — same cell, same payload.
+RESULT = {"rows": [{"size_mb": 64, "cycles": 123456}], "pick": "persistent"}
+
+
+def _hammer_put(root, key, task_doc, result, rounds, barrier):
+    """Writer process: put the same entry over and over."""
+    cache = ResultCache(root)
+    barrier.wait()
+    for _ in range(rounds):
+        cache.put(key, task_doc, result)
+
+
+def _task_and_key():
+    task = Task(PROBE, {"a": 3, "b": 4})
+    return task, task.key("fp"), task.describe("fp")
+
+
+class TestConcurrentWriters:
+    @pytest.mark.parametrize("writers", [2, 4])
+    def test_racing_puts_converge_byte_canonically(self, tmp_path, writers):
+        """N processes hammer the same key; every read mid-race is a
+        complete entry and the survivor is byte-canonical."""
+        task, key, doc = _task_and_key()
+        cache = ResultCache(tmp_path)
+        ctx = multiprocessing.get_context()
+        barrier = ctx.Barrier(writers)
+        rounds = 120
+        procs = [
+            ctx.Process(
+                target=_hammer_put,
+                args=(tmp_path, key, doc, RESULT, rounds, barrier),
+            )
+            for _ in range(writers)
+        ]
+        for proc in procs:
+            proc.start()
+        try:
+            # Read concurrently with the writers: os.replace is atomic,
+            # so every get() is either a miss (nothing published yet)
+            # or the complete result — never a torn read.
+            seen_hit = False
+            while any(proc.is_alive() for proc in procs):
+                value = cache.get(key)
+                if value is MISS:
+                    assert not seen_hit, "entry vanished mid-race"
+                else:
+                    seen_hit = True
+                    assert value == RESULT
+        finally:
+            for proc in procs:
+                proc.join(timeout=60)
+        assert all(proc.exitcode == 0 for proc in procs)
+        # The surviving entry is the canonical encoding, byte for byte.
+        assert cache.path_for(key).read_bytes() == cache.encode(
+            key, doc, RESULT
+        )
+        assert cache.get(key) == RESULT
+        # No writer left its temp file behind.
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert list(tmp_path.glob(".*.tmp")) == []
+
+    def test_interleaved_puts_in_one_process_stay_canonical(self, tmp_path):
+        """Same-pid re-puts reuse one temp name; the entry never tears."""
+        task, key, doc = _task_and_key()
+        cache = ResultCache(tmp_path)
+        reference = cache.encode(key, doc, RESULT)
+        for _ in range(10):
+            cache.put(key, doc, RESULT)
+            assert cache.path_for(key).read_bytes() == reference
+
+
+class TestLeftoverTempFiles:
+    def test_orphan_tmp_is_invisible_to_get(self, tmp_path):
+        """A writer killed between write_bytes and os.replace leaves
+        ``.<key>.json.<pid>.tmp`` — which must read as a plain miss."""
+        task, key, doc = _task_and_key()
+        cache = ResultCache(tmp_path)
+        tmp_path.mkdir(exist_ok=True)
+        orphan = tmp_path / f".{key}.json.99999.tmp"
+        orphan.write_bytes(b'{"schema": "sweep_cache/v1", "key": "' + b"tr")
+        assert cache.get(key) is MISS
+        # publishing over the orphan works and reads back whole
+        assert cache.put(key, doc, RESULT) == RESULT
+        assert cache.get(key) == RESULT
+        assert orphan.exists()  # untouched: it is not an entry
+
+    def test_clear_skips_orphan_tmp_files(self, tmp_path):
+        task, key, doc = _task_and_key()
+        cache = ResultCache(tmp_path)
+        cache.put(key, doc, RESULT)
+        orphan = tmp_path / f".{key}.json.12345.tmp"
+        orphan.write_bytes(b"garbage from a killed writer")
+        # clear() removes exactly the one real entry, never the orphan,
+        # and never raises over it.
+        assert cache.clear() == 1
+        assert cache.get(key) is MISS
+        assert orphan.exists()
+
+    def test_same_pid_retry_overwrites_its_own_stale_tmp(self, tmp_path):
+        """A stale tmp bearing *this* process's pid (crashed earlier
+        incarnation, recycled pid) is simply truncated by the next
+        put() — the entry still lands canonical."""
+        import os
+
+        task, key, doc = _task_and_key()
+        cache = ResultCache(tmp_path)
+        tmp_path.mkdir(exist_ok=True)
+        stale = tmp_path / f".{key}.json.{os.getpid()}.tmp"
+        stale.write_bytes(b"half-written junk")
+        assert cache.put(key, doc, RESULT) == RESULT
+        assert cache.path_for(key).read_bytes() == cache.encode(
+            key, doc, RESULT
+        )
+        assert not stale.exists()  # consumed by the successful replace

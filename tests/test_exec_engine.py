@@ -7,12 +7,21 @@ import textwrap
 
 import pytest
 
-from repro.exec import ResultCache, SweepEngine, Task, code_fingerprint, sweep
+from repro.common.errors import KindleError
+from repro.exec import (
+    ResultCache,
+    SweepEngine,
+    SweepError,
+    Task,
+    code_fingerprint,
+    sweep,
+)
 from repro.exec.cache import MISS
 from repro.exec.fingerprint import clear_caches, closure_modules
 from repro.exec.task import canonical_bytes, payload_bytes, resolve
 
 PROBE = "repro.exec.engine:probe_cell"
+FAIL = "repro.exec.engine:failing_cell"
 
 
 class TestTaskIdentity:
@@ -231,7 +240,65 @@ class TestSweepEngine:
         assert SweepEngine(jobs=None, use_cache=False).jobs == max(
             1, os.cpu_count() or 1
         )
-        assert SweepEngine(jobs=0, use_cache=False).jobs == max(
-            1, os.cpu_count() or 1
-        )
         assert SweepEngine(jobs=7, use_cache=False).jobs == 7
+
+    @pytest.mark.parametrize("jobs", [0, -1, -8])
+    def test_non_positive_explicit_jobs_rejected(self, jobs):
+        """``jobs=0`` used to silently expand to ``os.cpu_count()``
+        (falsy-check bug); an explicit non-positive count now raises."""
+        with pytest.raises(KindleError, match="jobs must be >= 1"):
+            SweepEngine(jobs=jobs, use_cache=False)
+
+
+class TestSweepFailure:
+    """A raising cell aborts the sweep loudly, with consistent stats."""
+
+    GRID = [{"a": i, "b": i} for i in range(4)]
+
+    def test_serial_failure_wraps_in_sweep_error(self):
+        engine = SweepEngine(jobs=1, use_cache=False)
+        tasks = [Task(PROBE, self.GRID[0]), Task(FAIL, {"message": "kaput"})]
+        with pytest.raises(SweepError, match="kaput") as info:
+            engine.map(tasks)
+        assert isinstance(info.value.__cause__, RuntimeError)
+        assert engine.cells == 2
+        assert engine.executed == 2  # the probe and the raising cell ran
+        assert engine.elapsed_s > 0.0
+
+    def test_pool_failure_names_the_cell_and_keeps_stats(self, tmp_path):
+        """Regression: a cell raising at ``-j 2`` used to propagate the
+        raw exception out of ``future.result()`` mid-loop, abandoning
+        in-flight futures and skipping the cells/executed/elapsed_s
+        accounting at the end of ``map()``."""
+        engine = SweepEngine(jobs=2, cache_dir=tmp_path)
+        tasks = [Task(PROBE, kw) for kw in self.GRID]
+        tasks.insert(
+            2, Task(FAIL, {"message": "cell died"}, label="fail[2]")
+        )
+        with pytest.raises(SweepError) as info:
+            engine.map(tasks)
+        # the error names the failing cell's display() label + cause
+        assert "fail[2]" in str(info.value)
+        assert "cell died" in str(info.value)
+        assert isinstance(info.value.__cause__, RuntimeError)
+        # accounting ran despite the failure and stays consistent
+        assert engine.cells == len(tasks)
+        assert 1 <= engine.executed <= len(tasks)
+        assert engine.elapsed_s > 0.0
+        stats = engine.stats()
+        assert stats["cells"] == len(tasks)
+
+    def test_engine_is_reusable_after_a_failure(self, tmp_path):
+        engine = SweepEngine(jobs=2, cache_dir=tmp_path)
+        with pytest.raises(SweepError):
+            engine.map(
+                [Task(FAIL, {"a": i}, label=f"f{i}") for i in range(3)]
+            )
+        results = engine.map([Task(PROBE, kw) for kw in self.GRID])
+        assert [r["sum"] for r in results] == [2 * kw["a"] for kw in self.GRID]
+
+    def test_failed_cells_are_never_cached(self, tmp_path):
+        engine = SweepEngine(jobs=1, cache_dir=tmp_path)
+        with pytest.raises(SweepError):
+            engine.map([Task(FAIL, {})])
+        assert list(tmp_path.glob("*.json")) == []

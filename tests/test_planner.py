@@ -1,0 +1,462 @@
+"""The blueprint planner: dataclass, enumeration, scoring, ranking, CLI."""
+
+import json
+
+import pytest
+
+from repro.common.config import MachineConfig
+from repro.common.errors import KindleError
+from repro.common.units import GiB, KiB, MiB
+from repro.exec import SweepEngine
+from repro.harness.plan import plan_main, resolve_workload, run_plan
+from repro.planner import (
+    PAPER_DEFAULT,
+    Blueprint,
+    Objective,
+    enumerate_blueprints,
+    image_workload,
+    rank_blueprints,
+    score_blueprint_cell,
+    trace_workload,
+    traffic_workload,
+    validate_workload,
+)
+from repro.planner.blueprint import llc_hit_latency
+from repro.planner.grid import PRUNE_RULES
+from repro.tiering.daemon import TieringDaemon
+from repro.workloads.traffic import PopulationConfig
+
+#: Small, fast scoring workload for unit tests (cache-resident on
+#: purpose — cell mechanics, not metric sensitivity).
+TINY = image_workload(ops=2_000, records=2_048, repeats=1)
+
+
+class TestBlueprint:
+    def test_default_is_the_paper_configuration(self):
+        config = PAPER_DEFAULT.machine_config()
+        paper = MachineConfig()
+        assert config.llc.size == paper.llc.size == 2 * MiB
+        assert config.llc.hit_latency == paper.llc.hit_latency == 40
+        assert config.tlb.entries == paper.tlb.entries == 64
+        assert config.layout.dram_bytes == 3 * GiB
+        assert config.layout.nvm_bytes == 2 * GiB
+
+    def test_round_trips_through_json(self):
+        blueprint = Blueprint(
+            dram_mib=1024,
+            nvm_mib=4096,  # repro: allow-geometry(MiB capacity, not a page size)
+            scheme="persistent",
+            checkpoint_interval_ms=5.0,
+            llc_kib=4096,  # repro: allow-geometry(KiB capacity, not a page size)
+            tlb_entries=128,
+        )
+        data = json.loads(json.dumps(blueprint.to_dict()))
+        assert Blueprint.from_dict(data) == blueprint
+
+    def test_unknown_fields_are_rejected(self):
+        with pytest.raises(KindleError, match="unknown blueprint fields"):
+            Blueprint.from_dict({"dram_mib": 1024, "turbo": True})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"scheme": "journal"},
+            {"tiering": "clockpro"},
+            {"checkpoint_interval_ms": 0.0},
+            {"checkpoint_interval_ms": -1.0},
+            {"llc_kib": 256},  # smaller than L2
+            {"llc_kib": 1536},  # not a power of two
+            {"tlb_entries": 0},
+            {"dram_mib": 0},
+            {"nvm_mib": 0},
+        ],
+    )
+    def test_invalid_blueprints_raise(self, kwargs):
+        with pytest.raises(KindleError):
+            Blueprint(**kwargs)
+
+    def test_tiering_choices_match_the_daemon(self):
+        from repro.planner.blueprint import TIERINGS
+
+        assert TIERINGS == ("none",) + TieringDaemon.POLICIES
+
+    def test_llc_latency_scales_with_size(self):
+        assert llc_hit_latency(2048) == 40  # the paper point
+        assert llc_hit_latency(1024) == 32
+        assert llc_hit_latency(4096) == 48  # repro: allow-geometry(KiB capacity, not a page size)
+        assert llc_hit_latency(512) == 24
+        with pytest.raises(KindleError, match="power-of-two"):
+            llc_hit_latency(1536)
+
+    def test_label_is_stable(self):
+        assert (
+            PAPER_DEFAULT.label()
+            == "d3072+n2048.rebuild.ck10.none.llc2048.tlb64"
+        )
+
+    def test_machine_config_validates(self):
+        config = Blueprint(llc_kib=1024, tlb_entries=128).machine_config()
+        assert config.llc.size == 1024 * KiB
+        assert config.llc.hit_latency == 32
+        assert config.tlb.entries == 128
+
+
+class TestEnumerate:
+    def test_star_leads_with_the_paper_default(self):
+        grid = enumerate_blueprints()
+        assert grid.blueprints[0] == PAPER_DEFAULT
+        labels = grid.labels()
+        assert len(labels) == len(set(labels)), "duplicate candidates"
+
+    def test_smoke_star_is_small(self):
+        grid = enumerate_blueprints(smoke=True)
+        assert 3 <= len(grid.blueprints) <= 8
+        assert grid.blueprints[0] == PAPER_DEFAULT
+
+    def test_grid_mode_prunes_tiering_with_persistent_scheme(self):
+        grid = enumerate_blueprints(mode="grid", smoke=True)
+        for blueprint in grid.blueprints:
+            assert not (
+                blueprint.tiering != "none" and blueprint.scheme == "persistent"
+            )
+        assert grid.pruned, "expected pruned combinations"
+        assert all(rule == "tiering-vs-persistent" for _, rule, _ in grid.pruned)
+
+    def test_prune_rules_can_be_disabled(self):
+        pruned = enumerate_blueprints(mode="grid", smoke=True, prune=True)
+        unpruned = enumerate_blueprints(mode="grid", smoke=True, prune=False)
+        assert len(unpruned.blueprints) == len(pruned.blueprints) + len(
+            pruned.pruned
+        )
+        assert not unpruned.pruned
+
+    def test_max_candidates_cap_is_reported_not_silent(self):
+        grid = enumerate_blueprints(smoke=True, max_candidates=2)
+        assert len(grid.blueprints) == 2
+        assert grid.blueprints[0] == PAPER_DEFAULT
+        assert grid.dropped > 0
+
+    def test_bad_arguments_raise(self):
+        with pytest.raises(KindleError, match="enumeration mode"):
+            enumerate_blueprints(mode="spiral")
+        with pytest.raises(KindleError, match="max_candidates"):
+            enumerate_blueprints(max_candidates=0)
+
+    def test_default_rule_never_prunes_the_paper_default(self):
+        for rule in PRUNE_RULES.values():
+            assert rule(PAPER_DEFAULT) is None
+
+
+class TestObjective:
+    def test_defaults(self):
+        objective = Objective()
+        assert objective.to_dict() == {
+            "cycles": 1.0,
+            "wear": 0.3,
+            "recovery": 0.2,
+        }
+
+    def test_from_spec_is_order_free_and_partial(self):
+        assert Objective.from_spec("wear=0.5, cycles=2") == Objective(
+            cycles=2.0, wear=0.5, recovery=0.2
+        )
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "latency=1",  # unknown axis
+            "cycles",  # not axis=weight
+            "cycles=fast",  # not a float
+            "cycles=1,cycles=2",  # duplicate
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(KindleError):
+            Objective.from_spec(spec)
+
+    def test_degenerate_weights_raise(self):
+        with pytest.raises(KindleError, match=">= 0"):
+            Objective(cycles=-1.0)
+        with pytest.raises(KindleError, match="sum to zero"):
+            Objective(cycles=0.0, wear=0.0, recovery=0.0)
+
+
+def _score_row(label, serve, persist, recovery, wear):
+    return {
+        "blueprint": {"tag": label},
+        "label": label,
+        "ops": 100,
+        "serve_cycles": serve,
+        "persist_cycles": persist,
+        "recovery_cycles": recovery,
+        "checkpoints": 1,
+        "nvm_line_writes": wear,
+        "wear_skew": 1.0,
+        "promotions": 0,
+        "demotions": 0,
+    }
+
+
+class TestRank:
+    def test_orders_by_weighted_normalized_score(self):
+        rows = [
+            _score_row("slow", 2000, 0, 100, 10),
+            _score_row("fast", 1000, 0, 100, 10),
+            _score_row("wearless", 1000, 0, 100, 5),
+        ]
+        ranked = rank_blueprints(rows, Objective())
+        assert [row["label"] for row in ranked] == ["wearless", "fast", "slow"]
+        assert ranked[0]["rank"] == 1
+        assert ranked[0]["score"] == 1.0  # best on every axis
+
+    def test_weights_change_the_winner(self):
+        rows = [
+            _score_row("fast_but_wearing", 1000, 0, 100, 100),
+            _score_row("slow_but_gentle", 2000, 0, 100, 1),
+        ]
+        cycles_only = rank_blueprints(rows, Objective(wear=0.0, recovery=0.0))
+        assert cycles_only[0]["label"] == "fast_but_wearing"
+        wear_heavy = rank_blueprints(rows, Objective(cycles=0.1, wear=5.0))
+        assert wear_heavy[0]["label"] == "slow_but_gentle"
+
+    def test_ties_break_on_canonical_blueprint_json(self):
+        rows = [
+            _score_row("b", 1000, 0, 100, 10),
+            _score_row("a", 1000, 0, 100, 10),
+        ]
+        first = rank_blueprints(rows, Objective())
+        second = rank_blueprints(list(reversed(rows)), Objective())
+        assert [row["label"] for row in first] == ["a", "b"]
+        assert first == second
+
+    def test_predicted_cycles_includes_persist_phase(self):
+        rows = [
+            _score_row("lazy_ckpt", 1000, 900, 100, 0),
+            _score_row("eager_ckpt", 1000, 100, 100, 0),
+        ]
+        ranked = rank_blueprints(rows, Objective(wear=0.0, recovery=0.0))
+        assert ranked[0]["label"] == "eager_ckpt"
+        assert ranked[0]["predicted_cycles"] == 1100
+
+    def test_empty_input_raises(self):
+        with pytest.raises(KindleError, match="nothing to rank"):
+            rank_blueprints([], Objective())
+
+
+class TestWorkloadSpecs:
+    def test_traffic_spec_round_trips_the_population(self):
+        config = PopulationConfig(clients=4, processes=2, ops_per_client=10)
+        spec = traffic_workload(config)
+        validate_workload(spec)
+        assert PopulationConfig.from_dict(spec["population"]) == config
+
+    def test_trace_spec_pins_container_bytes(self, tmp_path):
+        from repro.prep.trace import TraceRecord, save_trace_binary
+
+        path_b = tmp_path / "b.bin"
+        path_a = tmp_path / "a.bin"
+        for path in (path_b, path_a):
+            save_trace_binary([TraceRecord(0, 8 * GiB, "W", 8)], path)
+        spec = trace_workload([path_b, path_a])
+        validate_workload(spec)
+        assert [c["path"] for c in spec["containers"]] == [
+            str(path_a),
+            str(path_b),
+        ]
+        assert all(len(c["sha256"]) == 64 for c in spec["containers"])
+        # Editing a container changes the spec (and thus cache keys).
+        path_a.write_bytes(path_a.read_bytes() + b"x")
+        assert trace_workload([path_a, path_b]) != spec
+
+    def test_trace_spec_requires_readable_containers(self, tmp_path):
+        with pytest.raises(KindleError, match="unreadable trace container"):
+            trace_workload([tmp_path / "missing.bin"])
+        with pytest.raises(KindleError, match="at least one container"):
+            trace_workload([])
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            {"kind": "warp"},
+            {"kind": "traffic"},
+            {"kind": "traffic", "population": {"clients": 0}},
+            {"kind": "image", "name": "tpcc", "ops": 1, "records": 1,
+             "seed": 1, "repeats": 1},
+            {"kind": "image", "name": "ycsb", "ops": 0, "records": 1,
+             "seed": 1, "repeats": 1},
+            {"kind": "image", "name": "ycsb", "ops": 1.5, "records": 1,
+             "seed": 1, "repeats": 1},
+            {"kind": "trace", "containers": []},
+            {"kind": "trace", "containers": [{"path": "x"}]},
+        ],
+    )
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(KindleError):
+            validate_workload(spec)
+
+
+class TestScoreCell:
+    def test_metrics_are_json_scalars_and_deterministic(self):
+        first = score_blueprint_cell(PAPER_DEFAULT.to_dict(), TINY)
+        second = score_blueprint_cell(PAPER_DEFAULT.to_dict(), TINY)
+        assert first == second
+        assert first["blueprint"] == PAPER_DEFAULT.to_dict()
+        assert first["label"] == PAPER_DEFAULT.label()
+        # generate_ycsb traces *until* total_ops, so each pass can run
+        # a few ops past the budget.
+        assert first["ops"] >= TINY["ops"] * TINY["repeats"]
+        for key in (
+            "serve_cycles",
+            "persist_cycles",
+            "recovery_cycles",
+            "checkpoints",
+            "nvm_line_writes",
+            "promotions",
+            "demotions",
+        ):
+            assert isinstance(first[key], int), key
+        assert isinstance(first["wear_skew"], float)
+        assert first["serve_cycles"] > 0
+        assert first["persist_cycles"] > 0
+        assert first["recovery_cycles"] > 0
+        assert first["checkpoints"] >= 1
+        assert json.dumps(first)  # JSON-safe end to end
+
+    def test_trace_workload_replays_containers(self, tmp_path):
+        from repro.prep.trace import TraceRecord, save_trace_binary
+
+        base = 8 * GiB
+        records = [
+            TraceRecord(i, base + (i % 64) * 64, "W" if i % 3 else "R", 8)  # repro: allow-geometry(line-strided test addresses)
+            for i in range(200)
+        ]
+        path = tmp_path / "t.bin"
+        save_trace_binary(records, path)
+        spec = trace_workload([path])
+        result = score_blueprint_cell(PAPER_DEFAULT.to_dict(), spec)
+        assert result["ops"] == 200
+        assert result["serve_cycles"] > 0
+
+    def test_changed_container_fails_loudly(self, tmp_path):
+        from repro.prep.trace import TraceRecord, save_trace_binary
+
+        path = tmp_path / "t.bin"
+        save_trace_binary([TraceRecord(0, 8 * GiB, "W", 8)], path)
+        spec = trace_workload([path])
+        save_trace_binary(
+            [TraceRecord(0, 8 * GiB, "R", 8), TraceRecord(1, 8 * GiB, "W", 8)],
+            path,
+        )
+        with pytest.raises(KindleError, match="changed since the plan"):
+            score_blueprint_cell(PAPER_DEFAULT.to_dict(), spec)
+
+    def test_tiering_blueprint_counts_migrations(self):
+        # The LLC-overflowing default image workload drives real misses,
+        # so the count policy has something to promote.
+        spec = image_workload(ops=8_000, repeats=2)
+        result = score_blueprint_cell(
+            Blueprint(tiering="count").to_dict(), spec
+        )
+        assert result["promotions"] > 0
+
+
+class TestPlanAcceptance:
+    """The ISSUE's regression: the pick beats the paper default, and a
+    warm re-plan reproduces it from cache alone."""
+
+    WORKLOAD = image_workload()
+
+    def test_pick_beats_paper_default_and_replans_from_cache(self, tmp_path):
+        engine = SweepEngine(jobs=2, cache_dir=tmp_path)
+        section = run_plan(
+            self.WORKLOAD, Objective(), smoke=True, engine=engine
+        )
+        assert engine.stats()["executed"] == len(section["ranking"])
+        pick = section["pick"]
+        default = section["paper_default"]
+        assert default is not None
+        assert pick["label"] != default["label"]
+        assert pick["score"] < default["score"], (
+            "planner must find a strictly better configuration than the "
+            "paper default on this workload"
+        )
+        assert section["pick_vs_default"]["beats_default"] is True
+
+        warm_engine = SweepEngine(jobs=2, cache_dir=tmp_path)
+        warm = run_plan(
+            self.WORKLOAD, Objective(), smoke=True, engine=warm_engine
+        )
+        stats = warm_engine.stats()
+        assert stats["executed"] == 0
+        assert stats["cache_hits"] == len(warm["ranking"])
+        assert json.dumps(warm, sort_keys=True) == json.dumps(
+            section, sort_keys=True
+        ), "warm re-plan must be byte-identical"
+
+    def test_objective_weights_flow_through_run_plan(self, tmp_path):
+        engine = SweepEngine(jobs=1, cache_dir=tmp_path)
+        section = run_plan(
+            TINY,
+            Objective(cycles=1.0, wear=0.0, recovery=0.0),
+            smoke=True,
+            engine=engine,
+            max_candidates=2,
+        )
+        assert section["objective"] == {
+            "cycles": 1.0,
+            "wear": 0.0,
+            "recovery": 0.0,
+        }
+        assert section["dropped_by_cap"] > 0
+        assert len(section["ranking"]) == 2
+
+
+class TestPlanCli:
+    def test_plan_main_writes_the_plan_section(self, tmp_path, capsys):
+        out = tmp_path / "BENCH.json"
+        engine = SweepEngine(jobs=1, cache_dir=tmp_path / "cache")
+        code = plan_main(
+            str(out), workload="ycsb", smoke=True, engine=engine
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "bench_machine/v6"
+        plan = report["plan"]
+        assert plan["workload"]["kind"] == "image"
+        assert plan["pick"]["rank"] == 1
+        assert plan["candidates"] == len(plan["ranking"])
+        printed = capsys.readouterr().out
+        assert "pick:" in printed
+        assert plan["pick"]["label"] in printed
+
+    def test_plan_main_preserves_existing_sections(self, tmp_path):
+        out = tmp_path / "BENCH.json"
+        out.write_text(json.dumps({"schema": "bench_machine/v6",
+                                   "traffic": {"ops": 7}}))
+        engine = SweepEngine(jobs=1, cache_dir=tmp_path / "cache")
+        plan_main(str(out), workload="ycsb", smoke=True, engine=engine)
+        report = json.loads(out.read_text())
+        assert report["traffic"] == {"ops": 7}
+        assert "plan" in report
+
+    def test_resolve_workload_traffic_fits_a_forecast(self):
+        spec = resolve_workload("traffic", True, 2024, None)
+        validate_workload(spec)
+        assert spec["kind"] == "traffic"
+        forecast = PopulationConfig.from_dict(spec["population"])
+        assert forecast.seed != 2024  # derived, not the observed seed
+
+    def test_resolve_workload_trace_dir_overrides(self, tmp_path):
+        from repro.prep.trace import TraceRecord, save_trace_binary
+
+        save_trace_binary(
+            [TraceRecord(0, 8 * GiB, "W", 8)], tmp_path / "t.bin"
+        )
+        spec = resolve_workload("traffic", True, 2024, str(tmp_path))
+        assert spec["kind"] == "trace"
+
+    def test_resolve_workload_rejects_unknowns(self, tmp_path):
+        with pytest.raises(KindleError, match="unknown plan workload"):
+            resolve_workload("tpcc", True, 2024, None)
+        with pytest.raises(KindleError, match="no \\*\\.bin"):
+            resolve_workload("traffic", True, 2024, str(tmp_path))

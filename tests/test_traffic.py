@@ -22,6 +22,7 @@ from repro.platform import HybridSystem
 from repro.prep.trace import load_trace_packed
 from repro.workloads import TABLE2_MIXES
 from repro.workloads.traffic import (
+    DEFAULT_DIURNAL_CURVE,
     PROFILES,
     ClientPopulation,
     PopulationConfig,
@@ -29,6 +30,8 @@ from repro.workloads.traffic import (
     _assign_timestamps,
     client_base_vaddr,
     client_window_span,
+    fit_forecast,
+    unique_pool_size,
 )
 
 
@@ -172,6 +175,128 @@ class TestDegeneratePopulations:
         assert system.stats["interference.llc.cross"] == 0
         report = interference_report(system.stats)
         assert report["tlb"]["pairs"] == {}
+
+
+class TestUniquePoolRounding:
+    """Regression: the pool size used ``round()``, whose banker's
+    rounding sent .5-exact products to the nearest even integer — the
+    same ``unique_fraction`` shifted the pool size with the magnitude
+    of the op count.  The rule is now an explicit clamped floor."""
+
+    def test_floor_rule_at_boundaries(self):
+        assert unique_pool_size(300, 0.0) == 1
+        assert unique_pool_size(300, 1.0) == 300
+        assert unique_pool_size(1, 1.0) == 1
+        assert unique_pool_size(1, 0.0) == 1
+
+    def test_half_exact_products_are_magnitude_independent(self):
+        # ops * 0.5 lands exactly on .5 for every odd op count;
+        # round() gave [2, 4, 4, 6] (parity skew), floor is monotone.
+        assert [unique_pool_size(ops, 0.5) for ops in (5, 7, 9, 11)] == [
+            2, 3, 4, 5,
+        ]
+        # the concrete banker's-rounding pair the bug report names
+        assert round(2.5) == 2 and round(3.5) == 4  # the old behavior
+        assert unique_pool_size(5, 0.5) == 2
+        assert unique_pool_size(7, 0.5) == 3
+
+    def test_validation(self):
+        with pytest.raises(KindleError):
+            unique_pool_size(0, 0.5)
+        with pytest.raises(KindleError):
+            unique_pool_size(10, -0.1)
+        with pytest.raises(KindleError):
+            unique_pool_size(10, 1.01)
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.5, 1.0])
+    def test_boundary_fractions_generate_byte_identical_repeats(
+        self, fraction, tmp_path
+    ):
+        # odd op count: ops * 0.5 is .5-exact on every client
+        config = _small_config(
+            unique_fraction=fraction, ops_per_client=301, clients=4
+        )
+        first = ClientPopulation(config).generate()
+        second = ClientPopulation(config).generate()
+        for column in ("ts", "addr", "size", "write"):
+            assert (
+                getattr(first, column).tobytes()
+                == getattr(second, column).tobytes()
+            )
+        paths_a = first.save_containers(tmp_path / "a")
+        paths_b = second.save_containers(tmp_path / "b")
+        assert sorted(paths_a) == sorted(paths_b)
+        for index, path in paths_a.items():
+            assert path.read_bytes() == paths_b[index].read_bytes()
+
+    def test_summary_agrees_with_generation(self):
+        config = _small_config(
+            unique_fraction=0.5, ops_per_client=301, clients=2, processes=1
+        )
+        population = ClientPopulation(config)
+        schedule = population.generate()
+        n_unique = unique_pool_size(301, 0.5)
+        assert n_unique == 150
+        summary = population.summary()
+        assert summary["repetition_coefficient"] == 1.0 - n_unique / 301
+        for client in range(config.clients):
+            distinct = np.unique(schedule.addr[schedule.client == client]).size
+            assert distinct <= n_unique
+
+
+class TestForecastFit:
+    """``fit_forecast``: the planner's observed-population hand-off."""
+
+    def test_poisson_population_fits_poisson(self):
+        config = _small_config(arrival="poisson", ops_per_client=600)
+        schedule = ClientPopulation(config).generate()
+        fitted = fit_forecast(schedule)
+        assert fitted.arrival == "poisson"
+        assert fitted.clients == config.clients
+        assert fitted.processes == config.processes
+        assert fitted.ops_per_client == config.ops_per_client
+        assert fitted.seed != config.seed
+        assert 0.0 <= fitted.unique_fraction <= 1.0
+        assert PopulationConfig.from_dict(fitted.to_dict()) == fitted
+
+    def test_diurnal_population_recovers_the_curve_shape(self):
+        config = _small_config(
+            arrival="diurnal", ops_per_client=2000, clients=4
+        )
+        schedule = ClientPopulation(config).generate()
+        fitted = fit_forecast(schedule, bins=24)
+        assert fitted.arrival == "diurnal"
+        assert fitted.diurnal_phase == 0.0
+        got = np.asarray(fitted.diurnal_curve)
+        assert got.sum() == pytest.approx(1.0)
+        truth = np.asarray(DEFAULT_DIURNAL_CURVE, dtype=float)
+        corr = np.corrcoef(truth / truth.sum(), got)[0, 1]
+        assert corr > 0.9
+
+    def test_fit_is_deterministic_and_forecast_generates(self):
+        config = _small_config(arrival="diurnal", ops_per_client=800)
+        schedule = ClientPopulation(config).generate()
+        assert fit_forecast(schedule) == fit_forecast(schedule)
+        fitted = fit_forecast(schedule)
+        forecast = ClientPopulation(fitted).generate()
+        assert len(forecast) == fitted.clients * fitted.ops_per_client
+
+    def test_unique_fraction_estimate_tracks_reuse(self):
+        low = fit_forecast(
+            ClientPopulation(_small_config(unique_fraction=0.05)).generate()
+        )
+        high = fit_forecast(
+            ClientPopulation(_small_config(unique_fraction=1.0)).generate()
+        )
+        assert low.unique_fraction < high.unique_fraction
+
+    def test_empty_schedule_and_bad_knobs_rejected(self):
+        config = _small_config()
+        schedule = ClientPopulation(config).generate()
+        with pytest.raises(KindleError):
+            fit_forecast(schedule, bins=0)
+        with pytest.raises(KindleError):
+            fit_forecast(schedule, diurnal_ratio=0.5)
 
 
 class TestScheduleStructure:
